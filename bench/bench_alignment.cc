@@ -1,0 +1,91 @@
+// Ablations A-sources and F1-refine: story alignment scalability with the
+// number of sources, and the quality contribution of the refinement step
+// (Fig. 1c/1d). Also compares the LSH candidate path against all-pairs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/timer.h"
+
+namespace storypivot::bench {
+namespace {
+
+void SourceScaling() {
+  std::printf("-- A-sources: alignment cost & quality vs #sources --\n\n");
+  std::vector<eval::ExperimentRow> rows;
+  viz::Series align_ms{"align ms", {}};
+  viz::Series quality{"SA-F1", {}};
+  double max_ms = 1.0;
+  for (int sources : {2, 4, 8, 16, 32, 64}) {
+    eval::ExperimentConfig config;
+    config.corpus = Fig7CorpusConfig(6000);
+    config.corpus.num_sources = sources;
+    config.run_refinement = false;
+    config.label = "sources=" + std::to_string(sources);
+    eval::ExperimentRow row = eval::RunExperiment(config);
+    align_ms.points.push_back({static_cast<double>(sources),
+                               row.align_time_ms});
+    max_ms = std::max(max_ms, row.align_time_ms);
+    quality.points.push_back({static_cast<double>(sources),
+                              row.sa_pairwise.f1});
+    rows.push_back(std::move(row));
+  }
+  for (auto& [x, y] : align_ms.points) y /= max_ms;
+  std::printf("%s\n", eval::FormatRows(rows).c_str());
+  std::printf("%s\n",
+              viz::RenderXyChart("Alignment vs #sources (n=6000 fixed)",
+                                 "# sources", "SA-F1 / scaled align time",
+                                 {quality, align_ms}, /*log_x=*/true)
+                  .c_str());
+}
+
+void RefinementGain() {
+  std::printf("-- F1-refine: refinement's effect (Fig. 1d) --\n\n");
+  std::vector<eval::ExperimentRow> rows;
+  for (uint64_t seed : {2014u, 2015u, 2016u}) {
+    for (bool refine : {false, true}) {
+      eval::ExperimentConfig config;
+      config.corpus = Fig7CorpusConfig(4000);
+      config.corpus.seed = seed;
+      // A noisier corpus so identification makes the mistakes that
+      // refinement exists to correct.
+      config.corpus.entity_noise = 0.2;
+      config.corpus.keyword_noise = 0.25;
+      config.run_refinement = refine;
+      config.label = "seed=" + std::to_string(seed) +
+                     (refine ? " +refine" : " baseline");
+      rows.push_back(eval::RunExperiment(config));
+    }
+  }
+  std::printf("%s\n", eval::FormatRows(rows).c_str());
+}
+
+void LshVersusAllPairs() {
+  std::printf("-- alignment candidate generation: all-pairs vs LSH --\n\n");
+  for (bool lsh : {false, true}) {
+    eval::ExperimentConfig config;
+    config.corpus = Fig7CorpusConfig(8000);
+    config.corpus.num_sources = 20;
+    config.engine.alignment.use_lsh = lsh;
+    // Force the LSH path on by dropping its activation floor.
+    config.engine.alignment.lsh_min_stories = lsh ? 0 : (1u << 30);
+    config.run_refinement = false;
+    config.label = lsh ? "align via LSH sketches" : "align all-pairs";
+    eval::ExperimentRow row = eval::RunExperiment(config);
+    std::printf("%-26s align=%8.1f ms  SA-F1=%.3f  SA-B3=%.3f\n",
+                config.label.c_str(), row.align_time_ms,
+                row.sa_pairwise.f1, row.sa_bcubed.f1);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace storypivot::bench
+
+int main() {
+  std::printf("== bench_alignment: cross-source story alignment ==\n\n");
+  storypivot::bench::SourceScaling();
+  storypivot::bench::RefinementGain();
+  storypivot::bench::LshVersusAllPairs();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces the *Performance* panel of the paper's statistics module
+// (Fig. 7): story-identification execution time vs #events, for the
+// temporal and complete SI methods, plus the story-alignment (SA) cost.
+//
+// The paper plots execution time in ms against the number of events on a
+// GDELT extraction (50 sources / 500 entities / Jun-Dec 2014 / 10M
+// snippets). We run the same generator at bench-scale; absolute numbers
+// differ from the authors' testbed, but the shape — temporal flat-ish and
+// cheap, complete superlinear and increasingly expensive — is the claim
+// under reproduction.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace storypivot::bench {
+namespace {
+
+void Run() {
+  std::printf("== Fig. 7 / Performance: execution time vs #events ==\n\n");
+  PrintDatasetCard(datagen::GdeltScalePreset(),
+                   "GDELT (paper card; bench runs scaled-down snapshots)");
+
+  std::vector<eval::ExperimentRow> rows;
+  viz::Series temporal_series{"temporal ms/event", {}};
+  viz::Series complete_series{"complete ms/event", {}};
+  viz::Series align_series{"SA align ms/event", {}};
+
+  for (int n : EventSweep()) {
+    for (auto mode :
+         {IdentificationMode::kTemporal, IdentificationMode::kComplete}) {
+      eval::ExperimentConfig config;
+      config.corpus = Fig7CorpusConfig(n);
+      config.engine.mode = mode;
+      config.run_refinement = false;
+      bool temporal = mode == IdentificationMode::kTemporal;
+      config.label =
+          std::string(temporal ? "temporal w=7d" : "complete") + " n=" +
+          std::to_string(n);
+      eval::ExperimentRow row = eval::RunExperiment(config);
+      if (temporal) {
+        temporal_series.points.push_back(
+            {static_cast<double>(row.num_events), row.per_event_ms});
+        align_series.points.push_back(
+            {static_cast<double>(row.num_events),
+             row.align_time_ms / static_cast<double>(row.num_events)});
+      } else {
+        complete_series.points.push_back(
+            {static_cast<double>(row.num_events), row.per_event_ms});
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::printf("%s\n", eval::FormatRows(rows).c_str());
+  std::printf("%s\n",
+              viz::RenderXyChart(
+                  "Execution time per event (SI method sweep)", "# events",
+                  "ms/event",
+                  {temporal_series, complete_series, align_series},
+                  /*log_x=*/true)
+                  .c_str());
+
+  // Headline ratio at the largest scale.
+  const eval::ExperimentRow* biggest_t = nullptr;
+  const eval::ExperimentRow* biggest_c = nullptr;
+  for (const eval::ExperimentRow& row : rows) {
+    if (row.label.find("temporal") != std::string::npos) {
+      biggest_t = &row;
+    } else {
+      biggest_c = &row;
+    }
+  }
+  if (biggest_t != nullptr && biggest_c != nullptr &&
+      biggest_t->ingest_time_ms > 0) {
+    std::printf(
+        "at n=%zu: complete/temporal ingest-time ratio = %.1fx, "
+        "comparison ratio = %.1fx\n",
+        biggest_t->num_events,
+        biggest_c->ingest_time_ms / biggest_t->ingest_time_ms,
+        static_cast<double>(biggest_c->comparisons) /
+            static_cast<double>(biggest_t->comparisons));
+  }
+}
+
+}  // namespace
+}  // namespace storypivot::bench
+
+int main() {
+  storypivot::bench::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces the *Quality* panel of the paper's statistics module
+// (Fig. 7): F-measure vs #events for the selectable SI method (temporal /
+// complete) and SA method (alignment with / without refinement).
+//
+// Expected shape: the temporal method's F-measure holds or improves with
+// scale, while the complete baseline degrades as stories evolve and old
+// snippets attract unrelated events ("complete mechanisms overfit
+// stories", §2.2). Story alignment lifts quality above per-source
+// identification at every scale.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace storypivot::bench {
+namespace {
+
+void Run() {
+  std::printf("== Fig. 7 / Quality: F-measure vs #events ==\n\n");
+
+  std::vector<eval::ExperimentRow> rows;
+  viz::Series t_si{"temporal SI-F1", {}};
+  viz::Series c_si{"complete SI-F1", {}};
+  viz::Series t_sa{"temporal SA-F1", {}};
+  viz::Series c_sa{"complete SA-F1", {}};
+  viz::Series t_ref{"temporal SA-F1+refine", {}};
+
+  for (int n : EventSweep()) {
+    for (auto mode :
+         {IdentificationMode::kTemporal, IdentificationMode::kComplete}) {
+      const bool temporal = mode == IdentificationMode::kTemporal;
+      eval::ExperimentConfig config;
+      config.corpus = Fig7CorpusConfig(n);
+      config.engine.mode = mode;
+      config.run_refinement = false;
+      config.label = std::string(temporal ? "temporal" : "complete") +
+                     " n=" + std::to_string(n);
+      eval::ExperimentRow row = eval::RunExperiment(config);
+      double x = static_cast<double>(row.num_events);
+      if (temporal) {
+        t_si.points.push_back({x, row.si_pairwise.f1});
+        t_sa.points.push_back({x, row.sa_pairwise.f1});
+      } else {
+        c_si.points.push_back({x, row.si_pairwise.f1});
+        c_sa.points.push_back({x, row.sa_pairwise.f1});
+      }
+      rows.push_back(std::move(row));
+
+      if (temporal) {
+        eval::ExperimentConfig refined = config;
+        refined.run_refinement = true;
+        refined.label = "temporal+refine n=" + std::to_string(n);
+        eval::ExperimentRow refined_row = eval::RunExperiment(refined);
+        t_ref.points.push_back(
+            {static_cast<double>(refined_row.num_events),
+             refined_row.sa_pairwise.f1});
+        rows.push_back(std::move(refined_row));
+      }
+    }
+  }
+
+  std::printf("%s\n", eval::FormatRows(rows).c_str());
+  std::printf("%s\n",
+              viz::RenderXyChart("Story identification quality (F-measure)",
+                                 "# events", "pairwise F1", {t_si, c_si},
+                                 /*log_x=*/true)
+                  .c_str());
+  std::printf("%s\n",
+              viz::RenderXyChart(
+                  "Story alignment quality (F-measure)", "# events",
+                  "pairwise F1", {t_sa, c_sa, t_ref}, /*log_x=*/true)
+                  .c_str());
+}
+
+}  // namespace
+}  // namespace storypivot::bench
+
+int main() {
+  storypivot::bench::Run();
+  return 0;
+}

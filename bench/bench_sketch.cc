@@ -1,0 +1,60 @@
+// Ablation A-sketch (§2.4): candidate-generation strategies for temporal
+// story identification — full window scan, entity-inverted-index pruning,
+// and MinHash/LSH sketch candidates. Reports similarity comparisons,
+// ingest time and end-to-end quality for each.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace storypivot::bench {
+namespace {
+
+void Run() {
+  std::printf("== A-sketch: candidate generation for temporal SI ==\n\n");
+  struct Variant {
+    const char* name;
+    bool prune_entities;
+    bool sketches;
+  };
+  const Variant variants[] = {
+      {"window scan (exact)", false, false},
+      {"entity-index pruning", true, false},
+      {"MinHash/LSH sketches", false, true},
+  };
+
+  for (int n : {4000, 12000}) {
+    std::printf("-- n = %d --\n", n);
+    std::vector<eval::ExperimentRow> rows;
+    for (const Variant& variant : variants) {
+      eval::ExperimentConfig config;
+      config.corpus = Fig7CorpusConfig(n);
+      config.engine.identifier.prune_with_entities = variant.prune_entities;
+      config.engine.identifier.use_sketch_candidates = variant.sketches;
+      config.engine.use_sketches = variant.sketches;
+      config.run_refinement = false;
+      config.label = variant.name;
+      rows.push_back(eval::RunExperiment(config));
+    }
+    std::printf("%s\n", eval::FormatRows(rows).c_str());
+    const eval::ExperimentRow& exact = rows[0];
+    for (size_t i = 1; i < rows.size(); ++i) {
+      std::printf(
+          "  %-22s comparisons x%.2f, ingest x%.2f, SA-F1 delta %+.3f\n",
+          rows[i].label.c_str(),
+          static_cast<double>(rows[i].comparisons) /
+              static_cast<double>(exact.comparisons),
+          rows[i].ingest_time_ms / exact.ingest_time_ms,
+          rows[i].sa_pairwise.f1 - exact.sa_pairwise.f1);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace storypivot::bench
+
+int main() {
+  storypivot::bench::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef STORYPIVOT_BENCH_BENCH_UTIL_H_
+#define STORYPIVOT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "viz/ascii.h"
+
+namespace storypivot::bench {
+
+/// Standard #events sweep used by the Fig. 7 reproductions. Sizes are
+/// small enough that the whole bench suite runs in well under a minute per
+/// binary while still showing the asymptotic separation of the modes.
+inline std::vector<int> EventSweep() { return {1000, 2000, 4000, 8000, 16000}; }
+
+/// Base corpus configuration for the Fig. 7 experiments: a scaled-down
+/// version of the paper's GDELT June-December 2014 dataset (the full-size
+/// card is printed separately by the performance bench).
+inline datagen::CorpusConfig Fig7CorpusConfig(int target_snippets) {
+  datagen::CorpusConfig config = datagen::GdeltScalePreset();
+  // Scale the world down with the snippet budget so stories stay dense
+  // enough to detect; sources stay at 10 for bench speed.
+  config.num_sources = 10;
+  config.num_entities = 200;
+  config.num_communities = 25;
+  config.num_stories = 40;
+  config.target_num_snippets = target_snippets;
+  return config;
+}
+
+/// Prints the dataset-information card of the statistics module (Fig. 7).
+inline void PrintDatasetCard(const datagen::CorpusConfig& config,
+                             const char* name) {
+  std::printf("Dataset Information\n");
+  std::printf("  Dataset     %s\n", name);
+  std::printf("  # Sources   %d\n", config.num_sources);
+  std::printf("  # Entities  %d\n", config.num_entities);
+  std::printf("  # Snippets  %d (target)\n", config.target_num_snippets);
+  std::printf("  Start Date  %s\n", FormatDate(config.start_time).c_str());
+  std::printf("  End Date    %s\n\n", FormatDate(config.end_time).c_str());
+}
+
+}  // namespace storypivot::bench
+
+#endif  // STORYPIVOT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,97 @@
+// Robustness check for the Fig. 7 claims: re-runs the temporal-vs-complete
+// comparison over several corpus seeds and reports mean +/- stddev for the
+// headline metrics, so the reproduction's conclusions are visibly not a
+// single-seed artifact.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace storypivot::bench {
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Moments ComputeMoments(const std::vector<double>& values) {
+  Moments out;
+  if (values.empty()) return out;
+  for (double v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.stddev = values.size() > 1
+                   ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                   : 0.0;
+  return out;
+}
+
+void Run() {
+  std::printf("== seed variance of the Fig. 7 comparison (n=3000) ==\n\n");
+  const std::vector<uint64_t> seeds = {11, 22, 33, 44, 55};
+
+  struct Accumulator {
+    std::vector<double> si_f1, sa_f1, si_precision, ingest_ms;
+  };
+  Accumulator temporal, complete;
+
+  for (uint64_t seed : seeds) {
+    for (auto mode :
+         {IdentificationMode::kTemporal, IdentificationMode::kComplete}) {
+      eval::ExperimentConfig config;
+      config.corpus = Fig7CorpusConfig(3000);
+      config.corpus.seed = seed;
+      config.engine.mode = mode;
+      config.run_refinement = false;
+      eval::ExperimentRow row = eval::RunExperiment(config);
+      Accumulator& acc =
+          mode == IdentificationMode::kTemporal ? temporal : complete;
+      acc.si_f1.push_back(row.si_pairwise.f1);
+      acc.sa_f1.push_back(row.sa_pairwise.f1);
+      acc.si_precision.push_back(row.si_pairwise.precision);
+      acc.ingest_ms.push_back(row.ingest_time_ms);
+    }
+  }
+
+  auto print = [](const char* metric, const Accumulator& t,
+                  const Accumulator& c,
+                  std::vector<double> Accumulator::* field) {
+    Moments mt = ComputeMoments(t.*field);
+    Moments mc = ComputeMoments(c.*field);
+    std::printf("%-14s temporal %8.3f +/- %6.3f   complete %8.3f +/- "
+                "%6.3f\n",
+                metric, mt.mean, mt.stddev, mc.mean, mc.stddev);
+  };
+  std::printf("over %zu seeds:\n", seeds.size());
+  print("SI-F1", temporal, complete, &Accumulator::si_f1);
+  print("SI-precision", temporal, complete, &Accumulator::si_precision);
+  print("SA-F1", temporal, complete, &Accumulator::sa_f1);
+  print("ingest ms", temporal, complete, &Accumulator::ingest_ms);
+
+  // The two headline orderings, checked per seed.
+  int sa_wins = 0, precision_wins = 0, speed_wins = 0;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    if (temporal.sa_f1[i] > complete.sa_f1[i]) ++sa_wins;
+    if (temporal.si_precision[i] > complete.si_precision[i]) {
+      ++precision_wins;
+    }
+    if (temporal.ingest_ms[i] < complete.ingest_ms[i]) ++speed_wins;
+  }
+  std::printf(
+      "\nper-seed wins for temporal: SA-F1 %d/%zu, SI-precision %d/%zu, "
+      "speed %d/%zu\n",
+      sa_wins, seeds.size(), precision_wins, seeds.size(), speed_wins,
+      seeds.size());
+}
+
+}  // namespace
+}  // namespace storypivot::bench
+
+int main() {
+  storypivot::bench::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation A-window + Fig. 2 modes: sweep the sliding-window half-width w
+// of temporal story identification from hours to months and measure both
+// cost (comparisons, ingest time) and quality. The complete baseline is
+// the w -> infinity limit; tiny windows fragment stories, huge windows
+// converge to complete's overfitting — the sweep exposes the sweet spot
+// the paper's 'temporal' mode exploits.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace storypivot::bench {
+namespace {
+
+void Run() {
+  std::printf("== A-window / Fig. 2: sliding-window half-width sweep ==\n\n");
+  const int kEvents = 6000;
+  const double windows_days[] = {0.25, 1, 3, 7, 14, 30, 90};
+
+  std::vector<eval::ExperimentRow> rows;
+  viz::Series quality{"SA-F1", {}};
+  viz::Series si_quality{"SI-F1", {}};
+  viz::Series cost{"ingest s (scaled)", {}};
+
+  double max_ingest = 0;
+  for (double w : windows_days) {
+    eval::ExperimentConfig config;
+    config.corpus = Fig7CorpusConfig(kEvents);
+    config.engine.mode = IdentificationMode::kTemporal;
+    config.engine.identifier.window =
+        static_cast<Timestamp>(w * kSecondsPerDay);
+    config.run_refinement = false;
+    char label[64];
+    std::snprintf(label, sizeof(label), "temporal w=%gd", w);
+    config.label = label;
+    eval::ExperimentRow row = eval::RunExperiment(config);
+    max_ingest = std::max(max_ingest, row.ingest_time_ms);
+    quality.points.push_back({w * 4, row.sa_pairwise.f1});
+    si_quality.points.push_back({w * 4, row.si_pairwise.f1});
+    cost.points.push_back({w * 4, row.ingest_time_ms});
+    rows.push_back(std::move(row));
+  }
+  // The complete baseline as the "infinite window" reference point.
+  {
+    eval::ExperimentConfig config;
+    config.corpus = Fig7CorpusConfig(kEvents);
+    config.engine.mode = IdentificationMode::kComplete;
+    config.run_refinement = false;
+    config.label = "complete (w=inf)";
+    rows.push_back(eval::RunExperiment(config));
+  }
+
+  // Scale the cost curve into [0,1] so the chart shares an axis.
+  for (auto& [x, y] : cost.points) y /= std::max(1.0, max_ingest);
+
+  std::printf("%s\n", eval::FormatRows(rows).c_str());
+  std::printf(
+      "%s\n",
+      viz::RenderXyChart("Window sweep at n=6000 (x = 4*days, log scale)",
+                         "window", "F1 / scaled cost",
+                         {si_quality, quality, cost}, /*log_x=*/true)
+          .c_str());
+  std::printf(
+      "reading: F1 climbs as the window covers a story's evolution, then\n"
+      "degrades toward the complete baseline once stale snippets re-enter\n"
+      "the candidate set; cost grows with the window throughout.\n");
+}
+
+}  // namespace
+}  // namespace storypivot::bench
+
+int main() {
+  storypivot::bench::Run();
+  return 0;
+}

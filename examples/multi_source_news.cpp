@@ -1,0 +1,123 @@
+// Expert-scientist use case (§3): contrast how differently biased sources
+// cover the same stories, and use story alignment to assemble the
+// complete, unbiased view. Generates a world where sources have strong
+// per-domain coverage bias, then examines (a) per-source perspectives,
+// (b) the integrated stories, and (c) which snippets align vs enrich.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "datagen/corpus.h"
+#include "datagen/word_lists.h"
+#include "eval/experiment.h"
+#include "viz/ascii.h"
+
+int main() {
+  using namespace storypivot;
+
+  // Strongly biased sources: coverage multipliers vary widely per domain.
+  datagen::CorpusConfig corpus_config;
+  corpus_config.seed = 99;
+  corpus_config.num_sources = 8;
+  corpus_config.num_stories = 24;
+  corpus_config.target_num_snippets = 4000;
+  corpus_config.coverage_bias = 0.9;
+  datagen::Corpus corpus =
+      datagen::CorpusGenerator(corpus_config).Generate();
+
+  StoryPivotEngine engine;
+  Status imported = engine.ImportVocabularies(*corpus.entity_vocabulary,
+                                              *corpus.keyword_vocabulary);
+  if (!imported.ok()) {
+    std::printf("%s\n", imported.ToString().c_str());
+    return 1;
+  }
+  for (const SourceInfo& source : corpus.sources) {
+    engine.RegisterSource(source.name);
+  }
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    engine.AddSnippet(std::move(copy)).value();
+  }
+  const AlignmentResult& alignment = engine.Align();
+
+  // --- (a) Source perspectives: how much of each big story does each
+  // source actually cover? (source bias made visible, §2.3)
+  std::printf("==== Source coverage of the five biggest stories ====\n\n");
+  std::vector<const IntegratedStory*> biggest;
+  for (const IntegratedStory& story : alignment.stories) {
+    biggest.push_back(&story);
+  }
+  std::sort(biggest.begin(), biggest.end(),
+            [](const IntegratedStory* a, const IntegratedStory* b) {
+              return a->merged.size() > b->merged.size();
+            });
+  biggest.resize(std::min<size_t>(biggest.size(), 5));
+
+  std::printf("%-24s", "story (top entities)");
+  for (const SourceInfo& source : engine.sources()) {
+    std::printf(" %9.9s", source.name.c_str());
+  }
+  std::printf("\n");
+  StoryQuery query(&engine);
+  for (const IntegratedStory* story : biggest) {
+    std::map<SourceId, int> per_source;
+    for (SnippetId sid : story->merged.snippets()) {
+      ++per_source[engine.store().Find(sid)->source];
+    }
+    StoryOverview overview = query.Overview(story->merged, true, 2);
+    std::string label;
+    for (const auto& [term, count] : overview.top_entities) {
+      if (!label.empty()) label += ",";
+      label += term;
+    }
+    if (label.size() > 23) label.resize(23);
+    std::printf("%-24s", label.c_str());
+    for (const SourceInfo& source : engine.sources()) {
+      std::printf(" %9d", per_source.count(source.id)
+                              ? per_source[source.id]
+                              : 0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nUneven rows are the source bias: a single-source reader would see "
+      "a\nskewed slice of each story. Alignment assembles the full row.\n\n");
+
+  // --- (b) Aligning vs enriching content per source (§2.3).
+  std::printf("==== Aligning vs enriching snippets per source ====\n\n");
+  std::map<SourceId, std::pair<int, int>> roles;  // {aligning, enriching}.
+  for (const auto& [sid, role] : alignment.roles) {
+    const Snippet* snippet = engine.store().Find(sid);
+    if (role == SnippetRole::kAligning) {
+      ++roles[snippet->source].first;
+    } else {
+      ++roles[snippet->source].second;
+    }
+  }
+  std::printf("%-22s %10s %10s %10s\n", "source", "aligning", "enriching",
+              "% unique");
+  for (const SourceInfo& source : engine.sources()) {
+    auto [aligning, enriching] = roles[source.id];
+    int total = aligning + enriching;
+    std::printf("%-22s %10d %10d %9.1f%%\n", source.name.c_str(), aligning,
+                enriching,
+                total == 0 ? 0.0 : 100.0 * enriching / total);
+  }
+  std::printf(
+      "\nEnriching snippets are reporting that exists in only one source — "
+      "the\n\"special reports, background information etc.\" of §2.3.\n\n");
+
+  // --- (c) The integrated view of the biggest story.
+  std::printf("==== Integrated view of the biggest story ====\n%s\n",
+              viz::RenderSnippetsPerStory(engine, *biggest[0]).c_str());
+
+  eval::QualityScores scores = eval::ScoreEngine(engine);
+  std::printf("alignment quality vs ground truth: F1=%.3f NMI=%.3f\n",
+              scores.sa_pairwise.f1, scores.sa_nmi);
+  return 0;
+}

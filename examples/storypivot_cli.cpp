@@ -1,0 +1,247 @@
+// storypivot_cli — command-line front end over the StoryPivot library.
+//
+// Subcommands:
+//   generate <out.tsv> [--snippets N] [--sources N] [--stories N] [--seed S]
+//       Generate a synthetic multi-source corpus (GDELT-style TSV).
+//   detect <in.tsv> [--mode temporal|complete] [--window-days W]
+//          [--refine] [--diagnose] [--snapshot out.sp] [--json out.json]
+//       Run story identification + alignment over a TSV corpus; print the
+//       integrated story table and quality (when truth labels exist).
+//   load <snapshot.sp>
+//       Load a previously saved engine snapshot and print its stories.
+//   query <in.tsv> <entity>
+//       Detect stories, then show the context card for an entity.
+//
+// Examples:
+//   storypivot_cli generate /tmp/news.tsv --snippets 5000
+//   storypivot_cli detect /tmp/news.tsv --refine --snapshot /tmp/run.sp
+//   storypivot_cli load /tmp/run.sp
+//   storypivot_cli query /tmp/news.tsv Ukraine
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "core/snapshot.h"
+#include "datagen/corpus.h"
+#include "datagen/gdelt_export.h"
+#include "eval/experiment.h"
+#include "text/knowledge_base.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "eval/diagnostics.h"
+#include "viz/ascii.h"
+#include "viz/json_export.h"
+
+namespace {
+
+using namespace storypivot;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  storypivot_cli generate <out.tsv> [--snippets N] "
+               "[--sources N] [--stories N] [--seed S]\n"
+               "  storypivot_cli detect <in.tsv> [--mode temporal|complete]"
+               " [--window-days W] [--refine] [--diagnose]\n"
+               "                 [--snapshot out.sp] [--json out.json]\n"
+               "  storypivot_cli load <snapshot.sp>\n"
+               "  storypivot_cli query <in.tsv> <entity>\n");
+  return 2;
+}
+
+bool ParseFlag(int argc, char** argv, const char* name, std::string* out) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      *out = argv[i + 1];
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t def) {
+  std::string value;
+  if (!ParseFlag(argc, argv, name, &value)) return def;
+  int64_t out = def;
+  if (!ParseInt64(value, &out)) {
+    std::fprintf(stderr, "bad integer for %s: %s\n", name, value.c_str());
+  }
+  return out;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string out_path = argv[0];
+  datagen::CorpusConfig config;
+  config.target_num_snippets =
+      static_cast<int>(FlagInt(argc, argv, "--snippets", 5000));
+  config.num_sources =
+      static_cast<int>(FlagInt(argc, argv, "--sources", 10));
+  config.num_stories =
+      static_cast<int>(FlagInt(argc, argv, "--stories", 40));
+  config.seed = static_cast<uint64_t>(FlagInt(argc, argv, "--seed", 42));
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+  Status status = datagen::ExportTsvToFile(corpus, out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu snippets from %zu sources (%zu true stories) to "
+              "%s\n",
+              corpus.snippets.size(), corpus.sources.size(),
+              corpus.num_truth_stories(), out_path.c_str());
+  return 0;
+}
+
+Result<std::unique_ptr<StoryPivotEngine>> DetectFromTsv(
+    const std::string& path, const EngineConfig& config) {
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  Result<datagen::ImportedCorpus> imported =
+      datagen::ImportTsv(contents.value());
+  if (!imported.ok()) return imported.status();
+  const datagen::ImportedCorpus& corpus = imported.value();
+
+  auto engine = std::make_unique<StoryPivotEngine>(config);
+  Status vocab = engine->ImportVocabularies(*corpus.entity_vocabulary,
+                                            *corpus.keyword_vocabulary);
+  if (!vocab.ok()) return vocab;
+  for (const SourceInfo& source : corpus.sources) {
+    engine->RegisterSource(source.name);
+  }
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    Result<SnippetId> added = engine->AddSnippet(std::move(copy));
+    if (!added.ok()) return added.status();
+  }
+  return engine;
+}
+
+void PrintEngineSummary(StoryPivotEngine& engine) {
+  engine.Align();
+  StoryQuery query(&engine);
+  std::vector<StoryOverview> integrated = query.IntegratedStories();
+  size_t shown = std::min<size_t>(integrated.size(), 15);
+  integrated.resize(shown);
+  std::printf("%s", viz::RenderStoryTable(integrated).c_str());
+  std::printf("\n%zu snippets, %zu per-source stories, %zu integrated "
+              "stories; SI %.1f ms, align %.1f ms\n",
+              engine.store().size(), engine.TotalStories(),
+              engine.alignment().stories.size(),
+              engine.stats().identify_time_ms,
+              engine.stats().align_time_ms);
+  // Quality, when the corpus carried ground truth.
+  bool has_truth = false;
+  engine.store().ForEach([&](const Snippet& snippet) {
+    has_truth |= snippet.truth_story >= 0;
+  });
+  if (has_truth) {
+    eval::QualityScores scores = eval::ScoreEngine(engine);
+    std::printf("quality vs ground truth: SI-F1=%.3f SA-F1=%.3f NMI=%.3f\n",
+                scores.si_pairwise.f1, scores.sa_pairwise.f1,
+                scores.sa_nmi);
+  }
+}
+
+int CmdDetect(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  EngineConfig config;
+  std::string mode;
+  if (ParseFlag(argc, argv, "--mode", &mode) && mode == "complete") {
+    config.mode = IdentificationMode::kComplete;
+  }
+  config.identifier.window =
+      FlagInt(argc, argv, "--window-days", 7) * kSecondsPerDay;
+  Result<std::unique_ptr<StoryPivotEngine>> engine =
+      DetectFromTsv(argv[0], config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  if (HasFlag(argc, argv, "--refine")) {
+    RefinementStats stats = engine.value()->Refine();
+    std::printf("refinement: moved %d snippets, split %d stories\n",
+                stats.snippets_moved, stats.stories_split);
+  }
+  PrintEngineSummary(*engine.value());
+  if (HasFlag(argc, argv, "--diagnose")) {
+    std::printf("\n%s",
+                eval::DiagnoseAlignment(*engine.value()).ToString().c_str());
+  }
+  std::string json_path;
+  if (ParseFlag(argc, argv, "--json", &json_path)) {
+    Status written = WriteStringToFile(
+        json_path, viz::ExportEngineJson(*engine.value()));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("JSON payload written to %s\n", json_path.c_str());
+  }
+
+  std::string snapshot_path;
+  if (ParseFlag(argc, argv, "--snapshot", &snapshot_path)) {
+    Status saved = SaveSnapshotToFile(*engine.value(), snapshot_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot saved to %s\n", snapshot_path.c_str());
+  }
+  return 0;
+}
+
+int CmdLoad(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  Result<std::unique_ptr<StoryPivotEngine>> engine =
+      LoadSnapshotFromFile(argv[0]);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded snapshot %s\n", argv[0]);
+  PrintEngineSummary(*engine.value());
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Result<std::unique_ptr<StoryPivotEngine>> engine =
+      DetectFromTsv(argv[0], EngineConfig{});
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  engine.value()->Align();
+  text::KnowledgeBase kb = text::KnowledgeBase::WithEmbeddedWorldFacts();
+  StoryQuery query(engine.value().get());
+  query.set_knowledge_base(&kb);
+  std::printf("%s",
+              viz::RenderEntityContext(query.Context(argv[1])).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  int sub_argc = argc - 2;
+  char** sub_argv = argv + 2;
+  if (command == "generate") return CmdGenerate(sub_argc, sub_argv);
+  if (command == "detect") return CmdDetect(sub_argc, sub_argv);
+  if (command == "load") return CmdLoad(sub_argc, sub_argv);
+  if (command == "query") return CmdQuery(sub_argc, sub_argv);
+  return Usage();
+}

@@ -1,0 +1,158 @@
+// Casual-reader use case (§3) under live conditions (§2.4): a monitor
+// that consumes snippets in publication order (event timestamps out of
+// order), periodically re-aligns, and prints a live digest — which
+// stories are "hot" right now, which just emerged, and the timeline of a
+// story the reader follows.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "core/trends.h"
+#include "datagen/corpus.h"
+#include "model/time.h"
+#include "viz/ascii.h"
+
+int main() {
+  using namespace storypivot;
+
+  datagen::CorpusConfig corpus_config;
+  corpus_config.seed = 123;
+  corpus_config.num_sources = 6;
+  corpus_config.num_stories = 18;
+  corpus_config.target_num_snippets = 3000;
+  corpus_config.mean_report_delay_hours = 30;
+  datagen::Corpus corpus =
+      datagen::CorpusGenerator(corpus_config).Generate();
+
+  StoryPivotEngine engine;
+  if (!engine
+           .ImportVocabularies(*corpus.entity_vocabulary,
+                               *corpus.keyword_vocabulary)
+           .ok()) {
+    return 1;
+  }
+  for (const SourceInfo& source : corpus.sources) {
+    engine.RegisterSource(source.name);
+  }
+
+  StoryQuery query(&engine);
+  std::set<StoryId> seen_stories;
+  const size_t digest_every = corpus.snippets.size() / 5;
+
+  for (size_t i = 0; i < corpus.snippets.size(); ++i) {
+    Snippet copy = corpus.snippets[i];
+    copy.id = kInvalidSnippetId;
+    engine.AddSnippet(std::move(copy)).value();
+
+    if ((i + 1) % digest_every != 0) continue;
+
+    // ---- Periodic digest.
+    Timestamp now = corpus.arrivals[i];
+    engine.Align();
+    std::printf(
+        "================ digest @ %s (%zu snippets ingested) "
+        "================\n",
+        FormatDateTime(now).c_str(), i + 1);
+
+    // Hot stories: most snippets with event time in the last 14 days.
+    struct Hot {
+      const IntegratedStory* story;
+      int recent;
+    };
+    std::vector<Hot> hot;
+    for (const IntegratedStory& story : engine.alignment().stories) {
+      int recent = 0;
+      for (SnippetId sid : story.merged.snippets()) {
+        const Snippet* snippet = engine.store().Find(sid);
+        if (snippet->timestamp >= now - 14 * kSecondsPerDay &&
+            snippet->timestamp <= now) {
+          ++recent;
+        }
+      }
+      if (recent > 0) hot.push_back({&story, recent});
+    }
+    std::sort(hot.begin(), hot.end(), [](const Hot& a, const Hot& b) {
+      return a.recent > b.recent;
+    });
+
+    std::printf("hot stories (last 14 days):\n");
+    for (size_t h = 0; h < hot.size() && h < 4; ++h) {
+      StoryOverview overview =
+          query.Overview(hot[h].story->merged, true, 3);
+      std::string entities, keywords;
+      for (const auto& [term, count] : overview.top_entities) {
+        if (!entities.empty()) entities += ", ";
+        entities += term;
+      }
+      for (const auto& [term, count] : overview.top_keywords) {
+        if (!keywords.empty()) keywords += " ";
+        keywords += term;
+      }
+      bool is_new = seen_stories.insert(hot[h].story->id).second &&
+                    overview.start_time >= now - 21 * kSecondsPerDay;
+      std::printf("  %s [%2d recent, %3zu total, %zu sources] %s — %s\n",
+                  is_new ? "NEW" : "   ", hot[h].recent,
+                  overview.num_snippets, overview.source_names.size(),
+                  entities.c_str(), keywords.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // ---- Follow one story: full cross-source timeline for the biggest.
+  engine.Align();
+  const IntegratedStory* followed = nullptr;
+  for (const IntegratedStory& story : engine.alignment().stories) {
+    if (followed == nullptr ||
+        story.merged.size() > followed->merged.size()) {
+      followed = &story;
+    }
+  }
+  if (followed != nullptr) {
+    std::printf("==== Following the biggest story to date ====\n%s\n",
+                viz::RenderSnippetsPerStory(engine, *followed).c_str());
+    std::printf("%s\n",
+                viz::RenderStoryOverview(
+                    query.Overview(followed->merged, true))
+                    .c_str());
+    // Activity sparkline: the story's temporal footprint at a glance.
+    ActivitySeries series =
+        BuildActivitySeries(engine, followed->merged);
+    std::printf("activity: %s\n",
+                viz::RenderActivitySparkline(series).c_str());
+  }
+
+  // ---- Trend detection (§1): which stories are bursting right now?
+  Timestamp now = corpus.arrivals.back();
+  std::vector<TrendingStory> trending = DetectTrendingStories(engine, now);
+  std::printf("==== Trending at %s ====\n", FormatDate(now).c_str());
+  if (trending.empty()) {
+    std::printf("  (no bursting stories — the stream has wound down)\n");
+  }
+  size_t shown = 0;
+  for (const TrendingStory& t : trending) {
+    if (shown++ >= 5) break;
+    for (const IntegratedStory& story : engine.alignment().stories) {
+      if (story.id != t.story) continue;
+      StoryOverview overview = query.Overview(story.merged, true, 3);
+      std::string entities;
+      for (const auto& [term, count] : overview.top_entities) {
+        if (!entities.empty()) entities += ", ";
+        entities += term;
+      }
+      std::printf("  %s burst x%-6.1f %2d recent  %s\n",
+                  t.emerging ? "NEW" : "   ",
+                  t.burst_ratio, t.recent_count, entities.c_str());
+    }
+  }
+  std::printf("engine totals: %llu ingested, SI %.1f ms, %llu alignments "
+              "(%.1f ms)\n",
+              static_cast<unsigned long long>(
+                  engine.stats().snippets_ingested),
+              engine.stats().identify_time_ms,
+              static_cast<unsigned long long>(engine.stats().alignments_run),
+              engine.stats().align_time_ms);
+  return 0;
+}

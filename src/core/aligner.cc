@@ -1,0 +1,207 @@
+#include "core/aligner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sketch/lsh_index.h"
+#include "sketch/minhash.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace storypivot {
+namespace {
+
+uint64_t MemberKey(SourceId source, StoryId story) {
+  return (static_cast<uint64_t>(source) << 48) ^ story;
+}
+
+/// Union-find over story node indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+struct StoryNode {
+  SourceId source = kInvalidSourceId;
+  StoryId story = kInvalidStoryId;
+  const Story* ptr = nullptr;
+};
+
+}  // namespace
+
+size_t AlignmentResult::IndexOfMember(SourceId source, StoryId id) const {
+  auto it = member_index.find(MemberKey(source, id));
+  return it == member_index.end() ? std::numeric_limits<size_t>::max()
+                                  : it->second;
+}
+
+double StoryAligner::StoryPairScore(const Story& a, const Story& b) const {
+  double affinity = SimilarityModel::TemporalAffinity(
+      a.start_time(), a.end_time(), b.start_time(), b.end_time(),
+      config_.temporal_tolerance);
+  if (affinity <= 0.0) return 0.0;
+  return affinity * model_->StorySimilarity(a, b);
+}
+
+AlignmentResult StoryAligner::Align(
+    const std::vector<const StorySet*>& partitions, const SnippetStore& store,
+    StoryId* next_story_id) const {
+  SP_CHECK(next_story_id != nullptr);
+  AlignmentResult result;
+
+  // Collect all story nodes.
+  std::vector<StoryNode> nodes;
+  for (const StorySet* partition : partitions) {
+    SP_CHECK(partition != nullptr);
+    for (const auto& [id, story] : partition->stories()) {
+      if (story.empty()) continue;
+      nodes.push_back({partition->source(), id, &story});
+    }
+  }
+  UnionFind uf(nodes.size());
+
+  // Candidate pair generation: all cross-source pairs for small inputs,
+  // LSH over story sketches otherwise.
+  auto consider = [&](size_t i, size_t j) {
+    if (i == j) return;
+    if (!config_.allow_same_source_merge &&
+        nodes[i].source == nodes[j].source) {
+      return;
+    }
+    ++result.num_pairs_scored;
+    if (StoryPairScore(*nodes[i].ptr, *nodes[j].ptr) >=
+        config_.align_threshold) {
+      uf.Union(i, j);
+    }
+  };
+
+  const bool lsh_mode =
+      (config_.use_lsh && nodes.size() > config_.lsh_min_stories) ||
+      nodes.size() > config_.all_pairs_limit;
+  if (!lsh_mode) {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (size_t j = i + 1; j < nodes.size(); ++j) consider(i, j);
+    }
+  } else {
+    LshIndex lsh(16, 4);
+    std::vector<MinHashSignature> sigs;
+    sigs.reserve(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      sigs.push_back(MinHashSignature::FromContent(
+          nodes[i].ptr->entities(), nodes[i].ptr->keywords(),
+          config_.sketch_hashes));
+      lsh.Insert(i, sigs.back());
+    }
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (uint64_t j : lsh.Query(sigs[i])) {
+        if (j > i) consider(i, static_cast<size_t>(j));
+      }
+    }
+  }
+
+  // Build integrated stories from the union-find components.
+  std::unordered_map<size_t, size_t> component_index;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    size_t root = uf.Find(i);
+    auto [it, inserted] =
+        component_index.emplace(root, result.stories.size());
+    if (inserted) {
+      IntegratedStory integrated;
+      integrated.id = (*next_story_id)++;
+      integrated.merged.set_id(integrated.id);
+      result.stories.push_back(std::move(integrated));
+    }
+    IntegratedStory& integrated = result.stories[it->second];
+    integrated.members.push_back({nodes[i].source, nodes[i].story});
+    integrated.merged.MergeFrom(*nodes[i].ptr);
+    result.member_index[MemberKey(nodes[i].source, nodes[i].story)] =
+        it->second;
+    for (SnippetId sid : nodes[i].ptr->snippets()) {
+      result.integrated_of[sid] = it->second;
+    }
+  }
+  for (IntegratedStory& integrated : result.stories) {
+    std::sort(integrated.members.begin(), integrated.members.end());
+  }
+
+  ClassifySnippetRoles(*model_, config_, store, &result);
+  return result;
+}
+
+void ClassifySnippetRoles(const SimilarityModel& model,
+                          const AlignmentConfig& config,
+                          const SnippetStore& store,
+                          AlignmentResult* result) {
+  result->roles.clear();
+  result->counterpart.clear();
+  for (const IntegratedStory& integrated : result->stories) {
+    ClassifyIntegratedStory(model, config, store, integrated,
+                            &result->roles, &result->counterpart);
+  }
+}
+
+void ClassifyIntegratedStory(
+    const SimilarityModel& model, const AlignmentConfig& config,
+    const SnippetStore& store, const IntegratedStory& integrated,
+    std::unordered_map<SnippetId, SnippetRole>* roles,
+    std::unordered_map<SnippetId, SnippetId>* counterpart) {
+  // A snippet is aligning when a counterpart from another source exists
+  // inside the same integrated story, within pair_tolerance and above
+  // pair_threshold. Snippets are walked in time order so only a bounded
+  // window of predecessors is compared.
+  struct TimedSnippet {
+    Timestamp ts;
+    const Snippet* snippet;
+  };
+  std::vector<TimedSnippet> members;
+  members.reserve(integrated.merged.size());
+  for (SnippetId sid : integrated.merged.snippets()) {
+    const Snippet* s = store.Find(sid);
+    SP_CHECK(s != nullptr);
+    members.push_back({s->timestamp, s});
+  }
+  std::sort(members.begin(), members.end(),
+            [](const TimedSnippet& a, const TimedSnippet& b) {
+              return a.ts < b.ts;
+            });
+  std::unordered_map<SnippetId, double> best_pair_score;
+  for (size_t i = 0; i < members.size(); ++i) {
+    const Snippet& a = *members[i].snippet;
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      const Snippet& b = *members[j].snippet;
+      if (b.timestamp - a.timestamp > config.pair_tolerance) break;
+      if (a.source == b.source) continue;
+      double s = model.SnippetSimilarity(a, b);
+      if (s < config.pair_threshold) continue;
+      auto update = [&](const Snippet& x, const Snippet& y) {
+        auto [it, inserted] = best_pair_score.emplace(x.id, s);
+        if (inserted || s > it->second) {
+          it->second = s;
+          (*counterpart)[x.id] = y.id;
+        }
+      };
+      update(a, b);
+      update(b, a);
+    }
+  }
+  for (const TimedSnippet& member : members) {
+    SnippetId sid = member.snippet->id;
+    (*roles)[sid] = counterpart->contains(sid) ? SnippetRole::kAligning
+                                               : SnippetRole::kEnriching;
+  }
+}
+
+}  // namespace storypivot

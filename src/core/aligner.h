@@ -1,0 +1,142 @@
+#ifndef STORYPIVOT_CORE_ALIGNER_H_
+#define STORYPIVOT_CORE_ALIGNER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/similarity.h"
+#include "core/story_set.h"
+#include "model/ids.h"
+#include "storage/snippet_store.h"
+
+namespace storypivot {
+
+/// Knobs of the story-alignment phase (§2.3).
+struct AlignmentConfig {
+  /// Two stories align when content-similarity x temporal-affinity
+  /// reaches this. Alignment is transitive (union-find), so the threshold
+  /// is deliberately higher than the identification assign threshold —
+  /// a low value lets one mixed story chain unrelated clusters together.
+  double align_threshold = 0.40;
+  /// Temporal tolerance between story spans, in seconds. Larger than the
+  /// identification window ("more tolerance in the temporal alignment of
+  /// stories", §4.1).
+  Timestamp temporal_tolerance = 14 * kSecondsPerDay;
+  /// Two snippets from different sources are counterparts (the snippet
+  /// "aligns" the stories) when their similarity reaches this...
+  double pair_threshold = 0.45;
+  /// ...and their event timestamps are within this many seconds.
+  Timestamp pair_tolerance = 3 * kSecondsPerDay;
+  /// Allow story-sketch LSH to generate candidate story pairs instead of
+  /// comparing all cross-source pairs. LSH only activates above
+  /// `lsh_min_stories` — for small inputs all-pairs is cheap and exact,
+  /// and LSH recall is poor for pairs whose set-Jaccard sits below its
+  /// S-curve even when the blended similarity clears the threshold.
+  bool use_lsh = true;
+  /// Minimum story count before the LSH path activates.
+  size_t lsh_min_stories = 500;
+  /// Above this many stories, all-pairs comparison is refused and LSH is
+  /// used regardless of `use_lsh`.
+  size_t all_pairs_limit = 4000;
+  /// Allow two stories of the same source to land in one integrated
+  /// story. The paper keeps same-source stories separate (refinement, not
+  /// alignment, fixes same-source mistakes), so this defaults to false.
+  bool allow_same_source_merge = false;
+  /// MinHash size for story sketches.
+  size_t sketch_hashes = 64;
+  /// Incremental alignment only: story-pair scores depend on corpus IDF,
+  /// which drifts as documents arrive. When the document count has moved
+  /// by more than this fraction since the last full rebuild, the
+  /// incremental aligner rebuilds its whole graph so stale decisions are
+  /// re-taken under current statistics.
+  double idf_drift_rebuild = 0.10;
+};
+
+/// The role a snippet plays inside an integrated story (§2.3): it either
+/// *aligns* stories (it has a counterpart in another source) or *enriches*
+/// the story (source-exclusive background material).
+enum class SnippetRole { kAligning, kEnriching };
+
+/// One integrated story C': per-source member stories plus a merged view.
+struct IntegratedStory {
+  StoryId id = kInvalidStoryId;
+  /// The per-source stories that were aligned into this story.
+  std::vector<std::pair<SourceId, StoryId>> members;
+  /// Merged aggregates over all member stories (for overview rendering).
+  Story merged;
+};
+
+/// Output of one alignment run.
+struct AlignmentResult {
+  std::vector<IntegratedStory> stories;
+  /// Snippet -> index into `stories`.
+  std::unordered_map<SnippetId, size_t> integrated_of;
+  /// Per-snippet role classification.
+  std::unordered_map<SnippetId, SnippetRole> roles;
+  /// Best cross-source counterpart of each *aligning* snippet.
+  std::unordered_map<SnippetId, SnippetId> counterpart;
+  /// (source, story) -> index into `stories`.
+  std::unordered_map<uint64_t, size_t> member_index;
+  /// Story pairs actually scored (work indicator for the benches).
+  uint64_t num_pairs_scored = 0;
+
+  /// Integrated story containing per-source story (source, id), or
+  /// SIZE_MAX.
+  size_t IndexOfMember(SourceId source, StoryId id) const;
+};
+
+/// Fills `result->roles` and `result->counterpart` for every snippet of
+/// every integrated story in `result`: a snippet is *aligning* when a
+/// sufficiently similar snippet from another source exists in the same
+/// integrated story within the pair tolerance, else *enriching* (§2.3).
+/// Shared by the batch and incremental aligners.
+void ClassifySnippetRoles(const SimilarityModel& model,
+                          const AlignmentConfig& config,
+                          const SnippetStore& store,
+                          AlignmentResult* result);
+
+/// Classifies a single integrated story's snippets into `roles` /
+/// `counterpart` (see ClassifySnippetRoles). Exposed so the incremental
+/// aligner can re-classify only the clusters that changed.
+void ClassifyIntegratedStory(const SimilarityModel& model,
+                             const AlignmentConfig& config,
+                             const SnippetStore& store,
+                             const IntegratedStory& story,
+                             std::unordered_map<SnippetId, SnippetRole>* roles,
+                             std::unordered_map<SnippetId, SnippetId>*
+                                 counterpart);
+
+/// Aligns the per-source story sets across sources into integrated
+/// stories. Stories that align nowhere survive as singleton integrated
+/// stories ("even if a story cannot be aligned ... it is still going to be
+/// present in the result set", §2.3).
+class StoryAligner {
+ public:
+  StoryAligner(const SimilarityModel* model, AlignmentConfig config)
+      : model_(model), config_(config) {}
+
+  StoryAligner(const StoryAligner&) = delete;
+  StoryAligner& operator=(const StoryAligner&) = delete;
+
+  /// Runs alignment over `partitions`. Integrated ids are drawn from
+  /// `next_story_id`.
+  AlignmentResult Align(const std::vector<const StorySet*>& partitions,
+                        const SnippetStore& store,
+                        StoryId* next_story_id) const;
+
+  const AlignmentConfig& config() const { return config_; }
+
+  /// Combined story-pair score: content similarity gated by temporal
+  /// affinity of the story spans.
+  double StoryPairScore(const Story& a, const Story& b) const;
+
+ private:
+  const SimilarityModel* model_;
+  AlignmentConfig config_;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_CORE_ALIGNER_H_

@@ -1,0 +1,67 @@
+#include "core/dedup.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "sketch/lsh_index.h"
+#include "sketch/minhash.h"
+#include "util/logging.h"
+
+namespace storypivot {
+
+std::vector<DuplicatePair> FindNearDuplicates(const StoryPivotEngine& engine,
+                                              const DedupConfig& config) {
+  // Sketch every snippet once.
+  std::vector<const Snippet*> snippets;
+  snippets.reserve(engine.store().size());
+  engine.store().ForEach(
+      [&](const Snippet& snippet) { snippets.push_back(&snippet); });
+  std::sort(snippets.begin(), snippets.end(),
+            [](const Snippet* a, const Snippet* b) { return a->id < b->id; });
+
+  // Aggressive banding (more rows per band) since the duplicate threshold
+  // is high: 8 bands x 16 rows catches J >= ~0.85 reliably.
+  LshIndex lsh(8, 16);
+  std::unordered_map<SnippetId, MinHashSignature> signatures;
+  signatures.reserve(snippets.size());
+  for (const Snippet* snippet : snippets) {
+    MinHashSignature sig = MinHashSignature::FromContent(
+        snippet->entities, snippet->keywords, config.sketch_hashes);
+    lsh.Insert(snippet->id, sig);
+    signatures.emplace(snippet->id, std::move(sig));
+  }
+
+  std::vector<DuplicatePair> out;
+  for (const Snippet* snippet : snippets) {
+    const MinHashSignature& sig = signatures.at(snippet->id);
+    for (uint64_t raw : lsh.Query(sig)) {
+      SnippetId other_id = static_cast<SnippetId>(raw);
+      if (other_id <= snippet->id) continue;  // Each pair once, a < b.
+      const Snippet* other = engine.store().Find(other_id);
+      SP_CHECK(other != nullptr);
+      if (config.cross_source_only && other->source == snippet->source) {
+        continue;
+      }
+      if (std::llabs(static_cast<long long>(other->timestamp -
+                                            snippet->timestamp)) >
+          config.time_tolerance) {
+        continue;
+      }
+      double estimate = sig.EstimateJaccard(signatures.at(other_id));
+      if (estimate < config.min_jaccard) continue;
+      out.push_back({snippet->id, other_id, estimate});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DuplicatePair& x, const DuplicatePair& y) {
+              if (x.similarity != y.similarity) {
+                return x.similarity > y.similarity;
+              }
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return out;
+}
+
+}  // namespace storypivot

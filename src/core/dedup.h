@@ -1,0 +1,46 @@
+#ifndef STORYPIVOT_CORE_DEDUP_H_
+#define STORYPIVOT_CORE_DEDUP_H_
+
+#include <vector>
+
+#include "core/engine.h"
+#include "model/ids.h"
+
+namespace storypivot {
+
+/// A detected near-duplicate snippet pair (likely syndicated wire copy:
+/// two sources publishing the same agency text).
+struct DuplicatePair {
+  SnippetId a = kInvalidSnippetId;
+  SnippetId b = kInvalidSnippetId;
+  /// Estimated Jaccard similarity of the combined term sets.
+  double similarity = 0.0;
+};
+
+/// Near-duplicate detection knobs.
+struct DedupConfig {
+  /// Minimum estimated Jaccard to call two snippets duplicates.
+  double min_jaccard = 0.85;
+  /// Only consider pairs whose event timestamps are this close.
+  Timestamp time_tolerance = 2 * kSecondsPerDay;
+  /// Report cross-source pairs only (same-source repeats are usually
+  /// corrections, not syndication).
+  bool cross_source_only = true;
+  /// MinHash size used for the scan.
+  size_t sketch_hashes = 128;
+};
+
+/// Scans the engine's snippets for near-duplicates using MinHash + LSH —
+/// the §2.4 sketches applied to syndication detection. News sources
+/// frequently run identical agency copy; flagging those pairs lets
+/// downstream consumers discount them when judging how independently a
+/// story is corroborated. O(n) sketching plus LSH bucket verification.
+///
+/// Pairs are returned with a < b, sorted by descending similarity then
+/// ids; each unordered pair appears once.
+std::vector<DuplicatePair> FindNearDuplicates(const StoryPivotEngine& engine,
+                                              const DedupConfig& config = {});
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_CORE_DEDUP_H_

@@ -1,0 +1,332 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace storypivot {
+
+EngineConfig NewsProseEngineConfig() {
+  EngineConfig config;
+  config.identifier.window = 45 * kSecondsPerDay;
+  config.similarity.assign_threshold = 0.18;
+  config.similarity.merge_threshold = 0.40;
+  config.alignment.align_threshold = 0.25;
+  config.alignment.pair_threshold = 0.25;
+  config.refinement.pair_threshold = 0.25;
+  return config;
+}
+
+StoryPivotEngine::StoryPivotEngine(EngineConfig config)
+    : config_(config),
+      gazetteer_(&entity_vocab_),
+      annotator_(&gazetteer_, &keyword_vocab_),
+      similarity_(config_.similarity, &df_),
+      identifier_(MakeIdentifier(config_.mode, &similarity_,
+                                 config_.identifier)),
+      aligner_(&similarity_, config_.alignment),
+      incremental_aligner_(&similarity_, config_.alignment),
+      refiner_(&similarity_, config_.refinement) {
+  if (config_.identifier.use_sketch_candidates) {
+    // Sketch-based candidate generation needs maintained sketches.
+    config_.use_sketches = true;
+  }
+}
+
+SourceId StoryPivotEngine::RegisterSource(const std::string& name) {
+  SourceId id = next_source_id_++;
+  sources_.push_back({id, name});
+  partitions_.emplace(id, StorySet(id));
+  if (config_.use_sketches) {
+    sketches_.emplace(id, SnippetSketchIndex(config_.sketch_hashes));
+  }
+  stale_ = true;
+  return id;
+}
+
+Status StoryPivotEngine::RemoveSource(SourceId source) {
+  auto it = partitions_.find(source);
+  if (it == partitions_.end()) {
+    return Status::NotFound(StrFormat("source %u", source));
+  }
+  // Remove all snippets of the source from the global structures.
+  std::vector<SnippetId> ids;
+  ids.reserve(it->second.snippet_times().size());
+  for (const auto& [ts, sid] : it->second.snippet_times().entries()) {
+    ids.push_back(sid);
+  }
+  for (SnippetId sid : ids) {
+    const Snippet* snippet = store_.Find(sid);
+    SP_CHECK(snippet != nullptr);
+    df_.RemoveDocument(snippet->keywords);
+    store_.Remove(sid).ok();
+    ++stats_.snippets_removed;
+  }
+  partitions_.erase(it);
+  sketches_.erase(source);
+  if (config_.incremental_alignment) incremental_aligner_.Invalidate();
+  std::erase_if(sources_,
+                [source](const SourceInfo& s) { return s.id == source; });
+  stale_ = true;
+  return Status::OK();
+}
+
+const std::string& StoryPivotEngine::SourceName(SourceId source) const {
+  static const std::string& unknown = *new std::string("<unknown>");
+  for (const SourceInfo& info : sources_) {
+    if (info.id == source) return info.name;
+  }
+  return unknown;
+}
+
+Status StoryPivotEngine::ImportVocabularies(
+    const text::Vocabulary& entities, const text::Vocabulary& keywords) {
+  auto import = [](const text::Vocabulary& from, text::Vocabulary* to) {
+    for (text::TermId id = 0; id < from.size(); ++id) {
+      text::TermId got = to->Intern(from.TermOf(id));
+      if (got != id) {
+        return Status::FailedPrecondition(StrFormat(
+            "term '%s' maps to id %u, expected %u — import vocabularies "
+            "before interning anything else",
+            from.TermOf(id).c_str(), got, id));
+      }
+    }
+    return Status::OK();
+  };
+  Status s = import(entities, &entity_vocab_);
+  if (!s.ok()) return s;
+  return import(keywords, &keyword_vocab_);
+}
+
+Result<std::vector<SnippetId>> StoryPivotEngine::AddDocument(
+    const Document& document) {
+  if (!partitions_.contains(document.source)) {
+    return Status::InvalidArgument(
+        StrFormat("unregistered source %u", document.source));
+  }
+  std::vector<SnippetId> ids;
+  // The title is the strongest topical signal of a document; annotate it
+  // once and fold it into every paragraph excerpt with double weight
+  // (standard title-boosting, and it keeps one document's excerpts — and
+  // same-story headlines across documents — coherent).
+  text::Annotation title = annotator_.Annotate(document.title);
+  for (const std::string& paragraph : document.paragraphs) {
+    text::Annotation annotation = annotator_.Annotate(paragraph);
+    annotation.entities.Merge(title.entities, 2.0);
+    annotation.keywords.Merge(title.keywords, 2.0);
+    Snippet snippet;
+    snippet.source = document.source;
+    snippet.timestamp = document.timestamp;
+    snippet.document_url = document.url;
+    snippet.event_type = document.event_type;
+    snippet.description = document.title;
+    snippet.entities = std::move(annotation.entities);
+    snippet.keywords = std::move(annotation.keywords);
+    snippet.truth_story = document.truth_story;
+    Result<SnippetId> id = AddSnippet(std::move(snippet));
+    if (!id.ok()) return id.status();
+    ids.push_back(id.value());
+  }
+  ++stats_.documents_ingested;
+  return ids;
+}
+
+Result<SnippetId> StoryPivotEngine::AddSnippet(Snippet snippet) {
+  StorySet* partition = MutablePartition(snippet.source);
+  if (partition == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unregistered source %u", snippet.source));
+  }
+  Result<SnippetId> inserted = store_.Insert(std::move(snippet));
+  if (!inserted.ok()) return inserted.status();
+  SnippetId id = inserted.value();
+  const Snippet* stored = store_.Find(id);
+  SP_CHECK(stored != nullptr);
+
+  df_.AddDocument(stored->keywords);
+
+  SnippetSketchIndex* sketch_index = nullptr;
+  if (config_.use_sketches) {
+    auto it = sketches_.find(stored->source);
+    SP_CHECK(it != sketches_.end());
+    sketch_index = &it->second;
+  }
+
+  WallTimer timer;
+  StoryId assigned = identifier_->Identify(*stored, partition, store_,
+                                           sketch_index, &next_story_id_);
+  stats_.identify_time_ms += timer.ElapsedMillis();
+  if (config_.incremental_alignment) {
+    dirty_stories_.push_back({stored->source, assigned});
+  }
+
+  if (sketch_index != nullptr) {
+    MinHashSignature sig = MinHashSignature::FromContent(
+        stored->entities, stored->keywords, sketch_index->num_hashes);
+    sketch_index->lsh.Insert(id, sig);
+    sketch_index->signatures.emplace(id, std::move(sig));
+  }
+  ++stats_.snippets_ingested;
+  stale_ = true;
+  return id;
+}
+
+Result<SnippetId> StoryPivotEngine::AdoptAssignment(Snippet snippet,
+                                                    StoryId story) {
+  StorySet* partition = MutablePartition(snippet.source);
+  if (partition == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unregistered source %u", snippet.source));
+  }
+  Result<SnippetId> inserted = store_.Insert(std::move(snippet));
+  if (!inserted.ok()) return inserted.status();
+  SnippetId id = inserted.value();
+  const Snippet* stored = store_.Find(id);
+  SP_CHECK(stored != nullptr);
+
+  df_.AddDocument(stored->keywords);
+  if (partition->FindStory(story) == nullptr) {
+    partition->CreateStory(story);
+  }
+  partition->AddSnippetToStory(*stored, story);
+  next_story_id_ = std::max(next_story_id_, story + 1);
+
+  if (config_.use_sketches) {
+    auto it = sketches_.find(stored->source);
+    SP_CHECK(it != sketches_.end());
+    MinHashSignature sig = MinHashSignature::FromContent(
+        stored->entities, stored->keywords, it->second.num_hashes);
+    it->second.lsh.Insert(id, sig);
+    it->second.signatures.emplace(id, std::move(sig));
+  }
+  if (config_.incremental_alignment) {
+    dirty_stories_.push_back({stored->source, story});
+  }
+  ++stats_.snippets_ingested;
+  stale_ = true;
+  return id;
+}
+
+void StoryPivotEngine::RemoveSnippetInternal(const Snippet& snippet,
+                                             bool split_check) {
+  StorySet* partition = MutablePartition(snippet.source);
+  SP_CHECK(partition != nullptr);
+  StoryId story_id = partition->StoryOf(snippet.id);
+  df_.RemoveDocument(snippet.keywords);
+  if (config_.use_sketches) {
+    auto it = sketches_.find(snippet.source);
+    if (it != sketches_.end()) {
+      it->second.lsh.Remove(snippet.id);
+      it->second.signatures.erase(snippet.id);
+    }
+  }
+  partition->RemoveSnippet(snippet, store_);
+  if (config_.incremental_alignment && story_id != kInvalidStoryId) {
+    dirty_stories_.push_back({snippet.source, story_id});
+  }
+  SnippetId id = snippet.id;
+  SP_CHECK(store_.Remove(id).ok());
+  ++stats_.snippets_removed;
+  if (split_check && story_id != kInvalidStoryId &&
+      partition->FindStory(story_id) != nullptr) {
+    refiner_.SplitIfDisconnected(partition, story_id, store_,
+                                 &next_story_id_);
+  }
+  stale_ = true;
+}
+
+Status StoryPivotEngine::RemoveDocument(const std::string& url) {
+  std::vector<SnippetId> ids = store_.FindByDocument(url);
+  if (ids.empty()) return Status::NotFound("document " + url);
+  for (SnippetId id : ids) {
+    const Snippet* snippet = store_.Find(id);
+    SP_CHECK(snippet != nullptr);
+    Snippet copy = *snippet;  // RemoveSnippetInternal invalidates the ptr.
+    RemoveSnippetInternal(copy, /*split_check=*/true);
+  }
+  return Status::OK();
+}
+
+Status StoryPivotEngine::RemoveSnippet(SnippetId id) {
+  const Snippet* snippet = store_.Find(id);
+  if (snippet == nullptr) {
+    return Status::NotFound(
+        StrFormat("snippet %llu", static_cast<unsigned long long>(id)));
+  }
+  Snippet copy = *snippet;
+  RemoveSnippetInternal(copy, /*split_check=*/true);
+  return Status::OK();
+}
+
+const AlignmentResult& StoryPivotEngine::Align() {
+  WallTimer timer;
+  if (config_.incremental_alignment) {
+    alignment_ = incremental_aligner_.Update(partitions(), store_,
+                                             dirty_stories_,
+                                             &next_story_id_);
+    dirty_stories_.clear();
+  } else {
+    alignment_ = aligner_.Align(partitions(), store_, &next_story_id_);
+  }
+  stats_.align_time_ms += timer.ElapsedMillis();
+  ++stats_.alignments_run;
+  stale_ = false;
+  return *alignment_;
+}
+
+const AlignmentResult& StoryPivotEngine::alignment() const {
+  SP_CHECK(alignment_.has_value());
+  return *alignment_;
+}
+
+RefinementStats StoryPivotEngine::Refine() {
+  if (stale_ || !alignment_.has_value()) Align();
+  std::vector<StorySet*> mutable_partitions;
+  std::vector<SourceId> order;
+  for (const SourceInfo& info : sources_) order.push_back(info.id);
+  std::sort(order.begin(), order.end());
+  for (SourceId source : order) {
+    mutable_partitions.push_back(&partitions_.at(source));
+  }
+  WallTimer timer;
+  RefinementStats stats = refiner_.Refine(mutable_partitions, *alignment_,
+                                          store_, &next_story_id_);
+  stats_.refine_time_ms += timer.ElapsedMillis();
+  ++stats_.refinements_run;
+  if (config_.incremental_alignment) incremental_aligner_.Invalidate();
+  stale_ = true;
+  Align();
+  return stats;
+}
+
+const StorySet* StoryPivotEngine::partition(SourceId source) const {
+  auto it = partitions_.find(source);
+  return it == partitions_.end() ? nullptr : &it->second;
+}
+
+std::vector<const StorySet*> StoryPivotEngine::partitions() const {
+  std::vector<SourceId> order;
+  for (const SourceInfo& info : sources_) order.push_back(info.id);
+  std::sort(order.begin(), order.end());
+  std::vector<const StorySet*> out;
+  out.reserve(order.size());
+  for (SourceId source : order) out.push_back(&partitions_.at(source));
+  return out;
+}
+
+size_t StoryPivotEngine::TotalStories() const {
+  size_t total = 0;
+  for (const auto& [source, partition] : partitions_) {
+    total += partition.stories().size();
+  }
+  return total;
+}
+
+StorySet* StoryPivotEngine::MutablePartition(SourceId source) {
+  auto it = partitions_.find(source);
+  return it == partitions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace storypivot

@@ -1,0 +1,206 @@
+#ifndef STORYPIVOT_CORE_ENGINE_H_
+#define STORYPIVOT_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/identifier.h"
+#include "core/incremental.h"
+#include "core/refiner.h"
+#include "core/similarity.h"
+#include "core/story_set.h"
+#include "model/document.h"
+#include "model/snippet.h"
+#include "storage/snippet_store.h"
+#include "text/annotator.h"
+#include "text/gazetteer.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace storypivot {
+
+/// Full engine configuration.
+struct EngineConfig {
+  /// Story-identification execution mode (Fig. 2).
+  IdentificationMode mode = IdentificationMode::kTemporal;
+  IdentifierConfig identifier;
+  SimilarityConfig similarity;
+  AlignmentConfig alignment;
+  RefinementConfig refinement;
+  /// Maintain the cross-source alignment incrementally: Align() after a
+  /// mutation only re-scores the stories that changed (§2.4 dynamics)
+  /// instead of recomputing all story pairs.
+  bool incremental_alignment = false;
+  /// Maintain per-source snippet MinHash sketches + LSH (needed when
+  /// identifier.use_sketch_candidates is set; also usable on its own for
+  /// duplicate probing).
+  bool use_sketches = false;
+  size_t sketch_hashes = 64;
+};
+
+/// Engine configuration tuned for raw news prose ingested through
+/// AddDocument. Real paragraph text has far more diverse vocabulary than
+/// curated event annotations, so the similarity thresholds sit lower and
+/// the identification window wider than the synthetic-snippet defaults.
+EngineConfig NewsProseEngineConfig();
+
+/// Cumulative engine counters (work and wall-clock per phase).
+struct EngineStats {
+  uint64_t snippets_ingested = 0;
+  uint64_t snippets_removed = 0;
+  uint64_t documents_ingested = 0;
+  uint64_t alignments_run = 0;
+  uint64_t refinements_run = 0;
+  double identify_time_ms = 0.0;
+  double align_time_ms = 0.0;
+  double refine_time_ms = 0.0;
+};
+
+/// STORYPIVOT — the façade over extraction, story identification, story
+/// alignment and refinement (§2.1, Fig. 1). Usage:
+///
+///   StoryPivotEngine engine;                      // temporal mode, w=7d
+///   SourceId nyt = engine.RegisterSource("NYT");
+///   engine.gazetteer()->AddEntity("Ukraine");     // seed extraction
+///   engine.AddDocument(doc);                      // raw text path, or
+///   engine.AddSnippet(snippet);                   // pre-annotated path
+///   const AlignmentResult& aligned = engine.Align();
+///   engine.Refine();                              // propagate corrections
+///
+/// The engine is single-threaded by design (document it loudly): all const
+/// methods are safe to call concurrently only in the absence of writers.
+class StoryPivotEngine {
+ public:
+  explicit StoryPivotEngine(EngineConfig config = {});
+
+  StoryPivotEngine(const StoryPivotEngine&) = delete;
+  StoryPivotEngine& operator=(const StoryPivotEngine&) = delete;
+
+  // --- Sources ----------------------------------------------------------
+
+  /// Registers a data source and returns its id.
+  SourceId RegisterSource(const std::string& name);
+
+  /// Removes a source with all its snippets and stories (§2.4: "any story
+  /// detection system should allow the addition or removal of data
+  /// sources").
+  Status RemoveSource(SourceId source);
+
+  const std::vector<SourceInfo>& sources() const { return sources_; }
+
+  /// Name of a source ("<unknown>" if absent).
+  const std::string& SourceName(SourceId source) const;
+
+  // --- Extraction hooks --------------------------------------------------
+
+  /// The entity gazetteer backing document extraction. Seed it with the
+  /// entities of your domain before adding raw documents.
+  text::Gazetteer* gazetteer() { return &gazetteer_; }
+
+  /// Imports the terms of externally built vocabularies (e.g. a generated
+  /// corpus) in id order, so pre-annotated snippets can be ingested with
+  /// their TermIds intact. Call before interning anything else; fails when
+  /// existing ids conflict.
+  Status ImportVocabularies(const text::Vocabulary& entities,
+                            const text::Vocabulary& keywords);
+
+  text::Vocabulary* entity_vocabulary() { return &entity_vocab_; }
+  text::Vocabulary* keyword_vocabulary() { return &keyword_vocab_; }
+  const text::Vocabulary& entity_vocabulary() const { return entity_vocab_; }
+  const text::Vocabulary& keyword_vocabulary() const {
+    return keyword_vocab_;
+  }
+
+  // --- Ingest ------------------------------------------------------------
+
+  /// Extracts one snippet per paragraph of `document` (annotated with the
+  /// document title for context) and runs story identification on each.
+  /// Returns the new snippet ids.
+  Result<std::vector<SnippetId>> AddDocument(const Document& document);
+
+  /// Ingests a pre-annotated snippet. Assigns an id when the snippet has
+  /// none. The snippet's source must be registered.
+  Result<SnippetId> AddSnippet(Snippet snippet);
+
+  /// Inserts a snippet directly into the given story of its source,
+  /// bypassing story identification. Used to warm-start an engine from a
+  /// snapshot of a previous run (§4.2.2: precomputed large-scale results)
+  /// or to replicate another engine's state. The story is created if it
+  /// does not exist; `snippet.id` may be pre-assigned.
+  Result<SnippetId> AdoptAssignment(Snippet snippet, StoryId story);
+
+  /// Removes every snippet extracted from `url`, with story split checks.
+  Status RemoveDocument(const std::string& url);
+
+  /// Removes one snippet, split-checking its story.
+  Status RemoveSnippet(SnippetId id);
+
+  // --- Alignment & refinement --------------------------------------------
+
+  /// Runs (or re-runs) story alignment across all sources and returns the
+  /// result. The result stays valid until the next mutation.
+  const AlignmentResult& Align();
+
+  /// True when an up-to-date alignment result is available.
+  bool has_alignment() const { return alignment_.has_value() && !stale_; }
+
+  /// Last alignment result; requires has_alignment().
+  const AlignmentResult& alignment() const;
+
+  /// One refinement pass using the current alignment (computing it if
+  /// needed), then re-aligns. Returns what the pass changed.
+  RefinementStats Refine();
+
+  // --- Introspection -----------------------------------------------------
+
+  /// Per-source story partition; nullptr for unknown sources.
+  const StorySet* partition(SourceId source) const;
+
+  /// All partitions, ordered by source id.
+  std::vector<const StorySet*> partitions() const;
+
+  const SnippetStore& store() const { return store_; }
+  const SimilarityModel& similarity() const { return similarity_; }
+  const text::DocumentFrequency& document_frequency() const { return df_; }
+  const EngineConfig& config() const { return config_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Total stories across all per-source partitions.
+  size_t TotalStories() const;
+
+ private:
+  StorySet* MutablePartition(SourceId source);
+  void RemoveSnippetInternal(const Snippet& snippet, bool split_check);
+
+  EngineConfig config_;
+  text::Vocabulary entity_vocab_;
+  text::Vocabulary keyword_vocab_;
+  text::Gazetteer gazetteer_;
+  text::AnnotationPipeline annotator_;
+  text::DocumentFrequency df_;
+  SimilarityModel similarity_;
+  std::unique_ptr<StoryIdentifier> identifier_;
+  StoryAligner aligner_;
+  IncrementalAligner incremental_aligner_;
+  StoryRefiner refiner_;
+  SnippetStore store_;
+  std::vector<SourceInfo> sources_;
+  std::unordered_map<SourceId, StorySet> partitions_;
+  std::unordered_map<SourceId, SnippetSketchIndex> sketches_;
+  StoryId next_story_id_ = 0;
+  SourceId next_source_id_ = 0;
+  std::optional<AlignmentResult> alignment_;
+  /// Stories touched since the last alignment (incremental mode).
+  std::vector<std::pair<SourceId, StoryId>> dirty_stories_;
+  bool stale_ = true;
+  EngineStats stats_;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_CORE_ENGINE_H_

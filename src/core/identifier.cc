@@ -1,0 +1,141 @@
+#include "core/identifier.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace storypivot {
+
+StoryId StoryIdentifier::PlaceWithCandidates(
+    const Snippet& snippet, const std::vector<SnippetId>& candidates,
+    StorySet* stories, const SnippetStore& store, StoryId* next_story_id) {
+  SP_CHECK(stories != nullptr);
+  SP_CHECK(next_story_id != nullptr);
+  const SimilarityConfig& sim = model_->config();
+
+  // Best member-snippet similarity per story.
+  std::unordered_map<StoryId, double> best_member;
+  for (SnippetId cid : candidates) {
+    if (cid == snippet.id) continue;
+    StoryId story_id = stories->StoryOf(cid);
+    if (story_id == kInvalidStoryId) continue;
+    const Snippet* candidate = store.Find(cid);
+    if (candidate == nullptr) continue;
+    double s = model_->SnippetSimilarity(snippet, *candidate);
+    auto [it, inserted] = best_member.emplace(story_id, s);
+    if (!inserted && s > it->second) it->second = s;
+  }
+
+  // Blend with the story-centroid score and find the best story plus the
+  // set of stories the snippet bridges above the merge threshold.
+  StoryId best_story = kInvalidStoryId;
+  double best_score = 0.0;
+  std::vector<StoryId> merge_set;
+  for (const auto& [story_id, member_score] : best_member) {
+    const Story* story = stories->FindStory(story_id);
+    SP_CHECK(story != nullptr);
+    double centroid_score = sim.centroid_blend > 0.0
+                                ? model_->SnippetStorySimilarity(snippet,
+                                                                 *story)
+                                : 0.0;
+    double score = (1.0 - sim.centroid_blend) * member_score +
+                   sim.centroid_blend * centroid_score;
+    if (score > best_score ||
+        (score == best_score && story_id < best_story)) {
+      best_score = score;
+      best_story = story_id;
+    }
+    if (score >= sim.merge_threshold) merge_set.push_back(story_id);
+  }
+
+  if (best_story == kInvalidStoryId || best_score < sim.assign_threshold) {
+    StoryId id = (*next_story_id)++;
+    stories->CreateStory(id);
+    stories->AddSnippetToStory(snippet, id);
+    return id;
+  }
+
+  if (merge_set.size() >= 2) {
+    // The snippet bridges several stories strongly: merge them
+    // (incremental story construction, §2.2). The best story survives.
+    std::vector<StoryId> ordered;
+    ordered.push_back(best_story);
+    for (StoryId id : merge_set) {
+      if (id != best_story) ordered.push_back(id);
+    }
+    best_story = stories->MergeStories(ordered);
+  }
+  stories->AddSnippetToStory(snippet, best_story);
+  return best_story;
+}
+
+StoryId CompleteIdentifier::Identify(const Snippet& snippet,
+                                     StorySet* stories,
+                                     const SnippetStore& store,
+                                     const SnippetSketchIndex* sketches,
+                                     StoryId* next_story_id) {
+  (void)sketches;
+  std::vector<SnippetId> candidates;
+  if (config_.prune_with_entities) {
+    candidates = stories->entity_index().Candidates(snippet.entities);
+  } else {
+    candidates.reserve(stories->snippet_times().size());
+    for (const auto& [ts, id] : stories->snippet_times().entries()) {
+      candidates.push_back(id);
+    }
+  }
+  return PlaceWithCandidates(snippet, candidates, stories, store,
+                             next_story_id);
+}
+
+StoryId TemporalIdentifier::Identify(const Snippet& snippet,
+                                     StorySet* stories,
+                                     const SnippetStore& store,
+                                     const SnippetSketchIndex* sketches,
+                                     StoryId* next_story_id) {
+  const Timestamp lo = snippet.timestamp - config_.window;
+  const Timestamp hi = snippet.timestamp + config_.window;
+  std::vector<SnippetId> candidates;
+
+  if (config_.use_sketch_candidates && sketches != nullptr) {
+    // LSH candidates filtered down to the window.
+    MinHashSignature probe = MinHashSignature::FromContent(
+        snippet.entities, snippet.keywords, sketches->num_hashes);
+    for (uint64_t raw : sketches->lsh.Query(probe)) {
+      SnippetId cid = static_cast<SnippetId>(raw);
+      const Snippet* c = store.Find(cid);
+      if (c == nullptr) continue;
+      if (c->timestamp < lo || c->timestamp > hi) continue;
+      candidates.push_back(cid);
+    }
+  } else if (config_.prune_with_entities) {
+    std::vector<SnippetId> window_ids =
+        stories->snippet_times().IdsInWindow(lo, hi);
+    std::vector<SnippetId> entity_ids =
+        stories->entity_index().Candidates(snippet.entities);
+    std::sort(window_ids.begin(), window_ids.end());
+    std::sort(entity_ids.begin(), entity_ids.end());
+    std::set_intersection(window_ids.begin(), window_ids.end(),
+                          entity_ids.begin(), entity_ids.end(),
+                          std::back_inserter(candidates));
+  } else {
+    candidates = stories->snippet_times().IdsInWindow(lo, hi);
+  }
+  return PlaceWithCandidates(snippet, candidates, stories, store,
+                             next_story_id);
+}
+
+std::unique_ptr<StoryIdentifier> MakeIdentifier(IdentificationMode mode,
+                                                const SimilarityModel* model,
+                                                IdentifierConfig config) {
+  switch (mode) {
+    case IdentificationMode::kComplete:
+      return std::make_unique<CompleteIdentifier>(model, config);
+    case IdentificationMode::kTemporal:
+      return std::make_unique<TemporalIdentifier>(model, config);
+  }
+  std::abort();
+}
+
+}  // namespace storypivot

@@ -1,0 +1,104 @@
+#ifndef STORYPIVOT_CORE_INCREMENTAL_H_
+#define STORYPIVOT_CORE_INCREMENTAL_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/similarity.h"
+#include "core/story_set.h"
+#include "sketch/lsh_index.h"
+#include "sketch/minhash.h"
+#include "storage/snippet_store.h"
+
+namespace storypivot {
+
+/// Incrementally maintained cross-source story alignment (§2.4: "story
+/// identification and alignment need to be dynamically integrated and
+/// realized efficiently as to provide users with live information on
+/// ongoing stories").
+///
+/// The aligner keeps a persistent alignment graph: one node per
+/// (source, story) with its MinHash sketch and time span, and one edge per
+/// story pair whose alignment score clears the threshold. When stories
+/// change, only the *dirty* nodes re-score their candidate edges; the
+/// integrated stories are the connected components of the maintained
+/// graph. Pair scoring — the expensive part — is thus proportional to the
+/// change, not to the corpus.
+class IncrementalAligner {
+ public:
+  IncrementalAligner(const SimilarityModel* model, AlignmentConfig config);
+
+  IncrementalAligner(const IncrementalAligner&) = delete;
+  IncrementalAligner& operator=(const IncrementalAligner&) = delete;
+
+  /// Applies the given story-level changes and returns a fresh alignment
+  /// result. `dirty` lists (source, story) pairs whose content changed
+  /// since the last Update; stories that appeared or vanished are
+  /// discovered automatically by diffing against `partitions`. On the
+  /// first call (or after Invalidate) everything is treated as dirty.
+  AlignmentResult Update(
+      const std::vector<const StorySet*>& partitions,
+      const SnippetStore& store,
+      const std::vector<std::pair<SourceId, StoryId>>& dirty,
+      StoryId* next_story_id);
+
+  /// Drops all maintained state; the next Update recomputes from scratch.
+  void Invalidate();
+
+  /// Pair scores evaluated over the aligner's lifetime (work indicator).
+  uint64_t pairs_scored() const { return pairs_scored_; }
+
+  /// Clusters whose snippet-role classification was reused from the
+  /// previous update (vs recomputed), over the aligner's lifetime.
+  uint64_t role_cache_hits() const { return role_cache_hits_; }
+
+  /// Current number of maintained story nodes.
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    SourceId source = kInvalidSourceId;
+    StoryId story = kInvalidStoryId;
+    MinHashSignature sketch;
+    std::unordered_set<uint64_t> neighbors;
+  };
+
+  static uint64_t KeyOf(SourceId source, StoryId story) {
+    return (static_cast<uint64_t>(source) << 48) ^ story;
+  }
+
+  /// Removes a node and its edges; no-op when absent.
+  void RemoveNode(uint64_t key);
+
+  /// (Re)inserts a node for the given story and scores its edges against
+  /// candidates.
+  void RefreshNode(SourceId source, StoryId story, const Story& content,
+                   const std::unordered_map<SourceId, const StorySet*>&
+                       partition_of);
+
+  /// Cached role classification of one unchanged cluster.
+  struct CachedRoles {
+    std::vector<std::pair<SnippetId, SnippetRole>> roles;
+    std::vector<std::pair<SnippetId, SnippetId>> counterparts;
+  };
+
+  const SimilarityModel* model_;
+  StoryAligner scorer_;  // Reused for StoryPairScore.
+  AlignmentConfig config_;
+  std::unordered_map<uint64_t, Node> nodes_;
+  /// Cluster-signature -> cached roles from the previous update.
+  std::unordered_map<uint64_t, CachedRoles> role_cache_;
+  uint64_t role_cache_hits_ = 0;
+  LshIndex lsh_;
+  uint64_t pairs_scored_ = 0;
+  bool valid_ = false;
+  /// Document count at the last full rebuild (IDF-drift detection).
+  int64_t documents_at_full_rebuild_ = -1;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_CORE_INCREMENTAL_H_

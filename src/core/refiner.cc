@@ -1,0 +1,261 @@
+#include "core/refiner.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace storypivot {
+namespace {
+
+struct TimedSnippet {
+  Timestamp ts = 0;
+  const Snippet* snippet = nullptr;
+  size_t partition_index = 0;
+};
+
+}  // namespace
+
+RefinementStats StoryRefiner::Refine(const std::vector<StorySet*>& partitions,
+                                     const AlignmentResult& alignment,
+                                     const SnippetStore& store,
+                                     StoryId* next_story_id) const {
+  SP_CHECK(next_story_id != nullptr);
+  RefinementStats stats;
+
+  // Global time-ordered view of all snippets across sources.
+  std::vector<TimedSnippet> all;
+  std::unordered_map<SourceId, size_t> partition_of_source;
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    SP_CHECK(partitions[p] != nullptr);
+    partition_of_source[partitions[p]->source()] = p;
+    for (const auto& [ts, sid] : partitions[p]->snippet_times().entries()) {
+      const Snippet* s = store.Find(sid);
+      SP_CHECK(s != nullptr);
+      all.push_back({ts, s, p});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TimedSnippet& a, const TimedSnippet& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              return a.snippet->id < b.snippet->id;
+            });
+
+  // Best cross-source counterpart per snippet, searched globally (not just
+  // within one integrated story — that is exactly how mis-assignments are
+  // discovered).
+  std::unordered_map<SnippetId, SnippetId> best_counterpart;
+  std::unordered_map<SnippetId, double> best_score;
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Snippet& a = *all[i].snippet;
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      const Snippet& b = *all[j].snippet;
+      if (b.timestamp - a.timestamp > config_.pair_tolerance) break;
+      if (a.source == b.source) continue;
+      double s = model_->SnippetSimilarity(a, b);
+      if (s < config_.pair_threshold) continue;
+      auto update = [&](const Snippet& x, const Snippet& y) {
+        auto [it, inserted] = best_score.emplace(x.id, s);
+        if (inserted || s > it->second) {
+          it->second = s;
+          best_counterpart[x.id] = y.id;
+        }
+      };
+      update(a, b);
+      update(b, a);
+    }
+  }
+
+  // Leave-one-out affinity of a snippet to a story.
+  auto affinity = [&](const Snippet& v, const Story& story,
+                      bool member) -> double {
+    double denom = static_cast<double>(story.size()) - (member ? 1.0 : 0.0);
+    if (denom <= 0.0) return 0.0;
+    text::TermVector ents = story.entities();
+    text::TermVector kws = story.keywords();
+    if (member) {
+      ents.Subtract(v.entities);
+      kws.Subtract(v.keywords);
+    }
+    text::TermVector scaled;
+    scaled.Merge(ents, 1.0 / denom);
+    const SimilarityConfig& sim = model_->config();
+    return sim.entity_weight * v.entities.WeightedJaccard(scaled) +
+           sim.keyword_weight * model_->IdfCosine(v.keywords, kws);
+  };
+
+  // Decide all relocations against the *original* assignment, then apply.
+  struct Move {
+    SnippetId snippet;
+    size_t partition_index;
+    StoryId from;
+    StoryId to;  // kInvalidStoryId => create a new story.
+  };
+  std::vector<Move> moves;
+  constexpr size_t kNone = std::numeric_limits<size_t>::max();
+
+  for (const TimedSnippet& item : all) {
+    const Snippet& v = *item.snippet;
+    auto cp_it = best_counterpart.find(v.id);
+    if (cp_it == best_counterpart.end()) continue;
+    const Snippet* u = store.Find(cp_it->second);
+    SP_CHECK(u != nullptr);
+
+    auto v_int = alignment.integrated_of.find(v.id);
+    auto u_int = alignment.integrated_of.find(u->id);
+    if (v_int == alignment.integrated_of.end() ||
+        u_int == alignment.integrated_of.end()) {
+      continue;
+    }
+    if (v_int->second == u_int->second) continue;  // Already consistent.
+    ++stats.conflicts_examined;
+
+    StorySet* partition = partitions[item.partition_index];
+    StoryId current_id = partition->StoryOf(v.id);
+    if (current_id == kInvalidStoryId) continue;
+    const Story* current = partition->FindStory(current_id);
+    SP_CHECK(current != nullptr);
+    double current_score = affinity(v, *current, /*member=*/true);
+
+    // Candidate targets: same-source stories inside the counterpart's
+    // integrated story.
+    const IntegratedStory& target_cluster =
+        alignment.stories[u_int->second];
+    StoryId best_target = kInvalidStoryId;
+    double target_score = 0.0;
+    for (const auto& [src, story_id] : target_cluster.members) {
+      if (src != v.source) continue;
+      const Story* candidate = partition->FindStory(story_id);
+      if (candidate == nullptr) continue;
+      double s = affinity(v, *candidate, /*member=*/false);
+      if (s > target_score) {
+        target_score = s;
+        best_target = story_id;
+      }
+    }
+
+    if (best_target != kInvalidStoryId &&
+        target_score > current_score + config_.margin) {
+      moves.push_back({v.id, item.partition_index, current_id, best_target});
+    } else if (best_target == kInvalidStoryId && current->size() > 1) {
+      // No same-source story exists over there. If the snippet fits its
+      // counterpart's cluster much better than its own story, break it
+      // out into a fresh story, which the next alignment run will attach
+      // to the right cluster.
+      double cluster_score =
+          affinity(v, target_cluster.merged, /*member=*/false);
+      if (cluster_score > current_score + config_.margin) {
+        moves.push_back(
+            {v.id, item.partition_index, current_id, kInvalidStoryId});
+      }
+    }
+    (void)kNone;
+  }
+
+  // Apply moves.
+  std::unordered_set<StoryId> dirty;
+  std::vector<std::pair<size_t, StoryId>> dirty_stories;
+  for (const Move& move : moves) {
+    StorySet* partition = partitions[move.partition_index];
+    const Snippet* v = store.Find(move.snippet);
+    SP_CHECK(v != nullptr);
+    // The source story may have changed (earlier move); re-check
+    // membership.
+    if (partition->StoryOf(v->id) != move.from) continue;
+    StoryId to = move.to;
+    if (to != kInvalidStoryId && partition->FindStory(to) == nullptr) {
+      continue;  // Target vanished (merged/emptied) — skip.
+    }
+    partition->RemoveSnippet(*v, store);
+    if (to == kInvalidStoryId) {
+      to = (*next_story_id)++;
+      partition->CreateStory(to);
+      ++stats.stories_created;
+    }
+    partition->AddSnippetToStory(*v, to);
+    ++stats.snippets_moved;
+    if (dirty.insert(move.from).second) {
+      dirty_stories.push_back({move.partition_index, move.from});
+    }
+  }
+
+  // Split-check stories that lost members.
+  if (config_.split_check) {
+    for (const auto& [p, story_id] : dirty_stories) {
+      if (partitions[p]->FindStory(story_id) == nullptr) continue;
+      int created =
+          SplitIfDisconnected(partitions[p], story_id, store, next_story_id);
+      if (created > 0) {
+        ++stats.stories_split;
+        stats.stories_created += created;
+      }
+    }
+  }
+  return stats;
+}
+
+int StoryRefiner::SplitIfDisconnected(StorySet* partition, StoryId story_id,
+                                      const SnippetStore& store,
+                                      StoryId* next_story_id) const {
+  const Story* story = partition->FindStory(story_id);
+  SP_CHECK(story != nullptr);
+  if (story->size() <= 1) return 0;
+
+  std::vector<const Snippet*> members;
+  members.reserve(story->size());
+  for (SnippetId sid : story->snippets()) {
+    const Snippet* s = store.Find(sid);
+    SP_CHECK(s != nullptr);
+    members.push_back(s);
+  }
+  std::sort(members.begin(), members.end(),
+            [](const Snippet* a, const Snippet* b) {
+              if (a->timestamp != b->timestamp) {
+                return a->timestamp < b->timestamp;
+              }
+              return a->id < b->id;
+            });
+
+  // Union-find over members; edges = similar within the edge window.
+  std::vector<size_t> parent(members.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      if (members[j]->timestamp - members[i]->timestamp >
+          config_.split_edge_window) {
+        break;
+      }
+      if (find(i) == find(j)) continue;
+      if (model_->SnippetSimilarity(*members[i], *members[j]) >=
+          config_.split_edge_threshold) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+
+  std::unordered_map<size_t, std::vector<SnippetId>> components;
+  for (size_t i = 0; i < members.size(); ++i) {
+    components[find(i)].push_back(members[i]->id);
+  }
+  if (components.size() <= 1) return 0;
+
+  std::vector<std::vector<SnippetId>> parts;
+  parts.reserve(components.size());
+  for (auto& [root, ids] : components) parts.push_back(std::move(ids));
+  // Deterministic order: by earliest member id.
+  std::sort(parts.begin(), parts.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  partition->SplitStory(story_id, parts, store, next_story_id);
+  return static_cast<int>(parts.size() - 1);
+}
+
+}  // namespace storypivot

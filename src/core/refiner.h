@@ -1,0 +1,83 @@
+#ifndef STORYPIVOT_CORE_REFINER_H_
+#define STORYPIVOT_CORE_REFINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/similarity.h"
+#include "core/story_set.h"
+#include "storage/snippet_store.h"
+
+namespace storypivot {
+
+/// Knobs of the story-refinement step (Fig. 1d).
+struct RefinementConfig {
+  /// A snippet is relocated when the target story scores at least this
+  /// much higher than its current story.
+  double margin = 0.05;
+  /// Snippet-pair counterpart detection thresholds (reused from alignment
+  /// semantics): similarity and time tolerance for cross-source
+  /// counterparts.
+  double pair_threshold = 0.45;
+  Timestamp pair_tolerance = 3 * kSecondsPerDay;
+  /// After relocations, stories that lost snippets are checked for
+  /// connectivity and split into connected components when they fall
+  /// apart.
+  bool split_check = true;
+  /// Connectivity edges require at least this similarity...
+  double split_edge_threshold = 0.25;
+  /// ...within this time distance.
+  Timestamp split_edge_window = 14 * kSecondsPerDay;
+};
+
+/// What a refinement pass did.
+struct RefinementStats {
+  int snippets_moved = 0;
+  int stories_created = 0;
+  int stories_split = 0;
+  uint64_t conflicts_examined = 0;
+};
+
+/// Resolves conflicts between story identification and story alignment:
+/// when a snippet's cross-source counterpart lives in a *different*
+/// integrated story, identification likely mis-assigned one of them
+/// (Fig. 1: v14 sits in c11 although its counterpart's story aligned into
+/// c'3). The refiner relocates such snippets into the same-source story of
+/// the counterpart's integrated story when the similarity margin supports
+/// it, propagating alignment decisions back into the per-source story
+/// sets (§2.3).
+class StoryRefiner {
+ public:
+  StoryRefiner(const SimilarityModel* model, RefinementConfig config)
+      : model_(model), config_(config) {}
+
+  StoryRefiner(const StoryRefiner&) = delete;
+  StoryRefiner& operator=(const StoryRefiner&) = delete;
+
+  /// Runs one refinement pass over all partitions, using `alignment` as
+  /// the evidence. Mutates the per-source story sets. The alignment result
+  /// becomes stale afterwards; callers re-align if they need fresh
+  /// integrated stories.
+  RefinementStats Refine(const std::vector<StorySet*>& partitions,
+                         const AlignmentResult& alignment,
+                         const SnippetStore& store,
+                         StoryId* next_story_id) const;
+
+  /// Splits `story_id` into connected components under the configured
+  /// edge threshold/window if it is no longer connected. Returns the
+  /// number of additional stories created (0 when still connected).
+  int SplitIfDisconnected(StorySet* partition, StoryId story_id,
+                          const SnippetStore& store,
+                          StoryId* next_story_id) const;
+
+  const RefinementConfig& config() const { return config_; }
+
+ private:
+  const SimilarityModel* model_;
+  RefinementConfig config_;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_CORE_REFINER_H_

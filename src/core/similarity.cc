@@ -1,0 +1,107 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace storypivot {
+namespace {
+constexpr double kEps = 1e-12;
+
+double SublinearTf(double count) {
+  return count > 0.0 ? 1.0 + std::log(count) : 0.0;
+}
+}  // namespace
+
+SimilarityModel::SimilarityModel(const SimilarityConfig& config,
+                                 const text::DocumentFrequency* df)
+    : config_(config), df_(df) {}
+
+double SimilarityModel::IdfCosine(const text::TermVector& a,
+                                  const text::TermVector& b) const {
+  const bool idf = config_.use_idf && df_ != nullptr;
+  auto weight = [&](text::TermId term, double count) {
+    double w = SublinearTf(count);
+    if (idf) w *= df_->Idf(term);
+    return w;
+  };
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  size_t i = 0, j = 0;
+  while (i < ea.size() || j < eb.size()) {
+    if (j >= eb.size() || (i < ea.size() && ea[i].first < eb[j].first)) {
+      double w = weight(ea[i].first, ea[i].second);
+      norm_a += w * w;
+      ++i;
+    } else if (i >= ea.size() || eb[j].first < ea[i].first) {
+      double w = weight(eb[j].first, eb[j].second);
+      norm_b += w * w;
+      ++j;
+    } else {
+      double wa = weight(ea[i].first, ea[i].second);
+      double wb = weight(eb[j].first, eb[j].second);
+      dot += wa * wb;
+      norm_a += wa * wa;
+      norm_b += wb * wb;
+      ++i;
+      ++j;
+    }
+  }
+  if (norm_a <= kEps || norm_b <= kEps) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+double SimilarityModel::SnippetSimilarity(const Snippet& a,
+                                          const Snippet& b) const {
+  ++num_comparisons_;
+  double entity_sim = a.entities.WeightedJaccard(b.entities);
+  double keyword_sim = IdfCosine(a.keywords, b.keywords);
+  return config_.entity_weight * entity_sim +
+         config_.keyword_weight * keyword_sim;
+}
+
+double SimilarityModel::SnippetStorySimilarity(const Snippet& snippet,
+                                               const Story& story) const {
+  ++num_comparisons_;
+  // Entity overlap against the story histogram: use set-containment-style
+  // weighted Jaccard of the snippet against the story's *support* scaled
+  // to the snippet's magnitude — a plain weighted Jaccard would vanish for
+  // large stories. We therefore compare against the story's histogram
+  // normalised to per-snippet scale.
+  double scale = story.empty() ? 1.0 : 1.0 / static_cast<double>(story.size());
+  text::TermVector scaled;
+  scaled.Merge(story.entities(), scale);
+  double entity_sim = snippet.entities.WeightedJaccard(scaled);
+  double keyword_sim = IdfCosine(snippet.keywords, story.keywords());
+  return config_.entity_weight * entity_sim +
+         config_.keyword_weight * keyword_sim;
+}
+
+double SimilarityModel::StorySimilarity(const Story& a,
+                                        const Story& b) const {
+  ++num_comparisons_;
+  // Normalise both histograms to per-snippet scale so story size does not
+  // dominate the Jaccard.
+  double scale_a = a.empty() ? 1.0 : 1.0 / static_cast<double>(a.size());
+  double scale_b = b.empty() ? 1.0 : 1.0 / static_cast<double>(b.size());
+  text::TermVector ea, eb;
+  ea.Merge(a.entities(), scale_a);
+  eb.Merge(b.entities(), scale_b);
+  double entity_sim = ea.WeightedJaccard(eb);
+  double keyword_sim = IdfCosine(a.keywords(), b.keywords());
+  return config_.entity_weight * entity_sim +
+         config_.keyword_weight * keyword_sim;
+}
+
+double SimilarityModel::TemporalAffinity(Timestamp a_begin, Timestamp a_end,
+                                         Timestamp b_begin, Timestamp b_end,
+                                         Timestamp tolerance) {
+  Timestamp overlap =
+      std::min(a_end, b_end) - std::max(a_begin, b_begin);
+  if (overlap >= 0) return 1.0;
+  Timestamp gap = -overlap;
+  if (tolerance <= 0 || gap >= tolerance) return 0.0;
+  return 1.0 - static_cast<double>(gap) / static_cast<double>(tolerance);
+}
+
+}  // namespace storypivot

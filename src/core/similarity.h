@@ -1,0 +1,88 @@
+#ifndef STORYPIVOT_CORE_SIMILARITY_H_
+#define STORYPIVOT_CORE_SIMILARITY_H_
+
+#include <cstdint>
+
+#include "model/snippet.h"
+#include "model/story.h"
+#include "text/term_vector.h"
+#include "text/tfidf.h"
+
+namespace storypivot {
+
+/// Weights and thresholds of the snippet/story similarity model shared by
+/// story identification, alignment and refinement.
+struct SimilarityConfig {
+  /// Weight of entity overlap (weighted Jaccard over entity histograms).
+  double entity_weight = 0.55;
+  /// Weight of keyword similarity (IDF-weighted cosine).
+  double keyword_weight = 0.45;
+  /// Use corpus IDF statistics to weigh keywords; when false, plain
+  /// sublinear-TF cosine is used.
+  bool use_idf = true;
+  /// A snippet joins its best story when the blended score reaches this.
+  double assign_threshold = 0.30;
+  /// Two existing stories bridged by one snippet merge when both score at
+  /// least this (incremental merge, §2.2 / incremental record linkage).
+  double merge_threshold = 0.55;
+  /// Blend between the best member-snippet score (1 - blend) and the
+  /// story-centroid score (blend) when scoring a snippet against a story.
+  double centroid_blend = 0.3;
+};
+
+/// Stateless scoring functions over snippets and stories, parameterised by
+/// a SimilarityConfig and backed by streaming document-frequency
+/// statistics. Counts every pairwise comparison so benches can report the
+/// work done by each identification mode.
+class SimilarityModel {
+ public:
+  /// `df` may be nullptr, in which case IDF weighting is disabled
+  /// regardless of the config.
+  SimilarityModel(const SimilarityConfig& config,
+                  const text::DocumentFrequency* df);
+
+  const SimilarityConfig& config() const { return config_; }
+
+  /// Content similarity of two snippets in [0, 1]:
+  /// entity_weight * WeightedJaccard(entities) +
+  /// keyword_weight * IdfCosine(keywords).
+  double SnippetSimilarity(const Snippet& a, const Snippet& b) const;
+
+  /// Content similarity between a snippet and a story's aggregate
+  /// histograms (the story "centroid").
+  double SnippetStorySimilarity(const Snippet& snippet,
+                                const Story& story) const;
+
+  /// Content similarity between two stories' aggregates.
+  double StorySimilarity(const Story& a, const Story& b) const;
+
+  /// IDF-weighted cosine over keyword count vectors. Weights are
+  /// (1 + ln tf) * idf(term), with norms computed on the fly so the
+  /// current corpus statistics always apply.
+  double IdfCosine(const text::TermVector& a, const text::TermVector& b)
+      const;
+
+  /// Temporal affinity of two time intervals in [0, 1]: 1 when they
+  /// overlap, linearly decaying to 0 as the gap grows to `tolerance`
+  /// seconds (§2.3: stories only align when their evolution overlaps).
+  static double TemporalAffinity(Timestamp a_begin, Timestamp a_end,
+                                 Timestamp b_begin, Timestamp b_end,
+                                 Timestamp tolerance);
+
+  /// The document-frequency statistics backing IDF weighting (may be
+  /// nullptr). Exposed so incremental consumers can detect IDF drift.
+  const text::DocumentFrequency* document_frequency() const { return df_; }
+
+  /// Number of pairwise similarity evaluations since construction.
+  uint64_t num_comparisons() const { return num_comparisons_; }
+  void ResetCounters() { num_comparisons_ = 0; }
+
+ private:
+  SimilarityConfig config_;
+  const text::DocumentFrequency* df_;
+  mutable uint64_t num_comparisons_ = 0;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_CORE_SIMILARITY_H_

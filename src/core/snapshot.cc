@@ -1,0 +1,162 @@
+#include "core/snapshot.h"
+
+#include <unordered_map>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace storypivot {
+namespace {
+
+std::string EncodeTerms(const text::TermVector& terms) {
+  std::string out;
+  for (const auto& [term, count] : terms.entries()) {
+    if (!out.empty()) out += ";";
+    out += StrFormat("%u:%g", term, count);
+  }
+  return out;
+}
+
+Result<text::TermVector> DecodeTerms(std::string_view encoded) {
+  std::vector<text::TermVector::Entry> entries;
+  if (!encoded.empty()) {
+    for (std::string_view item : Split(encoded, ';')) {
+      size_t colon = item.find(':');
+      int64_t term = 0;
+      double count = 0;
+      if (colon == std::string_view::npos ||
+          !ParseInt64(item.substr(0, colon), &term) ||
+          !ParseDouble(item.substr(colon + 1), &count)) {
+        return Status::InvalidArgument("bad term encoding: " +
+                                       std::string(item));
+      }
+      entries.push_back({static_cast<text::TermId>(term), count});
+    }
+  }
+  return text::TermVector::FromEntries(std::move(entries));
+}
+
+}  // namespace
+
+std::string SaveSnapshot(const StoryPivotEngine& engine) {
+  DsvWriter writer('\t');
+  writer.WriteRow({"#storypivot-snapshot", "v1"});
+  // Sources: "S", old id, name.
+  for (const SourceInfo& source : engine.sources()) {
+    writer.WriteRow({"S", StrFormat("%u", source.id), source.name});
+  }
+  // Vocabularies in id order: "E"/"K", term.
+  const text::Vocabulary& entities = engine.entity_vocabulary();
+  for (text::TermId id = 0; id < entities.size(); ++id) {
+    writer.WriteRow({"E", entities.TermOf(id)});
+  }
+  const text::Vocabulary& keywords = engine.keyword_vocabulary();
+  for (text::TermId id = 0; id < keywords.size(); ++id) {
+    writer.WriteRow({"K", keywords.TermOf(id)});
+  }
+  // Snippets with assignments: walk partitions so the story id is known.
+  for (const StorySet* partition : engine.partitions()) {
+    for (const auto& [ts, sid] : partition->snippet_times().entries()) {
+      const Snippet* snippet = engine.store().Find(sid);
+      SP_CHECK(snippet != nullptr);
+      writer.WriteRow({
+          "N",
+          StrFormat("%llu", static_cast<unsigned long long>(snippet->id)),
+          StrFormat("%u", snippet->source),
+          StrFormat("%llu", static_cast<unsigned long long>(
+                                partition->StoryOf(sid))),
+          StrFormat("%lld", static_cast<long long>(snippet->timestamp)),
+          StrFormat("%lld", static_cast<long long>(snippet->truth_story)),
+          snippet->document_url,
+          snippet->event_type,
+          snippet->description,
+          EncodeTerms(snippet->entities),
+          EncodeTerms(snippet->keywords),
+      });
+    }
+  }
+  return writer.contents();
+}
+
+Status SaveSnapshotToFile(const StoryPivotEngine& engine,
+                          const std::string& path) {
+  return WriteStringToFile(path, SaveSnapshot(engine));
+}
+
+Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
+    const std::string& contents, EngineConfig config) {
+  DsvReader reader('\t');
+  Result<std::vector<std::vector<std::string>>> parsed =
+      reader.Parse(contents);
+  if (!parsed.ok()) return parsed.status();
+  const auto& rows = parsed.value();
+  if (rows.empty() || rows[0].size() != 2 ||
+      rows[0][0] != "#storypivot-snapshot" || rows[0][1] != "v1") {
+    return Status::InvalidArgument("not a v1 storypivot snapshot");
+  }
+
+  auto engine = std::make_unique<StoryPivotEngine>(config);
+  std::unordered_map<SourceId, SourceId> source_remap;
+
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    if (row.empty()) continue;
+    const std::string& kind = row[0];
+    auto bad = [&](const char* what) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot row %zu: %s", r, what));
+    };
+    if (kind == "S") {
+      if (row.size() != 3) return bad("source row needs 3 fields");
+      int64_t old_id = 0;
+      if (!ParseInt64(row[1], &old_id)) return bad("bad source id");
+      source_remap[static_cast<SourceId>(old_id)] =
+          engine->RegisterSource(row[2]);
+    } else if (kind == "E" || kind == "K") {
+      if (row.size() != 2) return bad("vocabulary row needs 2 fields");
+      text::Vocabulary* vocab = kind == "E" ? engine->entity_vocabulary()
+                                            : engine->keyword_vocabulary();
+      vocab->Intern(row[1]);
+    } else if (kind == "N") {
+      if (row.size() != 11) return bad("snippet row needs 11 fields");
+      Snippet snippet;
+      int64_t id = 0, story = 0, ts = 0, truth = 0, source = 0;
+      if (!ParseInt64(row[1], &id) || !ParseInt64(row[2], &source) ||
+          !ParseInt64(row[3], &story) || !ParseInt64(row[4], &ts) ||
+          !ParseInt64(row[5], &truth)) {
+        return bad("bad numeric field");
+      }
+      snippet.id = static_cast<SnippetId>(id);
+      auto remapped = source_remap.find(static_cast<SourceId>(source));
+      if (remapped == source_remap.end()) return bad("unknown source");
+      snippet.source = remapped->second;
+      snippet.timestamp = ts;
+      snippet.truth_story = truth;
+      snippet.document_url = row[6];
+      snippet.event_type = row[7];
+      snippet.description = row[8];
+      Result<text::TermVector> ents = DecodeTerms(row[9]);
+      if (!ents.ok()) return ents.status();
+      snippet.entities = std::move(ents).value();
+      Result<text::TermVector> kws = DecodeTerms(row[10]);
+      if (!kws.ok()) return kws.status();
+      snippet.keywords = std::move(kws).value();
+      Result<SnippetId> adopted = engine->AdoptAssignment(
+          std::move(snippet), static_cast<StoryId>(story));
+      if (!adopted.ok()) return adopted.status();
+    } else {
+      return bad("unknown record kind");
+    }
+  }
+  return engine;
+}
+
+Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshotFromFile(
+    const std::string& path, EngineConfig config) {
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return LoadSnapshot(contents.value(), config);
+}
+
+}  // namespace storypivot

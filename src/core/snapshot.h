@@ -1,0 +1,40 @@
+#ifndef STORYPIVOT_CORE_SNAPSHOT_H_
+#define STORYPIVOT_CORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace storypivot {
+
+/// Serialises an engine's detection state — sources, vocabularies, and
+/// every snippet together with its per-source story assignment — to a
+/// versioned TSV format. This is how the demonstration serves precomputed
+/// large-scale results (§4.2.2): run detection offline, snapshot, and let
+/// the interactive frontend load the snapshot instantly.
+///
+/// The alignment result is not persisted: it is derived state and is
+/// recomputed with one `Align()` call after loading (cheap relative to
+/// identification).
+std::string SaveSnapshot(const StoryPivotEngine& engine);
+
+/// Writes `SaveSnapshot(engine)` to `path`.
+Status SaveSnapshotToFile(const StoryPivotEngine& engine,
+                          const std::string& path);
+
+/// Reconstructs an engine from snapshot `contents`, using `config` for
+/// all runtime knobs (the snapshot stores state, not configuration).
+/// Story ids and snippet ids are preserved; source ids may be remapped
+/// (names are authoritative).
+Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
+    const std::string& contents, EngineConfig config = {});
+
+/// Reads and reconstructs from a file.
+Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshotFromFile(
+    const std::string& path, EngineConfig config = {});
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_CORE_SNAPSHOT_H_

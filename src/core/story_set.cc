@@ -1,0 +1,126 @@
+#include "core/story_set.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace storypivot {
+
+Story& StorySet::CreateStory(StoryId id) {
+  auto [it, inserted] = stories_.emplace(id, Story(id));
+  SP_CHECK(inserted);
+  return it->second;
+}
+
+void StorySet::AddSnippetToStory(const Snippet& snippet, StoryId story_id) {
+  auto it = stories_.find(story_id);
+  SP_CHECK(it != stories_.end());
+  SP_CHECK(!story_of_.contains(snippet.id));
+  it->second.AddSnippet(snippet);
+  story_of_[snippet.id] = story_id;
+  snippet_times_.Insert(snippet.timestamp, snippet.id);
+  entity_index_.Add(snippet.id, snippet.entities);
+}
+
+void StorySet::RemoveSnippet(const Snippet& snippet,
+                             const SnippetStore& store) {
+  auto assign_it = story_of_.find(snippet.id);
+  SP_CHECK(assign_it != story_of_.end());
+  StoryId story_id = assign_it->second;
+  auto story_it = stories_.find(story_id);
+  SP_CHECK(story_it != stories_.end());
+  Story& story = story_it->second;
+
+  // Collect survivors for aggregate recomputation.
+  std::vector<const Snippet*> survivors;
+  survivors.reserve(story.size());
+  for (SnippetId sid : story.snippets()) {
+    if (sid == snippet.id) continue;
+    const Snippet* s = store.Find(sid);
+    SP_CHECK(s != nullptr);
+    survivors.push_back(s);
+  }
+  story.RemoveSnippet(snippet, survivors);
+  story_of_.erase(assign_it);
+  snippet_times_.Erase(snippet.timestamp, snippet.id);
+  entity_index_.Remove(snippet.id);
+  if (story.empty()) stories_.erase(story_it);
+}
+
+StoryId StorySet::MergeStories(const std::vector<StoryId>& ids) {
+  SP_CHECK(ids.size() >= 2);
+  StoryId survivor_id = ids.front();
+  auto survivor_it = stories_.find(survivor_id);
+  SP_CHECK(survivor_it != stories_.end());
+  Story& survivor = survivor_it->second;
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] == survivor_id) continue;
+    auto it = stories_.find(ids[i]);
+    SP_CHECK(it != stories_.end());
+    for (SnippetId sid : it->second.snippets()) {
+      story_of_[sid] = survivor_id;
+    }
+    survivor.MergeFrom(it->second);
+    stories_.erase(it);
+  }
+  return survivor_id;
+}
+
+std::vector<StoryId> StorySet::SplitStory(
+    StoryId story_id, const std::vector<std::vector<SnippetId>>& components,
+    const SnippetStore& store, StoryId* next_story_id) {
+  SP_CHECK(next_story_id != nullptr);
+  auto it = stories_.find(story_id);
+  SP_CHECK(it != stories_.end());
+  SP_CHECK(!components.empty());
+
+  size_t total = 0;
+  for (const auto& c : components) total += c.size();
+  SP_CHECK(total == it->second.size());
+
+  std::vector<StoryId> out;
+  if (components.size() == 1) {
+    out.push_back(story_id);
+    return out;
+  }
+  stories_.erase(it);
+  for (size_t c = 0; c < components.size(); ++c) {
+    StoryId id = (c == 0) ? story_id : (*next_story_id)++;
+    Story& story = CreateStory(id);
+    for (SnippetId sid : components[c]) {
+      const Snippet* snippet = store.Find(sid);
+      SP_CHECK(snippet != nullptr);
+      story.AddSnippet(*snippet);
+      story_of_[sid] = id;
+    }
+    out.push_back(id);
+  }
+  return out;
+}
+
+StoryId StorySet::StoryOf(SnippetId id) const {
+  auto it = story_of_.find(id);
+  return it == story_of_.end() ? kInvalidStoryId : it->second;
+}
+
+const Story* StorySet::FindStory(StoryId id) const {
+  auto it = stories_.find(id);
+  return it == stories_.end() ? nullptr : &it->second;
+}
+
+std::vector<StoryId> StorySet::StoriesInWindow(Timestamp lo,
+                                               Timestamp hi) const {
+  std::vector<StoryId> out;
+  snippet_times_.ForEachInWindow(lo, hi,
+                                 [&](Timestamp, SnippetId sid) {
+                                   auto it = story_of_.find(sid);
+                                   if (it != story_of_.end()) {
+                                     out.push_back(it->second);
+                                   }
+                                 });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace storypivot

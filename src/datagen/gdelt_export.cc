@@ -1,0 +1,134 @@
+#include "datagen/gdelt_export.h"
+
+#include <unordered_map>
+
+#include "model/time.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace storypivot::datagen {
+namespace {
+
+std::string JoinTerms(const text::TermVector& terms,
+                      const text::Vocabulary& vocab, bool with_counts) {
+  std::string out;
+  for (const auto& [id, count] : terms.entries()) {
+    if (!out.empty()) out += ";";
+    out += vocab.TermOf(id);
+    if (with_counts) out += StrFormat(":%g", count);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportTsv(const Corpus& corpus) {
+  DsvWriter writer('\t');
+  writer.WriteRow({"id", "source", "event_type", "event_date", "entities",
+                   "keywords", "description", "url", "truth"});
+  for (const Snippet& s : corpus.snippets) {
+    writer.WriteRow({
+        StrFormat("%llu", static_cast<unsigned long long>(s.id)),
+        corpus.sources[s.source].name,
+        s.event_type,
+        FormatDateTime(s.timestamp),
+        JoinTerms(s.entities, *corpus.entity_vocabulary,
+                  /*with_counts=*/false),
+        JoinTerms(s.keywords, *corpus.keyword_vocabulary,
+                  /*with_counts=*/true),
+        s.description,
+        s.document_url,
+        StrFormat("%lld", static_cast<long long>(s.truth_story)),
+    });
+  }
+  return writer.contents();
+}
+
+Status ExportTsvToFile(const Corpus& corpus, const std::string& path) {
+  return WriteStringToFile(path, ExportTsv(corpus));
+}
+
+Result<ImportedCorpus> ImportTsv(const std::string& contents) {
+  DsvReader reader('\t');
+  Result<std::vector<std::vector<std::string>>> parsed =
+      reader.Parse(contents);
+  if (!parsed.ok()) return parsed.status();
+  const auto& rows = parsed.value();
+  if (rows.empty()) return Status::InvalidArgument("empty TSV");
+
+  ImportedCorpus out;
+  out.entity_vocabulary = std::make_unique<text::Vocabulary>();
+  out.keyword_vocabulary = std::make_unique<text::Vocabulary>();
+  std::unordered_map<std::string, SourceId> source_ids;
+
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    if (row.size() != 9) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: expected 9 fields, got %zu", r, row.size()));
+    }
+    Snippet s;
+    int64_t id = 0;
+    if (!ParseInt64(row[0], &id)) {
+      return Status::InvalidArgument("bad id at row " + StrFormat("%zu", r));
+    }
+    s.id = static_cast<SnippetId>(id);
+
+    auto [it, inserted] = source_ids.try_emplace(
+        row[1], static_cast<SourceId>(source_ids.size()));
+    if (inserted) {
+      SourceInfo info;
+      info.id = it->second;
+      info.name = row[1];
+      out.sources.push_back(std::move(info));
+    }
+    s.source = it->second;
+
+    s.event_type = row[2];
+    // Parse "YYYY-MM-DD HH:MM".
+    const std::string& dt = row[3];
+    int64_t y = 0, mo = 0, d = 0, h = 0, mi = 0;
+    if (dt.size() < 16 || !ParseInt64(dt.substr(0, 4), &y) ||
+        !ParseInt64(dt.substr(5, 2), &mo) ||
+        !ParseInt64(dt.substr(8, 2), &d) ||
+        !ParseInt64(dt.substr(11, 2), &h) ||
+        !ParseInt64(dt.substr(14, 2), &mi)) {
+      return Status::InvalidArgument("bad date at row " +
+                                     StrFormat("%zu", r));
+    }
+    s.timestamp = MakeTimestamp(static_cast<int>(y), static_cast<int>(mo),
+                                static_cast<int>(d), static_cast<int>(h),
+                                static_cast<int>(mi));
+
+    if (!row[4].empty()) {
+      std::vector<text::TermVector::Entry> ents;
+      for (std::string_view name : Split(row[4], ';')) {
+        ents.push_back({out.entity_vocabulary->Intern(name), 1.0});
+      }
+      s.entities = text::TermVector::FromEntries(std::move(ents));
+    }
+    if (!row[5].empty()) {
+      std::vector<text::TermVector::Entry> kws;
+      for (std::string_view item : Split(row[5], ';')) {
+        size_t colon = item.rfind(':');
+        double count = 1.0;
+        std::string_view term = item;
+        if (colon != std::string_view::npos) {
+          if (!ParseDouble(item.substr(colon + 1), &count)) count = 1.0;
+          term = item.substr(0, colon);
+        }
+        kws.push_back({out.keyword_vocabulary->Intern(term), count});
+      }
+      s.keywords = text::TermVector::FromEntries(std::move(kws));
+    }
+    s.description = row[6];
+    s.document_url = row[7];
+    int64_t truth = -1;
+    if (!ParseInt64(row[8], &truth)) truth = -1;
+    s.truth_story = truth;
+    out.snippets.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace storypivot::datagen

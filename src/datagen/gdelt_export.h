@@ -1,0 +1,41 @@
+#ifndef STORYPIVOT_DATAGEN_GDELT_EXPORT_H_
+#define STORYPIVOT_DATAGEN_GDELT_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "model/snippet.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace storypivot::datagen {
+
+/// Serialises a corpus to a GDELT-flavoured TSV: one event record per line
+/// with source, event date, actor/entity list, description keywords, URL
+/// and the ground-truth story label. The inverse of `ImportTsv`.
+///
+/// Columns:
+///   id, source_name, event_date (YYYY-MM-DD), entities (';'-joined),
+///   keywords (';'-joined stems with ':count'), description, url, truth
+std::string ExportTsv(const Corpus& corpus);
+
+/// Writes `ExportTsv(corpus)` to `path`.
+Status ExportTsvToFile(const Corpus& corpus, const std::string& path);
+
+/// Parsed form of an imported TSV corpus: snippets plus the vocabularies
+/// reconstructed from the term strings.
+struct ImportedCorpus {
+  std::unique_ptr<text::Vocabulary> entity_vocabulary;
+  std::unique_ptr<text::Vocabulary> keyword_vocabulary;
+  std::vector<SourceInfo> sources;
+  std::vector<Snippet> snippets;
+};
+
+/// Parses TSV content produced by ExportTsv. Term ids are re-interned, so
+/// they need not match the exporting process's ids, but names round-trip.
+Result<ImportedCorpus> ImportTsv(const std::string& contents);
+
+}  // namespace storypivot::datagen
+
+#endif  // STORYPIVOT_DATAGEN_GDELT_EXPORT_H_

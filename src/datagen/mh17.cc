@@ -1,0 +1,193 @@
+#include "datagen/mh17.h"
+
+#include "model/time.h"
+
+namespace storypivot::datagen {
+namespace {
+
+Document Doc(SourceId source, std::string url, std::string title,
+             std::vector<std::string> paragraphs, Timestamp ts,
+             int64_t truth, std::string event_type) {
+  Document d;
+  d.source = source;
+  d.url = std::move(url);
+  d.title = std::move(title);
+  d.paragraphs = std::move(paragraphs);
+  d.timestamp = ts;
+  d.truth_story = truth;
+  d.event_type = std::move(event_type);
+  return d;
+}
+
+}  // namespace
+
+Mh17Corpus MakeMh17Corpus() {
+  Mh17Corpus corpus;
+  corpus.sources.push_back({0, "New York Times"});
+  corpus.sources.push_back({1, "Wall Street Journal"});
+
+  corpus.entities = {
+      {"Ukraine", {"Ukrainian"}},
+      {"Russia", {"Russian", "Moscow"}},
+      {"Malaysia Airlines", {"Malaysia Airlines Flight 17", "MH17"}},
+      {"Malaysia", {"Malaysian"}},
+      {"Netherlands", {"Dutch", "the Netherlands"}},
+      {"United Nations", {"UN", "U.N."}},
+      {"United States", {"US", "U.S.", "American", "Washington"}},
+      {"European Union", {"EU", "E.U.", "Brussels"}},
+      {"Israel", {"Israeli"}},
+      {"Gaza", {}},
+      {"Google", {"Google Inc"}},
+      {"Yelp", {"Yelp Inc"}},
+      {"Amsterdam", {}},
+      {"Donetsk", {"Donezk"}},
+      {"Boeing", {"Boeing 777"}},
+  };
+
+  const SourceId kNyt = 0;
+  const SourceId kWsj = 1;
+
+  // ---- Story 0: the MH17 downing, investigation, sanctions, report.
+  corpus.documents.push_back(Doc(
+      kWsj, "online.wsj.com/doc3.html",
+      "Jetliner Explodes over Ukraine",
+      {"A Malaysia Airlines Boeing 777 with 298 people aboard exploded, "
+       "crashed and burned in eastern Ukraine on Thursday near Donetsk.",
+       "The jetliner was flying over territory controlled by pro-Russia "
+       "separatists and appears to have been blown out of the sky by a "
+       "missile, aviation officials said."},
+      MakeTimestamp(2014, 7, 17, 16, 20), 0, "Accident"));
+  corpus.documents.push_back(Doc(
+      kNyt, "nytimes.com/doc1.html",
+      "Passenger Jet Felled over Ukraine",
+      {"The United States government has concluded that the passenger jet "
+       "felled over Ukraine was shot down by a surface missile launched "
+       "from rebel territory near Donetsk.",
+       "All 298 passengers and crew of the Malaysia Airlines flight were "
+       "killed in the crash, many of them Dutch citizens travelling from "
+       "Amsterdam."},
+      MakeTimestamp(2014, 7, 17, 21, 5), 0, "Accident"));
+  corpus.documents.push_back(Doc(
+      kNyt, "nytimes.com/doc2.html",
+      "Ukraine Asks United Nations to Support Crash Investigation",
+      {"Officials leading the criminal investigation into the crash of "
+       "Malaysia Airlines Flight 17 said Friday that the plane's wreckage "
+       "had been tampered with.",
+       "Ukraine asked the United Nations civil aviation authority to help "
+       "secure the crash site so investigators can recover evidence and "
+       "the flight recorders."},
+      MakeTimestamp(2014, 7, 18, 11, 40), 0, "Investigation"));
+  corpus.documents.push_back(Doc(
+      kWsj, "online.wsj.com/doc5.html",
+      "Evidence of Russian Links to Jet's Downing",
+      {"International investigations into the downing of the Malaysia "
+       "Airlines jet over Ukraine point to a missile system moved across "
+       "the Russian border, investigators said.",
+       "Ukraine asked the United Nations civil aviation authority to "
+       "review radar data from the day of the crash."},
+      MakeTimestamp(2014, 7, 19, 9, 15), 0, "Investigation"));
+  corpus.documents.push_back(Doc(
+      kNyt, "nytimes.com/doc0.html",
+      "Sanctions Expanded against Russia over Conflict",
+      {"The day after the European Union and the United States announced "
+       "expanded sanctions against Russia over the conflict in Ukraine, "
+       "markets fell across the region.",
+       "The sanctions follow the downing of the Malaysia Airlines plane "
+       "and target banking, energy and defense sectors."},
+      MakeTimestamp(2014, 7, 30, 8, 0), 0, "Diplomacy"));
+  corpus.documents.push_back(Doc(
+      kWsj, "online.wsj.com/doc6.html",
+      "Victims of Ukraine Crash Arrive in the Netherlands",
+      {"The remains of victims of the Malaysia Airlines crash arrived in "
+       "the Netherlands on Wednesday, where Dutch officials led a national "
+       "day of mourning.",
+       "Forensic teams in Amsterdam began the work of identifying the "
+       "passengers recovered from the wreckage in Ukraine."},
+      MakeTimestamp(2014, 7, 23, 14, 30), 0, "Accident"));
+  corpus.documents.push_back(Doc(
+      kNyt, "nytimes.com/doc7.html",
+      "Dutch Report: Jet Broke Up after Being Hit by Objects",
+      {"A preliminary report by Dutch investigators said the Malaysia "
+       "Airlines plane that crashed in Ukraine broke up in the air after "
+       "being hit by numerous high-energy objects, consistent with a "
+       "missile strike.",
+       "The report, released in Amsterdam, stopped short of naming who "
+       "shot the plane down, citing the ongoing investigation."},
+      MakeTimestamp(2014, 9, 12, 10, 0), 0, "Investigation"));
+  corpus.documents.push_back(Doc(
+      kWsj, "online.wsj.com/doc8.html",
+      "Investigators Release First Findings on Ukraine Crash",
+      {"The first official report into the downing of the Malaysia "
+       "Airlines jet over Ukraine concluded the plane was shot down, "
+       "Dutch investigators said, matching radar and wreckage evidence.",
+       "The Netherlands leads the international investigation because most "
+       "of the victims were Dutch."},
+      MakeTimestamp(2014, 9, 12, 13, 45), 0, "Investigation"));
+
+  // ---- Story 1: UN war-crimes inquiry in the Israel conflict (s1 only;
+  // shares "investigation" vocabulary and the UN entity with story 0 —
+  // this is the v4 confusion shown in Fig. 5).
+  corpus.documents.push_back(Doc(
+      kNyt, "nytimes.com/doc4.html",
+      "United Nations Opens Inquiry into War Crimes Allegations",
+      {"The United Nations human rights council voted to open an "
+       "investigation into allegations of war crimes committed during the "
+       "conflict in Gaza between Israel and Palestinian militants.",
+       "Israel rejected the investigation as one-sided while human rights "
+       "groups called for investigators to be given access."},
+      MakeTimestamp(2014, 7, 23, 9, 30), 1, "Justice"));
+  corpus.documents.push_back(Doc(
+      kNyt, "nytimes.com/doc9.html",
+      "Rights Investigators Named for Gaza Inquiry",
+      {"The United Nations named the members of the commission that will "
+       "investigate alleged war crimes in the Gaza conflict, drawing "
+       "criticism from Israel.",
+       "Human rights advocates said the inquiry should examine actions by "
+       "all parties to the conflict."},
+      MakeTimestamp(2014, 8, 11, 15, 0), 1, "Justice"));
+
+  // ---- Story 2: Google/Yelp antitrust (WSJ only; Fig. 3 doc4).
+  corpus.documents.push_back(Doc(
+      kWsj, "online.wsj.com/doc4.html",
+      "Yelp Says Google Promotes Own Content in Search",
+      {"Google Inc rival Yelp Inc says the search giant is promoting its "
+       "own content at the expense of users, as Google battles an "
+       "antitrust review in Brussels.",
+       "Yelp filed data with European Union regulators arguing that "
+       "Google's search algorithm favors Google services."},
+      MakeTimestamp(2014, 7, 29, 12, 0), 2, "Technology"));
+  corpus.documents.push_back(Doc(
+      kWsj, "online.wsj.com/doc10.html",
+      "European Union Widens Google Antitrust Review",
+      {"European Union regulators widened their antitrust review of Google "
+       "after complaints from Yelp and other companies about search "
+       "rankings.",
+       "The review examines whether Google abused its dominance of "
+       "internet search in Europe."},
+      MakeTimestamp(2014, 9, 3, 11, 20), 2, "Technology"));
+
+  // ---- Story 3: doctors shortage (s1 only; Fig. 4 story c3').
+  corpus.documents.push_back(Doc(
+      kNyt, "nytimes.com/doc11.html",
+      "Hospitals Warn of Doctors Shortage",
+      {"Medical associations in the United States warned of a growing "
+       "shortage of doctors in rural hospitals, with civil health "
+       "officials proposing new incentives.",
+       "The shortage affects emergency medicine and primary care, "
+       "hospital administrators said."},
+      MakeTimestamp(2014, 8, 20, 9, 0), 3, "Health"));
+
+  return corpus;
+}
+
+void PopulateMh17Gazetteer(const Mh17Corpus& corpus,
+                           text::Gazetteer* gazetteer) {
+  for (const auto& [canonical, aliases] : corpus.entities) {
+    text::TermId id = gazetteer->AddEntity(canonical);
+    for (const std::string& alias : aliases) {
+      gazetteer->AddAlias(id, alias);
+    }
+  }
+}
+
+}  // namespace storypivot::datagen

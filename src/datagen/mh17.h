@@ -1,0 +1,40 @@
+#ifndef STORYPIVOT_DATAGEN_MH17_H_
+#define STORYPIVOT_DATAGEN_MH17_H_
+
+#include <string>
+#include <vector>
+
+#include "model/document.h"
+#include "text/gazetteer.h"
+
+namespace storypivot::datagen {
+
+/// The paper's running example as a small hand-curated raw-text corpus:
+/// the July 2014 downing of Malaysia Airlines flight MH17 over Ukraine as
+/// covered by two sources (the New York Times, s1, and the Wall Street
+/// Journal, sn), plus the unrelated side stories visible in Figs. 3-5
+/// (a UN war-crimes inquiry in the Israel conflict, a Google/Yelp
+/// antitrust complaint, and a doctors-shortage report).
+///
+/// Ground-truth story labels:
+///   0 = MH17 downing & investigation (incl. the sanctions angle, Fig. 4)
+///   1 = UN war-crimes inquiry (s1 only)
+///   2 = Google/Yelp antitrust (WSJ only)
+///   3 = doctors shortage (s1 only)
+struct Mh17Corpus {
+  std::vector<SourceInfo> sources;  // [0] = NYT, [1] = WSJ.
+  std::vector<Document> documents;  // Ordered by timestamp.
+  /// Canonical entity names the gazetteer needs, with aliases.
+  std::vector<std::pair<std::string, std::vector<std::string>>> entities;
+};
+
+/// Builds the embedded MH17 demonstration corpus.
+Mh17Corpus MakeMh17Corpus();
+
+/// Registers all MH17 corpus entities (and aliases) in `gazetteer`.
+void PopulateMh17Gazetteer(const Mh17Corpus& corpus,
+                           text::Gazetteer* gazetteer);
+
+}  // namespace storypivot::datagen
+
+#endif  // STORYPIVOT_DATAGEN_MH17_H_

@@ -1,0 +1,173 @@
+#include "datagen/word_lists.h"
+
+namespace storypivot::datagen {
+namespace {
+
+// NOTE: all lists are function-local static references to heap objects that
+// are intentionally never destroyed (trivially-destructible-global rule).
+
+template <typename T>
+const T& Leak(T* value) {
+  return *value;
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& CountryNames() {
+  static const auto& list = Leak(new std::vector<std::string_view>{
+      "Ukraine",       "Russia",        "Malaysia",      "Netherlands",
+      "Germany",       "France",        "United States", "United Kingdom",
+      "China",         "Japan",         "India",         "Brazil",
+      "Australia",     "Canada",        "Italy",         "Spain",
+      "Poland",        "Turkey",        "Greece",        "Egypt",
+      "Israel",        "Iran",          "Iraq",          "Syria",
+      "Lebanon",       "Jordan",        "Saudi Arabia",  "Qatar",
+      "Nigeria",       "Kenya",         "South Africa",  "Ethiopia",
+      "Mexico",        "Argentina",     "Chile",         "Colombia",
+      "Venezuela",     "Peru",          "Sweden",        "Norway",
+      "Finland",       "Denmark",       "Belgium",       "Austria",
+      "Switzerland",   "Portugal",      "Ireland",       "Hungary",
+      "Romania",       "Bulgaria",      "Serbia",        "Croatia",
+      "Indonesia",     "Thailand",      "Vietnam",       "Philippines",
+      "South Korea",   "North Korea",   "Pakistan",      "Afghanistan",
+  });
+  return list;
+}
+
+const std::vector<std::string_view>& OrganizationNames() {
+  static const auto& list = Leak(new std::vector<std::string_view>{
+      "United Nations",        "European Union",
+      "NATO",                  "World Bank",
+      "Red Cross",             "Malaysia Airlines",
+      "International Monetary Fund",
+      "World Health Organization",
+      "OPEC",                  "African Union",
+      "Amnesty International", "Greenpeace",
+      "Interpol",              "World Trade Organization",
+      "OSCE",                  "UNICEF",
+      "Doctors Without Borders",
+      "Arab League",           "ASEAN",
+      "G20",                   "Federal Reserve",
+      "European Central Bank", "Securities Commission",
+      "Olympic Committee",     "FIFA",
+  });
+  return list;
+}
+
+const std::vector<std::string_view>& PersonFirstNames() {
+  static const auto& list = Leak(new std::vector<std::string_view>{
+      "Andrei",  "Maria",  "John",   "Wei",    "Fatima", "Olga",
+      "Pierre",  "Hans",   "Yuki",   "Carlos", "Amara",  "Viktor",
+      "Elena",   "David",  "Sofia",  "Ahmed",  "Ingrid", "Pavel",
+      "Lucia",   "Mikhail","Anna",   "James",  "Chen",   "Leila",
+  });
+  return list;
+}
+
+const std::vector<std::string_view>& PersonLastNames() {
+  static const auto& list = Leak(new std::vector<std::string_view>{
+      "Petrov",   "Kovac",    "Miller",  "Zhang",    "Haddad",  "Novak",
+      "Dubois",   "Schmidt",  "Tanaka",  "Garcia",   "Okafor",  "Ivanov",
+      "Popescu",  "Cohen",    "Rossi",   "Hassan",   "Larsen",  "Sokolov",
+      "Moreno",   "Volkov",   "Keller",  "Walker",   "Liu",     "Nasser",
+  });
+  return list;
+}
+
+const std::vector<std::string_view>& NameSyllables() {
+  static const auto& list = Leak(new std::vector<std::string_view>{
+      "va", "do", "ri", "ka", "len", "mo", "sa", "tu", "ber", "no",
+      "ze", "mi", "ra", "del", "go", "pa", "shi", "lo", "ter", "an",
+  });
+  return list;
+}
+
+const std::vector<DomainWords>& Domains() {
+  static const auto& list = Leak(new std::vector<DomainWords>{
+      {"conflict",
+       {"troops", "offensive", "ceasefire", "shelling", "militia",
+        "separatists", "airstrike", "casualties", "frontline", "artillery",
+        "insurgents", "checkpoint", "convoy", "escalation", "rebels",
+        "mobilization", "skirmish", "bombardment", "truce", "withdrawal",
+        "hostilities", "incursion", "stronghold", "barricade", "combat"}},
+      {"diplomacy",
+       {"summit", "negotiations", "treaty", "ambassador", "sanctions",
+        "resolution", "delegation", "accord", "mediation", "envoy",
+        "communique", "bilateral", "talks", "agreement", "protocol",
+        "ratification", "consulate", "dialogue", "concessions", "ministers",
+        "memorandum", "alliance", "embassy", "ultimatum", "compromise"}},
+      {"economy",
+       {"markets", "inflation", "currency", "exports", "tariffs",
+        "recession", "investors", "stocks", "bonds", "deficit",
+        "growth", "unemployment", "trade", "banking", "forecast",
+        "earnings", "stimulus", "austerity", "devaluation", "commodities",
+        "futures", "liquidity", "debt", "budget", "subsidies"}},
+      {"disaster",
+       {"earthquake", "flood", "wildfire", "hurricane", "evacuation",
+        "rescue", "survivors", "wreckage", "collapse", "aftershock",
+        "landslide", "emergency", "shelter", "damages", "relief",
+        "typhoon", "drought", "tsunami", "debris", "casualty",
+        "aid", "reconstruction", "epidemic", "quarantine", "outbreak"}},
+      {"aviation",
+       {"airliner", "crash", "flight", "wreckage", "investigators",
+        "blackbox", "missile", "radar", "cockpit", "debris",
+        "airspace", "altitude", "passengers", "crew", "runway",
+        "takeoff", "mayday", "transponder", "turbulence", "fuselage",
+        "airport", "aviation", "downing", "recovery", "salvage"}},
+      {"politics",
+       {"election", "parliament", "coalition", "referendum", "ballot",
+        "campaign", "incumbent", "opposition", "legislation", "impeachment",
+        "cabinet", "constituency", "polls", "turnout", "manifesto",
+        "senate", "congress", "decree", "veto", "amendment",
+        "lawmakers", "primaries", "electorate", "gerrymander", "caucus"}},
+      {"justice",
+       {"tribunal", "indictment", "verdict", "prosecution", "testimony",
+        "warcrimes", "investigation", "evidence", "defendant", "acquittal",
+        "appeal", "sentencing", "extradition", "custody", "allegations",
+        "subpoena", "plaintiff", "injunction", "litigation", "probe",
+        "corruption", "bribery", "fraud", "embezzlement", "perjury"}},
+      {"energy",
+       {"pipeline", "gas", "crude", "refinery", "barrels",
+        "drilling", "reserves", "supply", "embargo", "exports",
+        "renewables", "grid", "blackout", "nuclear", "reactor",
+        "extraction", "offshore", "petroleum", "shale", "turbines",
+        "megawatts", "transmission", "utilities", "solar", "coal"}},
+      {"technology",
+       {"startup", "software", "platform", "antitrust", "algorithm",
+        "search", "privacy", "data", "regulators", "acquisition",
+        "patent", "smartphone", "internet", "cybersecurity", "breach",
+        "encryption", "servers", "cloud", "innovation", "silicon",
+        "browser", "advertising", "monopoly", "merger", "valuation"}},
+      {"health",
+       {"doctors", "hospital", "vaccine", "patients", "medical",
+        "shortage", "clinic", "virus", "infection", "treatment",
+        "epidemic", "symptoms", "diagnosis", "pharmaceutical", "dosage",
+        "immunization", "pandemic", "mortality", "nurses", "surgery",
+        "therapy", "antibiotics", "screening", "wards", "triage"}},
+      {"sports",
+       {"championship", "tournament", "league", "transfer", "stadium",
+        "goalkeeper", "striker", "medal", "qualifier", "playoffs",
+        "coach", "penalty", "doping", "federation", "athletes",
+        "relegation", "fixture", "derby", "injury", "contract",
+        "season", "title", "record", "victory", "defeat"}},
+      {"science",
+       {"researchers", "satellite", "probe", "laboratory", "experiment",
+        "spacecraft", "telescope", "genome", "particle", "discovery",
+        "climate", "emissions", "glacier", "specimen", "orbit",
+        "mission", "observatory", "fossil", "expedition", "samples",
+        "asteroid", "microbes", "physics", "quantum", "sequencing"}},
+  });
+  return list;
+}
+
+const std::vector<std::string_view>& FillerWords() {
+  static const auto& list = Leak(new std::vector<std::string_view>{
+      "officials", "reported", "announced", "sources", "statement",
+      "response",  "situation", "developments", "authorities", "spokesman",
+      "capital",   "region",    "crisis",  "meeting", "president",
+      "minister",  "government","leaders", "week",    "month",
+  });
+  return list;
+}
+
+}  // namespace storypivot::datagen

@@ -1,0 +1,40 @@
+#ifndef STORYPIVOT_DATAGEN_WORD_LISTS_H_
+#define STORYPIVOT_DATAGEN_WORD_LISTS_H_
+
+#include <string_view>
+#include <vector>
+
+namespace storypivot::datagen {
+
+/// A news domain archetype: a label plus a pool of domain-typical content
+/// words. Ground-truth stories draw their keyword distributions from one
+/// domain pool, which gives distinct stories distinct vocabularies while
+/// stories from the same domain still overlap realistically.
+struct DomainWords {
+  std::string_view name;
+  std::vector<std::string_view> words;
+};
+
+/// Real-world country and region names used as entity seeds.
+const std::vector<std::string_view>& CountryNames();
+
+/// Real-world organisation names used as entity seeds.
+const std::vector<std::string_view>& OrganizationNames();
+
+/// First/last name fragments for synthesising person entities.
+const std::vector<std::string_view>& PersonFirstNames();
+const std::vector<std::string_view>& PersonLastNames();
+
+/// Syllables for synthesising additional organisation/place names once the
+/// real lists are exhausted.
+const std::vector<std::string_view>& NameSyllables();
+
+/// The embedded news-domain archetypes (conflict, diplomacy, economy, ...).
+const std::vector<DomainWords>& Domains();
+
+/// Generic news filler words that act as cross-domain noise.
+const std::vector<std::string_view>& FillerWords();
+
+}  // namespace storypivot::datagen
+
+#endif  // STORYPIVOT_DATAGEN_WORD_LISTS_H_

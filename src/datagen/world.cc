@@ -1,0 +1,130 @@
+#include "datagen/world.h"
+
+#include <algorithm>
+#include <string>
+
+#include "datagen/word_lists.h"
+#include "text/porter_stemmer.h"
+#include "util/logging.h"
+
+namespace storypivot::datagen {
+namespace {
+
+std::string Capitalize(std::string s) {
+  if (!s.empty() && s[0] >= 'a' && s[0] <= 'z') {
+    s[0] = static_cast<char>(s[0] - 'a' + 'A');
+  }
+  return s;
+}
+
+// Synthesises a pseudo-name from syllables, e.g. "Vakari".
+std::string SynthName(Pcg32& rng, int syllables) {
+  const auto& pool = NameSyllables();
+  std::string out;
+  for (int i = 0; i < syllables; ++i) {
+    out += pool[rng.NextBounded(static_cast<uint32_t>(pool.size()))];
+  }
+  return Capitalize(out);
+}
+
+}  // namespace
+
+WorldModel::WorldModel(const WorldConfig& config,
+                       text::Vocabulary* entity_vocabulary,
+                       text::Vocabulary* keyword_vocabulary) {
+  SP_CHECK(entity_vocabulary != nullptr);
+  SP_CHECK(keyword_vocabulary != nullptr);
+  SP_CHECK(config.num_entities > 0);
+  SP_CHECK(config.num_communities > 0);
+  Pcg32 gen(config.seed, /*stream=*/11);
+
+  // --- Entities: real country + org names first, then persons, then
+  // synthetic names until num_entities is reached.
+  entity_names_.reserve(config.num_entities);
+  auto add_entity = [&](std::string name) {
+    text::TermId id = entity_vocabulary->Intern(name);
+    // Ids must be dense and in insertion order for entity_names_ indexing.
+    SP_CHECK(id == entity_names_.size());
+    entity_names_.push_back(std::move(name));
+  };
+  for (std::string_view name : CountryNames()) {
+    if (static_cast<int>(entity_names_.size()) >= config.num_entities) break;
+    add_entity(std::string(name));
+  }
+  for (std::string_view name : OrganizationNames()) {
+    if (static_cast<int>(entity_names_.size()) >= config.num_entities) break;
+    add_entity(std::string(name));
+  }
+  const auto& firsts = PersonFirstNames();
+  const auto& lasts = PersonLastNames();
+  for (size_t i = 0;
+       static_cast<int>(entity_names_.size()) < config.num_entities &&
+       i < firsts.size() * lasts.size();
+       ++i) {
+    std::string name = std::string(firsts[i % firsts.size()]) + " " +
+                       std::string(lasts[(i * 7 + i / firsts.size()) %
+                                         lasts.size()]);
+    // Person-name combinations can collide; skip duplicates.
+    if (entity_vocabulary->Lookup(name) != text::kInvalidTermId) continue;
+    add_entity(std::move(name));
+  }
+  while (static_cast<int>(entity_names_.size()) < config.num_entities) {
+    std::string name = SynthName(gen, 2 + static_cast<int>(
+                                            gen.NextBounded(2)));
+    if (gen.NextBernoulli(0.4)) {
+      name.push_back(' ');
+      name += SynthName(gen, 2);
+    }
+    if (entity_vocabulary->Lookup(name) != text::kInvalidTermId) continue;
+    add_entity(std::move(name));
+  }
+
+  // --- Communities: a random partition into num_communities groups, each
+  // entity assigned round-robin after a shuffle.
+  std::vector<text::TermId> ids(entity_names_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<text::TermId>(i);
+  gen.Shuffle(ids);
+  communities_.assign(config.num_communities, {});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    communities_[i % config.num_communities].push_back(ids[i]);
+  }
+
+  // --- Topics: `topics_per_domain` variations per embedded domain. A
+  // variation samples 18 of the domain's 25 words with random Zipf-ish
+  // weights, so two topics of the same domain overlap but are not equal.
+  const auto& domains = Domains();
+  for (size_t d = 0; d < domains.size(); ++d) {
+    for (int v = 0; v < config.topics_per_domain; ++v) {
+      Topic topic;
+      topic.domain = static_cast<int>(d);
+      std::vector<std::string_view> pool(domains[d].words);
+      gen.Shuffle(pool);
+      size_t take = std::min<size_t>(18, pool.size());
+      for (size_t i = 0; i < take; ++i) {
+        std::string surface(pool[i]);
+        std::string stem = text::PorterStem(surface);
+        topic.words.push_back(keyword_vocabulary->Intern(stem));
+        topic.surfaces.push_back(std::move(surface));
+        topic.weights.push_back(1.0 / static_cast<double>(i + 1));
+      }
+      topics_.push_back(std::move(topic));
+    }
+  }
+
+  // --- Filler words (shared noise vocabulary).
+  for (std::string_view w : FillerWords()) {
+    std::string surface(w);
+    filler_words_.push_back(
+        keyword_vocabulary->Intern(text::PorterStem(surface)));
+    filler_surfaces_.push_back(std::move(surface));
+  }
+}
+
+void WorldModel::PopulateGazetteer(text::Gazetteer* gazetteer) const {
+  SP_CHECK(gazetteer != nullptr);
+  for (const std::string& name : entity_names_) {
+    gazetteer->AddEntity(name);
+  }
+}
+
+}  // namespace storypivot::datagen

@@ -1,0 +1,121 @@
+#ifndef STORYPIVOT_DATAGEN_WORLD_H_
+#define STORYPIVOT_DATAGEN_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/time.h"
+#include "text/gazetteer.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace storypivot::datagen {
+
+/// Parameters of the synthetic news world.
+struct WorldConfig {
+  uint64_t seed = 7;
+  /// Number of distinct entities (countries, orgs, people, synthesised).
+  int num_entities = 200;
+  /// Entities are partitioned into communities; stories draw their actors
+  /// from a single community, so stories within a community share entities
+  /// (the confusion that story *evolution* handling must survive).
+  int num_communities = 25;
+  /// Topic variations created per embedded domain archetype.
+  int topics_per_domain = 2;
+};
+
+/// One topic: a weighted keyword pool derived from a domain archetype.
+struct Topic {
+  int domain = 0;
+  /// Stemmed keyword TermIds (keyword vocabulary).
+  std::vector<text::TermId> words;
+  /// Original (unstemmed) surface forms for rendering raw text.
+  std::vector<std::string> surfaces;
+  /// Zipf-ish sampling weights, parallel to `words`.
+  std::vector<double> weights;
+};
+
+/// The synthetic world: entity universe with communities, and topic
+/// universe with keyword pools. All terms are interned into the supplied
+/// vocabularies — the same vocabularies later used by the engine, so that
+/// fast-path generated snippets and raw-text pipeline output agree.
+class WorldModel {
+ public:
+  /// `entity_vocabulary` and `keyword_vocabulary` must outlive the world.
+  WorldModel(const WorldConfig& config, text::Vocabulary* entity_vocabulary,
+             text::Vocabulary* keyword_vocabulary);
+
+  WorldModel(const WorldModel&) = delete;
+  WorldModel& operator=(const WorldModel&) = delete;
+
+  /// Entity display names, indexed by entity TermId.
+  const std::vector<std::string>& entity_names() const {
+    return entity_names_;
+  }
+
+  /// Communities of entity TermIds.
+  const std::vector<std::vector<text::TermId>>& communities() const {
+    return communities_;
+  }
+
+  const std::vector<Topic>& topics() const { return topics_; }
+
+  /// Globally shared filler-word ids (cross-domain noise pool).
+  const std::vector<text::TermId>& filler_words() const {
+    return filler_words_;
+  }
+  const std::vector<std::string>& filler_surfaces() const {
+    return filler_surfaces_;
+  }
+
+  /// Registers every world entity in `gazetteer` so that raw rendered text
+  /// round-trips through the annotation pipeline.
+  void PopulateGazetteer(text::Gazetteer* gazetteer) const;
+
+ private:
+  std::vector<std::string> entity_names_;
+  std::vector<std::vector<text::TermId>> communities_;
+  std::vector<Topic> topics_;
+  std::vector<text::TermId> filler_words_;
+  std::vector<std::string> filler_surfaces_;
+};
+
+/// One phase of a ground-truth story: an active entity cast and a keyword
+/// pool. Consecutive episodes share core entities but drift in peripheral
+/// entities and vocabulary, modelling story evolution (§2.2: "story
+/// evolution means that characteristics of a story change over time").
+struct Episode {
+  Timestamp begin = 0;
+  Timestamp end = 0;
+  std::vector<text::TermId> entities;
+  std::vector<text::TermId> word_pool;
+  std::vector<std::string> word_surfaces;
+  std::vector<double> word_weights;
+};
+
+/// A ground-truth real-world story.
+struct TruthStory {
+  int64_t id = -1;
+  int community = 0;
+  int topic = 0;
+  Timestamp begin = 0;
+  Timestamp end = 0;
+  std::vector<Episode> episodes;
+  /// Relative share of world events that belong to this story.
+  double popularity = 1.0;
+};
+
+/// A ground-truth event: one real-world occurrence inside a story, which
+/// sources then (noisily, partially, with delay) report as snippets.
+struct TruthEvent {
+  int64_t story = -1;
+  size_t episode_index = 0;
+  Timestamp time = 0;
+  /// Entities involved in this particular event.
+  std::vector<text::TermId> entities;
+};
+
+}  // namespace storypivot::datagen
+
+#endif  // STORYPIVOT_DATAGEN_WORLD_H_

@@ -1,0 +1,128 @@
+#include "eval/diagnostics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace storypivot::eval {
+
+size_t DiagnosticReport::NumFragmented(size_t threshold) const {
+  size_t count = 0;
+  for (const StoryDiagnostic& d : stories) {
+    if (d.num_clusters > threshold) ++count;
+  }
+  return count;
+}
+
+size_t DiagnosticReport::NumContaminated(double threshold) const {
+  size_t count = 0;
+  for (const StoryDiagnostic& d : stories) {
+    if (d.contamination > threshold) ++count;
+  }
+  return count;
+}
+
+std::string DiagnosticReport::ToString(size_t max_rows) const {
+  std::string out;
+  out += StrFormat("%8s %9s %9s %11s %13s %10s\n", "truth", "snippets",
+                   "clusters", "main-share", "contamination", "mixed-with");
+  // Worst first: fragmented and contaminated stories on top.
+  std::vector<const StoryDiagnostic*> ordered;
+  for (const StoryDiagnostic& d : stories) ordered.push_back(&d);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const StoryDiagnostic* a, const StoryDiagnostic* b) {
+              double badness_a = a->contamination +
+                                 (1.0 - a->max_cluster_share);
+              double badness_b = b->contamination +
+                                 (1.0 - b->max_cluster_share);
+              if (badness_a != badness_b) return badness_a > badness_b;
+              return a->truth_story < b->truth_story;
+            });
+  size_t rows = std::min(max_rows, ordered.size());
+  for (size_t i = 0; i < rows; ++i) {
+    const StoryDiagnostic& d = *ordered[i];
+    out += StrFormat("%8lld %9zu %9zu %10.0f%% %12.0f%% %10lld\n",
+                     static_cast<long long>(d.truth_story), d.num_snippets,
+                     d.num_clusters, 100.0 * d.max_cluster_share,
+                     100.0 * d.contamination,
+                     static_cast<long long>(d.dominant_confusion));
+  }
+  out += StrFormat(
+      "clusters: %zu pure, %zu mixed; stories fragmented: %zu, "
+      "contaminated(>10%%): %zu\n",
+      pure_clusters, mixed_clusters, NumFragmented(), NumContaminated());
+  return out;
+}
+
+DiagnosticReport DiagnoseAlignment(const StoryPivotEngine& engine) {
+  SP_CHECK(engine.has_alignment());
+  const AlignmentResult& alignment = engine.alignment();
+  DiagnosticReport report;
+
+  // truth -> (cluster -> count) and cluster -> (truth -> count).
+  std::map<int64_t, std::map<size_t, size_t>> clusters_of_truth;
+  std::map<size_t, std::map<int64_t, size_t>> truths_of_cluster;
+  engine.store().ForEach([&](const Snippet& snippet) {
+    if (snippet.truth_story < 0) return;
+    auto it = alignment.integrated_of.find(snippet.id);
+    if (it == alignment.integrated_of.end()) return;
+    ++clusters_of_truth[snippet.truth_story][it->second];
+    ++truths_of_cluster[it->second][snippet.truth_story];
+  });
+
+  for (const auto& [cluster, truths] : truths_of_cluster) {
+    if (truths.size() == 1) {
+      ++report.pure_clusters;
+    } else {
+      ++report.mixed_clusters;
+    }
+  }
+
+  for (const auto& [truth, clusters] : clusters_of_truth) {
+    StoryDiagnostic d;
+    d.truth_story = truth;
+    d.num_clusters = clusters.size();
+    size_t main_cluster = 0;
+    size_t main_count = 0;
+    for (const auto& [cluster, count] : clusters) {
+      d.num_snippets += count;
+      if (count > main_count) {
+        main_count = count;
+        main_cluster = cluster;
+      }
+    }
+    d.max_cluster_share =
+        d.num_snippets == 0
+            ? 0.0
+            : static_cast<double>(main_count) /
+                  static_cast<double>(d.num_snippets);
+    // Contamination of the main cluster by other truth labels.
+    const std::map<int64_t, size_t>& members =
+        truths_of_cluster.at(main_cluster);
+    size_t cluster_total = 0;
+    size_t foreign = 0;
+    int64_t dominant = -1;
+    size_t dominant_count = 0;
+    for (const auto& [other_truth, count] : members) {
+      cluster_total += count;
+      if (other_truth == truth) continue;
+      foreign += count;
+      if (count > dominant_count) {
+        dominant_count = count;
+        dominant = other_truth;
+      }
+    }
+    d.contamination =
+        cluster_total == 0
+            ? 0.0
+            : static_cast<double>(foreign) /
+                  static_cast<double>(cluster_total);
+    d.dominant_confusion = dominant;
+    report.stories.push_back(d);
+  }
+  return report;
+}
+
+}  // namespace storypivot::eval

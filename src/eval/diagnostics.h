@@ -1,0 +1,56 @@
+#ifndef STORYPIVOT_EVAL_DIAGNOSTICS_H_
+#define STORYPIVOT_EVAL_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace storypivot::eval {
+
+/// How one ground-truth story fared through detection: was it kept whole
+/// (one cluster), fragmented (split over several), or contaminated
+/// (merged with other stories)?
+struct StoryDiagnostic {
+  int64_t truth_story = -1;
+  /// Snippets carrying this truth label.
+  size_t num_snippets = 0;
+  /// Distinct predicted clusters covering those snippets.
+  size_t num_clusters = 0;
+  /// Fraction of the snippets inside the largest covering cluster
+  /// (1.0 = not fragmented).
+  double max_cluster_share = 0.0;
+  /// Fraction of the largest covering cluster that belongs to *other*
+  /// truth stories (0.0 = pure).
+  double contamination = 0.0;
+  /// The truth story it is most contaminated with, or -1.
+  int64_t dominant_confusion = -1;
+};
+
+/// Aggregate fragmentation/contamination report over an alignment.
+struct DiagnosticReport {
+  std::vector<StoryDiagnostic> stories;  // Sorted by truth story id.
+  /// Predicted clusters containing exactly one truth label.
+  size_t pure_clusters = 0;
+  /// Predicted clusters mixing several truth labels.
+  size_t mixed_clusters = 0;
+
+  /// Stories that were split over more than `threshold` clusters.
+  size_t NumFragmented(size_t threshold = 1) const;
+  /// Stories whose main cluster is more than `threshold` foreign.
+  size_t NumContaminated(double threshold = 0.1) const;
+
+  /// Renders an aligned text table of the worst offenders.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Diagnoses the engine's current alignment against the ground-truth
+/// labels carried by its snippets (Snippet::truth_story >= 0). The engine
+/// must hold a fresh alignment. Snippets without truth labels are
+/// ignored.
+DiagnosticReport DiagnoseAlignment(const StoryPivotEngine& engine);
+
+}  // namespace storypivot::eval
+
+#endif  // STORYPIVOT_EVAL_DIAGNOSTICS_H_

@@ -1,0 +1,181 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace storypivot::eval {
+namespace {
+
+uint64_t Choose2(uint64_t n) { return n < 2 ? 0 : n * (n - 1) / 2; }
+
+struct Contingency {
+  /// (truth label, predicted label) -> count.
+  std::map<std::pair<int64_t, int64_t>, uint64_t> cells;
+  std::unordered_map<int64_t, uint64_t> truth_sizes;
+  std::unordered_map<int64_t, uint64_t> predicted_sizes;
+  size_t n = 0;
+};
+
+Contingency BuildContingency(const std::vector<int64_t>& truth,
+                             const std::vector<int64_t>& predicted) {
+  SP_CHECK(truth.size() == predicted.size());
+  Contingency c;
+  c.n = truth.size();
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ++c.cells[{truth[i], predicted[i]}];
+    ++c.truth_sizes[truth[i]];
+    ++c.predicted_sizes[predicted[i]];
+  }
+  return c;
+}
+
+double SafeDiv(double a, double b) { return b == 0.0 ? 0.0 : a / b; }
+
+double F1(double p, double r) { return SafeDiv(2.0 * p * r, p + r); }
+
+double Entropy(const std::unordered_map<int64_t, uint64_t>& sizes,
+               size_t n) {
+  if (n == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [label, count] : sizes) {
+    double p = static_cast<double>(count) / static_cast<double>(n);
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+double MutualInformation(const Contingency& c) {
+  if (c.n == 0) return 0.0;
+  double n = static_cast<double>(c.n);
+  double mi = 0.0;
+  for (const auto& [cell, count] : c.cells) {
+    double p_xy = static_cast<double>(count) / n;
+    double p_x =
+        static_cast<double>(c.truth_sizes.at(cell.first)) / n;
+    double p_y =
+        static_cast<double>(c.predicted_sizes.at(cell.second)) / n;
+    if (p_xy > 0.0) mi += p_xy * std::log(p_xy / (p_x * p_y));
+  }
+  return mi;
+}
+
+}  // namespace
+
+PairCounts& PairCounts::operator+=(const PairCounts& other) {
+  true_positive += other.true_positive;
+  false_positive += other.false_positive;
+  false_negative += other.false_negative;
+  return *this;
+}
+
+PrfScores PairCounts::ToScores() const {
+  PrfScores out;
+  out.precision = SafeDiv(static_cast<double>(true_positive),
+                          static_cast<double>(true_positive + false_positive));
+  out.recall = SafeDiv(static_cast<double>(true_positive),
+                       static_cast<double>(true_positive + false_negative));
+  out.f1 = F1(out.precision, out.recall);
+  return out;
+}
+
+PairCounts CountPairs(const std::vector<int64_t>& truth,
+                      const std::vector<int64_t>& predicted) {
+  Contingency c = BuildContingency(truth, predicted);
+  uint64_t together_both = 0;
+  for (const auto& [cell, count] : c.cells) together_both += Choose2(count);
+  uint64_t together_predicted = 0;
+  for (const auto& [label, count] : c.predicted_sizes) {
+    together_predicted += Choose2(count);
+  }
+  uint64_t together_truth = 0;
+  for (const auto& [label, count] : c.truth_sizes) {
+    together_truth += Choose2(count);
+  }
+  PairCounts out;
+  out.true_positive = together_both;
+  out.false_positive = together_predicted - together_both;
+  out.false_negative = together_truth - together_both;
+  return out;
+}
+
+PrfScores PairwiseF(const std::vector<int64_t>& truth,
+                    const std::vector<int64_t>& predicted) {
+  return CountPairs(truth, predicted).ToScores();
+}
+
+PrfScores BCubed(const std::vector<int64_t>& truth,
+                 const std::vector<int64_t>& predicted) {
+  Contingency c = BuildContingency(truth, predicted);
+  if (c.n == 0) return {};
+  // For element i in truth cluster T and predicted cluster P with overlap
+  // o = |T cap P|: precision_i = o / |P|, recall_i = o / |T|. Summing per
+  // cell: each cell of size o contributes o * (o/|P|) to the precision sum.
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  for (const auto& [cell, count] : c.cells) {
+    double o = static_cast<double>(count);
+    precision_sum +=
+        o * o / static_cast<double>(c.predicted_sizes.at(cell.second));
+    recall_sum += o * o / static_cast<double>(c.truth_sizes.at(cell.first));
+  }
+  PrfScores out;
+  out.precision = precision_sum / static_cast<double>(c.n);
+  out.recall = recall_sum / static_cast<double>(c.n);
+  out.f1 = F1(out.precision, out.recall);
+  return out;
+}
+
+double NormalizedMutualInformation(const std::vector<int64_t>& truth,
+                                   const std::vector<int64_t>& predicted) {
+  Contingency c = BuildContingency(truth, predicted);
+  double h_t = Entropy(c.truth_sizes, c.n);
+  double h_p = Entropy(c.predicted_sizes, c.n);
+  if (h_t == 0.0 && h_p == 0.0) return 1.0;  // Both single clusters.
+  double mi = MutualInformation(c);
+  return SafeDiv(2.0 * mi, h_t + h_p);
+}
+
+double AdjustedRandIndex(const std::vector<int64_t>& truth,
+                         const std::vector<int64_t>& predicted) {
+  Contingency c = BuildContingency(truth, predicted);
+  if (c.n < 2) return 1.0;
+  double sum_cells = 0.0;
+  for (const auto& [cell, count] : c.cells) {
+    sum_cells += static_cast<double>(Choose2(count));
+  }
+  double sum_truth = 0.0;
+  for (const auto& [label, count] : c.truth_sizes) {
+    sum_truth += static_cast<double>(Choose2(count));
+  }
+  double sum_pred = 0.0;
+  for (const auto& [label, count] : c.predicted_sizes) {
+    sum_pred += static_cast<double>(Choose2(count));
+  }
+  double total = static_cast<double>(Choose2(c.n));
+  double expected = sum_truth * sum_pred / total;
+  double max_index = 0.5 * (sum_truth + sum_pred);
+  if (max_index == expected) return 1.0;
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+VMeasureScores VMeasure(const std::vector<int64_t>& truth,
+                        const std::vector<int64_t>& predicted) {
+  Contingency c = BuildContingency(truth, predicted);
+  VMeasureScores out;
+  double h_t = Entropy(c.truth_sizes, c.n);
+  double h_p = Entropy(c.predicted_sizes, c.n);
+  double mi = MutualInformation(c);
+  // Conditional entropies via H(X|Y) = H(X) - I(X;Y).
+  double h_t_given_p = h_t - mi;
+  double h_p_given_t = h_p - mi;
+  out.homogeneity = h_t == 0.0 ? 1.0 : 1.0 - h_t_given_p / h_t;
+  out.completeness = h_p == 0.0 ? 1.0 : 1.0 - h_p_given_t / h_p;
+  out.v_measure = F1(out.homogeneity, out.completeness);
+  return out;
+}
+
+}  // namespace storypivot::eval

@@ -1,0 +1,65 @@
+#ifndef STORYPIVOT_EVAL_METRICS_H_
+#define STORYPIVOT_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace storypivot::eval {
+
+/// Precision / recall / F1 triple.
+struct PrfScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Raw pair-counting statistics of a clustering vs the ground truth, so
+/// that counts from several evaluation scopes (e.g. one per source) can be
+/// micro-averaged before computing ratios.
+struct PairCounts {
+  /// Pairs clustered together in both prediction and truth.
+  uint64_t true_positive = 0;
+  /// Pairs together in the prediction but not in the truth.
+  uint64_t false_positive = 0;
+  /// Pairs together in the truth but not in the prediction.
+  uint64_t false_negative = 0;
+
+  PairCounts& operator+=(const PairCounts& other);
+  PrfScores ToScores() const;
+};
+
+/// Counts co-clustered pairs. `truth` and `predicted` are parallel label
+/// vectors (arbitrary label values; equal label = same cluster).
+/// O(n) via the contingency table.
+PairCounts CountPairs(const std::vector<int64_t>& truth,
+                      const std::vector<int64_t>& predicted);
+
+/// Pairwise precision/recall/F1 — the F-measure of the paper's Fig. 7.
+PrfScores PairwiseF(const std::vector<int64_t>& truth,
+                    const std::vector<int64_t>& predicted);
+
+/// B-cubed precision/recall/F1 (Bagga & Baldwin) — element-weighted,
+/// fairer on skewed story sizes.
+PrfScores BCubed(const std::vector<int64_t>& truth,
+                 const std::vector<int64_t>& predicted);
+
+/// Normalised mutual information in [0, 1] (arithmetic-mean normaliser).
+double NormalizedMutualInformation(const std::vector<int64_t>& truth,
+                                   const std::vector<int64_t>& predicted);
+
+/// Adjusted Rand index in [-1, 1] (1 = perfect, ~0 = random).
+double AdjustedRandIndex(const std::vector<int64_t>& truth,
+                         const std::vector<int64_t>& predicted);
+
+/// Homogeneity, completeness and their harmonic mean (V-measure).
+struct VMeasureScores {
+  double homogeneity = 0.0;
+  double completeness = 0.0;
+  double v_measure = 0.0;
+};
+VMeasureScores VMeasure(const std::vector<int64_t>& truth,
+                        const std::vector<int64_t>& predicted);
+
+}  // namespace storypivot::eval
+
+#endif  // STORYPIVOT_EVAL_METRICS_H_

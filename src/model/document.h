@@ -1,0 +1,37 @@
+#ifndef STORYPIVOT_MODEL_DOCUMENT_H_
+#define STORYPIVOT_MODEL_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "model/ids.h"
+#include "model/time.h"
+
+namespace storypivot {
+
+/// A raw news document prior to extraction (Fig. 1a / Fig. 3 in the paper):
+/// a titled text from one source, which the extraction pipeline breaks into
+/// one snippet per paragraph (plus one for the title context).
+struct Document {
+  SourceId source = kInvalidSourceId;
+  std::string url;
+  std::string title;
+  /// Paragraphs of body text. Each paragraph becomes one snippet.
+  std::vector<std::string> paragraphs;
+  /// CAMEO-style type of the reported event ("Accident", "Conflict", ...).
+  std::string event_type;
+  /// Event time attributed to the document's content.
+  Timestamp timestamp = 0;
+  /// Optional ground-truth story label for every snippet of this document.
+  int64_t truth_story = -1;
+};
+
+/// Metadata about a registered data source.
+struct SourceInfo {
+  SourceId id = kInvalidSourceId;
+  std::string name;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_MODEL_DOCUMENT_H_

@@ -1,0 +1,25 @@
+#ifndef STORYPIVOT_MODEL_IDS_H_
+#define STORYPIVOT_MODEL_IDS_H_
+
+#include <cstdint>
+
+namespace storypivot {
+
+/// Identifies one information snippet. Assigned by the SnippetStore,
+/// unique across all sources.
+using SnippetId = uint64_t;
+
+/// Identifies one data source (newspaper, blog, feed, ...).
+using SourceId = uint32_t;
+
+/// Identifies one story. Per-source stories and integrated (aligned)
+/// stories draw from the same id space of the owning engine.
+using StoryId = uint64_t;
+
+inline constexpr SnippetId kInvalidSnippetId = ~0ull;
+inline constexpr SourceId kInvalidSourceId = ~0u;
+inline constexpr StoryId kInvalidStoryId = ~0ull;
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_MODEL_IDS_H_

@@ -1,0 +1,43 @@
+#ifndef STORYPIVOT_MODEL_SNIPPET_H_
+#define STORYPIVOT_MODEL_SNIPPET_H_
+
+#include <string>
+
+#include "model/ids.h"
+#include "model/time.h"
+#include "text/term_vector.h"
+
+namespace storypivot {
+
+/// An information snippet — the elemental unit of information in
+/// StoryPivot (§2.1). A snippet is extracted from a document of a data
+/// source, carries the timestamp at which the described real-world event
+/// occurred, and has content in the form of entity and keyword histograms,
+/// e.g. <NYT, Accident, {Ukraine, Malaysian Airlines}, "Plane Crash",
+/// 07/17/2014>.
+struct Snippet {
+  SnippetId id = kInvalidSnippetId;
+  SourceId source = kInvalidSourceId;
+  /// When the described event occurred in the real world.
+  Timestamp timestamp = 0;
+  /// URL (or other identifier) of the document the snippet came from.
+  std::string document_url;
+  /// CAMEO-style type of the described real-world event ("Accident",
+  /// "Conflict", "Diplomacy", ...) — the second field of the paper's
+  /// example tuple <NYT, Accident, {Ukraine, Malaysian Airlines}, "Plane
+  /// Crash", 07/17/2014>. Empty when the extractor provides none.
+  std::string event_type;
+  /// A short human-readable description (the raw excerpt or its headline).
+  std::string description;
+  /// Entity mention counts (entity-vocabulary TermIds).
+  text::TermVector entities;
+  /// Stemmed keyword counts (keyword-vocabulary TermIds).
+  text::TermVector keywords;
+  /// Ground-truth story label for evaluation; -1 when unknown. Never used
+  /// by the detection algorithms themselves.
+  int64_t truth_story = -1;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_MODEL_SNIPPET_H_

@@ -1,0 +1,71 @@
+#include "sketch/minhash.h"
+
+#include <limits>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace storypivot {
+namespace {
+constexpr uint64_t kEmptySlot = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+MinHashSignature::MinHashSignature(size_t num_hashes)
+    : slots_(num_hashes, kEmptySlot) {
+  SP_CHECK(num_hashes > 0);
+}
+
+uint64_t TagEntityTerm(text::TermId id) {
+  return (uint64_t{1} << 40) | id;
+}
+
+uint64_t TagKeywordTerm(text::TermId id) {
+  return (uint64_t{2} << 40) | id;
+}
+
+MinHashSignature MinHashSignature::FromContent(
+    const text::TermVector& entities, const text::TermVector& keywords,
+    size_t num_hashes) {
+  MinHashSignature sig(num_hashes);
+  for (const auto& [term, weight] : entities.entries()) {
+    if (weight > 0.0) sig.AddElement(TagEntityTerm(term));
+  }
+  for (const auto& [term, weight] : keywords.entries()) {
+    if (weight > 0.0) sig.AddElement(TagKeywordTerm(term));
+  }
+  return sig;
+}
+
+void MinHashSignature::AddElement(uint64_t element) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    uint64_t h = HashWithSeed(element, i);
+    if (h < slots_[i]) slots_[i] = h;
+  }
+}
+
+void MinHashSignature::Merge(const MinHashSignature& other) {
+  SP_CHECK(slots_.size() == other.slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (other.slots_[i] < slots_[i]) slots_[i] = other.slots_[i];
+  }
+}
+
+double MinHashSignature::EstimateJaccard(
+    const MinHashSignature& other) const {
+  SP_CHECK(slots_.size() == other.slots_.size());
+  if (IsEmpty() || other.IsEmpty()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] == other.slots_[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(slots_.size());
+}
+
+bool MinHashSignature::IsEmpty() const {
+  for (uint64_t slot : slots_) {
+    if (slot != kEmptySlot) return false;
+  }
+  return true;
+}
+
+}  // namespace storypivot

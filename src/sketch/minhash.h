@@ -1,0 +1,60 @@
+#ifndef STORYPIVOT_SKETCH_MINHASH_H_
+#define STORYPIVOT_SKETCH_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/term_vector.h"
+
+namespace storypivot {
+
+/// A MinHash signature: a fixed-size, unified, mergeable summary of a
+/// snippet's or story's term sets — the "sketch" of §2.4 that makes
+/// similarity comparisons between stories and snippets cheap. The expected
+/// estimation error of Jaccard similarity is ~1/sqrt(k) for k hash
+/// functions.
+class MinHashSignature {
+ public:
+  /// Creates an empty signature (all slots at +infinity).
+  explicit MinHashSignature(size_t num_hashes = 64);
+
+  /// Creates the signature of the combined term sets. Entities and
+  /// keywords live in separate vocabularies, so they are disambiguated by
+  /// a domain tag before hashing.
+  static MinHashSignature FromContent(const text::TermVector& entities,
+                                      const text::TermVector& keywords,
+                                      size_t num_hashes = 64);
+
+  /// Folds one element (already domain-tagged) into the signature.
+  void AddElement(uint64_t element);
+
+  /// Merges another signature (set union) — element-wise minimum.
+  /// Signatures must have equal size.
+  void Merge(const MinHashSignature& other);
+
+  /// Estimated Jaccard similarity of the underlying sets: fraction of
+  /// agreeing slots.
+  double EstimateJaccard(const MinHashSignature& other) const;
+
+  /// True if no element was ever added.
+  bool IsEmpty() const;
+
+  size_t num_hashes() const { return slots_.size(); }
+  const std::vector<uint64_t>& slots() const { return slots_; }
+
+  bool operator==(const MinHashSignature& other) const {
+    return slots_ == other.slots_;
+  }
+
+ private:
+  std::vector<uint64_t> slots_;
+};
+
+/// Domain tags distinguishing entity terms from keyword terms inside one
+/// signature.
+uint64_t TagEntityTerm(text::TermId id);
+uint64_t TagKeywordTerm(text::TermId id);
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_SKETCH_MINHASH_H_

@@ -1,0 +1,66 @@
+#include "storage/bucketed_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace storypivot {
+
+BucketedTemporalIndex::BucketedTemporalIndex(Timestamp bucket_width)
+    : bucket_width_(bucket_width) {
+  SP_CHECK(bucket_width > 0);
+}
+
+int64_t BucketedTemporalIndex::BucketOf(Timestamp ts) const {
+  // Floor division so negative timestamps bucket correctly.
+  int64_t b = ts / bucket_width_;
+  if (ts < 0 && ts % bucket_width_ != 0) --b;
+  return b;
+}
+
+void BucketedTemporalIndex::Insert(Timestamp ts, SnippetId id) {
+  buckets_[BucketOf(ts)].push_back({ts, id});
+  ++size_;
+}
+
+bool BucketedTemporalIndex::Erase(Timestamp ts, SnippetId id) {
+  auto it = buckets_.find(BucketOf(ts));
+  if (it == buckets_.end()) return false;
+  std::vector<Entry>& bucket = it->second;
+  auto entry = std::find(bucket.begin(), bucket.end(), Entry{ts, id});
+  if (entry == bucket.end()) return false;
+  // Swap-and-pop: order within a bucket is not part of the contract.
+  *entry = bucket.back();
+  bucket.pop_back();
+  if (bucket.empty()) buckets_.erase(it);
+  --size_;
+  return true;
+}
+
+std::vector<SnippetId> BucketedTemporalIndex::IdsInWindow(
+    Timestamp lo, Timestamp hi) const {
+  std::vector<SnippetId> out;
+  if (lo > hi) return out;
+  for (auto it = buckets_.lower_bound(BucketOf(lo));
+       it != buckets_.end() && it->first <= BucketOf(hi); ++it) {
+    for (const Entry& entry : it->second) {
+      if (entry.ts >= lo && entry.ts <= hi) out.push_back(entry.id);
+    }
+  }
+  return out;
+}
+
+size_t BucketedTemporalIndex::CountInWindow(Timestamp lo,
+                                            Timestamp hi) const {
+  size_t count = 0;
+  if (lo > hi) return 0;
+  for (auto it = buckets_.lower_bound(BucketOf(lo));
+       it != buckets_.end() && it->first <= BucketOf(hi); ++it) {
+    for (const Entry& entry : it->second) {
+      if (entry.ts >= lo && entry.ts <= hi) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace storypivot

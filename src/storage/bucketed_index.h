@@ -1,0 +1,67 @@
+#ifndef STORYPIVOT_STORAGE_BUCKETED_INDEX_H_
+#define STORYPIVOT_STORAGE_BUCKETED_INDEX_H_
+
+#include <map>
+#include <vector>
+
+#include "model/ids.h"
+#include "model/time.h"
+
+namespace storypivot {
+
+/// An alternative temporal index that hashes entries into fixed-width
+/// time buckets (ordered map bucket -> unsorted id list). Compared to the
+/// sorted-vector `TemporalIndex`:
+///
+///   - Insert is O(log #buckets) regardless of arrival order — better
+///     under heavily out-of-order streams, where the sorted vector pays
+///     O(n) memmove for early timestamps.
+///   - Window scans touch ceil(window / bucket_width) + 1 buckets and
+///     filter boundary buckets — better when the window is much smaller
+///     than the populated range, slightly worse for tiny windows inside
+///     a single hot bucket.
+///
+/// Functionally equivalent to TemporalIndex except that results within a
+/// window are NOT globally time-sorted (bucket order only); callers that
+/// need strict ordering sort the result. The engine's identifiers only
+/// need set semantics, so either index backs them correctly (equivalence
+/// is property-tested).
+class BucketedTemporalIndex {
+ public:
+  explicit BucketedTemporalIndex(Timestamp bucket_width = kSecondsPerDay);
+
+  /// Inserts an (timestamp, id) pair.
+  void Insert(Timestamp ts, SnippetId id);
+
+  /// Removes the pair; returns false if not present.
+  bool Erase(Timestamp ts, SnippetId id);
+
+  /// Ids with lo <= timestamp <= hi, in bucket order (not globally
+  /// time-sorted).
+  std::vector<SnippetId> IdsInWindow(Timestamp lo, Timestamp hi) const;
+
+  /// Number of entries with lo <= timestamp <= hi.
+  size_t CountInWindow(Timestamp lo, Timestamp hi) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Timestamp bucket_width() const { return bucket_width_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  struct Entry {
+    Timestamp ts;
+    SnippetId id;
+    bool operator==(const Entry&) const = default;
+  };
+
+  int64_t BucketOf(Timestamp ts) const;
+
+  Timestamp bucket_width_;
+  std::map<int64_t, std::vector<Entry>> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_STORAGE_BUCKETED_INDEX_H_

@@ -1,0 +1,56 @@
+#include "storage/inverted_index.h"
+
+#include <algorithm>
+
+namespace storypivot {
+
+void InvertedIndex::Add(SnippetId id, const text::TermVector& terms) {
+  for (const auto& [term, weight] : terms.entries()) {
+    if (weight <= 0.0) continue;
+    postings_[term].push_back(id);
+    ++num_postings_;
+  }
+}
+
+void InvertedIndex::Remove(SnippetId id) { tombstones_.insert(id); }
+
+void InvertedIndex::AppendPostings(text::TermId term,
+                                   std::vector<SnippetId>* out) const {
+  auto it = postings_.find(term);
+  if (it == postings_.end()) return;
+  for (SnippetId id : it->second) {
+    if (!tombstones_.contains(id)) out->push_back(id);
+  }
+}
+
+std::vector<SnippetId> InvertedIndex::Candidates(
+    const text::TermVector& probe) const {
+  std::vector<SnippetId> out;
+  for (const auto& [term, weight] : probe.entries()) {
+    if (weight <= 0.0) continue;
+    AppendPostings(term, &out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void InvertedIndex::Compact() {
+  if (tombstones_.empty()) return;
+  size_t live = 0;
+  for (auto it = postings_.begin(); it != postings_.end();) {
+    std::vector<SnippetId>& list = it->second;
+    std::erase_if(list,
+                  [this](SnippetId id) { return tombstones_.contains(id); });
+    if (list.empty()) {
+      it = postings_.erase(it);
+    } else {
+      live += list.size();
+      ++it;
+    }
+  }
+  num_postings_ = live;
+  tombstones_.clear();
+}
+
+}  // namespace storypivot

@@ -1,0 +1,56 @@
+#ifndef STORYPIVOT_STORAGE_INVERTED_INDEX_H_
+#define STORYPIVOT_STORAGE_INVERTED_INDEX_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "model/ids.h"
+#include "text/term_vector.h"
+#include "text/vocabulary.h"
+
+namespace storypivot {
+
+/// Term -> snippet-id posting lists, used to generate candidate snippets
+/// that share at least one entity or keyword with a probe. Deletions are
+/// lazy (tombstoned) and reclaimed by Compact(), which callers or the
+/// engine trigger when the tombstone ratio grows.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
+  /// Adds `id` to the posting list of every term in `terms`.
+  void Add(SnippetId id, const text::TermVector& terms);
+
+  /// Tombstones `id` everywhere it was added.
+  void Remove(SnippetId id);
+
+  /// Appends the live ids posted under `term` to `out` (may contain ids
+  /// posted under several probe terms more than once; callers dedupe).
+  void AppendPostings(text::TermId term, std::vector<SnippetId>* out) const;
+
+  /// Collects the distinct live candidate ids sharing >= 1 term with
+  /// `probe`.
+  std::vector<SnippetId> Candidates(const text::TermVector& probe) const;
+
+  /// Physically removes tombstoned entries.
+  void Compact();
+
+  /// Live postings count (approximate cost indicator).
+  size_t num_postings() const { return num_postings_; }
+  size_t num_tombstones() const { return tombstones_.size(); }
+
+ private:
+  std::unordered_map<text::TermId, std::vector<SnippetId>> postings_;
+  std::unordered_set<SnippetId> tombstones_;
+  size_t num_postings_ = 0;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_STORAGE_INVERTED_INDEX_H_

@@ -1,0 +1,56 @@
+#include "storage/snippet_store.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace storypivot {
+
+Result<SnippetId> SnippetStore::Insert(Snippet snippet) {
+  if (snippet.id == kInvalidSnippetId) {
+    snippet.id = next_id_++;
+  } else {
+    next_id_ = std::max(next_id_, snippet.id + 1);
+  }
+  SnippetId id = snippet.id;
+  std::string url = snippet.document_url;
+  auto [it, inserted] = snippets_.emplace(id, std::move(snippet));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("snippet %llu already stored",
+                  static_cast<unsigned long long>(id)));
+  }
+  if (!url.empty()) by_document_[url].push_back(id);
+  return id;
+}
+
+const Snippet* SnippetStore::Find(SnippetId id) const {
+  auto it = snippets_.find(id);
+  return it == snippets_.end() ? nullptr : &it->second;
+}
+
+Status SnippetStore::Remove(SnippetId id) {
+  auto it = snippets_.find(id);
+  if (it == snippets_.end()) {
+    return Status::NotFound(StrFormat(
+        "snippet %llu", static_cast<unsigned long long>(id)));
+  }
+  if (!it->second.document_url.empty()) {
+    auto doc_it = by_document_.find(it->second.document_url);
+    if (doc_it != by_document_.end()) {
+      std::erase(doc_it->second, id);
+      if (doc_it->second.empty()) by_document_.erase(doc_it);
+    }
+  }
+  snippets_.erase(it);
+  return Status::OK();
+}
+
+std::vector<SnippetId> SnippetStore::FindByDocument(
+    const std::string& url) const {
+  auto it = by_document_.find(url);
+  if (it == by_document_.end()) return {};
+  return it->second;
+}
+
+}  // namespace storypivot

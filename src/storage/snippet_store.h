@@ -1,0 +1,54 @@
+#ifndef STORYPIVOT_STORAGE_SNIPPET_STORE_H_
+#define STORYPIVOT_STORAGE_SNIPPET_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "model/ids.h"
+#include "model/snippet.h"
+#include "util/status.h"
+
+namespace storypivot {
+
+/// Owns all snippets known to an engine, keyed by SnippetId, and assigns
+/// ids to snippets that arrive without one. Removal is supported because
+/// the demonstration lets users delete documents from the system.
+class SnippetStore {
+ public:
+  SnippetStore() = default;
+
+  SnippetStore(const SnippetStore&) = delete;
+  SnippetStore& operator=(const SnippetStore&) = delete;
+
+  /// Inserts a snippet, assigning a fresh id when `snippet.id` is
+  /// kInvalidSnippetId. Returns the stored snippet's id, or an error if an
+  /// explicit id already exists.
+  Result<SnippetId> Insert(Snippet snippet);
+
+  /// Returns the snippet or nullptr.
+  const Snippet* Find(SnippetId id) const;
+
+  /// Removes a snippet; returns NotFound if absent.
+  Status Remove(SnippetId id);
+
+  /// Number of stored snippets.
+  size_t size() const { return snippets_.size(); }
+
+  /// Invokes `fn(snippet)` for every stored snippet (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [id, snippet] : snippets_) fn(snippet);
+  }
+
+  /// Ids of all snippets extracted from `document_url`.
+  std::vector<SnippetId> FindByDocument(const std::string& url) const;
+
+ private:
+  std::unordered_map<SnippetId, Snippet> snippets_;
+  std::unordered_map<std::string, std::vector<SnippetId>> by_document_;
+  SnippetId next_id_ = 0;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_STORAGE_SNIPPET_STORE_H_

@@ -1,0 +1,57 @@
+#include "storage/temporal_index.h"
+
+#include <algorithm>
+
+namespace storypivot {
+
+std::vector<TemporalIndex::Entry>::const_iterator TemporalIndex::LowerBound(
+    Timestamp ts) const {
+  return std::lower_bound(entries_.begin(), entries_.end(), ts,
+                          [](const Entry& e, Timestamp t) {
+                            return e.first < t;
+                          });
+}
+
+void TemporalIndex::Insert(Timestamp ts, SnippetId id) {
+  Entry entry{ts, id};
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), entry);
+  entries_.insert(it, entry);
+}
+
+bool TemporalIndex::Erase(Timestamp ts, SnippetId id) {
+  Entry entry{ts, id};
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), entry);
+  if (it == entries_.end() || *it != entry) return false;
+  entries_.erase(it);
+  return true;
+}
+
+void TemporalIndex::ForEachInWindow(
+    Timestamp lo, Timestamp hi,
+    const std::function<void(Timestamp, SnippetId)>& fn) const {
+  for (auto it = LowerBound(lo); it != entries_.end() && it->first <= hi;
+       ++it) {
+    fn(it->first, it->second);
+  }
+}
+
+std::vector<SnippetId> TemporalIndex::IdsInWindow(Timestamp lo,
+                                                  Timestamp hi) const {
+  std::vector<SnippetId> out;
+  for (auto it = LowerBound(lo); it != entries_.end() && it->first <= hi;
+       ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+size_t TemporalIndex::CountInWindow(Timestamp lo, Timestamp hi) const {
+  auto begin = LowerBound(lo);
+  auto end = std::upper_bound(entries_.begin(), entries_.end(), hi,
+                              [](Timestamp t, const Entry& e) {
+                                return t < e.first;
+                              });
+  return static_cast<size_t>(end - begin);
+}
+
+}  // namespace storypivot

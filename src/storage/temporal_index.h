@@ -1,0 +1,60 @@
+#ifndef STORYPIVOT_STORAGE_TEMPORAL_INDEX_H_
+#define STORYPIVOT_STORAGE_TEMPORAL_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "model/ids.h"
+#include "model/time.h"
+
+namespace storypivot {
+
+/// An ordered index of snippet ids by timestamp, supporting out-of-order
+/// insertion, deletion, and the sliding-window scans that temporal story
+/// identification relies on (§2.2, Fig. 2b). Backed by a sorted vector —
+/// arrivals are mostly near the end of the time axis, so inserts are
+/// amortised cheap, and window scans are cache-friendly.
+class TemporalIndex {
+ public:
+  using Entry = std::pair<Timestamp, SnippetId>;
+
+  TemporalIndex() = default;
+
+  /// Inserts an (timestamp, id) pair. Duplicate ids are not checked.
+  void Insert(Timestamp ts, SnippetId id);
+
+  /// Removes the pair; returns false if not present.
+  bool Erase(Timestamp ts, SnippetId id);
+
+  /// Calls `fn` for every entry with lo <= timestamp <= hi, in time order.
+  void ForEachInWindow(Timestamp lo, Timestamp hi,
+                       const std::function<void(Timestamp, SnippetId)>& fn)
+      const;
+
+  /// Returns the ids in [lo, hi], in time order.
+  std::vector<SnippetId> IdsInWindow(Timestamp lo, Timestamp hi) const;
+
+  /// Number of entries with lo <= timestamp <= hi.
+  size_t CountInWindow(Timestamp lo, Timestamp hi) const;
+
+  /// All entries in time order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Earliest / latest timestamps; undefined when empty.
+  Timestamp min_time() const { return entries_.front().first; }
+  Timestamp max_time() const { return entries_.back().first; }
+
+ private:
+  std::vector<Entry>::const_iterator LowerBound(Timestamp ts) const;
+
+  std::vector<Entry> entries_;  // Sorted by (timestamp, id).
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_STORAGE_TEMPORAL_INDEX_H_

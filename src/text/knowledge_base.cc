@@ -1,0 +1,126 @@
+#include "text/knowledge_base.h"
+
+#include <algorithm>
+
+namespace storypivot::text {
+
+void KnowledgeBase::Add(KnowledgeEntry entry) {
+  std::string name = entry.name;
+  // Drop stale reverse links if the entry is being replaced.
+  auto old = entries_.find(name);
+  if (old != entries_.end()) {
+    for (const std::string& related : old->second.related) {
+      auto it = reverse_.find(related);
+      if (it != reverse_.end()) std::erase(it->second, name);
+    }
+  }
+  for (const std::string& related : entry.related) {
+    reverse_[related].push_back(name);
+  }
+  entries_[name] = std::move(entry);
+}
+
+const KnowledgeEntry* KnowledgeBase::Find(std::string_view name) const {
+  auto it = entries_.find(std::string(name));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const KnowledgeEntry*> KnowledgeBase::FindByType(
+    std::string_view type) const {
+  std::vector<const KnowledgeEntry*> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.type == type) out.push_back(&entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KnowledgeEntry* a, const KnowledgeEntry* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+std::vector<const KnowledgeEntry*> KnowledgeBase::Neighbors(
+    std::string_view name) const {
+  std::vector<std::string> names;
+  if (const KnowledgeEntry* entry = Find(name)) {
+    names.insert(names.end(), entry->related.begin(), entry->related.end());
+  }
+  auto it = reverse_.find(std::string(name));
+  if (it != reverse_.end()) {
+    names.insert(names.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  std::vector<const KnowledgeEntry*> out;
+  for (const std::string& n : names) {
+    if (n == name) continue;
+    if (const KnowledgeEntry* entry = Find(n)) out.push_back(entry);
+  }
+  return out;
+}
+
+KnowledgeBase KnowledgeBase::WithEmbeddedWorldFacts() {
+  KnowledgeBase kb;
+  kb.Add({"Ukraine", "country",
+          "Eastern European country; scene of the 2014 crisis and the "
+          "MH17 downing.",
+          {"Russia", "European Union", "Donetsk"}});
+  kb.Add({"Russia", "country",
+          "Largest country by area; party to the 2014 Ukraine conflict "
+          "and target of Western sanctions.",
+          {"Ukraine", "United Nations"}});
+  kb.Add({"Malaysia", "country",
+          "Southeast Asian country; flag state of Malaysia Airlines.",
+          {"Malaysia Airlines"}});
+  kb.Add({"Malaysia Airlines", "company",
+          "Flag carrier of Malaysia; operator of flight MH17, downed over "
+          "Ukraine on 2014-07-17.",
+          {"Malaysia", "Boeing"}});
+  kb.Add({"Netherlands", "country",
+          "Home country of most MH17 victims; led the crash investigation.",
+          {"Amsterdam", "European Union"}});
+  kb.Add({"Amsterdam", "city",
+          "Capital of the Netherlands; departure airport of flight MH17.",
+          {"Netherlands"}});
+  kb.Add({"Donetsk", "city",
+          "City in eastern Ukraine near the MH17 crash site.",
+          {"Ukraine"}});
+  kb.Add({"Boeing", "company",
+          "US aircraft manufacturer; MH17 was a Boeing 777.",
+          {"United States"}});
+  kb.Add({"United Nations", "organization",
+          "Intergovernmental organisation; its civil-aviation authority "
+          "and human-rights council appear in the 2014 coverage.",
+          {}});
+  kb.Add({"European Union", "organization",
+          "Political and economic union of European states; imposed "
+          "sanctions on Russia in July 2014.",
+          {}});
+  kb.Add({"United States", "country",
+          "North American country; joined the EU in expanding sanctions.",
+          {"European Union"}});
+  kb.Add({"Israel", "country",
+          "Middle Eastern country; subject of a UN war-crimes inquiry over "
+          "the 2014 Gaza conflict.",
+          {"Gaza", "United Nations"}});
+  kb.Add({"Gaza", "city",
+          "Palestinian territory; scene of the 2014 conflict.",
+          {"Israel"}});
+  kb.Add({"Google", "company",
+          "US internet search company; under EU antitrust review in 2014.",
+          {"European Union", "Yelp", "United States"}});
+  kb.Add({"Yelp", "company",
+          "US local-review platform; antitrust complainant against Google.",
+          {"Google"}});
+  kb.Add({"NATO", "organization",
+          "North Atlantic military alliance.",
+          {"United States", "European Union"}});
+  kb.Add({"World Bank", "organization",
+          "International financial institution.",
+          {"United Nations"}});
+  kb.Add({"Red Cross", "organization",
+          "International humanitarian movement.",
+          {}});
+  return kb;
+}
+
+}  // namespace storypivot::text

@@ -1,0 +1,58 @@
+#ifndef STORYPIVOT_TEXT_KNOWLEDGE_BASE_H_
+#define STORYPIVOT_TEXT_KNOWLEDGE_BASE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace storypivot::text {
+
+/// One knowledge-base entry about an entity.
+struct KnowledgeEntry {
+  std::string name;
+  /// Coarse type: "country", "organization", "person", "company", "city".
+  std::string type;
+  /// One-sentence background description.
+  std::string description;
+  /// Names of related entities (capital, membership, parent org, ...).
+  std::vector<std::string> related;
+};
+
+/// A small DBpedia-style knowledge base: background facts about entities
+/// that the demo surfaces next to stories ("Connecting STORYPIVOT to
+/// knowledge bases explicitly helps experts and casual users to obtain
+/// more information on the context of stories", §3). Entries can be added
+/// programmatically; `WithEmbeddedWorldFacts` preloads facts about the
+/// real-world entities used by the corpus generator and the MH17 corpus.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// A knowledge base preloaded with facts about the embedded world
+  /// entities (countries, major organisations, MH17 actors).
+  static KnowledgeBase WithEmbeddedWorldFacts();
+
+  /// Adds or replaces an entry (keyed case-sensitively by name).
+  void Add(KnowledgeEntry entry);
+
+  /// Looks up an entity by canonical name; nullptr if unknown.
+  const KnowledgeEntry* Find(std::string_view name) const;
+
+  /// Entities of the given type.
+  std::vector<const KnowledgeEntry*> FindByType(std::string_view type) const;
+
+  /// Entities related to `name` (one hop, both directions).
+  std::vector<const KnowledgeEntry*> Neighbors(std::string_view name) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, KnowledgeEntry> entries_;
+  /// Reverse relation index: name -> names listing it as related.
+  std::unordered_map<std::string, std::vector<std::string>> reverse_;
+};
+
+}  // namespace storypivot::text
+
+#endif  // STORYPIVOT_TEXT_KNOWLEDGE_BASE_H_

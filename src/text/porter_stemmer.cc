@@ -1,0 +1,217 @@
+#include "text/porter_stemmer.h"
+
+namespace storypivot::text {
+namespace {
+
+// Helpers operate on a working buffer `w`. Positions are 0-based byte
+// indices; all words are lowercase ASCII.
+
+bool IsConsonantAt(const std::string& w, size_t i) {
+  char c = w[i];
+  switch (c) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return false;
+    case 'y':
+      // 'y' is a consonant when it starts the word or follows a vowel-ish
+      // position; Porter defines it as consonant iff the previous letter is
+      // not a consonant... precisely: y is a consonant if preceded by a
+      // vowel is false -> recursive definition below.
+      return i == 0 ? true : !IsConsonantAt(w, i - 1);
+    default:
+      return true;
+  }
+}
+
+// Measure m of w[0..end): number of VC transitions in [C](VC)^m[V].
+int Measure(const std::string& w, size_t end) {
+  int m = 0;
+  size_t i = 0;
+  // Skip initial consonants.
+  while (i < end && IsConsonantAt(w, i)) ++i;
+  while (i < end) {
+    // Vowel run.
+    while (i < end && !IsConsonantAt(w, i)) ++i;
+    if (i >= end) break;
+    ++m;
+    // Consonant run.
+    while (i < end && IsConsonantAt(w, i)) ++i;
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w, size_t end) {
+  for (size_t i = 0; i < end; ++i) {
+    if (!IsConsonantAt(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsDoubleConsonant(const std::string& w) {
+  size_t n = w.size();
+  if (n < 2) return false;
+  return w[n - 1] == w[n - 2] && IsConsonantAt(w, n - 1);
+}
+
+// *o: stem ends cvc where the final c is not w, x or y.
+bool EndsCvc(const std::string& w, size_t end) {
+  if (end < 3) return false;
+  if (!IsConsonantAt(w, end - 3) || IsConsonantAt(w, end - 2) ||
+      !IsConsonantAt(w, end - 1)) {
+    return false;
+  }
+  char c = w[end - 1];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool HasSuffix(const std::string& w, std::string_view suffix) {
+  return w.size() >= suffix.size() &&
+         w.compare(w.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// If w ends with `suffix` and the stem before it has measure > m_min,
+// replace the suffix and return true.
+bool ReplaceIf(std::string& w, std::string_view suffix,
+               std::string_view replacement, int m_min) {
+  if (!HasSuffix(w, suffix)) return false;
+  size_t stem_len = w.size() - suffix.size();
+  if (Measure(w, stem_len) <= m_min) return true;  // Matched, no change.
+  w.resize(stem_len);
+  w.append(replacement);
+  return true;
+}
+
+void Step1a(std::string& w) {
+  if (HasSuffix(w, "sses")) {
+    w.resize(w.size() - 2);
+  } else if (HasSuffix(w, "ies")) {
+    w.resize(w.size() - 2);
+  } else if (HasSuffix(w, "ss")) {
+    // No change.
+  } else if (HasSuffix(w, "s")) {
+    w.resize(w.size() - 1);
+  }
+}
+
+void Step1b(std::string& w) {
+  if (HasSuffix(w, "eed")) {
+    if (Measure(w, w.size() - 3) > 0) w.resize(w.size() - 1);
+    return;
+  }
+  bool stripped = false;
+  if (HasSuffix(w, "ed") && ContainsVowel(w, w.size() - 2)) {
+    w.resize(w.size() - 2);
+    stripped = true;
+  } else if (HasSuffix(w, "ing") && ContainsVowel(w, w.size() - 3)) {
+    w.resize(w.size() - 3);
+    stripped = true;
+  }
+  if (!stripped) return;
+  if (HasSuffix(w, "at") || HasSuffix(w, "bl") || HasSuffix(w, "iz")) {
+    w.push_back('e');
+  } else if (EndsDoubleConsonant(w)) {
+    char last = w.back();
+    if (last != 'l' && last != 's' && last != 'z') w.resize(w.size() - 1);
+  } else if (Measure(w, w.size()) == 1 && EndsCvc(w, w.size())) {
+    w.push_back('e');
+  }
+}
+
+void Step1c(std::string& w) {
+  if (HasSuffix(w, "y") && ContainsVowel(w, w.size() - 1)) {
+    w.back() = 'i';
+  }
+}
+
+void Step2(std::string& w) {
+  // Ordered by (penultimate letter) as in Porter's paper; first match wins.
+  static constexpr struct {
+    std::string_view from, to;
+  } kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},  {"logi", "log"},
+  };
+  for (const auto& rule : kRules) {
+    if (HasSuffix(w, rule.from)) {
+      ReplaceIf(w, rule.from, rule.to, 0);
+      return;
+    }
+  }
+}
+
+void Step3(std::string& w) {
+  static constexpr struct {
+    std::string_view from, to;
+  } kRules[] = {
+      {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+  };
+  for (const auto& rule : kRules) {
+    if (HasSuffix(w, rule.from)) {
+      ReplaceIf(w, rule.from, rule.to, 0);
+      return;
+    }
+  }
+}
+
+void Step4(std::string& w) {
+  static constexpr std::string_view kSuffixes[] = {
+      "al",    "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+      "ement", "ment", "ent",  "ion", "ou",  "ism",  "ate",  "iti",
+      "ous",   "ive",  "ize",
+  };
+  for (std::string_view suffix : kSuffixes) {
+    if (!HasSuffix(w, suffix)) continue;
+    size_t stem_len = w.size() - suffix.size();
+    if (suffix == "ion") {
+      // Only strip "ion" when the stem ends in 's' or 't'.
+      if (stem_len == 0 || (w[stem_len - 1] != 's' && w[stem_len - 1] != 't')) {
+        return;
+      }
+    }
+    if (Measure(w, stem_len) > 1) w.resize(stem_len);
+    return;
+  }
+}
+
+void Step5a(std::string& w) {
+  if (!HasSuffix(w, "e")) return;
+  size_t stem_len = w.size() - 1;
+  int m = Measure(w, stem_len);
+  if (m > 1 || (m == 1 && !EndsCvc(w, stem_len))) {
+    w.resize(stem_len);
+  }
+}
+
+void Step5b(std::string& w) {
+  if (w.size() >= 2 && w.back() == 'l' && EndsDoubleConsonant(w) &&
+      Measure(w, w.size()) > 1) {
+    w.resize(w.size() - 1);
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  std::string w(word);
+  if (w.size() <= 2) return w;
+  Step1a(w);
+  Step1b(w);
+  Step1c(w);
+  Step2(w);
+  Step3(w);
+  Step4(w);
+  Step5a(w);
+  Step5b(w);
+  return w;
+}
+
+}  // namespace storypivot::text

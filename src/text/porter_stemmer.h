@@ -1,0 +1,19 @@
+#ifndef STORYPIVOT_TEXT_PORTER_STEMMER_H_
+#define STORYPIVOT_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace storypivot::text {
+
+/// Classic Porter (1980) suffix-stripping stemmer for English.
+/// Input is expected to be a lowercase ASCII word; words shorter than
+/// three characters are returned unchanged, matching the original paper.
+///
+/// Examples: "caresses"->"caress", "ponies"->"poni", "relational"->"relat",
+/// "conflating"->"conflat".
+std::string PorterStem(std::string_view word);
+
+}  // namespace storypivot::text
+
+#endif  // STORYPIVOT_TEXT_PORTER_STEMMER_H_

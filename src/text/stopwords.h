@@ -1,0 +1,19 @@
+#ifndef STORYPIVOT_TEXT_STOPWORDS_H_
+#define STORYPIVOT_TEXT_STOPWORDS_H_
+
+#include <string_view>
+#include <vector>
+
+namespace storypivot::text {
+
+/// Returns true if `word` (expected lowercase) is an English stopword.
+/// The embedded list covers determiners, pronouns, prepositions,
+/// conjunctions, auxiliaries and a handful of news boilerplate words.
+bool IsStopword(std::string_view word);
+
+/// Returns the full embedded stopword list (sorted, lowercase).
+const std::vector<std::string_view>& StopwordList();
+
+}  // namespace storypivot::text
+
+#endif  // STORYPIVOT_TEXT_STOPWORDS_H_

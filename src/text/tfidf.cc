@@ -1,0 +1,63 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace storypivot::text {
+
+void DocumentFrequency::AddDocument(const TermVector& terms) {
+  ++num_documents_;
+  for (const auto& [term, weight] : terms.entries()) {
+    if (weight <= 0.0) continue;
+    if (term >= df_.size()) df_.resize(term + 1, 0);
+    ++df_[term];
+  }
+}
+
+void DocumentFrequency::RemoveDocument(const TermVector& terms) {
+  SP_CHECK(num_documents_ > 0);
+  --num_documents_;
+  for (const auto& [term, weight] : terms.entries()) {
+    if (weight <= 0.0) continue;
+    if (term < df_.size() && df_[term] > 0) --df_[term];
+  }
+}
+
+int64_t DocumentFrequency::FrequencyOf(TermId term) const {
+  if (term >= df_.size()) return 0;
+  return df_[term];
+}
+
+double DocumentFrequency::Idf(TermId term) const {
+  double n = static_cast<double>(num_documents_);
+  double df = static_cast<double>(FrequencyOf(term));
+  return std::log((n + 1.0) / (df + 1.0)) + 1.0;
+}
+
+TermVector TfIdfWeighted(const TermVector& counts,
+                         const DocumentFrequency& df,
+                         const TfIdfOptions& options) {
+  std::vector<TermVector::Entry> weighted;
+  weighted.reserve(counts.size());
+  for (const auto& [term, count] : counts.entries()) {
+    if (count <= 0.0) continue;
+    double tf = options.sublinear_tf ? 1.0 + std::log(count) : count;
+    weighted.push_back({term, tf * df.Idf(term)});
+  }
+  TermVector out = TermVector::FromEntries(std::move(weighted));
+  if (options.l2_normalize) {
+    double norm = out.Norm();
+    if (norm > 0.0) {
+      std::vector<TermVector::Entry> scaled;
+      scaled.reserve(out.size());
+      for (const auto& [term, w] : out.entries()) {
+        scaled.push_back({term, w / norm});
+      }
+      out = TermVector::FromEntries(std::move(scaled));
+    }
+  }
+  return out;
+}
+
+}  // namespace storypivot::text

@@ -1,0 +1,51 @@
+#ifndef STORYPIVOT_TEXT_VOCABULARY_H_
+#define STORYPIVOT_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace storypivot::text {
+
+/// Dense integer id of an interned term. Ids are assigned sequentially
+/// starting at 0 and are stable for the lifetime of the Vocabulary.
+using TermId = uint32_t;
+
+/// Sentinel for "not interned".
+inline constexpr TermId kInvalidTermId = 0xffffffffu;
+
+/// Bidirectional string <-> TermId interner. StoryPivot keeps two
+/// vocabularies per engine: one for entities, one for description keywords.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Vocabularies are shared by reference; copying one is almost always a
+  // bug, so it is disallowed. Moves are fine.
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+
+  /// Returns the id for `term`, interning it if necessary.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id for `term`, or kInvalidTermId if it was never interned.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the string for an id. Requires a valid id from this vocabulary.
+  const std::string& TermOf(TermId id) const;
+
+  /// Number of distinct interned terms.
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace storypivot::text
+
+#endif  // STORYPIVOT_TEXT_VOCABULARY_H_

@@ -1,0 +1,141 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace storypivot {
+namespace {
+
+bool NeedsQuoting(std::string_view field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void DsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) buffer_.push_back(delimiter_);
+    const std::string& f = fields[i];
+    if (NeedsQuoting(f, delimiter_)) {
+      buffer_.push_back('"');
+      for (char c : f) {
+        if (c == '"') buffer_.push_back('"');
+        buffer_.push_back(c);
+      }
+      buffer_.push_back('"');
+    } else {
+      buffer_.append(f);
+    }
+  }
+  buffer_.push_back('\n');
+}
+
+Status DsvWriter::Flush(const std::string& path) const {
+  return WriteStringToFile(path, buffer_);
+}
+
+Result<std::vector<std::vector<std::string>>> DsvReader::Parse(
+    std::string_view contents) const {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_started = false;
+  size_t i = 0;
+  while (i < contents.size()) {
+    char c = contents[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < contents.size() && contents[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      row_started = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter_) {
+      row.push_back(std::move(field));
+      field.clear();
+      row_started = true;
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (row_started || !field.empty()) {
+        row.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+        row_started = false;
+      }
+      // Swallow \r\n pairs.
+      if (c == '\r' && i + 1 < contents.size() && contents[i + 1] == '\n') {
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    row_started = true;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  if (row_started || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> DsvReader::ReadFile(
+    const std::string& path) const {
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return Parse(contents.value());
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) return Status::IoError("read error: " + path);
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  bool ok = written == contents.size() && std::fclose(f) == 0;
+  if (!ok) return Status::IoError("write error: " + path);
+  return Status::OK();
+}
+
+}  // namespace storypivot

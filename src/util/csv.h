@@ -1,0 +1,59 @@
+#ifndef STORYPIVOT_UTIL_CSV_H_
+#define STORYPIVOT_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace storypivot {
+
+/// Writes rows of fields as delimiter-separated lines. Fields containing
+/// the delimiter, a quote, or a newline are quoted and inner quotes doubled
+/// (RFC-4180 style, generalised to any single-char delimiter).
+class DsvWriter {
+ public:
+  explicit DsvWriter(char delimiter = '\t') : delimiter_(delimiter) {}
+
+  /// Appends one row to the in-memory buffer.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// The accumulated file contents.
+  const std::string& contents() const { return buffer_; }
+
+  /// Writes the buffer to `path`, replacing any existing file.
+  Status Flush(const std::string& path) const;
+
+ private:
+  char delimiter_;
+  std::string buffer_;
+};
+
+/// Parses delimiter-separated content produced by DsvWriter (or plain
+/// TSV/CSV without quotes).
+class DsvReader {
+ public:
+  explicit DsvReader(char delimiter = '\t') : delimiter_(delimiter) {}
+
+  /// Parses the full `contents` into rows of fields.
+  Result<std::vector<std::vector<std::string>>> Parse(
+      std::string_view contents) const;
+
+  /// Reads and parses the file at `path`.
+  Result<std::vector<std::vector<std::string>>> ReadFile(
+      const std::string& path) const;
+
+ private:
+  char delimiter_;
+};
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_UTIL_CSV_H_

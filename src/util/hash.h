@@ -1,0 +1,27 @@
+#ifndef STORYPIVOT_UTIL_HASH_H_
+#define STORYPIVOT_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace storypivot {
+
+/// 64-bit FNV-1a hash of a byte string. Stable across platforms and runs;
+/// used for vocabulary interning and sketch seeding.
+uint64_t Fnv1a64(std::string_view data);
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function.
+/// Useful for deriving independent hash functions from an index.
+uint64_t SplitMix64(uint64_t x);
+
+/// Combines two 64-bit hashes (boost::hash_combine style, 64-bit constants).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// Hashes a 64-bit integer with the i-th derived hash function. All
+/// `HashWithSeed(x, i)` for distinct `i` behave as independent hashes,
+/// which MinHash sketches rely on.
+uint64_t HashWithSeed(uint64_t x, uint64_t seed);
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_UTIL_HASH_H_

@@ -1,0 +1,64 @@
+#ifndef STORYPIVOT_UTIL_LOGGING_H_
+#define STORYPIVOT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace storypivot {
+
+/// Severity levels for the project logger, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted to stderr. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits one line to stderr on destruction.
+/// Use via the SP_LOG macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace storypivot
+
+/// Logs a message at the given severity, e.g.
+///   SP_LOG(kInfo) << "processed " << n << " snippets";
+#define SP_LOG(level)                                                  \
+  ::storypivot::internal_logging::LogMessage(                          \
+      ::storypivot::LogLevel::level, __FILE__, __LINE__)               \
+      .stream()
+
+/// Aborts the process with a message if `cond` is false. Active in all
+/// build types; use for internal invariants, not for user input.
+#define SP_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::storypivot::internal_logging::LogMessage(                           \
+          ::storypivot::LogLevel::kError, __FILE__, __LINE__)               \
+              .stream()                                                     \
+          << "SP_CHECK failed: " #cond;                                     \
+      ::storypivot::internal_logging::AbortAfterCheckFailure();             \
+    }                                                                       \
+  } while (false)
+
+namespace storypivot::internal_logging {
+[[noreturn]] void AbortAfterCheckFailure();
+}  // namespace storypivot::internal_logging
+
+#endif  // STORYPIVOT_UTIL_LOGGING_H_

@@ -1,0 +1,111 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace storypivot {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0u;
+  Next();
+  state_ += seed;
+  Next();
+}
+
+uint32_t Pcg32::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  SP_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    uint32_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Pcg32::NextInRange(int64_t lo, int64_t hi) {
+  SP_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range: combine two draws.
+    return static_cast<int64_t>((static_cast<uint64_t>(Next()) << 32) |
+                                Next());
+  }
+  // Combine two 32-bit draws for a 64-bit value, then reduce.
+  uint64_t r = (static_cast<uint64_t>(Next()) << 32) | Next();
+  return lo + static_cast<int64_t>(r % span);
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits -> [0, 1).
+  uint64_t hi = Next();
+  uint64_t lo = Next();
+  uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+bool Pcg32::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Pcg32::NextGaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * mul;
+  has_spare_ = true;
+  return u * mul;
+}
+
+double Pcg32::NextExponential(double mean) {
+  double u = NextDouble();
+  // Avoid log(0).
+  if (u <= 0.0) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+uint32_t Pcg32::NextZipf(uint32_t n, double s) {
+  ZipfDistribution dist(n, s);
+  return dist.Sample(*this);
+}
+
+ZipfDistribution::ZipfDistribution(uint32_t n, double s) {
+  SP_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (uint32_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_[n - 1] = 1.0;  // Guard against floating point drift.
+}
+
+uint32_t ZipfDistribution::Sample(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<uint32_t>(cdf_.size() - 1);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace storypivot

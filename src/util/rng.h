@@ -1,0 +1,82 @@
+#ifndef STORYPIVOT_UTIL_RNG_H_
+#define STORYPIVOT_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace storypivot {
+
+/// Deterministic PCG32 random number generator (O'Neill 2014, pcg-xsh-rr).
+/// Used everywhere in StoryPivot so that data generation, sketching and
+/// experiments are exactly reproducible from a seed.
+class Pcg32 {
+ public:
+  /// Seeds the generator. Distinct `stream` values yield independent
+  /// sequences for the same `seed`.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1);
+
+  /// Returns the next 32 random bits.
+  uint32_t Next();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses rejection sampling, so the distribution is exactly uniform.
+  uint32_t NextBounded(uint32_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Returns a sample from a standard normal distribution (Box-Muller).
+  double NextGaussian();
+
+  /// Returns a sample from an exponential distribution with the given mean.
+  double NextExponential(double mean);
+
+  /// Returns a sample from a Zipf distribution over {0, .., n-1} with
+  /// exponent `s` (s >= 0; s == 0 degenerates to uniform).
+  /// Implemented via inverse-CDF over precomputable weights; O(log n) after
+  /// the first call per (n, s) via an internal cached table is *not* kept —
+  /// callers needing many Zipf draws should use `ZipfDistribution`.
+  uint32_t NextZipf(uint32_t n, double s);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBounded(static_cast<uint32_t>(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  // Box-Muller spare value.
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Precomputed Zipf sampler: draws from {0..n-1} with P(k) proportional to
+/// 1/(k+1)^s. O(log n) per draw via binary search on the CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint32_t n, double s);
+
+  uint32_t Sample(Pcg32& rng) const;
+
+  uint32_t n() const { return static_cast<uint32_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_UTIL_RNG_H_

@@ -1,0 +1,42 @@
+#ifndef STORYPIVOT_UTIL_TIMER_H_
+#define STORYPIVOT_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace storypivot {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and the
+/// engine's built-in performance counters.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart(), in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  /// Elapsed time in seconds (fractional).
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_UTIL_TIMER_H_

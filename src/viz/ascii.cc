@@ -1,0 +1,325 @@
+#include "viz/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/time.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace storypivot::viz {
+namespace {
+
+std::string Truncate(const std::string& s, size_t width) {
+  if (s.size() <= width) return s;
+  if (width <= 3) return s.substr(0, width);
+  return s.substr(0, width - 3) + "...";
+}
+
+std::string TermList(
+    const std::vector<std::pair<std::string, double>>& terms) {
+  std::string out;
+  for (const auto& [term, count] : terms) {
+    if (!out.empty()) out += "; ";
+    out += StrFormat("{%s,%d}", term.c_str(),
+                     static_cast<int>(std::lround(count)));
+  }
+  return out;
+}
+
+/// Places `ts` on a character axis spanning [begin, end].
+size_t AxisPosition(Timestamp ts, Timestamp begin, Timestamp end,
+                    size_t width) {
+  if (end <= begin) return 0;
+  double f = static_cast<double>(ts - begin) /
+             static_cast<double>(end - begin);
+  f = std::clamp(f, 0.0, 1.0);
+  return static_cast<size_t>(std::lround(f * (width - 1)));
+}
+
+}  // namespace
+
+std::string RenderDocumentTable(const std::vector<Document>& documents,
+                                const StoryPivotEngine& engine) {
+  std::string out;
+  out += StrFormat("%-4s %-22s %-34s %s\n", "#", "Source", "URL",
+                   "Preview");
+  out += std::string(100, '-') + "\n";
+  for (size_t i = 0; i < documents.size(); ++i) {
+    const Document& doc = documents[i];
+    std::string preview =
+        doc.paragraphs.empty() ? doc.title : doc.paragraphs.front();
+    out += StrFormat("%-4zu %-22s %-34s %s\n", i,
+                     Truncate(engine.SourceName(doc.source), 22).c_str(),
+                     Truncate(doc.url, 34).c_str(),
+                     Truncate(preview, 38).c_str());
+  }
+  return out;
+}
+
+std::string RenderStoryOverview(const StoryOverview& overview) {
+  std::string out;
+  out += StrFormat("Story       %s%llu\n", overview.integrated ? "c'" : "c",
+                   static_cast<unsigned long long>(overview.id));
+  std::string sources;
+  for (const std::string& name : overview.source_names) {
+    if (!sources.empty()) sources += ", ";
+    sources += name;
+  }
+  out += StrFormat("Sources     %s\n", sources.c_str());
+  out += StrFormat("Entities    %s\n",
+                   TermList(overview.top_entities).c_str());
+  out += StrFormat("Description %s\n",
+                   TermList(overview.top_keywords).c_str());
+  out += StrFormat("Start Date  %s\n",
+                   FormatDate(overview.start_time).c_str());
+  out += StrFormat("End Date    %s\n", FormatDate(overview.end_time).c_str());
+  out += StrFormat("Snippets    %zu\n", overview.num_snippets);
+  return out;
+}
+
+std::string RenderStoryTable(const std::vector<StoryOverview>& overviews) {
+  std::string out;
+  out += StrFormat("%-6s %-10s %-34s %-44s %s\n", "Story", "Span",
+                   "Entities", "Description", "Sources");
+  out += std::string(110, '-') + "\n";
+  for (const StoryOverview& o : overviews) {
+    std::string entities;
+    for (const auto& [term, count] : o.top_entities) {
+      if (!entities.empty()) entities += ", ";
+      entities += term;
+    }
+    std::string keywords;
+    for (const auto& [term, count] : o.top_keywords) {
+      if (!keywords.empty()) keywords += ", ";
+      keywords += term;
+    }
+    std::string sources;
+    for (const std::string& name : o.source_names) {
+      if (!sources.empty()) sources += ", ";
+      sources += name;
+    }
+    out += StrFormat(
+        "%s%-5llu %-10s %-34s %-44s %s\n", o.integrated ? "c'" : "c",
+        static_cast<unsigned long long>(o.id),
+        (FormatDate(o.start_time).substr(5) + ".." +
+         FormatDate(o.end_time).substr(5))
+            .c_str(),
+        Truncate(entities, 34).c_str(), Truncate(keywords, 44).c_str(),
+        Truncate(sources, 30).c_str());
+  }
+  return out;
+}
+
+std::string RenderStoriesPerSource(const StoryPivotEngine& engine,
+                                   SourceId source, size_t max_stories) {
+  std::string out;
+  const StorySet* partition = engine.partition(source);
+  if (partition == nullptr) return "<unknown source>\n";
+  out += StrFormat("Stories per Source — %s\n",
+                   engine.SourceName(source).c_str());
+
+  // Shared time axis over the partition.
+  if (partition->snippet_times().empty()) return out + "  (no snippets)\n";
+  Timestamp begin = partition->snippet_times().min_time();
+  Timestamp end = partition->snippet_times().max_time();
+  constexpr size_t kAxis = 60;
+  out += StrFormat("  time axis: %s .. %s\n", FormatDate(begin).c_str(),
+                   FormatDate(end).c_str());
+
+  StoryQuery query(&engine);
+  std::vector<StoryOverview> overviews = query.SourceStories(source);
+  size_t shown = 0;
+  for (const StoryOverview& o : overviews) {
+    if (shown++ >= max_stories) {
+      out += StrFormat("  ... and %zu more stories\n",
+                       overviews.size() - max_stories);
+      break;
+    }
+    const Story* story = partition->FindStory(o.id);
+    SP_CHECK(story != nullptr);
+    std::string axis(kAxis, '.');
+    for (SnippetId sid : story->snippets()) {
+      const Snippet* snippet = engine.store().Find(sid);
+      SP_CHECK(snippet != nullptr);
+      size_t pos = AxisPosition(snippet->timestamp, begin, end, kAxis);
+      axis[pos] = axis[pos] == '.' ? 'o' : '*';  // '*' = several snippets.
+    }
+    std::string entities;
+    for (const auto& [term, count] : o.top_entities) {
+      if (!entities.empty()) entities += ",";
+      entities += term;
+      if (entities.size() > 24) break;
+    }
+    out += StrFormat("  c%-4llu |%s| %zu snippets  [%s]\n",
+                     static_cast<unsigned long long>(o.id), axis.c_str(),
+                     o.num_snippets, Truncate(entities, 28).c_str());
+  }
+  return out;
+}
+
+std::string RenderSnippetsPerStory(const StoryPivotEngine& engine,
+                                   const IntegratedStory& story) {
+  std::string out;
+  out += StrFormat("Snippets per Story — c'%llu\n",
+                   static_cast<unsigned long long>(story.id));
+  const Story& merged = story.merged;
+  if (merged.empty()) return out + "  (empty)\n";
+  Timestamp begin = merged.start_time();
+  Timestamp end = merged.end_time();
+  constexpr size_t kAxis = 60;
+  out += StrFormat("  time axis: %s .. %s\n", FormatDate(begin).c_str(),
+                   FormatDate(end).c_str());
+
+  const AlignmentResult* alignment =
+      engine.has_alignment() ? &engine.alignment() : nullptr;
+
+  // Group snippets by source, one axis row per source.
+  for (const SourceInfo& info : engine.sources()) {
+    std::string axis(kAxis, '.');
+    bool any = false;
+    for (SnippetId sid : merged.snippets()) {
+      const Snippet* snippet = engine.store().Find(sid);
+      SP_CHECK(snippet != nullptr);
+      if (snippet->source != info.id) continue;
+      any = true;
+      size_t pos = AxisPosition(snippet->timestamp, begin, end, kAxis);
+      char mark = 'o';
+      if (alignment != nullptr) {
+        auto it = alignment->roles.find(sid);
+        if (it != alignment->roles.end()) {
+          mark = it->second == SnippetRole::kAligning ? 'A' : 'e';
+        }
+      }
+      axis[pos] = mark;
+    }
+    if (!any) continue;
+    out += StrFormat("  %-20s |%s|\n", Truncate(info.name, 20).c_str(),
+                     axis.c_str());
+  }
+  out += "  marks: A = aligning snippet, e = enriching snippet\n";
+  return out;
+}
+
+std::string RenderEntityContext(const EntityContext& context) {
+  std::string out;
+  out += StrFormat("Entity      %s%s%s\n", context.name.c_str(),
+                   context.type.empty() ? "" : "  — ",
+                   context.type.c_str());
+  if (!context.description.empty()) {
+    out += StrFormat("About       %s\n", context.description.c_str());
+  }
+  if (!context.related.empty()) {
+    std::string related;
+    for (const std::string& name : context.related) {
+      if (!related.empty()) related += ", ";
+      related += name;
+    }
+    out += StrFormat("Related     %s\n", related.c_str());
+  }
+  out += StrFormat("Stories     %zu\n", context.stories.size());
+  for (const StoryOverview& story : context.stories) {
+    std::string keywords;
+    for (const auto& [term, count] : story.top_keywords) {
+      if (!keywords.empty()) keywords += " ";
+      keywords += term;
+    }
+    out += StrFormat("  c%-5llu %s..%s  %s\n",
+                     static_cast<unsigned long long>(story.id),
+                     FormatDate(story.start_time).c_str(),
+                     FormatDate(story.end_time).c_str(),
+                     Truncate(keywords, 48).c_str());
+  }
+  return out;
+}
+
+std::string RenderActivitySparkline(const ActivitySeries& series,
+                                    size_t max_width) {
+  if (series.counts.empty()) return "(no activity)\n";
+  // Downsample to max_width buckets by summing.
+  std::vector<int> buckets;
+  size_t group = (series.counts.size() + max_width - 1) / max_width;
+  for (size_t i = 0; i < series.counts.size(); i += group) {
+    int sum = 0;
+    for (size_t j = i; j < series.counts.size() && j < i + group; ++j) {
+      sum += series.counts[j];
+    }
+    buckets.push_back(sum);
+  }
+  int peak = 1;
+  for (int c : buckets) peak = std::max(peak, c);
+  constexpr std::string_view kScale = " .:-=+*#%@";
+  std::string bars;
+  for (int c : buckets) {
+    size_t level = static_cast<size_t>(std::lround(
+        static_cast<double>(c) / peak * (kScale.size() - 1)));
+    bars.push_back(kScale[level]);
+  }
+  Timestamp end = series.origin +
+                  static_cast<Timestamp>(series.counts.size()) *
+                      series.bucket_width;
+  return StrFormat("%s |%s| %s  (peak %d/bucket, %d total)\n",
+                   FormatDate(series.origin).c_str(), bars.c_str(),
+                   FormatDate(end).c_str(), peak, series.Total());
+}
+
+std::string RenderXyChart(const std::string& title,
+                          const std::string& x_label,
+                          const std::string& y_label,
+                          const std::vector<Series>& series, bool log_x,
+                          size_t width, size_t height) {
+  std::string out = title + "\n";
+  if (series.empty()) return out + "  (no data)\n";
+
+  auto tx = [log_x](double x) { return log_x ? std::log2(std::max(x, 1.0)) : x; };
+
+  double min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+  bool first = true;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      double xx = tx(x);
+      if (first) {
+        min_x = max_x = xx;
+        min_y = max_y = y;
+        first = false;
+      } else {
+        min_x = std::min(min_x, xx);
+        max_x = std::max(max_x, xx);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+      }
+    }
+  }
+  if (first) return out + "  (no points)\n";
+  if (max_y == min_y) max_y = min_y + 1.0;
+  if (max_x == min_x) max_x = min_x + 1.0;
+  min_y = std::min(min_y, 0.0);
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  const char glyphs[] = {'*', '+', 'x', 'o', '#', '@'};
+  for (size_t si = 0; si < series.size(); ++si) {
+    char glyph = glyphs[si % sizeof(glyphs)];
+    for (const auto& [x, y] : series[si].points) {
+      size_t col = static_cast<size_t>(std::lround(
+          (tx(x) - min_x) / (max_x - min_x) * (width - 1)));
+      size_t row = static_cast<size_t>(std::lround(
+          (y - min_y) / (max_y - min_y) * (height - 1)));
+      grid[height - 1 - row][col] = glyph;
+    }
+  }
+  out += StrFormat("  %s (max %.3g)\n", y_label.c_str(), max_y);
+  for (const std::string& row : grid) {
+    out += "  |" + row + "\n";
+  }
+  out += "  +" + std::string(width, '-') + "> " + x_label +
+         (log_x ? " (log scale)" : "") + "\n";
+  out += "  legend:";
+  for (size_t si = 0; si < series.size(); ++si) {
+    out += StrFormat("  %c %s", glyphs[si % sizeof(glyphs)],
+                     series[si].name.c_str());
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace storypivot::viz

@@ -1,0 +1,66 @@
+#ifndef STORYPIVOT_VIZ_ASCII_H_
+#define STORYPIVOT_VIZ_ASCII_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/engine.h"
+#include "core/query.h"
+#include "core/trends.h"
+#include "model/document.h"
+
+namespace storypivot::viz {
+
+/// Renders the document-selection table (Fig. 3): source, URL and a
+/// preview of each document.
+std::string RenderDocumentTable(const std::vector<Document>& documents,
+                                const StoryPivotEngine& engine);
+
+/// Renders one story-information card (Figs. 4-6 right panel): sources,
+/// entity histogram, description histogram, start/end dates.
+std::string RenderStoryOverview(const StoryOverview& overview);
+
+/// Renders the story-overview table (Fig. 4): one line per story with its
+/// sources, top entities and description keywords.
+std::string RenderStoryTable(const std::vector<StoryOverview>& overviews);
+
+/// Renders the "Stories per Source" module (Fig. 5): each story of the
+/// source as a timeline of its snippets.
+std::string RenderStoriesPerSource(const StoryPivotEngine& engine,
+                                   SourceId source, size_t max_stories = 8);
+
+/// Renders the "Snippets per Story" module (Fig. 6): the snippets of one
+/// integrated story, grouped by source on a shared time axis, with each
+/// snippet marked as aligning (A) or enriching (e).
+std::string RenderSnippetsPerStory(const StoryPivotEngine& engine,
+                                   const IntegratedStory& story);
+
+/// Renders a knowledge-base entity-context card (§3): facts, related
+/// entities and the stories the entity appears in.
+std::string RenderEntityContext(const EntityContext& context);
+
+/// Renders a story's activity series as a one-line bar sparkline
+/// (" .:-=+*#%@" scale), labelled with the date range and peak count.
+std::string RenderActivitySparkline(const ActivitySeries& series,
+                                    size_t max_width = 60);
+
+/// A data series for the statistics charts (Fig. 7).
+struct Series {
+  std::string name;
+  /// (x, y) points; x values should be shared across series of one chart.
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Renders an ASCII line chart (the statistics module's performance and
+/// quality panels, Fig. 7). `log_x` plots x on a log2 scale, which suits
+/// the #events sweeps.
+std::string RenderXyChart(const std::string& title,
+                          const std::string& x_label,
+                          const std::string& y_label,
+                          const std::vector<Series>& series, bool log_x,
+                          size_t width = 64, size_t height = 16);
+
+}  // namespace storypivot::viz
+
+#endif  // STORYPIVOT_VIZ_ASCII_H_

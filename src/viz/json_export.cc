@@ -1,0 +1,159 @@
+#include "viz/json_export.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace storypivot::viz {
+namespace {
+
+void AppendTermArray(
+    std::string& out,
+    const std::vector<std::pair<std::string, double>>& terms) {
+  out += "[";
+  bool first = true;
+  for (const auto& [term, count] : terms) {
+    if (!first) out += ",";
+    out += StrFormat("{\"term\":%s,\"count\":%g}",
+                     JsonQuote(term).c_str(), count);
+    first = false;
+  }
+  out += "]";
+}
+
+void AppendOverview(std::string& out, const StoryOverview& overview) {
+  out += StrFormat("{\"id\":%llu,\"integrated\":%s,\"start\":%lld,"
+                   "\"end\":%lld,\"snippets\":%zu,\"sources\":[",
+                   static_cast<unsigned long long>(overview.id),
+                   overview.integrated ? "true" : "false",
+                   static_cast<long long>(overview.start_time),
+                   static_cast<long long>(overview.end_time),
+                   overview.num_snippets);
+  for (size_t i = 0; i < overview.source_names.size(); ++i) {
+    if (i > 0) out += ",";
+    out += JsonQuote(overview.source_names[i]);
+  }
+  out += "],\"entities\":";
+  AppendTermArray(out, overview.top_entities);
+  out += ",\"keywords\":";
+  AppendTermArray(out, overview.top_keywords);
+  out += "}";
+}
+
+}  // namespace
+
+std::string JsonQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string ExportStoryJson(const StoryQuery& query, const Story& story,
+                            bool integrated, size_t top_k_terms) {
+  std::string out;
+  AppendOverview(out, query.Overview(story, integrated, top_k_terms));
+  return out;
+}
+
+std::string ExportSnippetJson(const StoryQuery& query,
+                              const Snippet& snippet) {
+  SnippetView view = query.View(snippet);
+  std::string out = StrFormat(
+      "{\"id\":%llu,\"source\":%s,\"timestamp\":%lld,\"type\":%s,"
+      "\"description\":%s,\"url\":%s,\"entities\":[",
+      static_cast<unsigned long long>(view.id),
+      JsonQuote(view.source_name).c_str(),
+      static_cast<long long>(view.timestamp),
+      JsonQuote(view.event_type).c_str(),
+      JsonQuote(view.description).c_str(),
+      JsonQuote(view.document_url).c_str());
+  for (size_t i = 0; i < view.entities.size(); ++i) {
+    if (i > 0) out += ",";
+    out += JsonQuote(view.entities[i]);
+  }
+  out += "],\"keywords\":[";
+  for (size_t i = 0; i < view.keywords.size(); ++i) {
+    if (i > 0) out += ",";
+    out += JsonQuote(view.keywords[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ExportEngineJson(const StoryPivotEngine& engine,
+                             size_t top_k_terms) {
+  SP_CHECK(engine.has_alignment());
+  StoryQuery query(&engine);
+  std::string out = "{\"sources\":[";
+  bool first = true;
+  for (const SourceInfo& source : engine.sources()) {
+    if (!first) out += ",";
+    out += StrFormat("{\"id\":%u,\"name\":%s}", source.id,
+                     JsonQuote(source.name).c_str());
+    first = false;
+  }
+  out += "],\"stories\":[";
+  first = true;
+  for (const StorySet* partition : engine.partitions()) {
+    // Deterministic order within a partition: by story id.
+    std::vector<StoryId> ids;
+    for (const auto& [id, story] : partition->stories()) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (StoryId id : ids) {
+      if (!first) out += ",";
+      const Story* story = partition->FindStory(id);
+      out += StrFormat("{\"source\":%u,\"story\":", partition->source());
+      AppendOverview(out, query.Overview(*story, false, top_k_terms));
+      out += "}";
+      first = false;
+    }
+  }
+  out += "],\"integrated\":[";
+  first = true;
+  for (const IntegratedStory& integrated : engine.alignment().stories) {
+    if (!first) out += ",";
+    out += StrFormat("{\"id\":%llu,\"members\":[",
+                     static_cast<unsigned long long>(integrated.id));
+    for (size_t i = 0; i < integrated.members.size(); ++i) {
+      if (i > 0) out += ",";
+      out += StrFormat("[%u,%llu]", integrated.members[i].first,
+                       static_cast<unsigned long long>(
+                           integrated.members[i].second));
+    }
+    out += "],\"overview\":";
+    AppendOverview(out,
+                   query.Overview(integrated.merged, true, top_k_terms));
+    out += "}";
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace storypivot::viz

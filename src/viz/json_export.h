@@ -1,0 +1,39 @@
+#ifndef STORYPIVOT_VIZ_JSON_EXPORT_H_
+#define STORYPIVOT_VIZ_JSON_EXPORT_H_
+
+#include <string>
+
+#include "core/engine.h"
+#include "core/query.h"
+
+namespace storypivot::viz {
+
+/// JSON payload builders for a web front end — the demonstration drives a
+/// browser UI (Figs. 3-7); these produce the data those modules bind to.
+/// All output is minified UTF-8 JSON built with a small internal writer
+/// (keys are fixed; string values are escaped per RFC 8259).
+
+/// The full exploration payload: sources, per-source stories, integrated
+/// stories (with members and roles summary). Requires a fresh alignment.
+///
+/// Shape:
+/// {"sources":[{"id":0,"name":"..."}],
+///  "stories":[{"id":1,"source":0,"snippets":[...],"entities":[...],...}],
+///  "integrated":[{"id":9,"members":[[0,1],[1,4]],"start":...,"end":...}]}
+std::string ExportEngineJson(const StoryPivotEngine& engine,
+                             size_t top_k_terms = 5);
+
+/// One story-overview card as JSON (Fig. 4 panel).
+std::string ExportStoryJson(const StoryQuery& query, const Story& story,
+                            bool integrated, size_t top_k_terms = 5);
+
+/// One snippet as JSON (Fig. 5/6 snippet-information panel).
+std::string ExportSnippetJson(const StoryQuery& query,
+                              const Snippet& snippet);
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+std::string JsonQuote(std::string_view text);
+
+}  // namespace storypivot::viz
+
+#endif  // STORYPIVOT_VIZ_JSON_EXPORT_H_

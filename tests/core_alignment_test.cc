@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/aligner.h"
+#include "core/refiner.h"
+#include "core/story_set.h"
+#include "util/rng.h"
+#include "model/time.h"
+
+namespace storypivot {
+namespace {
+
+/// Builds a two-source fixture mirroring the paper's running example:
+/// story "X" (plane crash: entities {0,1}, keywords {5,6}) and story "Y"
+/// (war-crimes inquiry: entities {8,9}, keywords {15,16}), both reported
+/// by both sources.
+class AlignmentFixture : public ::testing::Test {
+ protected:
+  AlignmentFixture() : s1_(0), s2_(1), model_({}, nullptr) {}
+
+  const Snippet& Put(SourceId source, Timestamp ts,
+                     std::vector<std::pair<text::TermId, double>> entities,
+                     std::vector<std::pair<text::TermId, double>> keywords) {
+    Snippet s;
+    s.source = source;
+    s.timestamp = ts;
+    s.entities = text::TermVector::FromEntries(std::move(entities));
+    s.keywords = text::TermVector::FromEntries(std::move(keywords));
+    SnippetId id = store_.Insert(std::move(s)).value();
+    return *store_.Find(id);
+  }
+
+  const Snippet& PutX(SourceId source, Timestamp ts) {
+    return Put(source, ts, {{0, 1.0}, {1, 1.0}}, {{5, 1.0}, {6, 1.0}});
+  }
+  const Snippet& PutY(SourceId source, Timestamp ts) {
+    return Put(source, ts, {{8, 1.0}, {9, 1.0}}, {{15, 1.0}, {16, 1.0}});
+  }
+
+  StorySet& PartitionOf(SourceId source) { return source == 0 ? s1_ : s2_; }
+
+  void Assign(const Snippet& snippet, StoryId story) {
+    StorySet& partition = PartitionOf(snippet.source);
+    if (partition.FindStory(story) == nullptr) partition.CreateStory(story);
+    partition.AddSnippetToStory(snippet, story);
+    next_story_id_ = std::max(next_story_id_, story + 1);
+  }
+
+  AlignmentResult Align(AlignmentConfig config = {}) {
+    StoryAligner aligner(&model_, config);
+    return aligner.Align({&s1_, &s2_}, store_, &next_story_id_);
+  }
+
+  SnippetStore store_;
+  StorySet s1_;
+  StorySet s2_;
+  SimilarityModel model_;
+  StoryId next_story_id_ = 0;
+};
+
+TEST_F(AlignmentFixture, MatchingStoriesAlignAcrossSources) {
+  Assign(PutX(0, 0), 1);
+  Assign(PutX(0, kSecondsPerDay), 1);
+  Assign(PutX(1, 0), 2);
+  Assign(PutX(1, 2 * kSecondsPerDay), 2);
+  AlignmentResult result = Align();
+  ASSERT_EQ(result.stories.size(), 1u);
+  EXPECT_EQ(result.stories[0].members.size(), 2u);
+  EXPECT_EQ(result.stories[0].merged.size(), 4u);
+  EXPECT_EQ(result.stories[0].merged.sources().size(), 2u);
+}
+
+TEST_F(AlignmentFixture, DifferentStoriesStaySeparate) {
+  Assign(PutX(0, 0), 1);
+  Assign(PutY(1, 0), 2);
+  AlignmentResult result = Align();
+  EXPECT_EQ(result.stories.size(), 2u);
+}
+
+TEST_F(AlignmentFixture, SingletonStoriesSurviveAlignment) {
+  // A story reported by only one source must still appear in the result
+  // (§2.3: sports story among business sources).
+  Assign(PutX(0, 0), 1);
+  Assign(PutX(1, 0), 2);
+  Assign(PutY(0, 0), 3);  // Only source 0 covers story Y.
+  AlignmentResult result = Align();
+  ASSERT_EQ(result.stories.size(), 2u);
+  size_t y_index = result.IndexOfMember(0, 3);
+  ASSERT_NE(y_index, std::numeric_limits<size_t>::max());
+  EXPECT_EQ(result.stories[y_index].members.size(), 1u);
+}
+
+TEST_F(AlignmentFixture, TemporallyDistantStoriesDoNotAlign) {
+  // Same content, but half a year apart: "It is highly unlikely that two
+  // stories c1 and c2 are similar if c1 ends at ti and c2 starts at tj
+  // with ti << tj" (§2.3).
+  Assign(PutX(0, 0), 1);
+  Assign(PutX(0, kSecondsPerDay), 1);
+  Assign(PutX(1, 180 * kSecondsPerDay), 2);
+  AlignmentResult result = Align();
+  EXPECT_EQ(result.stories.size(), 2u);
+}
+
+TEST_F(AlignmentFixture, SameSourceStoriesNotMergedByDefault) {
+  Assign(PutX(0, 0), 1);
+  Assign(PutX(0, kSecondsPerDay), 2);  // Same source, same content.
+  AlignmentResult result = Align();
+  EXPECT_EQ(result.stories.size(), 2u);
+
+  AlignmentConfig allow;
+  allow.allow_same_source_merge = true;
+  AlignmentResult merged = Align(allow);
+  EXPECT_EQ(merged.stories.size(), 1u);
+}
+
+TEST_F(AlignmentFixture, CounterpartsMarkedAligning) {
+  const Snippet& a = PutX(0, 0);
+  const Snippet& b = PutX(1, kSecondsPerHour);  // Near-simultaneous.
+  const Snippet& lonely = PutX(0, 40 * kSecondsPerDay);  // Enriching: far.
+  Assign(a, 1);
+  Assign(lonely, 1);
+  Assign(b, 2);
+  AlignmentResult result = Align();
+  ASSERT_EQ(result.stories.size(), 1u);
+  EXPECT_EQ(result.roles.at(a.id), SnippetRole::kAligning);
+  EXPECT_EQ(result.roles.at(b.id), SnippetRole::kAligning);
+  EXPECT_EQ(result.roles.at(lonely.id), SnippetRole::kEnriching);
+  EXPECT_EQ(result.counterpart.at(a.id), b.id);
+  EXPECT_EQ(result.counterpart.at(b.id), a.id);
+}
+
+TEST_F(AlignmentFixture, IntegratedOfCoversEverySnippet) {
+  const Snippet& a = PutX(0, 0);
+  const Snippet& b = PutY(0, 0);
+  const Snippet& c = PutX(1, 0);
+  Assign(a, 1);
+  Assign(b, 2);
+  Assign(c, 3);
+  AlignmentResult result = Align();
+  EXPECT_EQ(result.integrated_of.size(), 3u);
+  EXPECT_EQ(result.integrated_of.at(a.id), result.integrated_of.at(c.id));
+  EXPECT_NE(result.integrated_of.at(a.id), result.integrated_of.at(b.id));
+}
+
+TEST_F(AlignmentFixture, LshAndAllPairsAgree) {
+  for (int d = 0; d < 5; ++d) {
+    Assign(PutX(0, d * kSecondsPerDay), 1);
+    Assign(PutX(1, d * kSecondsPerDay), 2);
+    Assign(PutY(0, d * kSecondsPerDay), 3);
+    Assign(PutY(1, d * kSecondsPerDay), 4);
+  }
+  AlignmentConfig all_pairs;
+  all_pairs.use_lsh = false;
+  AlignmentConfig lsh;
+  lsh.use_lsh = true;
+  AlignmentResult a = Align(all_pairs);
+  AlignmentResult b = Align(lsh);
+  EXPECT_EQ(a.stories.size(), b.stories.size());
+  // LSH scores at most as many pairs as the exhaustive scan.
+  EXPECT_LE(b.num_pairs_scored, a.num_pairs_scored);
+}
+
+// Property: raising the alignment threshold can only produce more (or the
+// same number of) integrated stories — union-find over fewer edges.
+class AlignmentThresholdMonotonicity
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlignmentThresholdMonotonicity, ClusterCountNonDecreasing) {
+  SnippetStore store;
+  StorySet s1(0), s2(1);
+  SimilarityModel model({}, nullptr);
+  StoryId next_story_id = 0;
+  Pcg32 rng(GetParam());
+
+  // Random stories across two sources with overlapping vocabulary.
+  for (int i = 0; i < 24; ++i) {
+    SourceId source = rng.NextBounded(2);
+    StorySet& partition = source == 0 ? s1 : s2;
+    StoryId story_id = next_story_id++;
+    partition.CreateStory(story_id);
+    int members = 1 + rng.NextBounded(3);
+    Timestamp base = rng.NextInRange(0, 60) * kSecondsPerDay;
+    for (int m = 0; m < members; ++m) {
+      Snippet snippet;
+      snippet.source = source;
+      snippet.timestamp = base + m * kSecondsPerDay;
+      std::vector<text::TermVector::Entry> ents, kws;
+      for (int k = 0; k < 3; ++k) {
+        ents.push_back({rng.NextBounded(12), 1.0});
+        kws.push_back({rng.NextBounded(20), 1.0});
+      }
+      snippet.entities = text::TermVector::FromEntries(std::move(ents));
+      snippet.keywords = text::TermVector::FromEntries(std::move(kws));
+      SnippetId id = store.Insert(std::move(snippet)).value();
+      partition.AddSnippetToStory(*store.Find(id), story_id);
+    }
+  }
+
+  size_t previous = 0;
+  bool first = true;
+  for (double threshold : {0.05, 0.15, 0.25, 0.35, 0.5, 0.7, 0.9}) {
+    AlignmentConfig config;
+    config.align_threshold = threshold;
+    config.use_lsh = false;  // Exact candidates for a clean property.
+    StoryAligner aligner(&model, config);
+    AlignmentResult result =
+        aligner.Align({&s1, &s2}, store, &next_story_id);
+    if (!first) {
+      EXPECT_GE(result.stories.size(), previous)
+          << "threshold " << threshold;
+    }
+    previous = result.stories.size();
+    first = false;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignmentThresholdMonotonicity,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --------------------------------- Refiner ---------------------------------
+
+TEST_F(AlignmentFixture, RefinerRecoversFig1Misassignment) {
+  // Reproduce Fig. 1: s1's story c1 wrongly contains a Y-content snippet
+  // (v4); its counterpart in s2 sits in the Y story, which aligns with
+  // s1's own Y story c3. Refinement must move v4 from c1 to c3.
+  const Snippet& x1 = PutX(0, 0);
+  const Snippet& x2 = PutX(0, kSecondsPerDay);
+  const Snippet& v4 = PutY(0, kSecondsPerDay + kSecondsPerHour);  // Wrong.
+  Assign(x1, 1);
+  Assign(x2, 1);
+  Assign(v4, 1);  // Misassigned into the X story.
+
+  const Snippet& y1 = PutY(0, kSecondsPerDay);
+  Assign(y1, 3);  // s1's own Y story.
+
+  Assign(PutX(1, 0), 5);
+  const Snippet& y_cp = PutY(1, kSecondsPerDay + 2 * kSecondsPerHour);
+  Assign(y_cp, 6);
+  Assign(PutY(1, 2 * kSecondsPerDay), 6);
+
+  AlignmentResult alignment = Align();
+  // Sanity: v4's counterpart is in a different integrated story.
+  ASSERT_TRUE(alignment.integrated_of.contains(v4.id));
+
+  StoryRefiner refiner(&model_, {});
+  std::vector<StorySet*> partitions = {&s1_, &s2_};
+  RefinementStats stats =
+      refiner.Refine(partitions, alignment, store_, &next_story_id_);
+  EXPECT_GE(stats.snippets_moved, 1);
+  EXPECT_EQ(s1_.StoryOf(v4.id), 3u) << "v4 must move to s1's Y story";
+  EXPECT_EQ(s1_.StoryOf(x1.id), 1u) << "correct snippets stay";
+  EXPECT_EQ(s1_.FindStory(1)->size(), 2u);
+  EXPECT_EQ(s1_.FindStory(3)->size(), 2u);
+}
+
+TEST_F(AlignmentFixture, RefinerLeavesConsistentAssignmentsAlone) {
+  const Snippet& x1 = PutX(0, 0);
+  const Snippet& x2 = PutX(1, kSecondsPerHour);
+  Assign(x1, 1);
+  Assign(x2, 2);
+  AlignmentResult alignment = Align();
+  StoryRefiner refiner(&model_, {});
+  std::vector<StorySet*> partitions = {&s1_, &s2_};
+  RefinementStats stats =
+      refiner.Refine(partitions, alignment, store_, &next_story_id_);
+  EXPECT_EQ(stats.snippets_moved, 0);
+  EXPECT_EQ(s1_.StoryOf(x1.id), 1u);
+  EXPECT_EQ(s2_.StoryOf(x2.id), 2u);
+}
+
+TEST_F(AlignmentFixture, SplitIfDisconnectedSplitsBrokenStory) {
+  // One story holding two content islands 60 days apart.
+  const Snippet& a1 = PutX(0, 0);
+  const Snippet& a2 = PutX(0, kSecondsPerDay);
+  const Snippet& b1 = PutY(0, 60 * kSecondsPerDay);
+  const Snippet& b2 = PutY(0, 61 * kSecondsPerDay);
+  Assign(a1, 1);
+  Assign(a2, 1);
+  Assign(b1, 1);
+  Assign(b2, 1);
+  StoryRefiner refiner(&model_, {});
+  int created =
+      refiner.SplitIfDisconnected(&s1_, 1, store_, &next_story_id_);
+  EXPECT_EQ(created, 1);
+  EXPECT_EQ(s1_.stories().size(), 2u);
+  EXPECT_EQ(s1_.StoryOf(a1.id), s1_.StoryOf(a2.id));
+  EXPECT_EQ(s1_.StoryOf(b1.id), s1_.StoryOf(b2.id));
+  EXPECT_NE(s1_.StoryOf(a1.id), s1_.StoryOf(b1.id));
+}
+
+TEST_F(AlignmentFixture, SplitKeepsConnectedStoryIntact) {
+  const Snippet& a1 = PutX(0, 0);
+  const Snippet& a2 = PutX(0, kSecondsPerDay);
+  Assign(a1, 1);
+  Assign(a2, 1);
+  StoryRefiner refiner(&model_, {});
+  EXPECT_EQ(refiner.SplitIfDisconnected(&s1_, 1, store_, &next_story_id_),
+            0);
+  EXPECT_EQ(s1_.stories().size(), 1u);
+}
+
+}  // namespace
+}  // namespace storypivot

@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "datagen/corpus.h"
+#include "datagen/gdelt_export.h"
+#include "datagen/mh17.h"
+#include "datagen/word_lists.h"
+#include "datagen/world.h"
+
+namespace storypivot::datagen {
+namespace {
+
+// -------------------------------- WorldModel -------------------------------
+
+TEST(WorldModelTest, EntityUniverseHasRequestedSize) {
+  text::Vocabulary entities, keywords;
+  WorldConfig config;
+  config.num_entities = 120;
+  config.num_communities = 10;
+  WorldModel world(config, &entities, &keywords);
+  EXPECT_EQ(world.entity_names().size(), 120u);
+  EXPECT_EQ(entities.size(), 120u);
+  // Every entity name is distinct.
+  std::set<std::string> names(world.entity_names().begin(),
+                              world.entity_names().end());
+  EXPECT_EQ(names.size(), 120u);
+}
+
+TEST(WorldModelTest, CommunitiesPartitionEntities) {
+  text::Vocabulary entities, keywords;
+  WorldConfig config;
+  config.num_entities = 100;
+  config.num_communities = 9;
+  WorldModel world(config, &entities, &keywords);
+  ASSERT_EQ(world.communities().size(), 9u);
+  std::set<text::TermId> seen;
+  size_t total = 0;
+  for (const auto& community : world.communities()) {
+    EXPECT_FALSE(community.empty());
+    total += community.size();
+    seen.insert(community.begin(), community.end());
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(seen.size(), 100u);  // No entity in two communities.
+}
+
+TEST(WorldModelTest, TopicsDrawFromDomains) {
+  text::Vocabulary entities, keywords;
+  WorldConfig config;
+  config.topics_per_domain = 3;
+  WorldModel world(config, &entities, &keywords);
+  EXPECT_EQ(world.topics().size(), Domains().size() * 3);
+  for (const Topic& topic : world.topics()) {
+    EXPECT_FALSE(topic.words.empty());
+    EXPECT_EQ(topic.words.size(), topic.surfaces.size());
+    EXPECT_EQ(topic.words.size(), topic.weights.size());
+    EXPECT_GE(topic.domain, 0);
+    EXPECT_LT(topic.domain, static_cast<int>(Domains().size()));
+  }
+}
+
+TEST(WorldModelTest, GazetteerRecognisesWorldEntities) {
+  text::Vocabulary entities, keywords;
+  WorldModel world({}, &entities, &keywords);
+  text::Gazetteer gazetteer(&entities);
+  world.PopulateGazetteer(&gazetteer);
+  text::Tokenizer tokenizer;
+  // "Ukraine" is the first country seed.
+  auto mentions =
+      gazetteer.FindMentions(tokenizer.Tokenize("crisis in Ukraine today"));
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(entities.TermOf(mentions[0].entity), "Ukraine");
+}
+
+TEST(WorldModelTest, DeterministicForSeed) {
+  auto build = [] {
+    auto entities = std::make_unique<text::Vocabulary>();
+    auto keywords = std::make_unique<text::Vocabulary>();
+    WorldConfig config;
+    config.seed = 77;
+    WorldModel world(config, entities.get(), keywords.get());
+    return world.entity_names();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+// ---------------------------- CorpusGenerator ------------------------------
+
+class CorpusFixture : public ::testing::Test {
+ protected:
+  static CorpusConfig SmallConfig() {
+    CorpusConfig config;
+    config.seed = 9;
+    config.num_sources = 5;
+    config.num_stories = 12;
+    config.target_num_snippets = 800;
+    return config;
+  }
+};
+
+TEST_F(CorpusFixture, SnippetCountNearTarget) {
+  Corpus corpus = CorpusGenerator(SmallConfig()).Generate();
+  EXPECT_GT(corpus.snippets.size(), 500u);
+  EXPECT_LT(corpus.snippets.size(), 1200u);
+  EXPECT_EQ(corpus.sources.size(), 5u);
+  EXPECT_EQ(corpus.truth_stories.size(), 12u);
+}
+
+TEST_F(CorpusFixture, SnippetsAreWellFormed) {
+  Corpus corpus = CorpusGenerator(SmallConfig()).Generate();
+  for (const Snippet& s : corpus.snippets) {
+    EXPECT_LT(s.source, corpus.sources.size());
+    EXPECT_GE(s.truth_story, 0);
+    EXPECT_LT(s.truth_story,
+              static_cast<int64_t>(corpus.truth_stories.size()));
+    EXPECT_FALSE(s.entities.empty());
+    EXPECT_FALSE(s.keywords.empty());
+    EXPECT_FALSE(s.description.empty());
+    // All term ids resolve in the corpus vocabularies.
+    for (const auto& [term, count] : s.entities.entries()) {
+      EXPECT_LT(term, corpus.entity_vocabulary->size());
+    }
+    for (const auto& [term, count] : s.keywords.entries()) {
+      EXPECT_LT(term, corpus.keyword_vocabulary->size());
+    }
+  }
+}
+
+TEST_F(CorpusFixture, SnippetsCarryEventTypes) {
+  Corpus corpus = CorpusGenerator(SmallConfig()).Generate();
+  std::set<std::string> types;
+  for (const Snippet& s : corpus.snippets) {
+    EXPECT_FALSE(s.event_type.empty());
+    types.insert(s.event_type);
+  }
+  // Several domains are in play, and types are capitalised domain names.
+  EXPECT_GE(types.size(), 3u);
+  EXPECT_TRUE(types.begin()->size() > 0 &&
+              std::isupper(static_cast<unsigned char>((*types.begin())[0])));
+}
+
+TEST_F(CorpusFixture, ArrivalsSortedAndLagEventTimes) {
+  Corpus corpus = CorpusGenerator(SmallConfig()).Generate();
+  ASSERT_EQ(corpus.arrivals.size(), corpus.snippets.size());
+  for (size_t i = 1; i < corpus.arrivals.size(); ++i) {
+    EXPECT_LE(corpus.arrivals[i - 1], corpus.arrivals[i]);
+  }
+  // Publication never precedes the event by more than the timestamp jitter.
+  for (size_t i = 0; i < corpus.snippets.size(); ++i) {
+    EXPECT_GE(corpus.arrivals[i] + 24 * kSecondsPerHour,
+              corpus.snippets[i].timestamp);
+  }
+  // Event timestamps are NOT sorted in arrival order (out-of-order is the
+  // point of §2.4).
+  bool out_of_order = false;
+  for (size_t i = 1; i < corpus.snippets.size(); ++i) {
+    if (corpus.snippets[i].timestamp < corpus.snippets[i - 1].timestamp) {
+      out_of_order = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST_F(CorpusFixture, TimestampsWithinConfiguredRange) {
+  CorpusConfig config = SmallConfig();
+  Corpus corpus = CorpusGenerator(config).Generate();
+  for (const Snippet& s : corpus.snippets) {
+    EXPECT_GE(s.timestamp, config.start_time - kSecondsPerDay);
+    EXPECT_LE(s.timestamp, config.end_time + kSecondsPerDay);
+  }
+}
+
+TEST_F(CorpusFixture, EverySourceReportsSomething) {
+  Corpus corpus = CorpusGenerator(SmallConfig()).Generate();
+  std::set<SourceId> reporting;
+  for (const Snippet& s : corpus.snippets) reporting.insert(s.source);
+  EXPECT_EQ(reporting.size(), corpus.sources.size());
+}
+
+TEST_F(CorpusFixture, StoriesSpreadOverSources) {
+  // Head stories should be covered by several sources (alignment needs
+  // cross-source counterparts).
+  Corpus corpus = CorpusGenerator(SmallConfig()).Generate();
+  std::map<int64_t, std::set<SourceId>> sources_of_story;
+  for (const Snippet& s : corpus.snippets) {
+    sources_of_story[s.truth_story].insert(s.source);
+  }
+  EXPECT_GE(sources_of_story.at(0).size(), 3u);
+}
+
+TEST_F(CorpusFixture, DeterministicForSeed) {
+  Corpus a = CorpusGenerator(SmallConfig()).Generate();
+  Corpus b = CorpusGenerator(SmallConfig()).Generate();
+  ASSERT_EQ(a.snippets.size(), b.snippets.size());
+  for (size_t i = 0; i < a.snippets.size(); ++i) {
+    EXPECT_EQ(a.snippets[i].timestamp, b.snippets[i].timestamp);
+    EXPECT_EQ(a.snippets[i].truth_story, b.snippets[i].truth_story);
+    EXPECT_TRUE(a.snippets[i].entities == b.snippets[i].entities);
+    EXPECT_TRUE(a.snippets[i].keywords == b.snippets[i].keywords);
+  }
+}
+
+TEST_F(CorpusFixture, DifferentSeedsDiffer) {
+  CorpusConfig other = SmallConfig();
+  other.seed = 10;
+  Corpus a = CorpusGenerator(SmallConfig()).Generate();
+  Corpus b = CorpusGenerator(other).Generate();
+  bool differs = a.snippets.size() != b.snippets.size();
+  for (size_t i = 0; !differs && i < a.snippets.size(); ++i) {
+    differs = a.snippets[i].timestamp != b.snippets[i].timestamp;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(CorpusFixture, RawTextModeEmitsDocuments) {
+  CorpusConfig config = SmallConfig();
+  config.target_num_snippets = 100;
+  config.emit_raw_text = true;
+  Corpus corpus = CorpusGenerator(config).Generate();
+  ASSERT_EQ(corpus.documents.size(), corpus.snippets.size());
+  for (size_t i = 0; i < corpus.documents.size(); ++i) {
+    EXPECT_FALSE(corpus.documents[i].paragraphs.empty());
+    EXPECT_EQ(corpus.documents[i].source, corpus.snippets[i].source);
+    EXPECT_EQ(corpus.documents[i].truth_story,
+              corpus.snippets[i].truth_story);
+  }
+}
+
+TEST_F(CorpusFixture, EpisodeDriftChangesContent) {
+  // Within a multi-episode story, the first and last episode keyword
+  // pools must differ (story evolution).
+  CorpusConfig config = SmallConfig();
+  config.max_episodes = 4;
+  config.mean_story_duration_days = 60;
+  Corpus corpus = CorpusGenerator(config).Generate();
+  bool found_drift = false;
+  for (const TruthStory& story : corpus.truth_stories) {
+    if (story.episodes.size() < 3) continue;
+    std::set<text::TermId> first(story.episodes.front().word_pool.begin(),
+                                 story.episodes.front().word_pool.end());
+    std::set<text::TermId> last(story.episodes.back().word_pool.begin(),
+                                story.episodes.back().word_pool.end());
+    std::vector<text::TermId> inter;
+    std::set_intersection(first.begin(), first.end(), last.begin(),
+                          last.end(), std::back_inserter(inter));
+    if (inter.size() < first.size()) found_drift = true;
+  }
+  EXPECT_TRUE(found_drift);
+}
+
+TEST(GdeltPresetTest, MatchesPaperCard) {
+  CorpusConfig preset = GdeltScalePreset();
+  EXPECT_EQ(preset.num_sources, 50);
+  EXPECT_EQ(preset.num_entities, 500);
+  EXPECT_EQ(preset.start_time, MakeTimestamp(2014, 6, 1));
+  EXPECT_EQ(preset.end_time, MakeTimestamp(2014, 12, 1));
+  EXPECT_EQ(preset.target_num_snippets, 10'000'000);
+}
+
+// ------------------------------ GDELT export -------------------------------
+
+TEST(GdeltExportTest, TsvRoundTrip) {
+  CorpusConfig config;
+  config.seed = 13;
+  config.num_sources = 3;
+  config.num_stories = 5;
+  config.target_num_snippets = 120;
+  Corpus corpus = CorpusGenerator(config).Generate();
+  std::string tsv = ExportTsv(corpus);
+  Result<ImportedCorpus> imported = ImportTsv(tsv);
+  ASSERT_TRUE(imported.ok());
+  const ImportedCorpus& in = imported.value();
+  ASSERT_EQ(in.snippets.size(), corpus.snippets.size());
+  EXPECT_EQ(in.sources.size(), corpus.sources.size());
+  for (size_t i = 0; i < in.snippets.size(); ++i) {
+    const Snippet& a = corpus.snippets[i];
+    const Snippet& b = in.snippets[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.truth_story, b.truth_story);
+    // Timestamps round-trip at minute precision.
+    EXPECT_LE(std::abs(a.timestamp - b.timestamp), 60);
+    EXPECT_EQ(a.event_type, b.event_type);
+    EXPECT_EQ(a.entities.size(), b.entities.size());
+    EXPECT_EQ(a.keywords.size(), b.keywords.size());
+    // Entity *names* round-trip even though ids may be re-assigned.
+    for (const auto& [term, count] : a.entities.entries()) {
+      const std::string& name = corpus.entity_vocabulary->TermOf(term);
+      text::TermId new_id = in.entity_vocabulary->Lookup(name);
+      ASSERT_NE(new_id, text::kInvalidTermId);
+      EXPECT_GT(b.entities.ValueOf(new_id), 0.0);
+    }
+  }
+}
+
+TEST(GdeltExportTest, ImportRejectsMalformedRows) {
+  EXPECT_FALSE(ImportTsv("").ok());
+  // Header only: no rows is fine.
+  Result<ImportedCorpus> empty =
+      ImportTsv("id\tsource\tevent_date\tentities\tkeywords\tdescription"
+                "\turl\ttruth\n");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().snippets.empty());
+  // Wrong column count.
+  EXPECT_FALSE(
+      ImportTsv("id\tsource\tevent_type\tevent_date\tentities\tkeywords"
+                "\tdescription\turl\ttruth\n1\tNYT\n")
+          .ok());
+  // Bad date.
+  EXPECT_FALSE(
+      ImportTsv("id\tsource\tevent_type\tevent_date\tentities\tkeywords"
+                "\tdescription\turl\ttruth\n1\tNYT\tAccident"
+                "\tnot-a-date\t\t\t\t\t0\n")
+          .ok());
+}
+
+// --------------------------------- MH17 ------------------------------------
+
+TEST(Mh17Test, CorpusIsWellFormed) {
+  Mh17Corpus corpus = MakeMh17Corpus();
+  EXPECT_EQ(corpus.sources.size(), 2u);
+  EXPECT_GE(corpus.documents.size(), 10u);
+  std::set<int64_t> stories;
+  for (const Document& doc : corpus.documents) {
+    EXPECT_LT(doc.source, corpus.sources.size());
+    EXPECT_FALSE(doc.title.empty());
+    EXPECT_FALSE(doc.paragraphs.empty());
+    EXPECT_FALSE(doc.url.empty());
+    EXPECT_GE(doc.truth_story, 0);
+    EXPECT_FALSE(doc.event_type.empty());
+    stories.insert(doc.truth_story);
+    EXPECT_GE(doc.timestamp, MakeTimestamp(2014, 7, 1));
+    EXPECT_LE(doc.timestamp, MakeTimestamp(2014, 12, 1));
+  }
+  EXPECT_GE(stories.size(), 4u);  // Crash, inquiry, antitrust, doctors.
+}
+
+TEST(Mh17Test, GazetteerCoversKeyEntities) {
+  Mh17Corpus corpus = MakeMh17Corpus();
+  text::Vocabulary vocab;
+  text::Gazetteer gazetteer(&vocab);
+  PopulateMh17Gazetteer(corpus, &gazetteer);
+  text::Tokenizer tokenizer;
+  auto mentions = gazetteer.FindMentions(tokenizer.Tokenize(
+      "The U.S. said the Malaysia Airlines jet crashed over Ukraine"));
+  // U.S. alias -> United States, Malaysia Airlines, Ukraine.
+  EXPECT_EQ(mentions.size(), 3u);
+}
+
+TEST(Mh17Test, BothSourcesCoverTheCrashStory) {
+  Mh17Corpus corpus = MakeMh17Corpus();
+  std::set<SourceId> crash_sources;
+  for (const Document& doc : corpus.documents) {
+    if (doc.truth_story == 0) crash_sources.insert(doc.source);
+  }
+  EXPECT_EQ(crash_sources.size(), 2u);
+}
+
+}  // namespace
+}  // namespace storypivot::datagen

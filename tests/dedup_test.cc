@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dedup.h"
+#include "datagen/corpus.h"
+#include "util/logging.h"
+
+namespace storypivot {
+namespace {
+
+class DedupFixture : public ::testing::Test {
+ protected:
+  DedupFixture() {
+    a_ = engine_.RegisterSource("a");
+    b_ = engine_.RegisterSource("b");
+  }
+
+  SnippetId Add(SourceId source, Timestamp ts,
+                std::vector<std::pair<text::TermId, double>> entities,
+                std::vector<std::pair<text::TermId, double>> keywords) {
+    Snippet s;
+    s.source = source;
+    s.timestamp = ts;
+    s.entities = text::TermVector::FromEntries(std::move(entities));
+    s.keywords = text::TermVector::FromEntries(std::move(keywords));
+    return engine_.AddSnippet(std::move(s)).value();
+  }
+
+  StoryPivotEngine engine_;
+  SourceId a_ = 0, b_ = 0;
+};
+
+TEST_F(DedupFixture, ExactCopiesAcrossSourcesDetected) {
+  std::vector<std::pair<text::TermId, double>> ents = {{1, 1.0}, {2, 1.0}};
+  std::vector<std::pair<text::TermId, double>> kws = {
+      {10, 1.0}, {11, 1.0}, {12, 1.0}, {13, 1.0}};
+  SnippetId x = Add(a_, 1000, ents, kws);
+  SnippetId y = Add(b_, 1000 + kSecondsPerHour, ents, kws);
+  auto pairs = FindNearDuplicates(engine_);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, std::min(x, y));
+  EXPECT_EQ(pairs[0].b, std::max(x, y));
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+}
+
+TEST_F(DedupFixture, IndependentReportsNotFlagged) {
+  // Same story, different wording: entity overlap but distinct keywords.
+  Add(a_, 1000, {{1, 1.0}, {2, 1.0}}, {{10, 1.0}, {11, 1.0}});
+  Add(b_, 2000, {{1, 1.0}, {2, 1.0}}, {{20, 1.0}, {21, 1.0}});
+  EXPECT_TRUE(FindNearDuplicates(engine_).empty());
+}
+
+TEST_F(DedupFixture, SameSourceCopiesSkippedByDefault) {
+  std::vector<std::pair<text::TermId, double>> ents = {{1, 1.0}};
+  std::vector<std::pair<text::TermId, double>> kws = {{10, 1.0}, {11, 1.0}};
+  Add(a_, 1000, ents, kws);
+  Add(a_, 2000, ents, kws);
+  EXPECT_TRUE(FindNearDuplicates(engine_).empty());
+  DedupConfig config;
+  config.cross_source_only = false;
+  EXPECT_EQ(FindNearDuplicates(engine_, config).size(), 1u);
+}
+
+TEST_F(DedupFixture, TimeToleranceFilters) {
+  std::vector<std::pair<text::TermId, double>> ents = {{1, 1.0}};
+  std::vector<std::pair<text::TermId, double>> kws = {{10, 1.0}, {11, 1.0}};
+  Add(a_, 0, ents, kws);
+  Add(b_, 30 * kSecondsPerDay, ents, kws);  // A month apart: reprint, not
+                                            // syndication.
+  EXPECT_TRUE(FindNearDuplicates(engine_).empty());
+  DedupConfig config;
+  config.time_tolerance = 60 * kSecondsPerDay;
+  EXPECT_EQ(FindNearDuplicates(engine_, config).size(), 1u);
+}
+
+TEST(DedupCorpusTest, FindsInjectedSyndication) {
+  datagen::CorpusConfig config;
+  config.seed = 61;
+  config.num_sources = 6;
+  config.num_stories = 12;
+  config.target_num_snippets = 900;
+  config.syndication_rate = 0.3;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+
+  // Count the injected wire copies (they carry wire URLs).
+  size_t injected = 0;
+  for (const Snippet& s : corpus.snippets) {
+    if (s.document_url.find("wire.example.com") != std::string::npos) {
+      ++injected;
+    }
+  }
+  ASSERT_GT(injected, 50u) << "syndication generator must inject copies";
+
+  StoryPivotEngine engine;
+  SP_CHECK(engine
+               .ImportVocabularies(*corpus.entity_vocabulary,
+                                   *corpus.keyword_vocabulary)
+               .ok());
+  for (const SourceInfo& s : corpus.sources) engine.RegisterSource(s.name);
+  std::set<SnippetId> wire_ids;
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    SnippetId id = engine.AddSnippet(std::move(copy)).value();
+    if (snippet.document_url.find("wire.example.com") !=
+        std::string::npos) {
+      wire_ids.insert(id);
+    }
+  }
+
+  std::vector<DuplicatePair> pairs = FindNearDuplicates(engine);
+  ASSERT_FALSE(pairs.empty());
+  // Recall: most injected wire copies should appear in some pair.
+  std::set<SnippetId> flagged;
+  for (const DuplicatePair& pair : pairs) {
+    flagged.insert(pair.a);
+    flagged.insert(pair.b);
+  }
+  size_t hit = 0;
+  for (SnippetId id : wire_ids) {
+    if (flagged.contains(id)) ++hit;
+  }
+  EXPECT_GT(static_cast<double>(hit) / wire_ids.size(), 0.8)
+      << hit << "/" << wire_ids.size() << " wire copies flagged";
+}
+
+TEST(DedupCorpusTest, CleanCorpusHasFewDuplicates) {
+  datagen::CorpusConfig config;
+  config.seed = 62;
+  config.num_sources = 6;
+  config.num_stories = 12;
+  config.target_num_snippets = 900;
+  config.syndication_rate = 0.0;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+  StoryPivotEngine engine;
+  SP_CHECK(engine
+               .ImportVocabularies(*corpus.entity_vocabulary,
+                                   *corpus.keyword_vocabulary)
+               .ok());
+  for (const SourceInfo& s : corpus.sources) engine.RegisterSource(s.name);
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    engine.AddSnippet(std::move(copy)).value();
+  }
+  // Independent paraphrases should almost never look identical.
+  std::vector<DuplicatePair> pairs = FindNearDuplicates(engine);
+  EXPECT_LT(pairs.size(), corpus.snippets.size() / 50);
+}
+
+}  // namespace
+}  // namespace storypivot

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "eval/diagnostics.h"
+#include "datagen/corpus.h"
+#include "util/logging.h"
+
+namespace storypivot::eval {
+namespace {
+
+Snippet MakeSnippet(SourceId source, Timestamp ts, int64_t truth,
+                    std::vector<std::pair<text::TermId, double>> entities) {
+  Snippet s;
+  s.source = source;
+  s.timestamp = ts;
+  s.truth_story = truth;
+  // Keywords follow the entity id space so distinct fixtures stay
+  // distinct in both similarity components.
+  std::vector<std::pair<text::TermId, double>> keywords = entities;
+  s.entities = text::TermVector::FromEntries(std::move(entities));
+  s.keywords = text::TermVector::FromEntries(std::move(keywords));
+  return s;
+}
+
+TEST(DiagnosticsTest, PerfectDetectionIsCleanReport) {
+  StoryPivotEngine engine;
+  SourceId src = engine.RegisterSource("s");
+  // Two well-separated stories.
+  for (int d = 0; d < 3; ++d) {
+    engine
+        .AddSnippet(MakeSnippet(src, d * kSecondsPerDay, 0,
+                                {{1, 1.0}, {2, 1.0}}))
+        .value();
+    engine
+        .AddSnippet(MakeSnippet(src, d * kSecondsPerDay, 1,
+                                {{8, 1.0}, {9, 1.0}}))
+        .value();
+  }
+  engine.Align();
+  DiagnosticReport report = DiagnoseAlignment(engine);
+  ASSERT_EQ(report.stories.size(), 2u);
+  for (const StoryDiagnostic& d : report.stories) {
+    EXPECT_EQ(d.num_clusters, 1u);
+    EXPECT_DOUBLE_EQ(d.max_cluster_share, 1.0);
+    EXPECT_DOUBLE_EQ(d.contamination, 0.0);
+    EXPECT_EQ(d.dominant_confusion, -1);
+  }
+  EXPECT_EQ(report.mixed_clusters, 0u);
+  EXPECT_EQ(report.pure_clusters, 2u);
+  EXPECT_EQ(report.NumFragmented(), 0u);
+  EXPECT_EQ(report.NumContaminated(), 0u);
+}
+
+TEST(DiagnosticsTest, DetectsFragmentation) {
+  StoryPivotEngine engine;
+  SourceId src = engine.RegisterSource("s");
+  // One truth story whose two halves are months apart with disjoint
+  // content -> detection must split it.
+  engine.AddSnippet(MakeSnippet(src, 0, 0, {{1, 1.0}})).value();
+  engine
+      .AddSnippet(MakeSnippet(src, 90 * kSecondsPerDay, 0, {{5, 1.0}}))
+      .value();
+  engine.Align();
+  DiagnosticReport report = DiagnoseAlignment(engine);
+  ASSERT_EQ(report.stories.size(), 1u);
+  EXPECT_EQ(report.stories[0].num_clusters, 2u);
+  EXPECT_DOUBLE_EQ(report.stories[0].max_cluster_share, 0.5);
+  EXPECT_EQ(report.NumFragmented(), 1u);
+}
+
+TEST(DiagnosticsTest, DetectsContamination) {
+  StoryPivotEngine engine;
+  SourceId src = engine.RegisterSource("s");
+  // Two truth stories with identical content -> detection merges them.
+  engine.AddSnippet(MakeSnippet(src, 0, 0, {{1, 1.0}, {2, 1.0}})).value();
+  engine
+      .AddSnippet(
+          MakeSnippet(src, kSecondsPerHour, 1, {{1, 1.0}, {2, 1.0}}))
+      .value();
+  engine.Align();
+  DiagnosticReport report = DiagnoseAlignment(engine);
+  ASSERT_EQ(report.stories.size(), 2u);
+  for (const StoryDiagnostic& d : report.stories) {
+    EXPECT_DOUBLE_EQ(d.contamination, 0.5);
+    EXPECT_EQ(d.dominant_confusion, d.truth_story == 0 ? 1 : 0);
+  }
+  EXPECT_EQ(report.mixed_clusters, 1u);
+  EXPECT_EQ(report.NumContaminated(), 2u);
+}
+
+TEST(DiagnosticsTest, IgnoresUnlabeledSnippets) {
+  StoryPivotEngine engine;
+  SourceId src = engine.RegisterSource("s");
+  engine.AddSnippet(MakeSnippet(src, 0, -1, {{1, 1.0}})).value();
+  engine.AddSnippet(MakeSnippet(src, 0, 3, {{9, 1.0}})).value();
+  engine.Align();
+  DiagnosticReport report = DiagnoseAlignment(engine);
+  ASSERT_EQ(report.stories.size(), 1u);
+  EXPECT_EQ(report.stories[0].truth_story, 3);
+}
+
+TEST(DiagnosticsTest, ReportRendersWorstFirst) {
+  datagen::CorpusConfig config;
+  config.seed = 17;
+  config.num_sources = 4;
+  config.num_stories = 12;
+  config.target_num_snippets = 800;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+  StoryPivotEngine engine;
+  SP_CHECK(engine
+               .ImportVocabularies(*corpus.entity_vocabulary,
+                                   *corpus.keyword_vocabulary)
+               .ok());
+  for (const SourceInfo& s : corpus.sources) engine.RegisterSource(s.name);
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    engine.AddSnippet(std::move(copy)).value();
+  }
+  engine.Align();
+  DiagnosticReport report = DiagnoseAlignment(engine);
+  EXPECT_EQ(report.stories.size(), 12u);
+  std::string table = report.ToString();
+  EXPECT_NE(table.find("truth"), std::string::npos);
+  EXPECT_NE(table.find("contamination"), std::string::npos);
+  EXPECT_NE(table.find("clusters:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storypivot::eval

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace storypivot::eval {
+namespace {
+
+using Labels = std::vector<int64_t>;
+
+// ------------------------------ Pairwise F ---------------------------------
+
+TEST(PairwiseFTest, PerfectClustering) {
+  Labels truth = {0, 0, 1, 1, 2};
+  PrfScores s = PairwiseF(truth, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(PairwiseFTest, AllSingletonsHaveZeroRecall) {
+  Labels truth = {0, 0, 0};
+  Labels predicted = {1, 2, 3};
+  PrfScores s = PairwiseF(truth, predicted);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+  // No predicted pairs at all: precision is 0 by convention.
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+}
+
+TEST(PairwiseFTest, OneBigClusterHasFullRecallLowPrecision) {
+  Labels truth = {0, 0, 1, 1};
+  Labels predicted = {7, 7, 7, 7};
+  PrfScores s = PairwiseF(truth, predicted);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  // 2 correct pairs out of C(4,2)=6 predicted.
+  EXPECT_NEAR(s.precision, 2.0 / 6.0, 1e-12);
+}
+
+TEST(PairwiseFTest, HandComputedExample) {
+  // truth: {a,b,c} {d,e}; predicted: {a,b} {c,d,e}.
+  Labels truth = {0, 0, 0, 1, 1};
+  Labels predicted = {0, 0, 1, 1, 1};
+  // Truth pairs: ab,ac,bc,de (4). Predicted pairs: ab,cd,ce,de (4).
+  // Correct: ab, de (2).
+  PrfScores s = PairwiseF(truth, predicted);
+  EXPECT_NEAR(s.precision, 0.5, 1e-12);
+  EXPECT_NEAR(s.recall, 0.5, 1e-12);
+  EXPECT_NEAR(s.f1, 0.5, 1e-12);
+}
+
+TEST(PairCountsTest, MicroAverageAccumulates) {
+  Labels t1 = {0, 0}, p1 = {5, 5};
+  Labels t2 = {0, 0}, p2 = {5, 6};
+  PairCounts sum = CountPairs(t1, p1);
+  sum += CountPairs(t2, p2);
+  EXPECT_EQ(sum.true_positive, 1u);
+  EXPECT_EQ(sum.false_negative, 1u);
+  PrfScores s = sum.ToScores();
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+}
+
+// -------------------------------- B-cubed ----------------------------------
+
+TEST(BCubedTest, PerfectClustering) {
+  Labels truth = {0, 0, 1, 2, 2, 2};
+  PrfScores s = BCubed(truth, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(BCubedTest, HandComputedExample) {
+  // truth: {a,b} {c}; predicted: {a,b,c}.
+  Labels truth = {0, 0, 1};
+  Labels predicted = {9, 9, 9};
+  // precision: a: 2/3, b: 2/3, c: 1/3 -> 5/9. recall: 1, 1, 1 -> 1.
+  PrfScores s = BCubed(truth, predicted);
+  EXPECT_NEAR(s.precision, 5.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(BCubedTest, SingletonsGivePerfectPrecision) {
+  Labels truth = {0, 0, 0};
+  Labels predicted = {1, 2, 3};
+  PrfScores s = BCubed(truth, predicted);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_NEAR(s.recall, 1.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------- NMI ------------------------------------
+
+TEST(NmiTest, PerfectAgreementIsOne) {
+  Labels truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(truth, truth), 1.0, 1e-12);
+  // Relabeling does not matter.
+  Labels relabeled = {7, 7, 3, 3, 9, 9};
+  EXPECT_NEAR(NormalizedMutualInformation(truth, relabeled), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentClusteringNearZero) {
+  // Predicted labels alternate irrespective of truth blocks.
+  Labels truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  Labels predicted = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(truth, predicted), 0.0, 1e-9);
+}
+
+TEST(NmiTest, DegenerateSingleCluster) {
+  Labels truth = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(truth, truth), 1.0);
+}
+
+TEST(NmiTest, BoundedInUnitInterval) {
+  Pcg32 rng(99);
+  for (int round = 0; round < 20; ++round) {
+    Labels truth, predicted;
+    for (int i = 0; i < 50; ++i) {
+      truth.push_back(rng.NextBounded(5));
+      predicted.push_back(rng.NextBounded(7));
+    }
+    double nmi = NormalizedMutualInformation(truth, predicted);
+    EXPECT_GE(nmi, -1e-9);
+    EXPECT_LE(nmi, 1.0 + 1e-9);
+  }
+}
+
+// ---------------------------------- ARI ------------------------------------
+
+TEST(AriTest, PerfectAgreementIsOne) {
+  Labels truth = {0, 0, 1, 1, 2};
+  EXPECT_NEAR(AdjustedRandIndex(truth, truth), 1.0, 1e-12);
+}
+
+TEST(AriTest, RandomClusteringNearZero) {
+  Pcg32 rng(7);
+  double total = 0;
+  const int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    Labels truth, predicted;
+    for (int i = 0; i < 60; ++i) {
+      truth.push_back(rng.NextBounded(4));
+      predicted.push_back(rng.NextBounded(4));
+    }
+    total += AdjustedRandIndex(truth, predicted);
+  }
+  EXPECT_NEAR(total / kRounds, 0.0, 0.05);
+}
+
+TEST(AriTest, KnownSklearnExample) {
+  // sklearn doc example: ARI([0,0,1,1],[0,0,1,2]) ~= 0.57.
+  Labels truth = {0, 0, 1, 1};
+  Labels predicted = {0, 0, 1, 2};
+  EXPECT_NEAR(AdjustedRandIndex(truth, predicted), 0.5714285714, 1e-9);
+}
+
+// -------------------------------- V-measure --------------------------------
+
+TEST(VMeasureTest, PerfectAgreement) {
+  Labels truth = {0, 0, 1, 1};
+  VMeasureScores v = VMeasure(truth, truth);
+  EXPECT_NEAR(v.homogeneity, 1.0, 1e-12);
+  EXPECT_NEAR(v.completeness, 1.0, 1e-12);
+  EXPECT_NEAR(v.v_measure, 1.0, 1e-12);
+}
+
+TEST(VMeasureTest, OverSplittingHurtsCompletenessOnly) {
+  Labels truth = {0, 0, 0, 0};
+  Labels predicted = {0, 1, 2, 3};
+  VMeasureScores v = VMeasure(truth, predicted);
+  EXPECT_NEAR(v.homogeneity, 1.0, 1e-12);
+  EXPECT_LT(v.completeness, 0.5);
+}
+
+TEST(VMeasureTest, OverMergingHurtsHomogeneityOnly) {
+  Labels truth = {0, 1, 2, 3};
+  Labels predicted = {0, 0, 0, 0};
+  VMeasureScores v = VMeasure(truth, predicted);
+  EXPECT_LT(v.homogeneity, 0.5);
+  EXPECT_NEAR(v.completeness, 1.0, 1e-12);
+}
+
+// Property: all metrics are invariant under label permutation.
+class MetricPermutationInvariance
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPermutationInvariance, RelabelingDoesNotChangeScores) {
+  Pcg32 rng(GetParam());
+  Labels truth, predicted;
+  for (int i = 0; i < 80; ++i) {
+    truth.push_back(rng.NextBounded(6));
+    predicted.push_back(rng.NextBounded(6));
+  }
+  // Permute predicted labels through an arbitrary injective map.
+  Labels remapped;
+  for (int64_t p : predicted) remapped.push_back(1000 - 13 * p);
+
+  PrfScores a = PairwiseF(truth, predicted);
+  PrfScores b = PairwiseF(truth, remapped);
+  EXPECT_DOUBLE_EQ(a.f1, b.f1);
+  EXPECT_DOUBLE_EQ(BCubed(truth, predicted).f1, BCubed(truth, remapped).f1);
+  EXPECT_NEAR(NormalizedMutualInformation(truth, predicted),
+              NormalizedMutualInformation(truth, remapped), 1e-12);
+  EXPECT_NEAR(AdjustedRandIndex(truth, predicted),
+              AdjustedRandIndex(truth, remapped), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPermutationInvariance,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ------------------------------ Experiments --------------------------------
+
+TEST(ExperimentTest, RunExperimentProducesSaneRow) {
+  ExperimentConfig config;
+  config.label = "smoke";
+  config.corpus.seed = 3;
+  config.corpus.num_sources = 4;
+  config.corpus.num_stories = 10;
+  config.corpus.target_num_snippets = 600;
+  ExperimentRow row = RunExperiment(config);
+  EXPECT_EQ(row.label, "smoke");
+  EXPECT_GT(row.num_events, 300u);
+  EXPECT_GT(row.ingest_time_ms, 0.0);
+  EXPECT_GT(row.comparisons, 0u);
+  // Small corpora fragment stories within a source (few snippets per story
+  // per source inside one window), so the SI bar is modest; alignment
+  // recovers the cross-source structure and must score clearly higher.
+  EXPECT_GT(row.si_pairwise.f1, 0.4);
+  EXPECT_GT(row.sa_pairwise.f1, 0.6);
+  EXPECT_GT(row.sa_pairwise.f1, row.si_pairwise.f1);
+  EXPECT_GT(row.stories_per_source_total, 0u);
+  EXPECT_GT(row.integrated_stories, 0u);
+  EXPECT_EQ(row.truth_stories, 10u);
+  EXPECT_LE(row.sa_nmi, 1.0);
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  ExperimentConfig config;
+  config.corpus.seed = 4;
+  config.corpus.num_sources = 3;
+  config.corpus.num_stories = 6;
+  config.corpus.target_num_snippets = 200;
+  ExperimentRow a = RunExperiment(config);
+  ExperimentRow b = RunExperiment(config);
+  EXPECT_EQ(a.num_events, b.num_events);
+  EXPECT_DOUBLE_EQ(a.si_pairwise.f1, b.si_pairwise.f1);
+  EXPECT_DOUBLE_EQ(a.sa_pairwise.f1, b.sa_pairwise.f1);
+  EXPECT_EQ(a.stories_per_source_total, b.stories_per_source_total);
+}
+
+TEST(ExperimentTest, FormatRowsContainsLabels) {
+  ExperimentRow row;
+  row.label = "temporal w=7d";
+  row.num_events = 123;
+  std::string table = FormatRows({row});
+  EXPECT_NE(table.find("temporal w=7d"), std::string::npos);
+  EXPECT_NE(table.find("123"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storypivot::eval

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "datagen/mh17.h"
+#include "text/knowledge_base.h"
+#include "util/logging.h"
+#include "viz/ascii.h"
+
+namespace storypivot {
+namespace {
+
+using text::KnowledgeBase;
+using text::KnowledgeEntry;
+
+TEST(KnowledgeBaseTest, AddAndFind) {
+  KnowledgeBase kb;
+  kb.Add({"Ukraine", "country", "Eastern European country.", {"Russia"}});
+  const KnowledgeEntry* entry = kb.Find("Ukraine");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->type, "country");
+  EXPECT_EQ(kb.Find("Atlantis"), nullptr);
+  EXPECT_EQ(kb.size(), 1u);
+}
+
+TEST(KnowledgeBaseTest, ReplaceUpdatesReverseLinks) {
+  KnowledgeBase kb;
+  kb.Add({"A", "country", "", {"B"}});
+  kb.Add({"B", "country", "", {}});
+  ASSERT_EQ(kb.Neighbors("B").size(), 1u);
+  // Replace A without the relation; B must lose its reverse neighbor.
+  kb.Add({"A", "country", "", {}});
+  EXPECT_TRUE(kb.Neighbors("B").empty());
+}
+
+TEST(KnowledgeBaseTest, NeighborsAreBidirectional) {
+  KnowledgeBase kb;
+  kb.Add({"Google", "company", "", {"Yelp"}});
+  kb.Add({"Yelp", "company", "", {}});
+  // Forward: Google -> Yelp. Reverse: Yelp <- Google.
+  auto forward = kb.Neighbors("Google");
+  ASSERT_EQ(forward.size(), 1u);
+  EXPECT_EQ(forward[0]->name, "Yelp");
+  auto reverse = kb.Neighbors("Yelp");
+  ASSERT_EQ(reverse.size(), 1u);
+  EXPECT_EQ(reverse[0]->name, "Google");
+}
+
+TEST(KnowledgeBaseTest, FindByType) {
+  KnowledgeBase kb = KnowledgeBase::WithEmbeddedWorldFacts();
+  auto companies = kb.FindByType("company");
+  EXPECT_GE(companies.size(), 3u);
+  for (const KnowledgeEntry* entry : companies) {
+    EXPECT_EQ(entry->type, "company");
+  }
+  // Sorted by name.
+  for (size_t i = 1; i < companies.size(); ++i) {
+    EXPECT_LT(companies[i - 1]->name, companies[i]->name);
+  }
+}
+
+TEST(KnowledgeBaseTest, EmbeddedFactsCoverMh17Actors) {
+  KnowledgeBase kb = KnowledgeBase::WithEmbeddedWorldFacts();
+  for (const char* name :
+       {"Ukraine", "Russia", "Malaysia Airlines", "Netherlands",
+        "United Nations", "Google", "Yelp", "Israel"}) {
+    EXPECT_NE(kb.Find(name), nullptr) << name;
+  }
+  // MH17 relations are navigable.
+  auto neighbors = kb.Neighbors("Malaysia Airlines");
+  bool has_malaysia = false;
+  for (const KnowledgeEntry* n : neighbors) {
+    has_malaysia |= n->name == "Malaysia";
+  }
+  EXPECT_TRUE(has_malaysia);
+}
+
+TEST(EntityContextTest, EnrichesQueriesWithFacts) {
+  datagen::Mh17Corpus corpus = datagen::MakeMh17Corpus();
+  StoryPivotEngine engine(NewsProseEngineConfig());
+  for (const SourceInfo& source : corpus.sources) {
+    engine.RegisterSource(source.name);
+  }
+  datagen::PopulateMh17Gazetteer(corpus, engine.gazetteer());
+  for (const Document& doc : corpus.documents) {
+    SP_CHECK(engine.AddDocument(doc).ok());
+  }
+
+  KnowledgeBase kb = KnowledgeBase::WithEmbeddedWorldFacts();
+  StoryQuery query(&engine);
+  query.set_knowledge_base(&kb);
+
+  EntityContext context = query.Context("Malaysia Airlines");
+  EXPECT_EQ(context.type, "company");
+  EXPECT_FALSE(context.description.empty());
+  EXPECT_FALSE(context.related.empty());
+  EXPECT_FALSE(context.stories.empty());
+
+  // Without a knowledge base the stories still come back.
+  StoryQuery bare(&engine);
+  EntityContext no_kb = bare.Context("Malaysia Airlines");
+  EXPECT_TRUE(no_kb.type.empty());
+  EXPECT_EQ(no_kb.stories.size(), context.stories.size());
+
+  // Unknown entities yield an empty-but-valid context.
+  EntityContext unknown = query.Context("Atlantis");
+  EXPECT_TRUE(unknown.stories.empty());
+  EXPECT_TRUE(unknown.type.empty());
+}
+
+TEST(EntityContextTest, RenderedCardShowsFactsAndStories) {
+  datagen::Mh17Corpus corpus = datagen::MakeMh17Corpus();
+  StoryPivotEngine engine(NewsProseEngineConfig());
+  for (const SourceInfo& source : corpus.sources) {
+    engine.RegisterSource(source.name);
+  }
+  datagen::PopulateMh17Gazetteer(corpus, engine.gazetteer());
+  for (const Document& doc : corpus.documents) {
+    SP_CHECK(engine.AddDocument(doc).ok());
+  }
+  text::KnowledgeBase kb = KnowledgeBase::WithEmbeddedWorldFacts();
+  StoryQuery query(&engine);
+  query.set_knowledge_base(&kb);
+  std::string card = viz::RenderEntityContext(query.Context("Ukraine"));
+  EXPECT_NE(card.find("Ukraine"), std::string::npos);
+  EXPECT_NE(card.find("country"), std::string::npos);
+  EXPECT_NE(card.find("Related"), std::string::npos);
+  EXPECT_NE(card.find("Stories"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storypivot

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/snapshot.h"
+#include "datagen/corpus.h"
+#include "eval/experiment.h"
+#include "util/logging.h"
+
+namespace storypivot {
+namespace {
+
+std::unique_ptr<StoryPivotEngine> BuildPopulatedEngine() {
+  datagen::CorpusConfig corpus_config;
+  corpus_config.seed = 55;
+  corpus_config.num_sources = 4;
+  corpus_config.num_stories = 10;
+  corpus_config.target_num_snippets = 500;
+  datagen::Corpus corpus =
+      datagen::CorpusGenerator(corpus_config).Generate();
+  auto engine = std::make_unique<StoryPivotEngine>();
+  SP_CHECK(engine
+               ->ImportVocabularies(*corpus.entity_vocabulary,
+                                    *corpus.keyword_vocabulary)
+               .ok());
+  for (const SourceInfo& s : corpus.sources) engine->RegisterSource(s.name);
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    engine->AddSnippet(std::move(copy)).value();
+  }
+  return engine;
+}
+
+// Canonical clustering fingerprint for state comparison.
+std::vector<std::pair<SnippetId, StoryId>> Fingerprint(
+    const StoryPivotEngine& engine) {
+  std::vector<std::pair<SnippetId, StoryId>> out;
+  for (const StorySet* partition : engine.partitions()) {
+    for (const auto& [ts, sid] : partition->snippet_times().entries()) {
+      out.push_back({sid, partition->StoryOf(sid)});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  std::unique_ptr<StoryPivotEngine> original = BuildPopulatedEngine();
+  std::string snapshot = SaveSnapshot(*original);
+
+  Result<std::unique_ptr<StoryPivotEngine>> loaded =
+      LoadSnapshot(snapshot);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  StoryPivotEngine& restored = *loaded.value();
+
+  EXPECT_EQ(restored.store().size(), original->store().size());
+  EXPECT_EQ(restored.sources().size(), original->sources().size());
+  EXPECT_EQ(restored.TotalStories(), original->TotalStories());
+  EXPECT_EQ(Fingerprint(restored), Fingerprint(*original));
+  const StoryPivotEngine& const_restored = restored;
+  const StoryPivotEngine& const_original = *original;
+  EXPECT_EQ(const_restored.entity_vocabulary().size(),
+            const_original.entity_vocabulary().size());
+  EXPECT_EQ(const_restored.keyword_vocabulary().size(),
+            const_original.keyword_vocabulary().size());
+  // Document-frequency state was rebuilt (needed for further ingestion).
+  EXPECT_EQ(restored.document_frequency().num_documents(),
+            original->document_frequency().num_documents());
+}
+
+TEST(SnapshotTest, SnippetContentSurvives) {
+  std::unique_ptr<StoryPivotEngine> original = BuildPopulatedEngine();
+  auto loaded = LoadSnapshot(SaveSnapshot(*original));
+  ASSERT_TRUE(loaded.ok());
+  original->store().ForEach([&](const Snippet& snippet) {
+    const Snippet* restored = loaded.value()->store().Find(snippet.id);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->timestamp, snippet.timestamp);
+    EXPECT_EQ(restored->description, snippet.description);
+    EXPECT_EQ(restored->document_url, snippet.document_url);
+    EXPECT_EQ(restored->truth_story, snippet.truth_story);
+    EXPECT_EQ(restored->event_type, snippet.event_type);
+    EXPECT_TRUE(restored->entities == snippet.entities);
+    EXPECT_TRUE(restored->keywords == snippet.keywords);
+  });
+}
+
+TEST(SnapshotTest, AlignmentAfterLoadMatchesOriginal) {
+  std::unique_ptr<StoryPivotEngine> original = BuildPopulatedEngine();
+  auto loaded = LoadSnapshot(SaveSnapshot(*original));
+  ASSERT_TRUE(loaded.ok());
+  original->Align();
+  loaded.value()->Align();
+  EXPECT_EQ(original->alignment().stories.size(),
+            loaded.value()->alignment().stories.size());
+  eval::QualityScores a = eval::ScoreEngine(*original);
+  eval::QualityScores b = eval::ScoreEngine(*loaded.value());
+  EXPECT_DOUBLE_EQ(a.sa_pairwise.f1, b.sa_pairwise.f1);
+  EXPECT_DOUBLE_EQ(a.si_pairwise.f1, b.si_pairwise.f1);
+}
+
+TEST(SnapshotTest, LoadedEngineAcceptsNewSnippets) {
+  std::unique_ptr<StoryPivotEngine> original = BuildPopulatedEngine();
+  auto loaded = LoadSnapshot(SaveSnapshot(*original));
+  ASSERT_TRUE(loaded.ok());
+  StoryPivotEngine& engine = *loaded.value();
+  // Continue ingesting: ids must not collide, identification must work.
+  Snippet snippet;
+  snippet.source = 0;
+  snippet.timestamp = MakeTimestamp(2014, 12, 24);
+  snippet.entities = text::TermVector::FromEntries({{0, 1.0}});
+  snippet.keywords = text::TermVector::FromEntries({{0, 1.0}});
+  Result<SnippetId> id = engine.AddSnippet(std::move(snippet));
+  ASSERT_TRUE(id.ok());
+  EXPECT_NE(engine.partition(0)->StoryOf(id.value()), kInvalidStoryId);
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  std::unique_ptr<StoryPivotEngine> original = BuildPopulatedEngine();
+  std::string path = ::testing::TempDir() + "/sp_snapshot_test.tsv";
+  ASSERT_TRUE(SaveSnapshotToFile(*original, path).ok());
+  auto loaded = LoadSnapshotFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(Fingerprint(*loaded.value()), Fingerprint(*original));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsGarbage) {
+  EXPECT_FALSE(LoadSnapshot("").ok());
+  EXPECT_FALSE(LoadSnapshot("not a snapshot\n").ok());
+  EXPECT_FALSE(
+      LoadSnapshot("#storypivot-snapshot\tv2\n").ok());  // Wrong version.
+  // Valid header but broken snippet row.
+  EXPECT_FALSE(
+      LoadSnapshot("#storypivot-snapshot\tv1\nN\txx\n").ok());
+  // Snippet referencing an unknown source.
+  EXPECT_FALSE(LoadSnapshot("#storypivot-snapshot\tv1\n"
+                            "N\t1\t9\t0\t0\t-1\tu\td\t\t\n")
+                   .ok());
+}
+
+TEST(SnapshotTest, AdoptAssignmentRejectsUnknownSource) {
+  StoryPivotEngine engine;
+  Snippet snippet;
+  snippet.source = 42;
+  Result<SnippetId> r = engine.AdoptAssignment(std::move(snippet), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SnapshotTest, AdoptAssignmentBuildsStories) {
+  StoryPivotEngine engine;
+  SourceId src = engine.RegisterSource("s");
+  for (int i = 0; i < 3; ++i) {
+    Snippet snippet;
+    snippet.source = src;
+    snippet.timestamp = i * 100;
+    snippet.entities = text::TermVector::FromEntries(
+        {{static_cast<text::TermId>(i), 1.0}});
+    ASSERT_TRUE(engine.AdoptAssignment(std::move(snippet), 7).ok());
+  }
+  const StorySet* partition = engine.partition(src);
+  const Story* story = partition->FindStory(7);
+  ASSERT_NE(story, nullptr);
+  EXPECT_EQ(story->size(), 3u);
+  // Future automatic story ids stay clear of adopted ones.
+  Snippet fresh;
+  fresh.source = src;
+  fresh.timestamp = 999999;
+  fresh.entities = text::TermVector::FromEntries({{99, 1.0}});
+  SnippetId id = engine.AddSnippet(std::move(fresh)).value();
+  EXPECT_GT(partition->StoryOf(id), 7u);
+}
+
+}  // namespace
+}  // namespace storypivot

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "storage/bucketed_index.h"
+#include "storage/inverted_index.h"
+#include "storage/snippet_store.h"
+#include "storage/temporal_index.h"
+#include "util/rng.h"
+
+namespace storypivot {
+namespace {
+
+// ----------------------------- TemporalIndex -------------------------------
+
+TEST(TemporalIndexTest, InsertKeepsTimeOrder) {
+  TemporalIndex index;
+  index.Insert(30, 3);
+  index.Insert(10, 1);
+  index.Insert(20, 2);
+  ASSERT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.entries()[0].second, 1u);
+  EXPECT_EQ(index.entries()[2].second, 3u);
+  EXPECT_EQ(index.min_time(), 10);
+  EXPECT_EQ(index.max_time(), 30);
+}
+
+TEST(TemporalIndexTest, WindowQueryInclusive) {
+  TemporalIndex index;
+  for (Timestamp t = 0; t < 100; t += 10) {
+    index.Insert(t, static_cast<SnippetId>(t));
+  }
+  std::vector<SnippetId> ids = index.IdsInWindow(20, 50);
+  ASSERT_EQ(ids.size(), 4u);  // 20, 30, 40, 50.
+  EXPECT_EQ(ids.front(), 20u);
+  EXPECT_EQ(ids.back(), 50u);
+  EXPECT_EQ(index.CountInWindow(20, 50), 4u);
+}
+
+TEST(TemporalIndexTest, EmptyWindow) {
+  TemporalIndex index;
+  index.Insert(100, 1);
+  EXPECT_TRUE(index.IdsInWindow(0, 50).empty());
+  EXPECT_TRUE(index.IdsInWindow(150, 200).empty());
+  EXPECT_EQ(index.CountInWindow(0, 50), 0u);
+}
+
+TEST(TemporalIndexTest, DuplicateTimestampsAllKept) {
+  TemporalIndex index;
+  index.Insert(5, 1);
+  index.Insert(5, 2);
+  index.Insert(5, 3);
+  EXPECT_EQ(index.CountInWindow(5, 5), 3u);
+}
+
+TEST(TemporalIndexTest, EraseSpecificEntry) {
+  TemporalIndex index;
+  index.Insert(5, 1);
+  index.Insert(5, 2);
+  EXPECT_TRUE(index.Erase(5, 1));
+  EXPECT_FALSE(index.Erase(5, 1));   // Already gone.
+  EXPECT_FALSE(index.Erase(99, 2));  // Wrong timestamp.
+  ASSERT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.entries()[0].second, 2u);
+}
+
+TEST(TemporalIndexTest, ForEachVisitsInOrder) {
+  TemporalIndex index;
+  index.Insert(3, 30);
+  index.Insert(1, 10);
+  index.Insert(2, 20);
+  std::vector<Timestamp> seen;
+  index.ForEachInWindow(0, 10, [&](Timestamp ts, SnippetId) {
+    seen.push_back(ts);
+  });
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+// Property: the index agrees with a naive reference implementation under
+// random out-of-order inserts and erases.
+class TemporalIndexProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TemporalIndexProperty, MatchesNaiveReference) {
+  Pcg32 rng(GetParam());
+  TemporalIndex index;
+  std::vector<std::pair<Timestamp, SnippetId>> reference;
+  SnippetId next_id = 0;
+  for (int step = 0; step < 500; ++step) {
+    if (!reference.empty() && rng.NextBernoulli(0.3)) {
+      size_t pick = rng.NextBounded(static_cast<uint32_t>(reference.size()));
+      auto [ts, id] = reference[pick];
+      EXPECT_TRUE(index.Erase(ts, id));
+      reference.erase(reference.begin() + pick);
+    } else {
+      Timestamp ts = rng.NextInRange(0, 1000);
+      SnippetId id = next_id++;
+      index.Insert(ts, id);
+      reference.push_back({ts, id});
+    }
+    if (step % 50 == 0) {
+      Timestamp lo = rng.NextInRange(0, 1000);
+      Timestamp hi = lo + rng.NextInRange(0, 300);
+      std::set<SnippetId> expected;
+      for (auto [ts, id] : reference) {
+        if (ts >= lo && ts <= hi) expected.insert(id);
+      }
+      std::vector<SnippetId> got = index.IdsInWindow(lo, hi);
+      EXPECT_EQ(std::set<SnippetId>(got.begin(), got.end()), expected);
+      EXPECT_EQ(index.CountInWindow(lo, hi), expected.size());
+    }
+  }
+  EXPECT_EQ(index.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalIndexProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// --------------------------- BucketedTemporalIndex -------------------------
+
+TEST(BucketedIndexTest, BasicInsertEraseWindow) {
+  BucketedTemporalIndex index(100);
+  index.Insert(50, 1);
+  index.Insert(150, 2);
+  index.Insert(151, 3);
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.CountInWindow(0, 100), 1u);
+  EXPECT_EQ(index.CountInWindow(150, 151), 2u);
+  EXPECT_TRUE(index.Erase(150, 2));
+  EXPECT_FALSE(index.Erase(150, 2));
+  EXPECT_FALSE(index.Erase(151, 99));
+  EXPECT_EQ(index.CountInWindow(0, 1000), 2u);
+}
+
+TEST(BucketedIndexTest, NegativeTimestampsBucketCorrectly) {
+  BucketedTemporalIndex index(100);
+  index.Insert(-1, 1);
+  index.Insert(-100, 2);
+  index.Insert(0, 3);
+  EXPECT_EQ(index.CountInWindow(-100, -1), 2u);
+  EXPECT_EQ(index.CountInWindow(0, 0), 1u);
+  std::vector<SnippetId> ids = index.IdsInWindow(-150, 50);
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(BucketedIndexTest, EmptyBucketsAreReclaimed) {
+  BucketedTemporalIndex index(10);
+  for (SnippetId i = 0; i < 50; ++i) {
+    index.Insert(static_cast<Timestamp>(i * 10), i);
+  }
+  size_t buckets = index.num_buckets();
+  for (SnippetId i = 0; i < 50; ++i) {
+    EXPECT_TRUE(index.Erase(static_cast<Timestamp>(i * 10), i));
+  }
+  EXPECT_EQ(index.num_buckets(), 0u);
+  EXPECT_LT(index.num_buckets(), buckets);
+  EXPECT_TRUE(index.empty());
+}
+
+// Property: the bucketed index returns exactly the same id sets as the
+// sorted-vector TemporalIndex under random mixed workloads.
+class IndexEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexEquivalence, MatchesSortedIndex) {
+  Pcg32 rng(GetParam());
+  TemporalIndex sorted;
+  BucketedTemporalIndex bucketed(97);  // Deliberately odd bucket width.
+  std::vector<std::pair<Timestamp, SnippetId>> live;
+  SnippetId next_id = 0;
+  for (int step = 0; step < 600; ++step) {
+    if (!live.empty() && rng.NextBernoulli(0.3)) {
+      size_t pick = rng.NextBounded(static_cast<uint32_t>(live.size()));
+      auto [ts, id] = live[pick];
+      EXPECT_TRUE(sorted.Erase(ts, id));
+      EXPECT_TRUE(bucketed.Erase(ts, id));
+      live.erase(live.begin() + pick);
+    } else {
+      Timestamp ts = rng.NextInRange(-500, 2000);
+      SnippetId id = next_id++;
+      sorted.Insert(ts, id);
+      bucketed.Insert(ts, id);
+      live.push_back({ts, id});
+    }
+    if (step % 40 == 0) {
+      Timestamp lo = rng.NextInRange(-600, 2000);
+      Timestamp hi = lo + rng.NextInRange(0, 800);
+      std::vector<SnippetId> a = sorted.IdsInWindow(lo, hi);
+      std::vector<SnippetId> b = bucketed.IdsInWindow(lo, hi);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "window [" << lo << "," << hi << "]";
+      EXPECT_EQ(bucketed.CountInWindow(lo, hi), a.size());
+    }
+  }
+  EXPECT_EQ(sorted.size(), bucketed.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalence,
+                         ::testing::Values(7u, 8u, 9u, 10u));
+
+// ------------------------------ SnippetStore -------------------------------
+
+Snippet MakeSnippet(SnippetId id, const std::string& url) {
+  Snippet s;
+  s.id = id;
+  s.source = 0;
+  s.timestamp = 100;
+  s.document_url = url;
+  return s;
+}
+
+TEST(SnippetStoreTest, AssignsIdsWhenMissing) {
+  SnippetStore store;
+  Snippet s = MakeSnippet(kInvalidSnippetId, "u1");
+  Result<SnippetId> id1 = store.Insert(s);
+  Result<SnippetId> id2 = store.Insert(MakeSnippet(kInvalidSnippetId, "u2"));
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(id1.value(), id2.value());
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(SnippetStoreTest, ExplicitIdsRespectedAndDuplicatesRejected) {
+  SnippetStore store;
+  ASSERT_TRUE(store.Insert(MakeSnippet(7, "u")).ok());
+  Result<SnippetId> dup = store.Insert(MakeSnippet(7, "u"));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  // Auto ids continue above explicit ones.
+  Result<SnippetId> next = store.Insert(MakeSnippet(kInvalidSnippetId, "v"));
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(next.value(), 7u);
+}
+
+TEST(SnippetStoreTest, FindAndRemove) {
+  SnippetStore store;
+  SnippetId id = store.Insert(MakeSnippet(kInvalidSnippetId, "u")).value();
+  ASSERT_NE(store.Find(id), nullptr);
+  EXPECT_EQ(store.Find(id)->document_url, "u");
+  EXPECT_TRUE(store.Remove(id).ok());
+  EXPECT_EQ(store.Find(id), nullptr);
+  EXPECT_EQ(store.Remove(id).code(), StatusCode::kNotFound);
+}
+
+TEST(SnippetStoreTest, FindByDocumentTracksAllSnippets) {
+  SnippetStore store;
+  SnippetId a = store.Insert(MakeSnippet(kInvalidSnippetId, "doc1")).value();
+  SnippetId b = store.Insert(MakeSnippet(kInvalidSnippetId, "doc1")).value();
+  store.Insert(MakeSnippet(kInvalidSnippetId, "doc2")).value();
+  std::vector<SnippetId> ids = store.FindByDocument("doc1");
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(std::count(ids.begin(), ids.end(), a) == 1);
+  EXPECT_TRUE(std::count(ids.begin(), ids.end(), b) == 1);
+  EXPECT_TRUE(store.FindByDocument("nope").empty());
+  // Removal unlinks from the document map too.
+  ASSERT_TRUE(store.Remove(a).ok());
+  EXPECT_EQ(store.FindByDocument("doc1").size(), 1u);
+}
+
+TEST(SnippetStoreTest, ForEachVisitsAll) {
+  SnippetStore store;
+  for (int i = 0; i < 5; ++i) {
+    store.Insert(MakeSnippet(kInvalidSnippetId, "u")).value();
+  }
+  size_t count = 0;
+  store.ForEach([&](const Snippet&) { ++count; });
+  EXPECT_EQ(count, 5u);
+}
+
+// ------------------------------ InvertedIndex ------------------------------
+
+TEST(InvertedIndexTest, CandidatesShareTerms) {
+  InvertedIndex index;
+  index.Add(1, text::TermVector::FromEntries({{10, 1.0}, {11, 1.0}}));
+  index.Add(2, text::TermVector::FromEntries({{11, 1.0}}));
+  index.Add(3, text::TermVector::FromEntries({{12, 1.0}}));
+  auto candidates =
+      index.Candidates(text::TermVector::FromEntries({{11, 1.0}}));
+  EXPECT_EQ(candidates, (std::vector<SnippetId>{1, 2}));
+}
+
+TEST(InvertedIndexTest, CandidatesDeduplicated) {
+  InvertedIndex index;
+  index.Add(1, text::TermVector::FromEntries({{10, 1.0}, {11, 1.0}}));
+  auto candidates = index.Candidates(
+      text::TermVector::FromEntries({{10, 1.0}, {11, 1.0}}));
+  EXPECT_EQ(candidates, (std::vector<SnippetId>{1}));
+}
+
+TEST(InvertedIndexTest, LazyRemoveHidesAndCompactReclaims) {
+  InvertedIndex index;
+  index.Add(1, text::TermVector::FromEntries({{10, 1.0}}));
+  index.Add(2, text::TermVector::FromEntries({{10, 1.0}}));
+  index.Remove(1);
+  auto candidates =
+      index.Candidates(text::TermVector::FromEntries({{10, 1.0}}));
+  EXPECT_EQ(candidates, (std::vector<SnippetId>{2}));
+  EXPECT_EQ(index.num_tombstones(), 1u);
+  index.Compact();
+  EXPECT_EQ(index.num_tombstones(), 0u);
+  EXPECT_EQ(index.num_postings(), 1u);
+  candidates = index.Candidates(text::TermVector::FromEntries({{10, 1.0}}));
+  EXPECT_EQ(candidates, (std::vector<SnippetId>{2}));
+}
+
+TEST(InvertedIndexTest, ZeroWeightTermsIgnored) {
+  InvertedIndex index;
+  text::TermVector v;
+  v.Add(10, 1.0);
+  index.Add(1, v);
+  // A probe with only unseen terms finds nothing.
+  EXPECT_TRUE(
+      index.Candidates(text::TermVector::FromEntries({{99, 1.0}})).empty());
+}
+
+}  // namespace
+}  // namespace storypivot

@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace storypivot {
+namespace {
+
+// --------------------------- Status / Result ------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("snippet 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "snippet 42");
+  EXPECT_EQ(s.ToString(), "NotFound: snippet 42");
+}
+
+TEST(StatusTest, AllFactoryFunctionsSetDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
+      Status::FailedPrecondition("").code(), Status::Internal("").code(),
+      Status::IoError("").code(),
+  };
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// --------------------------------- RNG ------------------------------------
+
+TEST(Pcg32Test, DeterministicForSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Pcg32Test, DistinctStreamsDiffer) {
+  Pcg32 a(123, 1), b(123, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Pcg32Test, NextBoundedStaysInBounds) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Pcg32Test, NextBoundedIsRoughlyUniform) {
+  Pcg32 rng(7);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Pcg32Test, NextInRangeInclusiveBounds) {
+  Pcg32 rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, BernoulliEdgeCases) {
+  Pcg32 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(Pcg32Test, GaussianMoments) {
+  Pcg32 rng(19);
+  double sum = 0, sq = 0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Pcg32Test, ExponentialMean) {
+  Pcg32 rng(23);
+  double sum = 0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.2);
+}
+
+TEST(Pcg32Test, ShufflePreservesElements) {
+  Pcg32 rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfDistributionTest, HeadIsHeavier) {
+  Pcg32 rng(31);
+  ZipfDistribution dist(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[dist.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 2000);  // ~1/H(100) ~= 19% of draws.
+}
+
+TEST(ZipfDistributionTest, ZeroExponentIsUniform) {
+  Pcg32 rng(37);
+  ZipfDistribution dist(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++counts[dist.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, kN / 10, kN / 10 * 0.15);
+}
+
+// Property sweep: NextBounded never escapes its bound for many bounds.
+class RngBoundSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RngBoundSweep, AlwaysBelowBound) {
+  Pcg32 rng(GetParam());
+  uint32_t bound = GetParam();
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u, 100u,
+                                           1000u, 1u << 20, 0x80000000u));
+
+// --------------------------------- Hash -----------------------------------
+
+TEST(HashTest, Fnv1aKnownValues) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(HashTest, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(Fnv1a64("ukraine"), Fnv1a64("russia"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+}
+
+TEST(HashTest, SplitMixAvalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (uint64_t x = 1; x < 100; ++x) {
+    uint64_t diff = SplitMix64(x) ^ SplitMix64(x ^ 1);
+    total += __builtin_popcountll(diff);
+  }
+  EXPECT_NEAR(total / 99.0, 32.0, 6.0);
+}
+
+TEST(HashTest, HashWithSeedIndependence) {
+  // The same element under different seeds should look unrelated.
+  uint64_t x = 12345;
+  std::set<uint64_t> values;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    values.insert(HashWithSeed(x, seed));
+  }
+  EXPECT_EQ(values.size(), 64u);
+}
+
+// -------------------------------- Strings ---------------------------------
+
+TEST(StringsTest, SplitBasic) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitEmptyString) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("Ukraine CRISIS 2014"), "ukraine crisis 2014");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("storypivot", "story"));
+  EXPECT_FALSE(StartsWith("story", "storypivot"));
+  EXPECT_TRUE(EndsWith("alignment.cc", ".cc"));
+  EXPECT_FALSE(EndsWith(".cc", "alignment.cc"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringsTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("4x", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", &v));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+// ---------------------------------- CSV ------------------------------------
+
+TEST(DsvTest, SimpleRoundTrip) {
+  DsvWriter writer('\t');
+  writer.WriteRow({"a", "b", "c"});
+  writer.WriteRow({"1", "2", "3"});
+  DsvReader reader('\t');
+  auto rows = reader.Parse(writer.contents());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0][1], "b");
+  EXPECT_EQ(rows.value()[1][2], "3");
+}
+
+TEST(DsvTest, QuotedFieldsRoundTrip) {
+  DsvWriter writer(',');
+  writer.WriteRow({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  DsvReader reader(',');
+  auto rows = reader.Parse(writer.contents());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][1], "with,comma");
+  EXPECT_EQ(rows.value()[0][2], "with\"quote");
+  EXPECT_EQ(rows.value()[0][3], "with\nnewline");
+}
+
+TEST(DsvTest, UnterminatedQuoteIsError) {
+  DsvReader reader(',');
+  auto rows = reader.Parse("\"oops");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DsvTest, CrLfHandling) {
+  DsvReader reader(',');
+  auto rows = reader.Parse("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1][0], "c");
+}
+
+TEST(DsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/sp_dsv_test.tsv";
+  DsvWriter writer('\t');
+  writer.WriteRow({"x", "y"});
+  ASSERT_TRUE(writer.Flush(path).ok());
+  DsvReader reader('\t');
+  auto rows = reader.ReadFile(path);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0][0], "x");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsIoError) {
+  auto contents = ReadFileToString("/nonexistent/sp/none.txt");
+  EXPECT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kIoError);
+}
+
+// --------------------------------- Timer -----------------------------------
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GT(timer.ElapsedNanos(), 0);
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+  double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LE(timer.ElapsedSeconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace storypivot

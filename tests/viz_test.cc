@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "datagen/mh17.h"
+#include "viz/ascii.h"
+
+namespace storypivot::viz {
+namespace {
+
+class VizFixture : public ::testing::Test {
+ protected:
+  VizFixture() {
+    nyt_ = engine_.RegisterSource("New York Times");
+    wsj_ = engine_.RegisterSource("Wall Street Journal");
+    text::TermId ua = engine_.entity_vocabulary()->Intern("Ukraine");
+    text::TermId crash = engine_.keyword_vocabulary()->Intern("crash");
+    auto add = [&](SourceId src, Timestamp ts) {
+      Snippet s;
+      s.source = src;
+      s.timestamp = ts;
+      s.description = "Plane crash";
+      s.document_url = "http://doc";
+      s.entities = text::TermVector::FromEntries({{ua, 1.0}});
+      s.keywords = text::TermVector::FromEntries({{crash, 1.0}});
+      engine_.AddSnippet(std::move(s)).value();
+    };
+    add(nyt_, MakeTimestamp(2014, 7, 17));
+    add(nyt_, MakeTimestamp(2014, 7, 18));
+    add(wsj_, MakeTimestamp(2014, 7, 17, 6));
+    engine_.Align();
+  }
+
+  StoryPivotEngine engine_;
+  SourceId nyt_ = 0, wsj_ = 0;
+};
+
+TEST_F(VizFixture, StoryOverviewCardShowsAllFields) {
+  StoryQuery query(&engine_);
+  auto stories = query.IntegratedStories();
+  ASSERT_FALSE(stories.empty());
+  std::string card = RenderStoryOverview(stories[0]);
+  EXPECT_NE(card.find("New York Times"), std::string::npos);
+  EXPECT_NE(card.find("Ukraine"), std::string::npos);
+  EXPECT_NE(card.find("crash"), std::string::npos);
+  EXPECT_NE(card.find("2014-07-17"), std::string::npos);
+  EXPECT_NE(card.find("2014-07-18"), std::string::npos);
+}
+
+TEST_F(VizFixture, StoryTableListsStories) {
+  StoryQuery query(&engine_);
+  std::string table = RenderStoryTable(query.IntegratedStories());
+  EXPECT_NE(table.find("Ukraine"), std::string::npos);
+  EXPECT_NE(table.find("Sources"), std::string::npos);
+}
+
+TEST_F(VizFixture, StoriesPerSourceDrawsTimeline) {
+  std::string module = RenderStoriesPerSource(engine_, nyt_);
+  EXPECT_NE(module.find("New York Times"), std::string::npos);
+  EXPECT_NE(module.find("time axis"), std::string::npos);
+  EXPECT_NE(module.find("snippets"), std::string::npos);
+  EXPECT_NE(module.find('o'), std::string::npos);  // Snippet marks.
+  EXPECT_EQ(RenderStoriesPerSource(engine_, 99), "<unknown source>\n");
+}
+
+TEST_F(VizFixture, SnippetsPerStoryGroupsBySource) {
+  ASSERT_FALSE(engine_.alignment().stories.empty());
+  std::string module =
+      RenderSnippetsPerStory(engine_, engine_.alignment().stories[0]);
+  EXPECT_NE(module.find("New York Times"), std::string::npos);
+  EXPECT_NE(module.find("Wall Street Journal"), std::string::npos);
+  EXPECT_NE(module.find("aligning"), std::string::npos);
+  // The simultaneous NYT/WSJ reports are counterparts -> marked 'A'.
+  EXPECT_NE(module.find('A'), std::string::npos);
+}
+
+TEST_F(VizFixture, DocumentTableRendersRows) {
+  datagen::Mh17Corpus corpus = datagen::MakeMh17Corpus();
+  std::string table = RenderDocumentTable(corpus.documents, engine_);
+  EXPECT_NE(table.find("URL"), std::string::npos);
+  EXPECT_NE(table.find("nytimes.com"), std::string::npos);
+  EXPECT_NE(table.find("online.wsj.com"), std::string::npos);
+}
+
+TEST(XyChartTest, PlotsSeriesWithLegend) {
+  Series a{"temporal", {{1000, 1.0}, {2000, 2.0}, {4000, 4.0}}};
+  Series b{"complete", {{1000, 2.0}, {2000, 8.0}, {4000, 32.0}}};
+  std::string chart = RenderXyChart("Performance", "# events", "ms", {a, b},
+                                    /*log_x=*/true);
+  EXPECT_NE(chart.find("Performance"), std::string::npos);
+  EXPECT_NE(chart.find("temporal"), std::string::npos);
+  EXPECT_NE(chart.find("complete"), std::string::npos);
+  EXPECT_NE(chart.find("log scale"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+}
+
+TEST(SparklineTest, RendersBarsAndStats) {
+  ActivitySeries series;
+  series.origin = MakeTimestamp(2014, 7, 1);
+  series.bucket_width = kSecondsPerDay;
+  series.counts = {0, 1, 5, 2, 0, 0, 10};
+  std::string line = RenderActivitySparkline(series);
+  EXPECT_NE(line.find("2014-07-01"), std::string::npos);
+  EXPECT_NE(line.find("peak 10"), std::string::npos);
+  EXPECT_NE(line.find("18 total"), std::string::npos);
+  EXPECT_NE(line.find('@'), std::string::npos);  // The peak bucket.
+}
+
+TEST(SparklineTest, DownsamplesLongSeries) {
+  ActivitySeries series;
+  series.origin = 0;
+  series.bucket_width = kSecondsPerDay;
+  series.counts.assign(365, 1);
+  std::string line = RenderActivitySparkline(series, 60);
+  // Bar region must fit in the width budget.
+  size_t open = line.find('|');
+  size_t close = line.find('|', open + 1);
+  ASSERT_NE(open, std::string::npos);
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_LE(close - open - 1, 61u);
+}
+
+TEST(SparklineTest, EmptySeries) {
+  ActivitySeries series;
+  EXPECT_NE(RenderActivitySparkline(series).find("no activity"),
+            std::string::npos);
+}
+
+TEST(XyChartTest, HandlesDegenerateInputs) {
+  EXPECT_NE(RenderXyChart("t", "x", "y", {}, false).find("no data"),
+            std::string::npos);
+  Series empty{"none", {}};
+  EXPECT_NE(RenderXyChart("t", "x", "y", {empty}, false).find("no points"),
+            std::string::npos);
+  // A single point must not divide by zero.
+  Series one{"one", {{5, 5}}};
+  std::string chart = RenderXyChart("t", "x", "y", {one}, false);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storypivot::viz
