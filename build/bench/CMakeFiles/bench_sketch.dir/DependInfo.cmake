@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sketch.cc" "bench/CMakeFiles/bench_sketch.dir/bench_sketch.cc.o" "gcc" "bench/CMakeFiles/bench_sketch.dir/bench_sketch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/sp_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sp_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/sp_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_source_news.dir/multi_source_news.cpp.o"
+  "CMakeFiles/multi_source_news.dir/multi_source_news.cpp.o.d"
+  "multi_source_news"
+  "multi_source_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_source_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storypivot_cli.dir/storypivot_cli.cpp.o"
+  "CMakeFiles/storypivot_cli.dir/storypivot_cli.cpp.o.d"
+  "storypivot_cli"
+  "storypivot_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storypivot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storypivot_explore.dir/storypivot_explore.cpp.o"
+  "CMakeFiles/storypivot_explore.dir/storypivot_explore.cpp.o.d"
+  "storypivot_explore"
+  "storypivot_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storypivot_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

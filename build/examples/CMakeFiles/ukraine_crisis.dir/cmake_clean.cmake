@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukraine_crisis.dir/ukraine_crisis.cpp.o"
+  "CMakeFiles/ukraine_crisis.dir/ukraine_crisis.cpp.o.d"
+  "ukraine_crisis"
+  "ukraine_crisis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukraine_crisis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ukraine_crisis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aligner.cc" "src/core/CMakeFiles/sp_core.dir/aligner.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/aligner.cc.o.d"
+  "/root/repo/src/core/dedup.cc" "src/core/CMakeFiles/sp_core.dir/dedup.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/dedup.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/sp_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/identifier.cc" "src/core/CMakeFiles/sp_core.dir/identifier.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/identifier.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/sp_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/sp_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/query.cc.o.d"
+  "/root/repo/src/core/refiner.cc" "src/core/CMakeFiles/sp_core.dir/refiner.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/refiner.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/sp_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/sp_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/snapshot.cc.o.d"
+  "/root/repo/src/core/story_set.cc" "src/core/CMakeFiles/sp_core.dir/story_set.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/story_set.cc.o.d"
+  "/root/repo/src/core/trends.cc" "src/core/CMakeFiles/sp_core.dir/trends.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/trends.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/sp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/sp_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sp_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

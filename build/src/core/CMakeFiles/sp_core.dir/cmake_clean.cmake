@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_core.dir/aligner.cc.o"
+  "CMakeFiles/sp_core.dir/aligner.cc.o.d"
+  "CMakeFiles/sp_core.dir/dedup.cc.o"
+  "CMakeFiles/sp_core.dir/dedup.cc.o.d"
+  "CMakeFiles/sp_core.dir/engine.cc.o"
+  "CMakeFiles/sp_core.dir/engine.cc.o.d"
+  "CMakeFiles/sp_core.dir/identifier.cc.o"
+  "CMakeFiles/sp_core.dir/identifier.cc.o.d"
+  "CMakeFiles/sp_core.dir/incremental.cc.o"
+  "CMakeFiles/sp_core.dir/incremental.cc.o.d"
+  "CMakeFiles/sp_core.dir/query.cc.o"
+  "CMakeFiles/sp_core.dir/query.cc.o.d"
+  "CMakeFiles/sp_core.dir/refiner.cc.o"
+  "CMakeFiles/sp_core.dir/refiner.cc.o.d"
+  "CMakeFiles/sp_core.dir/similarity.cc.o"
+  "CMakeFiles/sp_core.dir/similarity.cc.o.d"
+  "CMakeFiles/sp_core.dir/snapshot.cc.o"
+  "CMakeFiles/sp_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/sp_core.dir/story_set.cc.o"
+  "CMakeFiles/sp_core.dir/story_set.cc.o.d"
+  "CMakeFiles/sp_core.dir/trends.cc.o"
+  "CMakeFiles/sp_core.dir/trends.cc.o.d"
+  "libsp_core.a"
+  "libsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

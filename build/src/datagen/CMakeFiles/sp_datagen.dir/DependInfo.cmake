@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/corpus.cc" "src/datagen/CMakeFiles/sp_datagen.dir/corpus.cc.o" "gcc" "src/datagen/CMakeFiles/sp_datagen.dir/corpus.cc.o.d"
+  "/root/repo/src/datagen/gdelt_export.cc" "src/datagen/CMakeFiles/sp_datagen.dir/gdelt_export.cc.o" "gcc" "src/datagen/CMakeFiles/sp_datagen.dir/gdelt_export.cc.o.d"
+  "/root/repo/src/datagen/mh17.cc" "src/datagen/CMakeFiles/sp_datagen.dir/mh17.cc.o" "gcc" "src/datagen/CMakeFiles/sp_datagen.dir/mh17.cc.o.d"
+  "/root/repo/src/datagen/word_lists.cc" "src/datagen/CMakeFiles/sp_datagen.dir/word_lists.cc.o" "gcc" "src/datagen/CMakeFiles/sp_datagen.dir/word_lists.cc.o.d"
+  "/root/repo/src/datagen/world.cc" "src/datagen/CMakeFiles/sp_datagen.dir/world.cc.o" "gcc" "src/datagen/CMakeFiles/sp_datagen.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/sp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sp_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_datagen.dir/corpus.cc.o"
+  "CMakeFiles/sp_datagen.dir/corpus.cc.o.d"
+  "CMakeFiles/sp_datagen.dir/gdelt_export.cc.o"
+  "CMakeFiles/sp_datagen.dir/gdelt_export.cc.o.d"
+  "CMakeFiles/sp_datagen.dir/mh17.cc.o"
+  "CMakeFiles/sp_datagen.dir/mh17.cc.o.d"
+  "CMakeFiles/sp_datagen.dir/word_lists.cc.o"
+  "CMakeFiles/sp_datagen.dir/word_lists.cc.o.d"
+  "CMakeFiles/sp_datagen.dir/world.cc.o"
+  "CMakeFiles/sp_datagen.dir/world.cc.o.d"
+  "libsp_datagen.a"
+  "libsp_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_eval.dir/diagnostics.cc.o"
+  "CMakeFiles/sp_eval.dir/diagnostics.cc.o.d"
+  "CMakeFiles/sp_eval.dir/experiment.cc.o"
+  "CMakeFiles/sp_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/sp_eval.dir/metrics.cc.o"
+  "CMakeFiles/sp_eval.dir/metrics.cc.o.d"
+  "libsp_eval.a"
+  "libsp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_model.dir/story.cc.o"
+  "CMakeFiles/sp_model.dir/story.cc.o.d"
+  "CMakeFiles/sp_model.dir/time.cc.o"
+  "CMakeFiles/sp_model.dir/time.cc.o.d"
+  "libsp_model.a"
+  "libsp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

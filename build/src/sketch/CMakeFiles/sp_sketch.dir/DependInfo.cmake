@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/lsh_index.cc" "src/sketch/CMakeFiles/sp_sketch.dir/lsh_index.cc.o" "gcc" "src/sketch/CMakeFiles/sp_sketch.dir/lsh_index.cc.o.d"
+  "/root/repo/src/sketch/minhash.cc" "src/sketch/CMakeFiles/sp_sketch.dir/minhash.cc.o" "gcc" "src/sketch/CMakeFiles/sp_sketch.dir/minhash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/sp_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

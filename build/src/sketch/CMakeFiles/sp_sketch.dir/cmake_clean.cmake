@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_sketch.dir/lsh_index.cc.o"
+  "CMakeFiles/sp_sketch.dir/lsh_index.cc.o.d"
+  "CMakeFiles/sp_sketch.dir/minhash.cc.o"
+  "CMakeFiles/sp_sketch.dir/minhash.cc.o.d"
+  "libsp_sketch.a"
+  "libsp_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

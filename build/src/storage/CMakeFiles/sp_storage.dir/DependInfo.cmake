@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bucketed_index.cc" "src/storage/CMakeFiles/sp_storage.dir/bucketed_index.cc.o" "gcc" "src/storage/CMakeFiles/sp_storage.dir/bucketed_index.cc.o.d"
+  "/root/repo/src/storage/inverted_index.cc" "src/storage/CMakeFiles/sp_storage.dir/inverted_index.cc.o" "gcc" "src/storage/CMakeFiles/sp_storage.dir/inverted_index.cc.o.d"
+  "/root/repo/src/storage/snippet_store.cc" "src/storage/CMakeFiles/sp_storage.dir/snippet_store.cc.o" "gcc" "src/storage/CMakeFiles/sp_storage.dir/snippet_store.cc.o.d"
+  "/root/repo/src/storage/temporal_index.cc" "src/storage/CMakeFiles/sp_storage.dir/temporal_index.cc.o" "gcc" "src/storage/CMakeFiles/sp_storage.dir/temporal_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/sp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sp_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_storage.dir/bucketed_index.cc.o"
+  "CMakeFiles/sp_storage.dir/bucketed_index.cc.o.d"
+  "CMakeFiles/sp_storage.dir/inverted_index.cc.o"
+  "CMakeFiles/sp_storage.dir/inverted_index.cc.o.d"
+  "CMakeFiles/sp_storage.dir/snippet_store.cc.o"
+  "CMakeFiles/sp_storage.dir/snippet_store.cc.o.d"
+  "CMakeFiles/sp_storage.dir/temporal_index.cc.o"
+  "CMakeFiles/sp_storage.dir/temporal_index.cc.o.d"
+  "libsp_storage.a"
+  "libsp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

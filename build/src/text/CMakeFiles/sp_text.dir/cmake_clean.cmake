@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_text.dir/annotator.cc.o"
+  "CMakeFiles/sp_text.dir/annotator.cc.o.d"
+  "CMakeFiles/sp_text.dir/gazetteer.cc.o"
+  "CMakeFiles/sp_text.dir/gazetteer.cc.o.d"
+  "CMakeFiles/sp_text.dir/knowledge_base.cc.o"
+  "CMakeFiles/sp_text.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/sp_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/sp_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/sp_text.dir/stopwords.cc.o"
+  "CMakeFiles/sp_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/sp_text.dir/term_vector.cc.o"
+  "CMakeFiles/sp_text.dir/term_vector.cc.o.d"
+  "CMakeFiles/sp_text.dir/tfidf.cc.o"
+  "CMakeFiles/sp_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/sp_text.dir/tokenizer.cc.o"
+  "CMakeFiles/sp_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/sp_text.dir/vocabulary.cc.o"
+  "CMakeFiles/sp_text.dir/vocabulary.cc.o.d"
+  "libsp_text.a"
+  "libsp_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

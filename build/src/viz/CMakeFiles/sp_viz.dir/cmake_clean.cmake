@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_viz.dir/ascii.cc.o"
+  "CMakeFiles/sp_viz.dir/ascii.cc.o.d"
+  "CMakeFiles/sp_viz.dir/json_export.cc.o"
+  "CMakeFiles/sp_viz.dir/json_export.cc.o.d"
+  "libsp_viz.a"
+  "libsp_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

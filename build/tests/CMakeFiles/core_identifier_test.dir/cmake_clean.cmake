@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_identifier_test.dir/core_identifier_test.cc.o"
+  "CMakeFiles/core_identifier_test.dir/core_identifier_test.cc.o.d"
+  "core_identifier_test"
+  "core_identifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_identifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

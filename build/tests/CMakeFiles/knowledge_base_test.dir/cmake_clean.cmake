@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_base_test.dir/knowledge_base_test.cc.o"
+  "CMakeFiles/knowledge_base_test.dir/knowledge_base_test.cc.o.d"
+  "knowledge_base_test"
+  "knowledge_base_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
