@@ -30,7 +30,7 @@ void Ingest(StoryPivotEngine& engine, const datagen::Corpus& corpus,
   for (size_t i = begin; i < end; ++i) {
     Snippet copy = corpus.snippets[i];
     copy.id = kInvalidSnippetId;
-    engine.AddSnippet(std::move(copy)).value();
+    SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
   }
 }
 
@@ -84,7 +84,7 @@ void Run() {
   for (size_t i = 0; i < n; ++i) {
     Snippet copy = corpus.snippets[i];
     copy.id = kInvalidSnippetId;
-    traced->AddSnippet(std::move(copy)).value();
+    SP_CHECK_OK(traced->AddSnippet(std::move(copy)));
     if ((i + 1) % step == 0) {
       std::printf("  after %6zu events: %5zu per-source stories\n", i + 1,
                   traced->TotalStories());

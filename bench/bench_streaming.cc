@@ -57,7 +57,7 @@ void Run() {
     Snippet copy = corpus.snippets[i];
     copy.id = kInvalidSnippetId;
     WallTimer timer;
-    engine.AddSnippet(std::move(copy)).value();
+    SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
     latencies_us.push_back(timer.ElapsedNanos() / 1e3);
     if (i + 1 == next_checkpoint || i + 1 == corpus.snippets.size()) {
       WallTimer align_timer;
@@ -87,7 +87,7 @@ void Run() {
   size_t to_remove = urls.size() / 20;
   WallTimer removal_timer;
   for (size_t i = 0; i < to_remove; ++i) {
-    engine.RemoveDocument(urls[i * 20]).ok();
+    SP_CHECK_OK(engine.RemoveDocument(urls[i * 20]));
   }
   std::printf("removed %zu documents in %.1f ms (%.1f us/doc, with story "
               "split checks)\n",
@@ -118,7 +118,7 @@ void Run() {
     for (size_t i = 0; i < corpus.snippets.size(); ++i) {
       Snippet copy = corpus.snippets[i];
       copy.id = kInvalidSnippetId;
-      periodic.AddSnippet(std::move(copy)).value();
+      SP_CHECK_OK(periodic.AddSnippet(std::move(copy)));
       if ((i + 1) % 200 == 0) {
         WallTimer t;
         periodic.Align();

@@ -41,7 +41,7 @@ int main() {
   for (const Snippet& snippet : corpus.snippets) {
     Snippet copy = snippet;
     copy.id = kInvalidSnippetId;
-    engine.AddSnippet(std::move(copy)).value();
+    SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
   }
   const AlignmentResult& alignment = engine.Align();
 

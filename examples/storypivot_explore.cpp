@@ -93,16 +93,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     owned = std::make_unique<StoryPivotEngine>();
-    owned->ImportVocabularies(*imported.value().entity_vocabulary,
-                              *imported.value().keyword_vocabulary)
-        .ok();
+    SP_CHECK_OK(owned->ImportVocabularies(*imported.value().entity_vocabulary,
+                              *imported.value().keyword_vocabulary));
     for (const SourceInfo& s : imported.value().sources) {
       owned->RegisterSource(s.name);
     }
     for (const Snippet& snippet : imported.value().snippets) {
       Snippet copy = snippet;
       copy.id = kInvalidSnippetId;
-      owned->AddSnippet(std::move(copy)).value();
+      SP_CHECK_OK(owned->AddSnippet(std::move(copy)));
     }
   } else {
     // Embedded MH17 corpus through the raw-text pipeline.
@@ -111,7 +110,7 @@ int main(int argc, char** argv) {
     for (const SourceInfo& s : corpus.sources) owned->RegisterSource(s.name);
     datagen::PopulateMh17Gazetteer(corpus, owned->gazetteer());
     for (const Document& doc : corpus.documents) {
-      owned->AddDocument(doc).value();
+      SP_CHECK_OK(owned->AddDocument(doc));
     }
   }
   engine = owned.get();

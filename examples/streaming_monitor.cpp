@@ -45,7 +45,7 @@ int main() {
   for (size_t i = 0; i < corpus.snippets.size(); ++i) {
     Snippet copy = corpus.snippets[i];
     copy.id = kInvalidSnippetId;
-    engine.AddSnippet(std::move(copy)).value();
+    SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
 
     if ((i + 1) % digest_every != 0) continue;
 

@@ -17,6 +17,7 @@
 #include "core/query.h"
 #include "datagen/mh17.h"
 #include "text/knowledge_base.h"
+#include "util/logging.h"
 #include "viz/ascii.h"
 
 int main() {
@@ -83,8 +84,10 @@ int main() {
   // --- Module 5: dynamic removal (the demo lets users remove documents
   // and watch stories change).
   std::printf("\n==== Removing the Dutch-report documents ====\n");
-  engine.RemoveDocument("nytimes.com/doc7.html").ok();
-  engine.RemoveDocument("online.wsj.com/doc8.html").ok();
+  for (const char* url :
+       {"nytimes.com/doc7.html", "online.wsj.com/doc8.html"}) {
+    SP_CHECK_OK(engine.RemoveDocument(url));
+  }
   engine.Align();
   std::printf("stories after removal:\n%s\n",
               viz::RenderStoryTable(query.IntegratedStories()).c_str());

@@ -61,7 +61,7 @@ Status StoryPivotEngine::RemoveSource(SourceId source) {
     const Snippet* snippet = store_.Find(sid);
     SP_CHECK(snippet != nullptr);
     df_.RemoveDocument(snippet->keywords);
-    store_.Remove(sid).ok();
+    SP_CHECK_OK(store_.Remove(sid));
     ++stats_.snippets_removed;
   }
   partitions_.erase(it);
@@ -95,8 +95,7 @@ Status StoryPivotEngine::ImportVocabularies(
     }
     return Status::OK();
   };
-  Status s = import(entities, &entity_vocab_);
-  if (!s.ok()) return s;
+  RETURN_IF_ERROR(import(entities, &entity_vocab_));
   return import(keywords, &keyword_vocab_);
 }
 

@@ -89,7 +89,7 @@ class StoryPivotEngine {
   /// Removes a source with all its snippets and stories (§2.4: "any story
   /// detection system should allow the addition or removal of data
   /// sources").
-  Status RemoveSource(SourceId source);
+  [[nodiscard]] Status RemoveSource(SourceId source);
 
   const std::vector<SourceInfo>& sources() const { return sources_; }
 
@@ -106,8 +106,8 @@ class StoryPivotEngine {
   /// corpus) in id order, so pre-annotated snippets can be ingested with
   /// their TermIds intact. Call before interning anything else; fails when
   /// existing ids conflict.
-  Status ImportVocabularies(const text::Vocabulary& entities,
-                            const text::Vocabulary& keywords);
+  [[nodiscard]] Status ImportVocabularies(const text::Vocabulary& entities,
+                                          const text::Vocabulary& keywords);
 
   text::Vocabulary* entity_vocabulary() { return &entity_vocab_; }
   text::Vocabulary* keyword_vocabulary() { return &keyword_vocab_; }
@@ -121,24 +121,26 @@ class StoryPivotEngine {
   /// Extracts one snippet per paragraph of `document` (annotated with the
   /// document title for context) and runs story identification on each.
   /// Returns the new snippet ids.
-  Result<std::vector<SnippetId>> AddDocument(const Document& document);
+  [[nodiscard]] Result<std::vector<SnippetId>> AddDocument(
+      const Document& document);
 
   /// Ingests a pre-annotated snippet. Assigns an id when the snippet has
   /// none. The snippet's source must be registered.
-  Result<SnippetId> AddSnippet(Snippet snippet);
+  [[nodiscard]] Result<SnippetId> AddSnippet(Snippet snippet);
 
   /// Inserts a snippet directly into the given story of its source,
   /// bypassing story identification. Used to warm-start an engine from a
   /// snapshot of a previous run (§4.2.2: precomputed large-scale results)
   /// or to replicate another engine's state. The story is created if it
   /// does not exist; `snippet.id` may be pre-assigned.
-  Result<SnippetId> AdoptAssignment(Snippet snippet, StoryId story);
+  [[nodiscard]] Result<SnippetId> AdoptAssignment(Snippet snippet,
+                                                  StoryId story);
 
   /// Removes every snippet extracted from `url`, with story split checks.
-  Status RemoveDocument(const std::string& url);
+  [[nodiscard]] Status RemoveDocument(const std::string& url);
 
   /// Removes one snippet, split-checking its story.
-  Status RemoveSnippet(SnippetId id);
+  [[nodiscard]] Status RemoveSnippet(SnippetId id);
 
   // --- Alignment & refinement --------------------------------------------
 

@@ -87,10 +87,8 @@ Status SaveSnapshotToFile(const StoryPivotEngine& engine,
 Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
     const std::string& contents, EngineConfig config) {
   DsvReader reader('\t');
-  Result<std::vector<std::vector<std::string>>> parsed =
-      reader.Parse(contents);
-  if (!parsed.ok()) return parsed.status();
-  const auto& rows = parsed.value();
+  ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                   reader.Parse(contents));
   if (rows.empty() || rows[0].size() != 2 ||
       rows[0][0] != "#storypivot-snapshot" || rows[0][1] != "v1") {
     return Status::InvalidArgument("not a v1 storypivot snapshot");
@@ -136,15 +134,10 @@ Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
       snippet.document_url = row[6];
       snippet.event_type = row[7];
       snippet.description = row[8];
-      Result<text::TermVector> ents = DecodeTerms(row[9]);
-      if (!ents.ok()) return ents.status();
-      snippet.entities = std::move(ents).value();
-      Result<text::TermVector> kws = DecodeTerms(row[10]);
-      if (!kws.ok()) return kws.status();
-      snippet.keywords = std::move(kws).value();
-      Result<SnippetId> adopted = engine->AdoptAssignment(
-          std::move(snippet), static_cast<StoryId>(story));
-      if (!adopted.ok()) return adopted.status();
+      ASSIGN_OR_RETURN(snippet.entities, DecodeTerms(row[9]));
+      ASSIGN_OR_RETURN(snippet.keywords, DecodeTerms(row[10]));
+      RETURN_IF_ERROR(engine->AdoptAssignment(
+          std::move(snippet), static_cast<StoryId>(story)));
     } else {
       return bad("unknown record kind");
     }
@@ -154,9 +147,8 @@ Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
 
 Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshotFromFile(
     const std::string& path, EngineConfig config) {
-  Result<std::string> contents = ReadFileToString(path);
-  if (!contents.ok()) return contents.status();
-  return LoadSnapshot(contents.value(), config);
+  ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return LoadSnapshot(contents, config);
 }
 
 }  // namespace storypivot

@@ -18,21 +18,21 @@ namespace storypivot {
 /// The alignment result is not persisted: it is derived state and is
 /// recomputed with one `Align()` call after loading (cheap relative to
 /// identification).
-std::string SaveSnapshot(const StoryPivotEngine& engine);
+[[nodiscard]] std::string SaveSnapshot(const StoryPivotEngine& engine);
 
 /// Writes `SaveSnapshot(engine)` to `path`.
-Status SaveSnapshotToFile(const StoryPivotEngine& engine,
-                          const std::string& path);
+[[nodiscard]] Status SaveSnapshotToFile(const StoryPivotEngine& engine,
+                                        const std::string& path);
 
 /// Reconstructs an engine from snapshot `contents`, using `config` for
 /// all runtime knobs (the snapshot stores state, not configuration).
 /// Story ids and snippet ids are preserved; source ids may be remapped
 /// (names are authoritative).
-Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
+[[nodiscard]] Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
     const std::string& contents, EngineConfig config = {});
 
 /// Reads and reconstructs from a file.
-Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshotFromFile(
+[[nodiscard]] Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshotFromFile(
     const std::string& path, EngineConfig config = {});
 
 }  // namespace storypivot

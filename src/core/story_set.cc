@@ -42,7 +42,8 @@ void StorySet::RemoveSnippet(const Snippet& snippet,
   }
   story.RemoveSnippet(snippet, survivors);
   story_of_.erase(assign_it);
-  snippet_times_.Erase(snippet.timestamp, snippet.id);
+  // The snippet was assigned, so the temporal index must know it.
+  SP_CHECK(snippet_times_.Erase(snippet.timestamp, snippet.id));
   entity_index_.Remove(snippet.id);
   if (story.empty()) stories_.erase(story_it);
 }

@@ -58,7 +58,7 @@ class StorySet {
   StoryId StoryOf(SnippetId id) const;
 
   /// Returns the story or nullptr.
-  const Story* FindStory(StoryId id) const;
+  [[nodiscard]] const Story* FindStory(StoryId id) const;
 
   const std::unordered_map<StoryId, Story>& stories() const {
     return stories_;

@@ -50,10 +50,8 @@ Status ExportTsvToFile(const Corpus& corpus, const std::string& path) {
 
 Result<ImportedCorpus> ImportTsv(const std::string& contents) {
   DsvReader reader('\t');
-  Result<std::vector<std::vector<std::string>>> parsed =
-      reader.Parse(contents);
-  if (!parsed.ok()) return parsed.status();
-  const auto& rows = parsed.value();
+  ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                   reader.Parse(contents));
   if (rows.empty()) return Status::InvalidArgument("empty TSV");
 
   ImportedCorpus out;

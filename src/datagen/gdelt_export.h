@@ -21,7 +21,8 @@ namespace storypivot::datagen {
 std::string ExportTsv(const Corpus& corpus);
 
 /// Writes `ExportTsv(corpus)` to `path`.
-Status ExportTsvToFile(const Corpus& corpus, const std::string& path);
+[[nodiscard]] Status ExportTsvToFile(const Corpus& corpus,
+                                     const std::string& path);
 
 /// Parsed form of an imported TSV corpus: snippets plus the vocabularies
 /// reconstructed from the term strings.
@@ -34,7 +35,7 @@ struct ImportedCorpus {
 
 /// Parses TSV content produced by ExportTsv. Term ids are re-interned, so
 /// they need not match the exporting process's ids, but names round-trip.
-Result<ImportedCorpus> ImportTsv(const std::string& contents);
+[[nodiscard]] Result<ImportedCorpus> ImportTsv(const std::string& contents);
 
 }  // namespace storypivot::datagen
 

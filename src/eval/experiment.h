@@ -55,7 +55,7 @@ struct ExperimentRow {
 
 /// Runs one experiment end to end: generate -> ingest (timed) -> align ->
 /// refine -> score. Deterministic given the config.
-ExperimentRow RunExperiment(const ExperimentConfig& config);
+[[nodiscard]] ExperimentRow RunExperiment(const ExperimentConfig& config);
 
 /// Scores the engine's current state against ground truth labels carried
 /// by the snippets (Snippet::truth_story >= 0 required). Usable on
@@ -68,11 +68,11 @@ struct QualityScores {
   double sa_nmi = 0.0;
   double sa_ari = 0.0;
 };
-QualityScores ScoreEngine(const StoryPivotEngine& engine);
+[[nodiscard]] QualityScores ScoreEngine(const StoryPivotEngine& engine);
 
 /// Renders rows as an aligned text table (the statistics module's tabular
 /// view).
-std::string FormatRows(const std::vector<ExperimentRow>& rows);
+[[nodiscard]] std::string FormatRows(const std::vector<ExperimentRow>& rows);
 
 }  // namespace storypivot::eval
 

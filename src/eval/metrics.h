@@ -31,24 +31,24 @@ struct PairCounts {
 /// Counts co-clustered pairs. `truth` and `predicted` are parallel label
 /// vectors (arbitrary label values; equal label = same cluster).
 /// O(n) via the contingency table.
-PairCounts CountPairs(const std::vector<int64_t>& truth,
+[[nodiscard]] PairCounts CountPairs(const std::vector<int64_t>& truth,
                       const std::vector<int64_t>& predicted);
 
 /// Pairwise precision/recall/F1 — the F-measure of the paper's Fig. 7.
-PrfScores PairwiseF(const std::vector<int64_t>& truth,
+[[nodiscard]] PrfScores PairwiseF(const std::vector<int64_t>& truth,
                     const std::vector<int64_t>& predicted);
 
 /// B-cubed precision/recall/F1 (Bagga & Baldwin) — element-weighted,
 /// fairer on skewed story sizes.
-PrfScores BCubed(const std::vector<int64_t>& truth,
+[[nodiscard]] PrfScores BCubed(const std::vector<int64_t>& truth,
                  const std::vector<int64_t>& predicted);
 
 /// Normalised mutual information in [0, 1] (arithmetic-mean normaliser).
-double NormalizedMutualInformation(const std::vector<int64_t>& truth,
+[[nodiscard]] double NormalizedMutualInformation(const std::vector<int64_t>& truth,
                                    const std::vector<int64_t>& predicted);
 
 /// Adjusted Rand index in [-1, 1] (1 = perfect, ~0 = random).
-double AdjustedRandIndex(const std::vector<int64_t>& truth,
+[[nodiscard]] double AdjustedRandIndex(const std::vector<int64_t>& truth,
                          const std::vector<int64_t>& predicted);
 
 /// Homogeneity, completeness and their harmonic mean (V-measure).

@@ -23,13 +23,13 @@ class SnippetStore {
   /// Inserts a snippet, assigning a fresh id when `snippet.id` is
   /// kInvalidSnippetId. Returns the stored snippet's id, or an error if an
   /// explicit id already exists.
-  Result<SnippetId> Insert(Snippet snippet);
+  [[nodiscard]] Result<SnippetId> Insert(Snippet snippet);
 
   /// Returns the snippet or nullptr.
-  const Snippet* Find(SnippetId id) const;
+  [[nodiscard]] const Snippet* Find(SnippetId id) const;
 
   /// Removes a snippet; returns NotFound if absent.
-  Status Remove(SnippetId id);
+  [[nodiscard]] Status Remove(SnippetId id);
 
   /// Number of stored snippets.
   size_t size() const { return snippets_.size(); }

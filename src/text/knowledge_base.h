@@ -37,7 +37,7 @@ class KnowledgeBase {
   void Add(KnowledgeEntry entry);
 
   /// Looks up an entity by canonical name; nullptr if unknown.
-  const KnowledgeEntry* Find(std::string_view name) const;
+  [[nodiscard]] const KnowledgeEntry* Find(std::string_view name) const;
 
   /// Entities of the given type.
   std::vector<const KnowledgeEntry*> FindByType(std::string_view type) const;

@@ -9,7 +9,7 @@ namespace storypivot::text {
 /// Returns true if `word` (expected lowercase) is an English stopword.
 /// The embedded list covers determiners, pronouns, prepositions,
 /// conjunctions, auxiliaries and a handful of news boilerplate words.
-bool IsStopword(std::string_view word);
+[[nodiscard]] bool IsStopword(std::string_view word);
 
 /// Returns the full embedded stopword list (sorted, lowercase).
 const std::vector<std::string_view>& StopwordList();

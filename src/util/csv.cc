@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/strings.h"
+
 namespace storypivot {
 namespace {
 
@@ -43,9 +45,12 @@ Result<std::vector<std::vector<std::string>>> DsvReader::Parse(
   std::string field;
   bool in_quotes = false;
   bool row_started = false;
+  size_t line = 1;        // 1-based input line for error messages.
+  size_t quote_line = 0;  // Line where the open quote started.
   size_t i = 0;
   while (i < contents.size()) {
     char c = contents[i];
+    if (c == '\n') ++line;
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < contents.size() && contents[i + 1] == '"') {
@@ -63,6 +68,7 @@ Result<std::vector<std::vector<std::string>>> DsvReader::Parse(
     }
     if (c == '"' && field.empty()) {
       in_quotes = true;
+      quote_line = line;
       row_started = true;
       ++i;
       continue;
@@ -94,7 +100,8 @@ Result<std::vector<std::vector<std::string>>> DsvReader::Parse(
     ++i;
   }
   if (in_quotes) {
-    return Status::InvalidArgument("unterminated quoted field");
+    return Status::InvalidArgument(StrFormat(
+        "line %zu: unterminated quoted field", quote_line));
   }
   if (row_started || !field.empty()) {
     row.push_back(std::move(field));
@@ -105,9 +112,14 @@ Result<std::vector<std::vector<std::string>>> DsvReader::Parse(
 
 Result<std::vector<std::vector<std::string>>> DsvReader::ReadFile(
     const std::string& path) const {
-  Result<std::string> contents = ReadFileToString(path);
-  if (!contents.ok()) return contents.status();
-  return Parse(contents.value());
+  ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  Result<std::vector<std::vector<std::string>>> rows = Parse(contents);
+  if (!rows.ok()) {
+    // Re-wrap with the path so the error locates both file and line.
+    return Status(rows.status().code(),
+                  path + ": " + rows.status().message());
+  }
+  return rows;
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {

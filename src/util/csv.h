@@ -23,7 +23,7 @@ class DsvWriter {
   const std::string& contents() const { return buffer_; }
 
   /// Writes the buffer to `path`, replacing any existing file.
-  Status Flush(const std::string& path) const;
+  [[nodiscard]] Status Flush(const std::string& path) const;
 
  private:
   char delimiter_;
@@ -36,12 +36,14 @@ class DsvReader {
  public:
   explicit DsvReader(char delimiter = '\t') : delimiter_(delimiter) {}
 
-  /// Parses the full `contents` into rows of fields.
-  Result<std::vector<std::vector<std::string>>> Parse(
+  /// Parses the full `contents` into rows of fields. Errors carry the
+  /// 1-based line number of the offending input.
+  [[nodiscard]] Result<std::vector<std::vector<std::string>>> Parse(
       std::string_view contents) const;
 
-  /// Reads and parses the file at `path`.
-  Result<std::vector<std::vector<std::string>>> ReadFile(
+  /// Reads and parses the file at `path`. Errors are prefixed with the
+  /// path so they survive propagation up the stack.
+  [[nodiscard]] Result<std::vector<std::vector<std::string>>> ReadFile(
       const std::string& path) const;
 
  private:
@@ -49,10 +51,11 @@ class DsvReader {
 };
 
 /// Reads an entire file into a string.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 /// Writes `contents` to `path`, replacing any existing file.
-Status WriteStringToFile(const std::string& path, std::string_view contents);
+[[nodiscard]] Status WriteStringToFile(const std::string& path,
+                                       std::string_view contents);
 
 }  // namespace storypivot
 

@@ -43,5 +43,11 @@ void DieBadResultAccess(const Status& status) {
   std::abort();
 }
 
+void DieStatusNotOk(const Status& status, const char* file, int line) {
+  std::fprintf(stderr, "%s:%d: SP_CHECK_OK failed: %s\n", file, line,
+               status.ToString().c_str());
+  std::abort();
+}
+
 }  // namespace internal_status
 }  // namespace storypivot

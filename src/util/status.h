@@ -26,7 +26,12 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value. `Status` is cheap to copy in the
 /// success case (no allocation) and carries a message otherwise.
-class Status {
+///
+/// The class is `[[nodiscard]]`: with exceptions disabled, an ignored
+/// `Status` return is a silently swallowed error, so discarding one is a
+/// compile error under `-Werror=unused-result`. Use `RETURN_IF_ERROR` to
+/// propagate, or `IgnoreError()` when failure is genuinely acceptable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -34,35 +39,35 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Renders "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_;
@@ -71,27 +76,28 @@ class Status {
 
 /// Holds either a value of type `T` or an error `Status`. Accessing the
 /// value of an errored result aborts the process (there are no exceptions),
-/// so callers must check `ok()` first.
+/// so callers must check `ok()` first. Like `Status`, the type is
+/// `[[nodiscard]]`; use `ASSIGN_OR_RETURN` to unwrap-or-propagate.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value, so functions can `return value;`.
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
   /// Implicit construction from an error status.
   Result(Status status) : status_(std::move(status)) {}  // NOLINT
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     AbortIfError();
     return value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     AbortIfError();
     return value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     AbortIfError();
     return std::move(value_);
   }
@@ -105,6 +111,14 @@ class Result {
 
 namespace internal_status {
 [[noreturn]] void DieBadResultAccess(const Status& status);
+[[noreturn]] void DieStatusNotOk(const Status& status, const char* file,
+                                 int line);
+
+inline const Status& ToStatus(const Status& status) { return status; }
+template <typename T>
+const Status& ToStatus(const Result<T>& result) {
+  return result.status();
+}
 }  // namespace internal_status
 
 template <typename T>
@@ -112,6 +126,66 @@ void Result<T>::AbortIfError() const {
   if (!status_.ok()) internal_status::DieBadResultAccess(status_);
 }
 
+/// Explicitly discards a `Status` or `Result<T>` whose failure is
+/// acceptable. Prefer this over a bare `(void)` cast: it is greppable and
+/// states intent.
+template <typename T>
+void IgnoreError(T&&) {}
+
 }  // namespace storypivot
+
+// --- Error-propagation macros ----------------------------------------------
+//
+// The project compiles with -fno-exceptions, so every fallible call must
+// thread a Status/Result back to its caller by hand. These macros make the
+// happy path read linearly:
+//
+//   Status Load(const std::string& path) {
+//     ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+//     RETURN_IF_ERROR(ParseInto(contents, &state_));
+//     return Status::OK();
+//   }
+//
+// Both macros work inside any function whose return type is `Status` or a
+// `Result<T>` (which converts implicitly from `Status`).
+
+#define SP_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define SP_STATUS_MACROS_CONCAT_(x, y) SP_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+/// Evaluates `expr` (a `Status` or `Result<T>` expression) and returns its
+/// error status from the current function if it is not OK. A `Result`'s
+/// value is discarded on the success path.
+#define RETURN_IF_ERROR(expr)                                         \
+  do {                                                                \
+    ::storypivot::Status sp_status_tmp_ =                             \
+        ::storypivot::internal_status::ToStatus((expr));              \
+    if (!sp_status_tmp_.ok()) return sp_status_tmp_;                  \
+  } while (false)
+
+/// Evaluates `rexpr` (a `Result<T>` expression); on success moves the value
+/// into `lhs` (which may be a declaration such as `auto v` or an existing
+/// lvalue), otherwise returns the error status from the current function.
+#define ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  SP_ASSIGN_OR_RETURN_IMPL_(                                             \
+      SP_STATUS_MACROS_CONCAT_(sp_result_tmp_, __LINE__), lhs, rexpr)
+
+#define SP_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+/// Aborts the process with the status message when `expr` (a `Status` or
+/// `Result<T>` expression) is not OK. For call sites where failure means a
+/// programming error, e.g. inserting into a store that was just checked.
+#define SP_CHECK_OK(expr)                                                \
+  do {                                                                   \
+    const auto& sp_check_ok_tmp_ = (expr);                               \
+    if (!::storypivot::internal_status::ToStatus(sp_check_ok_tmp_)       \
+             .ok()) {                                                    \
+      ::storypivot::internal_status::DieStatusNotOk(                     \
+          ::storypivot::internal_status::ToStatus(sp_check_ok_tmp_),     \
+          __FILE__, __LINE__);                                           \
+    }                                                                    \
+  } while (false)
 
 #endif  // STORYPIVOT_UTIL_STATUS_H_

@@ -10,33 +10,36 @@ namespace storypivot {
 
 /// Splits `text` on the single character `sep`. Empty fields are kept, so
 /// Split("a,,b", ',') == {"a", "", "b"} and Split("", ',') == {""}.
-std::vector<std::string_view> Split(std::string_view text, char sep);
+[[nodiscard]] std::vector<std::string_view> Split(std::string_view text,
+                                                  char sep);
 
 /// Joins `parts` with `sep` between consecutive elements.
-std::string Join(const std::vector<std::string>& parts, std::string_view sep);
-std::string Join(const std::vector<std::string_view>& parts,
-                 std::string_view sep);
+[[nodiscard]] std::string Join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+[[nodiscard]] std::string Join(const std::vector<std::string_view>& parts,
+                               std::string_view sep);
 
 /// Removes ASCII whitespace from both ends.
-std::string_view Trim(std::string_view text);
+[[nodiscard]] std::string_view Trim(std::string_view text);
 
 /// ASCII lowercase copy.
-std::string ToLower(std::string_view text);
+[[nodiscard]] std::string ToLower(std::string_view text);
 
-bool StartsWith(std::string_view text, std::string_view prefix);
-bool EndsWith(std::string_view text, std::string_view suffix);
+[[nodiscard]] bool StartsWith(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool EndsWith(std::string_view text, std::string_view suffix);
 
 /// printf-style formatting into a std::string. The format string is checked
 /// by the compiler.
-std::string StrFormat(const char* fmt, ...)
+[[nodiscard]] std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /// Parses a signed 64-bit integer; returns false on malformed input or
-/// overflow. Leading/trailing whitespace is not accepted.
-bool ParseInt64(std::string_view text, int64_t* out);
+/// overflow. Leading/trailing whitespace is not accepted. The result is
+/// meaningless if the return value is ignored, hence [[nodiscard]].
+[[nodiscard]] bool ParseInt64(std::string_view text, int64_t* out);
 
 /// Parses a double; returns false on malformed input.
-bool ParseDouble(std::string_view text, double* out);
+[[nodiscard]] bool ParseDouble(std::string_view text, double* out);
 
 }  // namespace storypivot
 

@@ -1,0 +1,15 @@
+// Scratch TU that deliberately ignores a [[nodiscard]] Status return. It
+// must FAIL to compile under the project's -Werror=unused-result
+// discipline; the lint.nodiscard_compile_fail CTest test invokes the
+// compiler on it with WILL_FAIL set, so a successful compile (i.e. the
+// discipline regressing) fails the suite. Not part of any build target.
+#include "util/csv.h"
+#include "util/status.h"
+
+int main() {
+  // Error: discards Result<std::string>.
+  storypivot::ReadFileToString("/nonexistent");
+  // Error: discards Status.
+  storypivot::WriteStringToFile("/nonexistent", "contents");
+  return 0;
+}

@@ -92,10 +92,8 @@ TEST(EngineTest, AddDocumentExtractsSnippetsPerParagraph) {
 TEST(EngineTest, RemoveDocumentRemovesItsSnippets) {
   StoryPivotEngine engine;
   SourceId src = engine.RegisterSource("s");
-  engine.AddSnippet(MakeSnippet(src, 0, {{0, 1.0}}, {{5, 1.0}}, "doc1"))
-      .value();
-  engine.AddSnippet(MakeSnippet(src, 10, {{0, 1.0}}, {{5, 1.0}}, "doc1"))
-      .value();
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(src, 0, {{0, 1.0}}, {{5, 1.0}}, "doc1")));
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(src, 10, {{0, 1.0}}, {{5, 1.0}}, "doc1")));
   SnippetId keep =
       engine.AddSnippet(MakeSnippet(src, 20, {{0, 1.0}}, {{5, 1.0}}, "doc2"))
           .value();
@@ -147,8 +145,8 @@ TEST(EngineTest, RemoveSourceDropsEverything) {
   StoryPivotEngine engine;
   SourceId a = engine.RegisterSource("a");
   SourceId b = engine.RegisterSource("b");
-  engine.AddSnippet(MakeSnippet(a, 0, {{0, 1.0}}, {{5, 1.0}})).value();
-  engine.AddSnippet(MakeSnippet(b, 0, {{0, 1.0}}, {{5, 1.0}})).value();
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(a, 0, {{0, 1.0}}, {{5, 1.0}})));
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(b, 0, {{0, 1.0}}, {{5, 1.0}})));
   ASSERT_TRUE(engine.RemoveSource(a).ok());
   EXPECT_EQ(engine.partition(a), nullptr);
   EXPECT_EQ(engine.store().size(), 1u);
@@ -162,11 +160,11 @@ TEST(EngineTest, RemoveSourceDropsEverything) {
 TEST(EngineTest, AlignmentStalenessTracking) {
   StoryPivotEngine engine;
   SourceId src = engine.RegisterSource("s");
-  engine.AddSnippet(MakeSnippet(src, 0, {{0, 1.0}}, {{5, 1.0}})).value();
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(src, 0, {{0, 1.0}}, {{5, 1.0}})));
   EXPECT_FALSE(engine.has_alignment());
   engine.Align();
   EXPECT_TRUE(engine.has_alignment());
-  engine.AddSnippet(MakeSnippet(src, 10, {{9, 1.0}}, {{8, 1.0}})).value();
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(src, 10, {{9, 1.0}}, {{8, 1.0}})));
   EXPECT_FALSE(engine.has_alignment()) << "mutation invalidates alignment";
   engine.Align();
   EXPECT_TRUE(engine.has_alignment());
@@ -178,14 +176,12 @@ TEST(EngineTest, CrossSourceAlignmentEndToEnd) {
   SourceId wsj = engine.RegisterSource("WSJ");
   // Both sources report the same story.
   for (int d = 0; d < 3; ++d) {
-    engine
+    SP_CHECK_OK(engine
         .AddSnippet(MakeSnippet(nyt, d * kSecondsPerDay,
-                                {{0, 1.0}, {1, 1.0}}, {{5, 1.0}, {6, 1.0}}))
-        .value();
-    engine
+                                {{0, 1.0}, {1, 1.0}}, {{5, 1.0}, {6, 1.0}})));
+    SP_CHECK_OK(engine
         .AddSnippet(MakeSnippet(wsj, d * kSecondsPerDay + kSecondsPerHour,
-                                {{0, 1.0}, {1, 1.0}}, {{5, 1.0}, {6, 1.0}}))
-        .value();
+                                {{0, 1.0}, {1, 1.0}}, {{5, 1.0}, {6, 1.0}})));
   }
   const AlignmentResult& alignment = engine.Align();
   ASSERT_EQ(alignment.stories.size(), 1u);
@@ -199,7 +195,7 @@ TEST(EngineTest, CrossSourceAlignmentEndToEnd) {
 TEST(EngineTest, RefineReturnsStatsAndKeepsAlignmentFresh) {
   StoryPivotEngine engine;
   SourceId src = engine.RegisterSource("s");
-  engine.AddSnippet(MakeSnippet(src, 0, {{0, 1.0}}, {{5, 1.0}})).value();
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(src, 0, {{0, 1.0}}, {{5, 1.0}})));
   RefinementStats stats = engine.Refine();
   EXPECT_GE(stats.snippets_moved, 0);
   EXPECT_TRUE(engine.has_alignment());
@@ -262,18 +258,15 @@ class QueryFixture : public ::testing::Test {
     ru_ = engine_.entity_vocabulary()->Intern("Russia");
     crash_ = engine_.keyword_vocabulary()->Intern("crash");
     vote_ = engine_.keyword_vocabulary()->Intern("vote");
-    engine_
+    SP_CHECK_OK(engine_
         .AddSnippet(MakeSnippet(src_, MakeTimestamp(2014, 7, 17),
-                                {{ua_, 1.0}, {ru_, 1.0}}, {{crash_, 2.0}}))
-        .value();
-    engine_
+                                {{ua_, 1.0}, {ru_, 1.0}}, {{crash_, 2.0}})));
+    SP_CHECK_OK(engine_
         .AddSnippet(MakeSnippet(src_, MakeTimestamp(2014, 7, 18),
-                                {{ua_, 1.0}, {ru_, 1.0}}, {{crash_, 1.0}}))
-        .value();
-    engine_
+                                {{ua_, 1.0}, {ru_, 1.0}}, {{crash_, 1.0}})));
+    SP_CHECK_OK(engine_
         .AddSnippet(MakeSnippet(src_, MakeTimestamp(2014, 9, 1),
-                                {{ru_, 1.0}}, {{vote_, 1.0}}))
-        .value();
+                                {{ru_, 1.0}}, {{vote_, 1.0}})));
   }
 
   StoryPivotEngine engine_;
@@ -322,7 +315,7 @@ TEST_F(QueryFixture, FindByEventType) {
   Snippet typed = MakeSnippet(src_, MakeTimestamp(2014, 10, 1),
                               {{ru_, 1.0}}, {{vote_, 1.0}});
   typed.event_type = "Politics";
-  engine_.AddSnippet(std::move(typed)).value();
+  SP_CHECK_OK(engine_.AddSnippet(std::move(typed)));
   StoryQuery query(&engine_);
   auto hits = query.FindByEventType("Politics");
   ASSERT_EQ(hits.size(), 1u);
@@ -400,7 +393,7 @@ TEST_P(EngineDeterminism, SameInputSameStories) {
     }
     for (const Snippet& snippet : corpus.snippets) {
       Snippet copy = snippet;
-      engine->AddSnippet(std::move(copy)).value();
+      SP_CHECK_OK(engine->AddSnippet(std::move(copy)));
     }
     // Canonical fingerprint: sorted (snippet id, story id) pairs per source.
     std::vector<std::pair<SnippetId, StoryId>> fingerprint;

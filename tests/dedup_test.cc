@@ -142,7 +142,7 @@ TEST(DedupCorpusTest, CleanCorpusHasFewDuplicates) {
   for (const Snippet& snippet : corpus.snippets) {
     Snippet copy = snippet;
     copy.id = kInvalidSnippetId;
-    engine.AddSnippet(std::move(copy)).value();
+    SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
   }
   // Independent paraphrases should almost never look identical.
   std::vector<DuplicatePair> pairs = FindNearDuplicates(engine);

@@ -26,14 +26,12 @@ TEST(DiagnosticsTest, PerfectDetectionIsCleanReport) {
   SourceId src = engine.RegisterSource("s");
   // Two well-separated stories.
   for (int d = 0; d < 3; ++d) {
-    engine
+    SP_CHECK_OK(engine
         .AddSnippet(MakeSnippet(src, d * kSecondsPerDay, 0,
-                                {{1, 1.0}, {2, 1.0}}))
-        .value();
-    engine
+                                {{1, 1.0}, {2, 1.0}})));
+    SP_CHECK_OK(engine
         .AddSnippet(MakeSnippet(src, d * kSecondsPerDay, 1,
-                                {{8, 1.0}, {9, 1.0}}))
-        .value();
+                                {{8, 1.0}, {9, 1.0}})));
   }
   engine.Align();
   DiagnosticReport report = DiagnoseAlignment(engine);
@@ -55,10 +53,9 @@ TEST(DiagnosticsTest, DetectsFragmentation) {
   SourceId src = engine.RegisterSource("s");
   // One truth story whose two halves are months apart with disjoint
   // content -> detection must split it.
-  engine.AddSnippet(MakeSnippet(src, 0, 0, {{1, 1.0}})).value();
-  engine
-      .AddSnippet(MakeSnippet(src, 90 * kSecondsPerDay, 0, {{5, 1.0}}))
-      .value();
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(src, 0, 0, {{1, 1.0}})));
+  SP_CHECK_OK(engine
+      .AddSnippet(MakeSnippet(src, 90 * kSecondsPerDay, 0, {{5, 1.0}})));
   engine.Align();
   DiagnosticReport report = DiagnoseAlignment(engine);
   ASSERT_EQ(report.stories.size(), 1u);
@@ -71,11 +68,10 @@ TEST(DiagnosticsTest, DetectsContamination) {
   StoryPivotEngine engine;
   SourceId src = engine.RegisterSource("s");
   // Two truth stories with identical content -> detection merges them.
-  engine.AddSnippet(MakeSnippet(src, 0, 0, {{1, 1.0}, {2, 1.0}})).value();
-  engine
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(src, 0, 0, {{1, 1.0}, {2, 1.0}})));
+  SP_CHECK_OK(engine
       .AddSnippet(
-          MakeSnippet(src, kSecondsPerHour, 1, {{1, 1.0}, {2, 1.0}}))
-      .value();
+          MakeSnippet(src, kSecondsPerHour, 1, {{1, 1.0}, {2, 1.0}})));
   engine.Align();
   DiagnosticReport report = DiagnoseAlignment(engine);
   ASSERT_EQ(report.stories.size(), 2u);
@@ -90,8 +86,8 @@ TEST(DiagnosticsTest, DetectsContamination) {
 TEST(DiagnosticsTest, IgnoresUnlabeledSnippets) {
   StoryPivotEngine engine;
   SourceId src = engine.RegisterSource("s");
-  engine.AddSnippet(MakeSnippet(src, 0, -1, {{1, 1.0}})).value();
-  engine.AddSnippet(MakeSnippet(src, 0, 3, {{9, 1.0}})).value();
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(src, 0, -1, {{1, 1.0}})));
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(src, 0, 3, {{9, 1.0}})));
   engine.Align();
   DiagnosticReport report = DiagnoseAlignment(engine);
   ASSERT_EQ(report.stories.size(), 1u);
@@ -114,7 +110,7 @@ TEST(DiagnosticsTest, ReportRendersWorstFirst) {
   for (const Snippet& snippet : corpus.snippets) {
     Snippet copy = snippet;
     copy.id = kInvalidSnippetId;
-    engine.AddSnippet(std::move(copy)).value();
+    SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
   }
   engine.Align();
   DiagnosticReport report = DiagnoseAlignment(engine);

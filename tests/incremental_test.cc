@@ -38,7 +38,7 @@ void Feed(StoryPivotEngine& engine, const datagen::Corpus& corpus,
   for (size_t i = begin; i < end && i < corpus.snippets.size(); ++i) {
     Snippet copy = corpus.snippets[i];
     copy.id = kInvalidSnippetId;
-    engine.AddSnippet(std::move(copy)).value();
+    SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
   }
 }
 
@@ -176,7 +176,7 @@ TEST(IncrementalAlignmentTest, DirtyUpdateScoresOnlyNeighborhood) {
 
   Snippet extra = corpus.snippets[800];
   extra.id = kInvalidSnippetId;
-  engine->AddSnippet(std::move(extra)).value();
+  SP_CHECK_OK(engine->AddSnippet(std::move(extra)));
   uint64_t before = probe.pairs_scored();
   // Find the story the new snippet landed in.
   std::vector<std::pair<SourceId, StoryId>> dirty;

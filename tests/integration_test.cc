@@ -234,7 +234,7 @@ TEST(StreamingIntegration, OutOfOrderArrivalCostsLittleQuality) {
     for (Snippet& s : order) {
       Snippet copy = s;
       copy.id = kInvalidSnippetId;
-      engine.AddSnippet(std::move(copy)).value();
+      SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
     }
     engine.Align();
     return eval::ScoreEngine(engine);

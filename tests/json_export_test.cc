@@ -21,7 +21,7 @@ class JsonFixture : public ::testing::Test {
       s.document_url = "http://doc";
       s.entities = text::TermVector::FromEntries({{ua, 1.0}});
       s.keywords = text::TermVector::FromEntries({{crash, 2.0}});
-      engine_.AddSnippet(std::move(s)).value();
+      SP_CHECK_OK(engine_.AddSnippet(std::move(s)));
     };
     add(nyt_, MakeTimestamp(2014, 7, 17));
     add(wsj_, MakeTimestamp(2014, 7, 17, 6));

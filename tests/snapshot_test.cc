@@ -27,7 +27,7 @@ std::unique_ptr<StoryPivotEngine> BuildPopulatedEngine() {
   for (const Snippet& snippet : corpus.snippets) {
     Snippet copy = snippet;
     copy.id = kInvalidSnippetId;
-    engine->AddSnippet(std::move(copy)).value();
+    SP_CHECK_OK(engine->AddSnippet(std::move(copy)));
   }
   return engine;
 }

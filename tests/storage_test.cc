@@ -248,7 +248,7 @@ TEST(SnippetStoreTest, FindByDocumentTracksAllSnippets) {
   SnippetStore store;
   SnippetId a = store.Insert(MakeSnippet(kInvalidSnippetId, "doc1")).value();
   SnippetId b = store.Insert(MakeSnippet(kInvalidSnippetId, "doc1")).value();
-  store.Insert(MakeSnippet(kInvalidSnippetId, "doc2")).value();
+  SP_CHECK_OK(store.Insert(MakeSnippet(kInvalidSnippetId, "doc2")));
   std::vector<SnippetId> ids = store.FindByDocument("doc1");
   EXPECT_EQ(ids.size(), 2u);
   EXPECT_TRUE(std::count(ids.begin(), ids.end(), a) == 1);
@@ -262,7 +262,7 @@ TEST(SnippetStoreTest, FindByDocumentTracksAllSnippets) {
 TEST(SnippetStoreTest, ForEachVisitsAll) {
   SnippetStore store;
   for (int i = 0; i < 5; ++i) {
-    store.Insert(MakeSnippet(kInvalidSnippetId, "u")).value();
+    SP_CHECK_OK(store.Insert(MakeSnippet(kInvalidSnippetId, "u")));
   }
   size_t count = 0;
   store.ForEach([&](const Snippet&) { ++count; });

@@ -133,7 +133,7 @@ TEST(TrendsCorpusTest, RankingIsDeterministicAndOrdered) {
   for (const Snippet& snippet : corpus.snippets) {
     Snippet copy = snippet;
     copy.id = kInvalidSnippetId;
-    engine.AddSnippet(std::move(copy)).value();
+    SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
   }
   engine.Align();
   Timestamp now = config.end_time - 30 * kSecondsPerDay;

@@ -67,6 +67,100 @@ TEST(ResultTest, MoveOutValue) {
   EXPECT_EQ(v, "payload");
 }
 
+using ResultDeathTest = ::testing::Test;
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r = Status::NotFound("no such row");
+  EXPECT_DEATH({ [[maybe_unused]] int v = r.value(); },
+               "Result<T>::value\\(\\) on error status: "
+               "NotFound: no such row");
+}
+
+TEST(ResultDeathTest, DieBadResultAccessMessageFormat) {
+  // The message must render as "<CodeName>: <message>" so operators can
+  // grep crash logs by status code.
+  Result<std::string> r = Status::IoError("disk on fire");
+  EXPECT_DEATH({ [[maybe_unused]] auto v = std::move(r).value(); },
+               "IoError: disk on fire");
+}
+
+TEST(ResultDeathTest, CheckOkAbortsWithFileAndLine) {
+  EXPECT_DEATH(SP_CHECK_OK(Status::Internal("bad invariant")),
+               "util_test\\.cc.*SP_CHECK_OK failed: Internal: "
+               "bad invariant");
+}
+
+// ------------------------- status macros -----------------------------------
+
+Status FailWhen(bool fail) {
+  if (fail) return Status::InvalidArgument("asked to fail");
+  return Status::OK();
+}
+
+Status PropagateWith(bool fail, bool* reached_end) {
+  RETURN_IF_ERROR(FailWhen(fail));
+  *reached_end = true;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  bool reached_end = false;
+  Status status = PropagateWith(true, &reached_end);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(reached_end);
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPassesThroughOk) {
+  bool reached_end = false;
+  Status status = PropagateWith(false, &reached_end);
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(reached_end);
+}
+
+Result<int> MakeIntResult(bool fail) {
+  if (fail) return Status::OutOfRange("no int for you");
+  return 7;
+}
+
+Result<int> DoubleViaAssignOrReturn(bool fail) {
+  ASSIGN_OR_RETURN(int got, MakeIntResult(fail));
+  return got * 2;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwrapsValue) {
+  Result<int> doubled = DoubleViaAssignOrReturn(false);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 14);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesError) {
+  Result<int> doubled = DoubleViaAssignOrReturn(true);
+  EXPECT_FALSE(doubled.ok());
+  EXPECT_EQ(doubled.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(doubled.status().message(), "no int for you");
+}
+
+Status AssignToExistingLvalue(std::string* out) {
+  // ASSIGN_OR_RETURN also works with an existing lvalue target, and the
+  // RETURN_IF_ERROR overload set accepts Result expressions directly.
+  ASSIGN_OR_RETURN(*out, Result<std::string>(std::string("ok payload")));
+  RETURN_IF_ERROR(Result<int>(5));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnIntoExistingLvalue) {
+  std::string out;
+  Status status = AssignToExistingLvalue(&out);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(out, "ok payload");
+}
+
+TEST(StatusMacrosTest, IgnoreErrorCompilesForStatusAndResult) {
+  IgnoreError(Status::Internal("deliberately dropped"));
+  IgnoreError(MakeIntResult(true));
+}
+
 // --------------------------------- RNG ------------------------------------
 
 TEST(Pcg32Test, DeterministicForSeed) {
@@ -334,6 +428,29 @@ TEST(DsvTest, UnterminatedQuoteIsError) {
   auto rows = reader.Parse("\"oops");
   EXPECT_FALSE(rows.ok());
   EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rows.status().message().find("line 1"), std::string::npos)
+      << rows.status().ToString();
+}
+
+TEST(DsvTest, UnterminatedQuoteErrorNamesOffendingLine) {
+  DsvReader reader(',');
+  auto rows = reader.Parse("a,b\nc,d\ne,\"unclosed");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("line 3"), std::string::npos)
+      << rows.status().ToString();
+}
+
+TEST(DsvTest, ReadFileErrorCarriesPathAndLine) {
+  std::string path = ::testing::TempDir() + "/sp_dsv_badquote.csv";
+  ASSERT_TRUE(WriteStringToFile(path, "x,y\n\"broken").ok());
+  DsvReader reader(',');
+  auto rows = reader.ReadFile(path);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find(path), std::string::npos)
+      << rows.status().ToString();
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos)
+      << rows.status().ToString();
+  std::remove(path.c_str());
 }
 
 TEST(DsvTest, CrLfHandling) {

@@ -23,7 +23,7 @@ class VizFixture : public ::testing::Test {
       s.document_url = "http://doc";
       s.entities = text::TermVector::FromEntries({{ua, 1.0}});
       s.keywords = text::TermVector::FromEntries({{crash, 1.0}});
-      engine_.AddSnippet(std::move(s)).value();
+      SP_CHECK_OK(engine_.AddSnippet(std::move(s)));
     };
     add(nyt_, MakeTimestamp(2014, 7, 17));
     add(nyt_, MakeTimestamp(2014, 7, 18));

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""splint — the StoryPivot repo linter.
+
+Enforces project conventions the compiler cannot, over src/ tests/ bench/
+examples/ (and tools/ headers if any appear):
+
+  banned-function   rand(), sprintf(), vsprintf(), strcpy() anywhere;
+                    argless time(nullptr)/time(NULL)/time(0) in library
+                    code (src/) — pass timestamps in, or use util/rng.h
+                    for randomness so runs stay deterministic.
+  include-guard     headers use #ifndef STORYPIVOT_<PATH>_H_ where <PATH>
+                    is the file path without the leading "src/", upper-
+                    cased, with separators mapped to "_".
+  using-namespace   no `using namespace` at any scope in headers.
+  stdout-in-lib     no std::cout / std::cerr in src/ libraries; use
+                    util/logging.h (SP_LOG) so verbosity stays
+                    controllable.
+  build-artifact    no committed build trees or object/cache files.
+
+A finding can be suppressed on its line with:  // splint: allow(<rule>)
+
+Usage:
+  tools/splint.py [--root REPO_ROOT] [PATH ...]
+
+Exits 0 when clean, 1 when findings exist, 2 on usage errors. Add new
+rules as functions returning (line_number, rule, message) tuples and
+register them in FILE_CHECKS.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+DEFAULT_SCAN_DIRS = ["src", "tests", "bench", "examples"]
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+ALLOW_RE = re.compile(r"//\s*splint:\s*allow\(([a-z-]+)\)")
+LINE_COMMENT_RE = re.compile(r"^\s*//")
+
+BANNED_EVERYWHERE = [
+    (re.compile(r"(?<![A-Za-z0-9_:.>])rand\s*\("), "banned-function",
+     "rand() is banned; use util/rng.h (deterministic, seedable)"),
+    (re.compile(r"(?<![A-Za-z0-9_])(?:v)?sprintf\s*\("), "banned-function",
+     "sprintf()/vsprintf() are banned; use StrFormat() or snprintf()"),
+    (re.compile(r"(?<![A-Za-z0-9_])strcpy\s*\("), "banned-function",
+     "strcpy() is banned; use std::string"),
+]
+
+BANNED_IN_SRC = [
+    (re.compile(r"(?<![A-Za-z0-9_])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+     "banned-function",
+     "argless time() is banned in library code; take a Timestamp "
+     "parameter so behaviour is reproducible"),
+    (re.compile(r"std::c(?:out|err)\b"), "stdout-in-lib",
+     "std::cout/std::cerr are banned in src/; use SP_LOG from "
+     "util/logging.h"),
+]
+
+BUILD_ARTIFACT_RES = [
+    re.compile(r"(^|/)build[^/]*/"),
+    re.compile(r"\.(o|obj|a|so|gcda|gcno)$"),
+    re.compile(r"(^|/)CMakeCache\.txt$"),
+    re.compile(r"(^|/)CMakeFiles/"),
+    re.compile(r"(^|/)compile_commands\.json$"),
+    re.compile(r"(^|/)CTestTestfile\.cmake$"),
+    re.compile(r"(^|/)cmake_install\.cmake$"),
+]
+
+
+def expected_guard(relpath):
+    """STORYPIVOT_<PATH>_H_ for a header path relative to the repo root.
+
+    The leading "src/" is dropped (library headers are included as
+    "core/engine.h"), other directories keep their prefix.
+    """
+    path = relpath
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    stem = re.sub(r"\.(h|hpp)$", "", path)
+    return "STORYPIVOT_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def line_allows(line, rule):
+    match = ALLOW_RE.search(line)
+    return match is not None and match.group(1) == rule
+
+
+def check_banned(relpath, lines):
+    in_src = relpath.startswith("src/")
+    rules = list(BANNED_EVERYWHERE) + (BANNED_IN_SRC if in_src else [])
+    # logging/status/strings own the stderr fallback path that everything
+    # else is told to use instead.
+    exempt_stdout = relpath in (
+        "src/util/logging.cc", "src/util/logging.h",
+        "src/util/status.cc", "src/util/strings.cc",
+    )
+    for number, line in enumerate(lines, start=1):
+        if LINE_COMMENT_RE.match(line):
+            continue
+        for pattern, rule, message in rules:
+            if rule == "stdout-in-lib" and exempt_stdout:
+                continue
+            if pattern.search(line) and not line_allows(line, rule):
+                yield number, rule, message
+
+
+def check_include_guard(relpath, lines):
+    if not relpath.endswith((".h", ".hpp")):
+        return
+    guard = expected_guard(relpath)
+    ifndef_re = re.compile(r"^#ifndef\s+(\S+)")
+    for number, line in enumerate(lines, start=1):
+        match = ifndef_re.match(line)
+        if not match:
+            continue
+        if line_allows(line, "include-guard"):
+            return
+        found = match.group(1)
+        if found != guard:
+            yield number, "include-guard", (
+                "include guard %s does not match expected %s"
+                % (found, guard))
+        elif number >= len(lines) or \
+                not lines[number].startswith("#define %s" % guard):
+            yield number + 1, "include-guard", (
+                "#ifndef %s must be followed by #define %s"
+                % (guard, guard))
+        return
+    yield 1, "include-guard", "header has no include guard (%s)" % guard
+
+
+def check_using_namespace(relpath, lines):
+    if not relpath.endswith((".h", ".hpp")):
+        return
+    pattern = re.compile(r"^\s*using\s+namespace\b")
+    for number, line in enumerate(lines, start=1):
+        if pattern.match(line) and not line_allows(line, "using-namespace"):
+            yield number, "using-namespace", (
+                "`using namespace` in a header leaks into every includer")
+
+
+FILE_CHECKS = [check_banned, check_include_guard, check_using_namespace]
+
+
+def check_build_artifacts(root):
+    """Flags committed files that belong to a build tree."""
+    try:
+        output = subprocess.run(
+            ["git", "ls-files"], cwd=root, capture_output=True, text=True,
+            check=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return  # Not a git checkout (e.g. a tarball); nothing to check.
+    for tracked in output.splitlines():
+        for pattern in BUILD_ARTIFACT_RES:
+            if pattern.search(tracked):
+                yield tracked, 0, "build-artifact", (
+                    "build artifact is committed; remove it and rely on "
+                    ".gitignore")
+                break
+
+
+def iter_source_files(root, paths):
+    for path in paths:
+        absolute = os.path.join(root, path)
+        if os.path.isfile(absolute):
+            yield path
+            continue
+        for directory, _, names in sorted(os.walk(absolute)):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    full = os.path.join(directory, name)
+                    yield os.path.relpath(full, root)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories relative to the root "
+                             "(default: %s)" % " ".join(DEFAULT_SCAN_DIRS))
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = args.paths or [d for d in DEFAULT_SCAN_DIRS
+                           if os.path.isdir(os.path.join(root, d))]
+    # An explicit path that doesn't exist is a caller error (a typo would
+    # otherwise silently lint nothing and report success).
+    for path in args.paths or ():
+        if not os.path.exists(os.path.join(root, path)):
+            print("splint: no such file or directory: %s" % path,
+                  file=sys.stderr)
+            return 2
+
+    findings = []
+    for relpath in iter_source_files(root, paths):
+        relpath = relpath.replace(os.sep, "/")
+        try:
+            with open(os.path.join(root, relpath),
+                      encoding="utf-8", errors="replace") as handle:
+                lines = handle.read().splitlines()
+        except OSError as error:
+            print("splint: cannot read %s: %s" % (relpath, error),
+                  file=sys.stderr)
+            return 2
+        for check in FILE_CHECKS:
+            for number, rule, message in check(relpath, lines) or ():
+                findings.append((relpath, number, rule, message))
+
+    findings.extend(check_build_artifacts(root))
+
+    for relpath, number, rule, message in findings:
+        print("%s:%d: [%s] %s" % (relpath, number, rule, message))
+    if findings:
+        print("splint: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
