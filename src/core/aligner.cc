@@ -7,6 +7,7 @@
 #include "sketch/minhash.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace storypivot {
 namespace {
@@ -40,6 +41,14 @@ struct StoryNode {
   const Story* ptr = nullptr;
 };
 
+/// Below this many nodes the parallel fan-out costs more than it saves.
+constexpr size_t kMinParallelNodes = 64;
+
+/// Chunks-per-thread for pair scoring. Row i of the triangular all-pairs
+/// loop scores n - i - 1 pairs, so equal-row chunks are imbalanced;
+/// over-decomposing lets the shared queue even the load out.
+constexpr size_t kChunksPerThread = 8;
+
 }  // namespace
 
 size_t AlignmentResult::IndexOfMember(SourceId source, StoryId id) const {
@@ -58,7 +67,7 @@ double StoryAligner::StoryPairScore(const Story& a, const Story& b) const {
 
 AlignmentResult StoryAligner::Align(
     const std::vector<const StorySet*>& partitions, const SnippetStore& store,
-    StoryId* next_story_id) const {
+    StoryId* next_story_id, ThreadPool* pool) const {
   SP_CHECK(next_story_id != nullptr);
   AlignmentResult result;
 
@@ -71,50 +80,93 @@ AlignmentResult StoryAligner::Align(
       nodes.push_back({partition->source(), id, &story});
     }
   }
-  UnionFind uf(nodes.size());
+  const size_t n = nodes.size();
+  UnionFind uf(n);
 
   // Candidate pair generation: all cross-source pairs for small inputs,
-  // LSH over story sketches otherwise.
-  auto consider = [&](size_t i, size_t j) {
-    if (i == j) return;
-    if (!config_.allow_same_source_merge &&
-        nodes[i].source == nodes[j].source) {
-      return;
+  // LSH over story sketches otherwise. Either way candidates of row i are
+  // the pairs (i, j) with j > i, so rows can be scored independently.
+  const bool lsh_mode = (config_.use_lsh && n > config_.lsh_min_stories) ||
+                        n > config_.all_pairs_limit;
+  LshIndex lsh(16, 4);
+  std::vector<MinHashSignature> sigs;
+  const bool parallel =
+      pool != nullptr && pool->num_threads() > 1 && n >= kMinParallelNodes;
+  if (lsh_mode) {
+    sigs.resize(n);
+    // Sketch construction is per-node pure work; build sketches in
+    // parallel (disjoint writes), then fill the index serially.
+    auto build = [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        sigs[i] = MinHashSignature::FromContent(nodes[i].ptr->entities(),
+                                                nodes[i].ptr->keywords(),
+                                                config_.sketch_hashes);
+      }
+    };
+    if (parallel) {
+      pool->ParallelFor(n, pool->num_threads() * kChunksPerThread, build);
+    } else {
+      build(0, 0, n);
     }
-    ++result.num_pairs_scored;
-    if (StoryPairScore(*nodes[i].ptr, *nodes[j].ptr) >=
-        config_.align_threshold) {
-      uf.Union(i, j);
+    for (size_t i = 0; i < n; ++i) lsh.Insert(i, sigs[i]);
+  }
+
+  // Scores every candidate pair of rows [begin, end), appending edges at
+  // or above the alignment threshold to `edges` in (i, j) order.
+  auto score_rows = [&](size_t begin, size_t end,
+                        std::vector<std::pair<size_t, size_t>>* edges,
+                        uint64_t* scored) {
+    auto consider = [&](size_t i, size_t j) {
+      if (i == j) return;
+      if (!config_.allow_same_source_merge &&
+          nodes[i].source == nodes[j].source) {
+        return;
+      }
+      ++*scored;
+      if (StoryPairScore(*nodes[i].ptr, *nodes[j].ptr) >=
+          config_.align_threshold) {
+        edges->push_back({i, j});
+      }
+    };
+    for (size_t i = begin; i < end; ++i) {
+      if (lsh_mode) {
+        std::vector<uint64_t> candidates = lsh.Query(sigs[i]);
+        std::sort(candidates.begin(), candidates.end());
+        for (uint64_t j : candidates) {
+          if (j > i) consider(i, static_cast<size_t>(j));
+        }
+      } else {
+        for (size_t j = i + 1; j < n; ++j) consider(i, j);
+      }
     }
   };
 
-  const bool lsh_mode =
-      (config_.use_lsh && nodes.size() > config_.lsh_min_stories) ||
-      nodes.size() > config_.all_pairs_limit;
-  if (!lsh_mode) {
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      for (size_t j = i + 1; j < nodes.size(); ++j) consider(i, j);
+  if (parallel) {
+    // Fan pair scoring out over fixed row chunks; per-chunk edge lists
+    // merge in chunk order, so the union sequence — and with it the
+    // entire result — matches the serial path bit for bit.
+    const size_t num_chunks = pool->num_threads() * kChunksPerThread;
+    std::vector<std::vector<std::pair<size_t, size_t>>> chunk_edges(
+        std::min(num_chunks, n));
+    std::vector<uint64_t> chunk_scored(chunk_edges.size(), 0);
+    pool->ParallelFor(n, num_chunks,
+                      [&](size_t chunk, size_t begin, size_t end) {
+                        score_rows(begin, end, &chunk_edges[chunk],
+                                   &chunk_scored[chunk]);
+                      });
+    for (size_t c = 0; c < chunk_edges.size(); ++c) {
+      result.num_pairs_scored += chunk_scored[c];
+      for (const auto& [i, j] : chunk_edges[c]) uf.Union(i, j);
     }
   } else {
-    LshIndex lsh(16, 4);
-    std::vector<MinHashSignature> sigs;
-    sigs.reserve(nodes.size());
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      sigs.push_back(MinHashSignature::FromContent(
-          nodes[i].ptr->entities(), nodes[i].ptr->keywords(),
-          config_.sketch_hashes));
-      lsh.Insert(i, sigs.back());
-    }
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      for (uint64_t j : lsh.Query(sigs[i])) {
-        if (j > i) consider(i, static_cast<size_t>(j));
-      }
-    }
+    std::vector<std::pair<size_t, size_t>> edges;
+    score_rows(0, n, &edges, &result.num_pairs_scored);
+    for (const auto& [i, j] : edges) uf.Union(i, j);
   }
 
   // Build integrated stories from the union-find components.
   std::unordered_map<size_t, size_t> component_index;
-  for (size_t i = 0; i < nodes.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     size_t root = uf.Find(i);
     auto [it, inserted] =
         component_index.emplace(root, result.stories.size());
@@ -137,19 +189,42 @@ AlignmentResult StoryAligner::Align(
     std::sort(integrated.members.begin(), integrated.members.end());
   }
 
-  ClassifySnippetRoles(*model_, config_, store, &result);
+  ClassifySnippetRoles(*model_, config_, store, &result, pool);
   return result;
 }
 
 void ClassifySnippetRoles(const SimilarityModel& model,
                           const AlignmentConfig& config,
                           const SnippetStore& store,
-                          AlignmentResult* result) {
+                          AlignmentResult* result, ThreadPool* pool) {
   result->roles.clear();
   result->counterpart.clear();
-  for (const IntegratedStory& integrated : result->stories) {
-    ClassifyIntegratedStory(model, config, store, integrated,
-                            &result->roles, &result->counterpart);
+  const size_t n = result->stories.size();
+  if (pool == nullptr || pool->num_threads() <= 1 || n < kMinParallelNodes) {
+    for (const IntegratedStory& integrated : result->stories) {
+      ClassifyIntegratedStory(model, config, store, integrated,
+                              &result->roles, &result->counterpart);
+    }
+    return;
+  }
+  // Every snippet belongs to exactly one integrated story, so per-story
+  // classification writes disjoint key sets; classify concurrently into
+  // per-story maps and merge in story order.
+  std::vector<std::unordered_map<SnippetId, SnippetRole>> roles(n);
+  std::vector<std::unordered_map<SnippetId, SnippetId>> counterparts(n);
+  pool->ParallelFor(n, pool->num_threads() * kChunksPerThread,
+                    [&](size_t, size_t begin, size_t end) {
+                      for (size_t s = begin; s < end; ++s) {
+                        ClassifyIntegratedStory(model, config, store,
+                                                result->stories[s], &roles[s],
+                                                &counterparts[s]);
+                      }
+                    });
+  for (size_t s = 0; s < n; ++s) {
+    result->roles.merge(roles[s]);
+    for (const auto& [sid, other] : counterparts[s]) {
+      result->counterpart.emplace(sid, other);
+    }
   }
 }
 

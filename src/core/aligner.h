@@ -13,6 +13,8 @@
 
 namespace storypivot {
 
+class ThreadPool;
+
 /// Knobs of the story-alignment phase (§2.3).
 struct AlignmentConfig {
   /// Two stories align when content-similarity x temporal-affinity
@@ -91,11 +93,15 @@ struct AlignmentResult {
 /// every integrated story in `result`: a snippet is *aligning* when a
 /// sufficiently similar snippet from another source exists in the same
 /// integrated story within the pair tolerance, else *enriching* (§2.3).
-/// Shared by the batch and incremental aligners.
+/// Shared by the batch and incremental aligners. With a non-null `pool`,
+/// integrated stories are classified concurrently (each story's snippets
+/// belong to it alone, so the per-story maps are disjoint) and merged in
+/// story order — the result is identical to the serial path.
 void ClassifySnippetRoles(const SimilarityModel& model,
                           const AlignmentConfig& config,
                           const SnippetStore& store,
-                          AlignmentResult* result);
+                          AlignmentResult* result,
+                          ThreadPool* pool = nullptr);
 
 /// Classifies a single integrated story's snippets into `roles` /
 /// `counterpart` (see ClassifySnippetRoles). Exposed so the incremental
@@ -121,10 +127,14 @@ class StoryAligner {
   StoryAligner& operator=(const StoryAligner&) = delete;
 
   /// Runs alignment over `partitions`. Integrated ids are drawn from
-  /// `next_story_id`.
+  /// `next_story_id`. With a non-null `pool`, story-pair scoring (and
+  /// snippet-role classification) fans out across the pool; candidate
+  /// pairs are enumerated in a fixed order and edges applied in that
+  /// order, so the result is bit-identical to the serial path for every
+  /// thread count (see DESIGN.md §9).
   AlignmentResult Align(const std::vector<const StorySet*>& partitions,
-                        const SnippetStore& store,
-                        StoryId* next_story_id) const;
+                        const SnippetStore& store, StoryId* next_story_id,
+                        ThreadPool* pool = nullptr) const;
 
   const AlignmentConfig& config() const { return config_; }
 

@@ -1,7 +1,9 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "core/parallel_ingest.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -32,6 +34,9 @@ StoryPivotEngine::StoryPivotEngine(EngineConfig config)
   if (config_.identifier.use_sketch_candidates) {
     // Sketch-based candidate generation needs maintained sketches.
     config_.use_sketches = true;
+  }
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
 }
 
@@ -66,7 +71,16 @@ Status StoryPivotEngine::RemoveSource(SourceId source) {
   }
   partitions_.erase(it);
   sketches_.erase(source);
-  if (config_.incremental_alignment) incremental_aligner_.Invalidate();
+  // Purge the erased source's dirty-story entries: they would dangle into
+  // the next incremental Align() as {source, story} pairs whose partition
+  // no longer exists. The incremental aligner discovers the vanished and
+  // orphaned nodes itself by diffing against the partitions (and its IDF
+  // drift check forces a full rebuild when the removal shifted corpus
+  // statistics), so no blanket invalidation is needed.
+  std::erase_if(dirty_stories_,
+                [source](const std::pair<SourceId, StoryId>& dirty) {
+                  return dirty.first == source;
+                });
   std::erase_if(sources_,
                 [source](const SourceInfo& s) { return s.id == source; });
   stale_ = true;
@@ -125,11 +139,27 @@ Result<std::vector<SnippetId>> StoryPivotEngine::AddDocument(
     snippet.keywords = std::move(annotation.keywords);
     snippet.truth_story = document.truth_story;
     Result<SnippetId> id = AddSnippet(std::move(snippet));
-    if (!id.ok()) return id.status();
+    if (!id.ok()) {
+      // All-or-nothing (§2.4 removal semantics apply to failed adds too):
+      // a partially ingested document would leave orphan paragraphs that
+      // no RemoveDocument(url) of the caller can see consistently, and
+      // `documents_ingested` would undercount them forever.
+      RollbackIngested(ids);
+      return id.status();
+    }
     ids.push_back(id.value());
   }
   ++stats_.documents_ingested;
   return ids;
+}
+
+void StoryPivotEngine::RollbackIngested(const std::vector<SnippetId>& ids) {
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    const Snippet* snippet = store_.Find(*it);
+    SP_CHECK(snippet != nullptr);
+    Snippet copy = *snippet;  // RemoveSnippetInternal invalidates the ptr.
+    RemoveSnippetInternal(copy, /*split_check=*/true);
+  }
 }
 
 Result<SnippetId> StoryPivotEngine::AddSnippet(Snippet snippet) {
@@ -154,8 +184,10 @@ Result<SnippetId> StoryPivotEngine::AddSnippet(Snippet snippet) {
   }
 
   WallTimer timer;
+  StoryId cursor = next_story_id_.load(std::memory_order_relaxed);
   StoryId assigned = identifier_->Identify(*stored, partition, store_,
-                                           sketch_index, &next_story_id_);
+                                           sketch_index, &cursor);
+  next_story_id_.store(cursor, std::memory_order_relaxed);
   stats_.identify_time_ms += timer.ElapsedMillis();
   if (config_.incremental_alignment) {
     dirty_stories_.push_back({stored->source, assigned});
@@ -170,6 +202,102 @@ Result<SnippetId> StoryPivotEngine::AddSnippet(Snippet snippet) {
   ++stats_.snippets_ingested;
   stale_ = true;
   return id;
+}
+
+Result<std::vector<SnippetId>> StoryPivotEngine::AddSnippets(
+    std::vector<Snippet> snippets) {
+  std::vector<SnippetId> ids;
+  if (snippets.empty()) return ids;
+  ids.reserve(snippets.size());
+  for (const Snippet& snippet : snippets) {
+    if (!partitions_.contains(snippet.source)) {
+      return Status::InvalidArgument(
+          StrFormat("unregistered source %u", snippet.source));
+    }
+  }
+
+  // Phase 1 — serialized writes: insert every snippet into the store and
+  // the document-frequency table in arrival order. Identification then
+  // runs against corpus statistics that are frozen for the whole batch,
+  // which is what makes phase 2 independent of source interleaving (and
+  // of thread count). Rolls back on failure: the batch is all-or-nothing.
+  std::vector<const Snippet*> stored;
+  stored.reserve(snippets.size());
+  for (Snippet& snippet : snippets) {
+    Result<SnippetId> inserted = store_.Insert(std::move(snippet));
+    if (!inserted.ok()) {
+      for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+        const Snippet* undo = store_.Find(*it);
+        SP_CHECK(undo != nullptr);
+        df_.RemoveDocument(undo->keywords);
+        SP_CHECK_OK(store_.Remove(*it));
+      }
+      return inserted.status();
+    }
+    ids.push_back(inserted.value());
+    const Snippet* ptr = store_.Find(inserted.value());
+    SP_CHECK(ptr != nullptr);
+    df_.AddDocument(ptr->keywords);
+    stored.push_back(ptr);
+  }
+
+  // Phase 2 — shard by source (ascending source id) and identify shards
+  // concurrently. Each shard owns its partition, its sketch index, and a
+  // private story-id block, so shards share no mutable state; block
+  // layout depends only on the batch contents, keeping story ids
+  // deterministic across thread counts.
+  std::vector<IngestShard> shards;
+  std::unordered_map<SourceId, size_t> shard_of;
+  for (const Snippet* snippet : stored) {
+    auto [it, inserted] = shard_of.emplace(snippet->source, shards.size());
+    if (inserted) {
+      IngestShard shard;
+      shard.source = snippet->source;
+      shard.partition = MutablePartition(snippet->source);
+      SP_CHECK(shard.partition != nullptr);
+      if (config_.use_sketches) {
+        auto sketch_it = sketches_.find(snippet->source);
+        SP_CHECK(sketch_it != sketches_.end());
+        shard.sketches = &sketch_it->second;
+      }
+      shards.push_back(std::move(shard));
+    }
+    shards[it->second].snippets.push_back(snippet);
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const IngestShard& a, const IngestShard& b) {
+              return a.source < b.source;
+            });
+  const StoryId block_base = next_story_id_.load(std::memory_order_relaxed);
+  StoryId offset = 0;
+  for (IngestShard& shard : shards) {
+    shard.story_id_begin = block_base + offset;
+    offset += shard.snippets.size();
+  }
+
+  WallTimer timer;
+  ParallelIngestor ingestor(identifier_.get(), pool_.get());
+  std::vector<IngestShardResult> results = ingestor.Run(shards, store_);
+  const double batch_wall_ms = timer.ElapsedMillis();
+
+  // Serial epilogue: advance the id space past every shard's block and
+  // merge per-shard outcomes in shard order (deterministic).
+  next_story_id_.store(block_base + offset, std::memory_order_relaxed);
+  double identify_ms = 0.0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    identify_ms += results[i].identify_time_ms;
+    if (config_.incremental_alignment) {
+      for (StoryId assigned : results[i].assigned) {
+        dirty_stories_.push_back({shards[i].source, assigned});
+      }
+    }
+  }
+  // Report the larger of summed per-shard time and batch wall time: with
+  // one thread they coincide; with several, the sum is the work done.
+  stats_.identify_time_ms += std::max(identify_ms, batch_wall_ms);
+  stats_.snippets_ingested += stored.size();
+  stale_ = true;
+  return ids;
 }
 
 Result<SnippetId> StoryPivotEngine::AdoptAssignment(Snippet snippet,
@@ -190,7 +318,9 @@ Result<SnippetId> StoryPivotEngine::AdoptAssignment(Snippet snippet,
     partition->CreateStory(story);
   }
   partition->AddSnippetToStory(*stored, story);
-  next_story_id_ = std::max(next_story_id_, story + 1);
+  next_story_id_.store(
+      std::max(next_story_id_.load(std::memory_order_relaxed), story + 1),
+      std::memory_order_relaxed);
 
   if (config_.use_sketches) {
     auto it = sketches_.find(stored->source);
@@ -230,8 +360,9 @@ void StoryPivotEngine::RemoveSnippetInternal(const Snippet& snippet,
   ++stats_.snippets_removed;
   if (split_check && story_id != kInvalidStoryId &&
       partition->FindStory(story_id) != nullptr) {
-    refiner_.SplitIfDisconnected(partition, story_id, store_,
-                                 &next_story_id_);
+    StoryId cursor = next_story_id_.load(std::memory_order_relaxed);
+    refiner_.SplitIfDisconnected(partition, story_id, store_, &cursor);
+    next_story_id_.store(cursor, std::memory_order_relaxed);
   }
   stale_ = true;
 }
@@ -261,14 +392,16 @@ Status StoryPivotEngine::RemoveSnippet(SnippetId id) {
 
 const AlignmentResult& StoryPivotEngine::Align() {
   WallTimer timer;
+  StoryId cursor = next_story_id_.load(std::memory_order_relaxed);
   if (config_.incremental_alignment) {
     alignment_ = incremental_aligner_.Update(partitions(), store_,
-                                             dirty_stories_,
-                                             &next_story_id_);
+                                             dirty_stories_, &cursor);
     dirty_stories_.clear();
   } else {
-    alignment_ = aligner_.Align(partitions(), store_, &next_story_id_);
+    alignment_ =
+        aligner_.Align(partitions(), store_, &cursor, pool_.get());
   }
+  next_story_id_.store(cursor, std::memory_order_relaxed);
   stats_.align_time_ms += timer.ElapsedMillis();
   ++stats_.alignments_run;
   stale_ = false;
@@ -290,8 +423,10 @@ RefinementStats StoryPivotEngine::Refine() {
     mutable_partitions.push_back(&partitions_.at(source));
   }
   WallTimer timer;
+  StoryId cursor = next_story_id_.load(std::memory_order_relaxed);
   RefinementStats stats = refiner_.Refine(mutable_partitions, *alignment_,
-                                          store_, &next_story_id_);
+                                          store_, &cursor);
+  next_story_id_.store(cursor, std::memory_order_relaxed);
   stats_.refine_time_ms += timer.ElapsedMillis();
   ++stats_.refinements_run;
   if (config_.incremental_alignment) incremental_aligner_.Invalidate();

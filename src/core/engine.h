@@ -1,6 +1,7 @@
 #ifndef STORYPIVOT_CORE_ENGINE_H_
 #define STORYPIVOT_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -21,6 +22,7 @@
 #include "text/tfidf.h"
 #include "text/vocabulary.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace storypivot {
 
@@ -41,6 +43,11 @@ struct EngineConfig {
   /// duplicate probing).
   bool use_sketches = false;
   size_t sketch_hashes = 64;
+  /// Worker threads for the engine-internal parallel paths: batch
+  /// ingestion (AddSnippets) and alignment pair scoring. 1 keeps the
+  /// engine fully serial (no pool is created); results are bit-identical
+  /// for every value (DESIGN.md §9).
+  size_t num_threads = 1;
 };
 
 /// Engine configuration tuned for raw news prose ingested through
@@ -72,8 +79,15 @@ struct EngineStats {
 ///   const AlignmentResult& aligned = engine.Align();
 ///   engine.Refine();                              // propagate corrections
 ///
-/// The engine is single-threaded by design (document it loudly): all const
+/// Threading model (DESIGN.md §9): the public API is single-writer —
+/// callers must not invoke mutating methods concurrently, and const
 /// methods are safe to call concurrently only in the absence of writers.
+/// Parallelism lives *inside* the engine: with `config.num_threads > 1`,
+/// AddSnippets() shards each batch by source and identifies stories
+/// concurrently (identification is per-source, §2.2 / Fig. 1b), and
+/// Align() fans story-pair scoring out across the pool (§2.3). Both
+/// parallel paths are deterministic — the result is bit-identical for
+/// every thread count, including the serial num_threads == 1 path.
 class StoryPivotEngine {
  public:
   explicit StoryPivotEngine(EngineConfig config = {});
@@ -128,6 +142,19 @@ class StoryPivotEngine {
   /// none. The snippet's source must be registered.
   [[nodiscard]] Result<SnippetId> AddSnippet(Snippet snippet);
 
+  /// Ingests a batch of pre-annotated snippets, identifying stories for
+  /// distinct sources concurrently when the engine has a thread pool
+  /// (config.num_threads > 1). Batch semantics differ from a loop of
+  /// AddSnippet calls in one documented way: document-frequency
+  /// statistics are updated for the whole batch up front (store and DF
+  /// writes are serialized in arrival order) before any identification
+  /// runs, which makes the outcome independent of how sources interleave
+  /// — and therefore identical for every thread count. The batch is
+  /// all-or-nothing: on any failure the engine state is rolled back and
+  /// no snippet of the batch remains. Returns the new ids in input order.
+  [[nodiscard]] Result<std::vector<SnippetId>> AddSnippets(
+      std::vector<Snippet> snippets);
+
   /// Inserts a snippet directly into the given story of its source,
   /// bypassing story identification. Used to warm-start an engine from a
   /// snapshot of a previous run (§4.2.2: precomputed large-scale results)
@@ -175,9 +202,21 @@ class StoryPivotEngine {
   /// Total stories across all per-source partitions.
   size_t TotalStories() const;
 
+  /// Stories touched since the last alignment (incremental mode only;
+  /// empty otherwise). Exposed for diagnostics and tests.
+  const std::vector<std::pair<SourceId, StoryId>>& dirty_stories() const {
+    return dirty_stories_;
+  }
+
  private:
   StorySet* MutablePartition(SourceId source);
   void RemoveSnippetInternal(const Snippet& snippet, bool split_check);
+
+  /// Unwinds snippets inserted by a failed multi-snippet operation
+  /// (AddDocument / AddSnippets), newest first, so the operation is
+  /// all-or-nothing. Stories bridged only by rolled-back snippets are
+  /// split back by the split check.
+  void RollbackIngested(const std::vector<SnippetId>& ids);
 
   EngineConfig config_;
   text::Vocabulary entity_vocab_;
@@ -194,8 +233,12 @@ class StoryPivotEngine {
   std::vector<SourceInfo> sources_;
   std::unordered_map<SourceId, StorySet> partitions_;
   std::unordered_map<SourceId, SnippetSketchIndex> sketches_;
-  StoryId next_story_id_ = 0;
+  /// Next unassigned story id. Atomic so the parallel paths may read it
+  /// concurrently; all stores happen in serial sections (relaxed order).
+  std::atomic<StoryId> next_story_id_ = 0;
   SourceId next_source_id_ = 0;
+  /// Workers for AddSnippets / Align; null when num_threads <= 1.
+  std::unique_ptr<ThreadPool> pool_;
   std::optional<AlignmentResult> alignment_;
   /// Stories touched since the last alignment (incremental mode).
   std::vector<std::pair<SourceId, StoryId>> dirty_stories_;

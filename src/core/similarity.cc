@@ -53,7 +53,7 @@ double SimilarityModel::IdfCosine(const text::TermVector& a,
 
 double SimilarityModel::SnippetSimilarity(const Snippet& a,
                                           const Snippet& b) const {
-  ++num_comparisons_;
+  num_comparisons_.fetch_add(1, std::memory_order_relaxed);
   double entity_sim = a.entities.WeightedJaccard(b.entities);
   double keyword_sim = IdfCosine(a.keywords, b.keywords);
   return config_.entity_weight * entity_sim +
@@ -62,7 +62,7 @@ double SimilarityModel::SnippetSimilarity(const Snippet& a,
 
 double SimilarityModel::SnippetStorySimilarity(const Snippet& snippet,
                                                const Story& story) const {
-  ++num_comparisons_;
+  num_comparisons_.fetch_add(1, std::memory_order_relaxed);
   // Entity overlap against the story histogram: use set-containment-style
   // weighted Jaccard of the snippet against the story's *support* scaled
   // to the snippet's magnitude — a plain weighted Jaccard would vanish for
@@ -79,7 +79,7 @@ double SimilarityModel::SnippetStorySimilarity(const Snippet& snippet,
 
 double SimilarityModel::StorySimilarity(const Story& a,
                                         const Story& b) const {
-  ++num_comparisons_;
+  num_comparisons_.fetch_add(1, std::memory_order_relaxed);
   // Normalise both histograms to per-snippet scale so story size does not
   // dominate the Jaccard.
   double scale_a = a.empty() ? 1.0 : 1.0 / static_cast<double>(a.size());

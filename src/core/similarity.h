@@ -1,6 +1,7 @@
 #ifndef STORYPIVOT_CORE_SIMILARITY_H_
 #define STORYPIVOT_CORE_SIMILARITY_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "model/snippet.h"
@@ -73,14 +74,22 @@ class SimilarityModel {
   /// nullptr). Exposed so incremental consumers can detect IDF drift.
   const text::DocumentFrequency* document_frequency() const { return df_; }
 
-  /// Number of pairwise similarity evaluations since construction.
-  uint64_t num_comparisons() const { return num_comparisons_; }
-  void ResetCounters() { num_comparisons_ = 0; }
+  /// Number of pairwise similarity evaluations since construction. The
+  /// counter is a relaxed atomic: scoring methods are const and run
+  /// concurrently from the parallel ingestion/alignment paths, so a plain
+  /// counter would be a data race. Relaxed ordering suffices — the count
+  /// is only read from serial sections (benches, stats).
+  uint64_t num_comparisons() const {
+    return num_comparisons_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    num_comparisons_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   SimilarityConfig config_;
   const text::DocumentFrequency* df_;
-  mutable uint64_t num_comparisons_ = 0;
+  mutable std::atomic<uint64_t> num_comparisons_{0};
 };
 
 }  // namespace storypivot

@@ -51,6 +51,10 @@ size_t TemporalIndex::CountInWindow(Timestamp lo, Timestamp hi) const {
                               [](Timestamp t, const Entry& e) {
                                 return t < e.first;
                               });
+  // An inverted window (lo > hi) puts `end` before `begin`; counting the
+  // raw distance would underflow, so clamp to the scan-based semantics of
+  // IdsInWindow / ForEachInWindow (empty).
+  if (end < begin) return 0;
   return static_cast<size_t>(end - begin);
 }
 

@@ -1,0 +1,98 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace storypivot {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queued)
+    : max_queued_(std::max<size_t>(1, max_queued)) {
+  if (num_threads <= 1) return;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_not_full_.wait(lock, [this] { return queue_.size() < max_queued_; });
+    SP_CHECK(!stop_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t num_chunks,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& body) {
+  if (n == 0) return;
+  num_chunks = std::clamp<size_t>(num_chunks, 1, n);
+  // Boundaries depend only on (n, num_chunks): chunk c covers
+  // [c*n/num_chunks, (c+1)*n/num_chunks).
+  auto bound = [n, num_chunks](size_t c) { return c * n / num_chunks; };
+  if (workers_.empty() || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) body(c, bound(c), bound(c + 1));
+    return;
+  }
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    Submit([&body, &done_mu, &done_cv, &remaining, bound, c] {
+      body(c, bound(c), bound(c + 1));
+      // Notify while holding the lock: the waiter owns done_cv on its
+      // stack and destroys it as soon as it observes remaining == 0, so
+      // an unlocked notify could touch a dead condition variable.
+      std::unique_lock<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_not_full_.notify_one();
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace storypivot

@@ -1,0 +1,71 @@
+#ifndef STORYPIVOT_UTIL_THREAD_POOL_H_
+#define STORYPIVOT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace storypivot {
+
+/// A bounded, work-stealing-free thread pool: a fixed set of workers
+/// draining one shared FIFO queue, with a cap on queued tasks so a fast
+/// producer cannot build an unbounded backlog (Submit blocks at the cap).
+///
+/// With `num_threads <= 1` the pool spawns no workers and every task runs
+/// inline on the caller's thread, so the serial and parallel paths of a
+/// caller share one code path. Tasks must not call back into the pool
+/// (no nested ParallelFor) and, with -fno-exceptions, must not fail.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (none when <= 1). `max_queued` bounds
+  /// the number of tasks waiting in the queue.
+  explicit ThreadPool(size_t num_threads, size_t max_queued = 4096);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Degree of parallelism: worker count, or 1 for an inline pool.
+  size_t num_threads() const {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// Enqueues a task; blocks while the queue is at capacity. Runs the
+  /// task inline when the pool has no workers.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(chunk, begin, end)` over `num_chunks` contiguous chunks
+  /// of [0, n) and blocks until all chunks completed. Chunk boundaries
+  /// depend only on (n, num_chunks) — never on thread count or timing —
+  /// so per-chunk outputs indexed by `chunk` merge deterministically.
+  /// Must be called from outside the pool (not from a worker task).
+  void ParallelFor(size_t n, size_t num_chunks,
+                   const std::function<void(size_t chunk, size_t begin,
+                                            size_t end)>& body);
+
+  /// Blocks until every previously submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  const size_t max_queued_;
+  std::mutex mu_;
+  std::condition_variable work_available_;  // Signals waiting workers.
+  std::condition_variable queue_not_full_;  // Signals blocked producers.
+  std::condition_variable all_done_;        // Signals Wait().
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // Queued plus currently running tasks.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_UTIL_THREAD_POOL_H_

@@ -157,6 +157,60 @@ TEST(EngineTest, RemoveSourceDropsEverything) {
   EXPECT_EQ(engine.alignment().stories.size(), 1u);
 }
 
+TEST(EngineTest, RemoveSourcePurgesDirtyStoriesOfThatSource) {
+  // Regression: RemoveSource used to leave `dirty_stories_` entries that
+  // referenced the erased source's partition, so the next incremental
+  // Align() touched stories that no longer existed.
+  EngineConfig config;
+  config.incremental_alignment = true;
+  StoryPivotEngine engine(config);
+  SourceId a = engine.RegisterSource("a");
+  SourceId b = engine.RegisterSource("b");
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(a, 0, {{0, 1.0}}, {{5, 1.0}})));
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(b, 0, {{0, 1.0}}, {{5, 1.0}})));
+  engine.Align();  // Clears the dirty list.
+  // New mutations dirty stories in both sources.
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(a, 10, {{0, 1.0}}, {{5, 1.0}})));
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(b, 10, {{0, 1.0}}, {{5, 1.0}})));
+  bool saw_a = false;
+  for (const auto& [source, story] : engine.dirty_stories()) {
+    saw_a = saw_a || source == a;
+  }
+  ASSERT_TRUE(saw_a) << "test precondition: source a must be dirty";
+  ASSERT_TRUE(engine.RemoveSource(a).ok());
+  for (const auto& [source, story] : engine.dirty_stories()) {
+    EXPECT_NE(source, a) << "stale dirty entry for removed source";
+  }
+  // Source b's pending work survives and the next alignment is sound.
+  EXPECT_FALSE(engine.dirty_stories().empty());
+  const AlignmentResult& aligned = engine.Align();
+  for (const IntegratedStory& story : aligned.stories) {
+    for (const auto& [member_source, member_story] : story.members) {
+      EXPECT_NE(member_source, a);
+    }
+  }
+}
+
+TEST(EngineTest, AddDocumentIsAllOrNothing) {
+  // A document that cannot be ingested must leave zero trace: no
+  // snippets, no document-frequency rows, no counted document.
+  StoryPivotEngine engine;
+  SourceId src = engine.RegisterSource("s");
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(src, 0, {{0, 1.0}}, {{5, 1.0}})));
+  const int64_t df_before = engine.document_frequency().num_documents();
+  Document doc;
+  doc.source = src + 99;  // Unregistered.
+  doc.url = "http://x/bad";
+  doc.title = "t";
+  doc.paragraphs = {"one", "two"};
+  Result<std::vector<SnippetId>> ids = engine.AddDocument(doc);
+  EXPECT_FALSE(ids.ok());
+  EXPECT_EQ(engine.store().size(), 1u);
+  EXPECT_EQ(engine.document_frequency().num_documents(), df_before);
+  EXPECT_EQ(engine.stats().documents_ingested, 0u);
+  EXPECT_TRUE(engine.store().FindByDocument("http://x/bad").empty());
+}
+
 TEST(EngineTest, AlignmentStalenessTracking) {
   StoryPivotEngine engine;
   SourceId src = engine.RegisterSource("s");

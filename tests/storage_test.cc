@@ -66,6 +66,50 @@ TEST(TemporalIndexTest, EraseSpecificEntry) {
   EXPECT_EQ(index.entries()[0].second, 2u);
 }
 
+TEST(TemporalIndexTest, WindowBoundariesExactlyInclusive) {
+  // The identification window is [t - w, t + w] (§2.2): an entry sitting
+  // exactly on either edge is inside; one tick beyond is outside.
+  TemporalIndex index;
+  index.Insert(100, 1);  // == lo
+  index.Insert(150, 2);  // interior
+  index.Insert(200, 3);  // == hi
+  index.Insert(99, 4);   // lo - 1
+  index.Insert(201, 5);  // hi + 1
+  std::vector<SnippetId> ids = index.IdsInWindow(100, 200);
+  EXPECT_EQ(ids, (std::vector<SnippetId>{1, 2, 3}));
+  EXPECT_EQ(index.CountInWindow(100, 200), 3u);
+  // A degenerate window lo == hi still matches the edge entry.
+  EXPECT_EQ(index.IdsInWindow(100, 100), std::vector<SnippetId>{1});
+  EXPECT_EQ(index.CountInWindow(200, 200), 1u);
+  // An inverted window (lo > hi) matches nothing.
+  EXPECT_TRUE(index.IdsInWindow(200, 100).empty());
+  EXPECT_EQ(index.CountInWindow(200, 100), 0u);
+}
+
+TEST(TemporalIndexTest, CountAgreesWithIdsAcrossWindows) {
+  // CountInWindow must agree with IdsInWindow().size() and with
+  // ForEachInWindow for every window shape, including ties on the edges.
+  TemporalIndex index;
+  const Timestamp times[] = {5, 5, 5, 10, 10, 20, 25, 25, 40};
+  SnippetId next = 0;
+  for (Timestamp t : times) index.Insert(t, next++);
+  const std::pair<Timestamp, Timestamp> windows[] = {
+      {0, 100}, {5, 5},  {5, 10},  {6, 9},   {10, 25},
+      {25, 25}, {26, 39}, {40, 40}, {41, 99}, {30, 10}};
+  for (const auto& [lo, hi] : windows) {
+    std::vector<SnippetId> ids = index.IdsInWindow(lo, hi);
+    EXPECT_EQ(index.CountInWindow(lo, hi), ids.size())
+        << "window [" << lo << ", " << hi << "]";
+    size_t visited = 0;
+    index.ForEachInWindow(lo, hi, [&](Timestamp ts, SnippetId) {
+      EXPECT_GE(ts, lo);
+      EXPECT_LE(ts, hi);
+      ++visited;
+    });
+    EXPECT_EQ(visited, ids.size()) << "window [" << lo << ", " << hi << "]";
+  }
+}
+
 TEST(TemporalIndexTest, ForEachVisitsInOrder) {
   TemporalIndex index;
   index.Insert(3, 30);

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace storypivot {
@@ -492,6 +495,105 @@ TEST(TimerTest, MeasuresElapsedTime) {
   double before = timer.ElapsedSeconds();
   timer.Restart();
   EXPECT_LE(timer.ElapsedSeconds(), before + 1.0);
+}
+
+// ------------------------------ ThreadPool --------------------------------
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int value = 0;
+  // With no workers the task must complete before Submit returns.
+  pool.Submit([&value] { value = 42; });
+  EXPECT_EQ(value, 42);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, 16, [&hits](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunkBoundariesAreDeterministic) {
+  // Chunk boundaries depend only on (n, num_chunks), never on the thread
+  // count — this is what makes chunk-ordered merges reproducible.
+  auto boundaries = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::tuple<size_t, size_t, size_t>> out;
+    pool.ParallelFor(103, 7, [&](size_t chunk, size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.emplace_back(chunk, begin, end);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  auto serial = boundaries(1);
+  auto parallel = boundaries(4);
+  ASSERT_EQ(serial.size(), 7u);
+  EXPECT_EQ(serial, parallel);
+  // Chunks tile [0, n) in order.
+  size_t expected_begin = 0;
+  for (const auto& [chunk, begin, end] : serial) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LE(begin, end);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 103u);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesDegenerateShapes) {
+  ThreadPool pool(2);
+  int calls = 0;
+  std::mutex mu;
+  // Empty range: body never runs.
+  pool.ParallelFor(0, 4, [&](size_t, size_t, size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 0);
+  // More chunks than items: clamped to n, every item visited once.
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, 100, [&hits](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, BoundedQueueDoesNotDeadlock) {
+  // Submit far more tasks than the queue bound; producers must block and
+  // drain rather than drop or deadlock.
+  ThreadPool pool(2, /*max_queued=*/4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 500);
 }
 
 }  // namespace
