@@ -9,41 +9,21 @@
 // reports std::thread::hardware_concurrency() so a flat curve on a
 // single-core runner is interpretable.
 
-#include <algorithm>
 #include <cstdio>
 #include <thread>
-#include <tuple>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "util/hash.h"
+#include "core/snapshot.h"
+#include "util/fs.h"
 #include "util/logging.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace storypivot::bench {
 namespace {
 
 constexpr size_t kBatchSize = 512;
-
-/// Order-independent fingerprint of the full per-source story state.
-uint64_t StateFingerprint(const StoryPivotEngine& engine) {
-  std::vector<std::tuple<SourceId, SnippetId, StoryId>> triples;
-  for (const SourceInfo& info : engine.sources()) {
-    const StorySet* partition = engine.partition(info.id);
-    SP_CHECK(partition != nullptr);
-    for (const auto& [ts, sid] : partition->snippet_times().entries()) {
-      triples.emplace_back(info.id, sid, partition->StoryOf(sid));
-    }
-  }
-  std::sort(triples.begin(), triples.end());
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (const auto& [source, snippet, story] : triples) {
-    h = HashCombine(h, SplitMix64(source));
-    h = HashCombine(h, SplitMix64(snippet));
-    h = HashCombine(h, SplitMix64(story));
-  }
-  return h;
-}
 
 struct RunResult {
   size_t threads = 1;
@@ -84,7 +64,7 @@ RunResult RunOnce(const datagen::Corpus& corpus, size_t threads) {
   const AlignmentResult& aligned = engine.Align();
   result.align_ms = align_timer.ElapsedMillis();
   result.align_stories = aligned.stories.size();
-  result.fingerprint = StateFingerprint(engine);
+  result.fingerprint = EngineStateFingerprint(engine);
   return result;
 }
 
@@ -122,24 +102,21 @@ void Run() {
   }
   std::printf("\n");
 
-  FILE* out = std::fopen("BENCH_parallel.json", "w");
-  SP_CHECK(out != nullptr);
-  std::fprintf(out,
-               "{\"bench\":\"parallel\",\"snippets\":%zu,\"sources\":%d,"
-               "\"batch_size\":%zu,\"hardware_threads\":%u,\"results\":[",
-               corpus.snippets.size(), corpus_config.num_sources, kBatchSize,
-               hw);
+  std::string json = StrFormat(
+      "{\"bench\":\"parallel\",\"snippets\":%zu,\"sources\":%d,"
+      "\"batch_size\":%zu,\"hardware_threads\":%u,\"results\":[",
+      corpus.snippets.size(), corpus_config.num_sources, kBatchSize, hw);
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
-    std::fprintf(out,
-                 "%s{\"threads\":%zu,\"ingest_ms\":%.2f,"
-                 "\"ingest_snippets_per_s\":%.1f,\"align_ms\":%.2f,"
-                 "\"speedup_vs_serial\":%.3f,\"deterministic\":true}",
-                 i == 0 ? "" : ",", r.threads, r.ingest_ms,
-                 r.snippets_per_s, r.align_ms, r.snippets_per_s / base);
+    json += StrFormat(
+        "%s{\"threads\":%zu,\"ingest_ms\":%.2f,"
+        "\"ingest_snippets_per_s\":%.1f,\"align_ms\":%.2f,"
+        "\"speedup_vs_serial\":%.3f,\"deterministic\":true}",
+        i == 0 ? "" : ",", r.threads, r.ingest_ms, r.snippets_per_s,
+        r.align_ms, r.snippets_per_s / base);
   }
-  std::fprintf(out, "]}\n");
-  std::fclose(out);
+  json += "]}\n";
+  SP_CHECK_OK(WriteStringToFile("BENCH_parallel.json", json));
   std::printf("wrote BENCH_parallel.json\n");
 }
 

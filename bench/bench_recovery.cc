@@ -1,0 +1,274 @@
+// Durability bench (DESIGN.md §10): what write-ahead logging costs on the
+// ingest path and what recovery costs after a crash. Three experiments:
+//
+//   1. Logged-ingest throughput across fsync policies (every-record,
+//      every-64, on-rotate) against the plain in-memory engine baseline —
+//      the price of the durability guarantee per acknowledged op.
+//   2. Recovery latency as a function of WAL length when the whole state
+//      must be replayed (no checkpoint).
+//   3. Recovery latency for the same stream with a checkpoint near the
+//      end — the case periodic checkpointing keeps us in.
+//
+// Emits BENCH_recovery.json next to the human-readable tables so CI and
+// the experiment index can track the numbers.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/snapshot.h"
+#include "persist/durable_engine.h"
+#include "util/fs.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace storypivot::bench {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = "bench_recovery_tmp/" + name;
+  if (FileExists(dir)) {
+    Result<std::vector<std::string>> names = ListDirectory(dir);
+    SP_CHECK_OK(names.status());
+    for (const std::string& entry : names.value()) {
+      SP_CHECK_OK(RemoveFile(dir + "/" + entry));
+    }
+  }
+  SP_CHECK_OK(CreateDirectories(dir));
+  return dir;
+}
+
+void RemoveDirRecursive(const std::string& path) {
+  if (!FileExists(path)) return;
+  Result<std::vector<std::string>> names = ListDirectory(path);
+  if (names.ok()) {  // A directory: empty it, then rmdir.
+    for (const std::string& entry : names.value()) {
+      RemoveDirRecursive(path + "/" + entry);
+    }
+    IgnoreError(RemoveDirectory(path));
+    return;
+  }
+  IgnoreError(RemoveFile(path));
+}
+
+struct IngestResult {
+  std::string policy;
+  double ingest_ms = 0.0;
+  double ops_per_s = 0.0;
+  double overhead_vs_plain = 0.0;
+  uint64_t wal_bytes = 0;
+};
+
+uint64_t DirBytes(const std::string& dir) {
+  uint64_t total = 0;
+  Result<std::vector<std::string>> names = ListDirectory(dir);
+  SP_CHECK_OK(names.status());
+  for (const std::string& entry : names.value()) {
+    Result<uint64_t> size = FileSize(dir + "/" + entry);
+    if (size.ok()) total += size.value();
+  }
+  return total;
+}
+
+/// Feeds the corpus through a DurableEngine under `options`; returns the
+/// wall time of the whole logged ingest.
+double LoggedIngestMillis(const datagen::Corpus& corpus,
+                          const std::string& dir,
+                          const persist::DurabilityOptions& options) {
+  Result<std::unique_ptr<persist::DurableEngine>> opened =
+      persist::DurableEngine::Open(dir, options);
+  SP_CHECK_OK(opened.status());
+  persist::DurableEngine& durable = *opened.value();
+  WallTimer timer;
+  SP_CHECK_OK(durable.ImportVocabularies(*corpus.entity_vocabulary,
+                                         *corpus.keyword_vocabulary));
+  for (const SourceInfo& source : corpus.sources) {
+    SP_CHECK_OK(durable.RegisterSource(source.name));
+  }
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    SP_CHECK_OK(durable.AddSnippet(std::move(copy)));
+  }
+  const double elapsed = timer.ElapsedMillis();
+  SP_CHECK_OK(durable.Close());
+  return elapsed;
+}
+
+void Run() {
+  std::printf("== durability: WAL cost and recovery latency ==\n\n");
+  datagen::CorpusConfig corpus_config = Fig7CorpusConfig(6000);
+  datagen::Corpus corpus =
+      datagen::CorpusGenerator(corpus_config).Generate();
+  const size_t total_ops =
+      corpus.snippets.size() + corpus.sources.size() + 1;
+
+  // ---- 1. Logged-ingest throughput by fsync policy.
+  StoryPivotEngine plain;
+  WallTimer plain_timer;
+  SP_CHECK_OK(plain.ImportVocabularies(*corpus.entity_vocabulary,
+                                       *corpus.keyword_vocabulary));
+  for (const SourceInfo& s : corpus.sources) plain.RegisterSource(s.name);
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    SP_CHECK_OK(plain.AddSnippet(std::move(copy)));
+  }
+  const double plain_ms = plain_timer.ElapsedMillis();
+  std::printf("plain engine baseline: %zu ops in %.1f ms (%.0f ops/s)\n\n",
+              total_ops, plain_ms, 1000.0 * total_ops / plain_ms);
+
+  struct Policy {
+    const char* name;
+    persist::FsyncPolicy fsync;
+  };
+  const Policy policies[] = {
+      {"every-record", persist::FsyncPolicy::kEveryRecord},
+      {"every-64", persist::FsyncPolicy::kEveryN},
+      {"on-rotate", persist::FsyncPolicy::kOnRotate},
+  };
+  std::vector<IngestResult> ingest;
+  std::printf("%14s %12s %12s %14s %12s\n", "fsync policy", "ingest ms",
+              "ops/s", "vs plain", "wal bytes");
+  for (const Policy& policy : policies) {
+    std::string dir = FreshDir(std::string("ingest_") + policy.name);
+    persist::DurabilityOptions options;
+    options.wal.fsync = policy.fsync;
+    IngestResult r;
+    r.policy = policy.name;
+    r.ingest_ms = LoggedIngestMillis(corpus, dir, options);
+    r.ops_per_s = 1000.0 * total_ops / r.ingest_ms;
+    r.overhead_vs_plain = r.ingest_ms / plain_ms;
+    r.wal_bytes = DirBytes(dir);
+    std::printf("%14s %12.1f %12.0f %13.2fx %12llu\n", policy.name,
+                r.ingest_ms, r.ops_per_s, r.overhead_vs_plain,
+                static_cast<unsigned long long>(r.wal_bytes));
+    ingest.push_back(r);
+  }
+
+  // ---- 2. Full-replay recovery latency vs log length.
+  struct RecoveryResult {
+    size_t ops = 0;
+    bool checkpointed = false;
+    double recover_ms = 0.0;
+    double replay_ops_per_s = 0.0;
+  };
+  std::vector<RecoveryResult> recoveries;
+  std::printf("\n%10s %14s %12s %14s\n", "log ops", "checkpoint?",
+              "recover ms", "replay ops/s");
+  for (size_t target : {1000u, 2000u, 4000u}) {
+    std::string dir = FreshDir(StrFormat("replay_%zu", target));
+    persist::DurabilityOptions options;
+    options.wal.fsync = persist::FsyncPolicy::kOnRotate;
+    {
+      Result<std::unique_ptr<persist::DurableEngine>> opened =
+          persist::DurableEngine::Open(dir, options);
+      SP_CHECK_OK(opened.status());
+      persist::DurableEngine& durable = *opened.value();
+      SP_CHECK_OK(durable.ImportVocabularies(*corpus.entity_vocabulary,
+                                             *corpus.keyword_vocabulary));
+      for (const SourceInfo& s : corpus.sources) {
+        SP_CHECK_OK(durable.RegisterSource(s.name));
+      }
+      for (size_t i = 0; i < target; ++i) {
+        Snippet copy = corpus.snippets[i];
+        copy.id = kInvalidSnippetId;
+        SP_CHECK_OK(durable.AddSnippet(std::move(copy)));
+      }
+      SP_CHECK_OK(durable.Close());
+    }
+    RecoveryResult r;
+    r.ops = target;
+    WallTimer timer;
+    Result<std::unique_ptr<persist::DurableEngine>> recovered =
+        persist::DurableEngine::Open(dir, options);
+    SP_CHECK_OK(recovered.status());
+    r.recover_ms = timer.ElapsedMillis();
+    r.replay_ops_per_s =
+        1000.0 * static_cast<double>(recovered.value()->next_lsn()) /
+        r.recover_ms;
+    SP_CHECK_OK(recovered.value()->Close());
+    std::printf("%10zu %14s %12.1f %14.0f\n", r.ops, "no", r.recover_ms,
+                r.replay_ops_per_s);
+    recoveries.push_back(r);
+  }
+
+  // ---- 3. The same stream with a checkpoint near the end: recovery is
+  // snapshot load + short tail replay, independent of history length.
+  {
+    std::string dir = FreshDir("checkpointed");
+    persist::DurabilityOptions options;
+    options.wal.fsync = persist::FsyncPolicy::kOnRotate;
+    {
+      Result<std::unique_ptr<persist::DurableEngine>> opened =
+          persist::DurableEngine::Open(dir, options);
+      SP_CHECK_OK(opened.status());
+      persist::DurableEngine& durable = *opened.value();
+      SP_CHECK_OK(durable.ImportVocabularies(*corpus.entity_vocabulary,
+                                             *corpus.keyword_vocabulary));
+      for (const SourceInfo& s : corpus.sources) {
+        SP_CHECK_OK(durable.RegisterSource(s.name));
+      }
+      for (size_t i = 0; i < 4000; ++i) {
+        Snippet copy = corpus.snippets[i];
+        copy.id = kInvalidSnippetId;
+        SP_CHECK_OK(durable.AddSnippet(std::move(copy)));
+        if (i == 3899) SP_CHECK_OK(durable.Checkpoint());
+      }
+      SP_CHECK_OK(durable.Close());
+    }
+    RecoveryResult r;
+    r.ops = 4000;
+    r.checkpointed = true;
+    WallTimer timer;
+    Result<std::unique_ptr<persist::DurableEngine>> recovered =
+        persist::DurableEngine::Open(dir, options);
+    SP_CHECK_OK(recovered.status());
+    r.recover_ms = timer.ElapsedMillis();
+    r.replay_ops_per_s =
+        1000.0 *
+        static_cast<double>(recovered.value()->ops_since_checkpoint()) /
+        r.recover_ms;
+    SP_CHECK_OK(recovered.value()->Close());
+    std::printf("%10zu %14s %12.1f %14s\n", r.ops, "yes (tail 100)",
+                r.recover_ms, "-");
+    recoveries.push_back(r);
+  }
+
+  std::string json = StrFormat(
+      "{\"bench\":\"recovery\",\"total_ops\":%zu,\"plain_ingest_ms\":%.2f,"
+      "\"ingest\":[",
+      total_ops, plain_ms);
+  for (size_t i = 0; i < ingest.size(); ++i) {
+    const IngestResult& r = ingest[i];
+    json += StrFormat(
+        "%s{\"fsync\":\"%s\",\"ingest_ms\":%.2f,\"ops_per_s\":%.1f,"
+        "\"overhead_vs_plain\":%.3f,\"wal_bytes\":%llu}",
+        i == 0 ? "" : ",", r.policy.c_str(), r.ingest_ms, r.ops_per_s,
+        r.overhead_vs_plain, static_cast<unsigned long long>(r.wal_bytes));
+  }
+  json += "],\"recovery\":[";
+  for (size_t i = 0; i < recoveries.size(); ++i) {
+    const RecoveryResult& r = recoveries[i];
+    json += StrFormat(
+        "%s{\"log_ops\":%zu,\"checkpointed\":%s,\"recover_ms\":%.2f,"
+        "\"replay_ops_per_s\":%.1f}",
+        i == 0 ? "" : ",", r.ops, r.checkpointed ? "true" : "false",
+        r.recover_ms, r.replay_ops_per_s);
+  }
+  json += "]}\n";
+  SP_CHECK_OK(WriteStringToFile("BENCH_recovery.json", json));
+  std::printf("\nwrote BENCH_recovery.json\n");
+
+  RemoveDirRecursive("bench_recovery_tmp");
+}
+
+}  // namespace
+}  // namespace storypivot::bench
+
+int main() {
+  storypivot::bench::Run();
+  return 0;
+}

@@ -5,8 +5,15 @@
 //       Generate a synthetic multi-source corpus (GDELT-style TSV).
 //   detect <in.tsv> [--mode temporal|complete] [--window-days W]
 //          [--refine] [--diagnose] [--snapshot out.sp] [--json out.json]
+//          [--wal-dir DIR]
 //       Run story identification + alignment over a TSV corpus; print the
 //       integrated story table and quality (when truth labels exist).
+//       With --wal-dir, every mutation is write-ahead logged to DIR and
+//       the final state checkpointed, so the run is crash-recoverable.
+//   recover <wal-dir> [--checkpoint]
+//       Recover the engine state from a durability directory (newest
+//       checkpoint + WAL tail) and print its stories. --checkpoint also
+//       compacts the directory afterwards.
 //   load <snapshot.sp>
 //       Load a previously saved engine snapshot and print its stories.
 //   query <in.tsv> <entity>
@@ -15,6 +22,8 @@
 // Examples:
 //   storypivot_cli generate /tmp/news.tsv --snippets 5000
 //   storypivot_cli detect /tmp/news.tsv --refine --snapshot /tmp/run.sp
+//   storypivot_cli detect /tmp/news.tsv --wal-dir /tmp/news.wal
+//   storypivot_cli recover /tmp/news.wal
 //   storypivot_cli load /tmp/run.sp
 //   storypivot_cli query /tmp/news.tsv Ukraine
 
@@ -28,6 +37,7 @@
 #include "datagen/corpus.h"
 #include "datagen/gdelt_export.h"
 #include "eval/experiment.h"
+#include "persist/durable_engine.h"
 #include "text/knowledge_base.h"
 #include "util/csv.h"
 #include "util/strings.h"
@@ -46,7 +56,9 @@ int Usage() {
                "[--sources N] [--stories N] [--seed S]\n"
                "  storypivot_cli detect <in.tsv> [--mode temporal|complete]"
                " [--window-days W] [--refine] [--diagnose]\n"
-               "                 [--snapshot out.sp] [--json out.json]\n"
+               "                 [--snapshot out.sp] [--json out.json]"
+               " [--wal-dir DIR]\n"
+               "  storypivot_cli recover <wal-dir> [--checkpoint]\n"
                "  storypivot_cli load <snapshot.sp>\n"
                "  storypivot_cli query <in.tsv> <entity>\n");
   return 2;
@@ -128,8 +140,54 @@ Result<std::unique_ptr<StoryPivotEngine>> DetectFromTsv(
   return engine;
 }
 
+/// Ingests the TSV corpus through a DurableEngine so every mutation lands
+/// in the write-ahead log under `wal_dir` before it is acknowledged.
+Result<std::unique_ptr<persist::DurableEngine>> DetectFromTsvDurable(
+    const std::string& path, const EngineConfig& config,
+    const std::string& wal_dir) {
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  Result<datagen::ImportedCorpus> imported =
+      datagen::ImportTsv(contents.value());
+  if (!imported.ok()) return imported.status();
+  const datagen::ImportedCorpus& corpus = imported.value();
+
+  persist::DurabilityOptions options;
+  options.checkpoint_every_ops = 2000;
+  Result<std::unique_ptr<persist::DurableEngine>> opened =
+      persist::DurableEngine::Open(wal_dir, options, config);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<persist::DurableEngine> durable =
+      std::move(opened.value());
+  if (durable->next_lsn() != 0) {
+    return Status::FailedPrecondition(StrFormat(
+        "%s already holds a recorded run (%llu ops) — inspect it with "
+        "`storypivot_cli recover %s` or point --wal-dir at an empty "
+        "directory",
+        wal_dir.c_str(),
+        static_cast<unsigned long long>(durable->next_lsn()),
+        wal_dir.c_str()));
+  }
+  Status vocab = durable->ImportVocabularies(*corpus.entity_vocabulary,
+                                             *corpus.keyword_vocabulary);
+  if (!vocab.ok()) return vocab;
+  for (const SourceInfo& source : corpus.sources) {
+    Result<SourceId> registered = durable->RegisterSource(source.name);
+    if (!registered.ok()) return registered.status();
+  }
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    Result<SnippetId> added = durable->AddSnippet(std::move(copy));
+    if (!added.ok()) return added.status();
+  }
+  return durable;
+}
+
 void PrintEngineSummary(StoryPivotEngine& engine) {
-  engine.Align();
+  // Skip the realign when the caller already holds a current alignment —
+  // on a durable engine that alignment came from the logged Align().
+  if (!engine.has_alignment()) engine.Align();
   StoryQuery query(&engine);
   std::vector<StoryOverview> integrated = query.IntegratedStories();
   size_t shown = std::min<size_t>(integrated.size(), 15);
@@ -163,26 +221,65 @@ int CmdDetect(int argc, char** argv) {
   }
   config.identifier.window =
       FlagInt(argc, argv, "--window-days", 7) * kSecondsPerDay;
-  Result<std::unique_ptr<StoryPivotEngine>> engine =
-      DetectFromTsv(argv[0], config);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
-    return 1;
+
+  // With --wal-dir, ingestion runs through the durability layer; without
+  // it, through a plain in-memory engine. Either way `engine` points at
+  // the engine to summarise.
+  std::unique_ptr<persist::DurableEngine> durable;
+  std::unique_ptr<StoryPivotEngine> plain;
+  std::string wal_dir;
+  if (ParseFlag(argc, argv, "--wal-dir", &wal_dir)) {
+    Result<std::unique_ptr<persist::DurableEngine>> opened =
+        DetectFromTsvDurable(argv[0], config, wal_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    durable = std::move(opened.value());
+  } else {
+    Result<std::unique_ptr<StoryPivotEngine>> detected =
+        DetectFromTsv(argv[0], config);
+    if (!detected.ok()) {
+      std::fprintf(stderr, "%s\n", detected.status().ToString().c_str());
+      return 1;
+    }
+    plain = std::move(detected.value());
   }
+  StoryPivotEngine* engine = durable ? &durable->engine() : plain.get();
+
   if (HasFlag(argc, argv, "--refine")) {
-    RefinementStats stats = engine.value()->Refine();
+    RefinementStats stats;
+    if (durable) {
+      Result<RefinementStats> refined = durable->Refine();
+      if (!refined.ok()) {
+        std::fprintf(stderr, "%s\n", refined.status().ToString().c_str());
+        return 1;
+      }
+      stats = refined.value();
+    } else {
+      stats = engine->Refine();
+    }
     std::printf("refinement: moved %d snippets, split %d stories\n",
                 stats.snippets_moved, stats.stories_split);
   }
-  PrintEngineSummary(*engine.value());
+  if (durable) {
+    // Alignment moves the integrated-story-id cursor, so on a durable
+    // engine it must go through the log.
+    Status aligned = durable->Align();
+    if (!aligned.ok()) {
+      std::fprintf(stderr, "%s\n", aligned.ToString().c_str());
+      return 1;
+    }
+  }
+  PrintEngineSummary(*engine);
   if (HasFlag(argc, argv, "--diagnose")) {
     std::printf("\n%s",
-                eval::DiagnoseAlignment(*engine.value()).ToString().c_str());
+                eval::DiagnoseAlignment(*engine).ToString().c_str());
   }
   std::string json_path;
   if (ParseFlag(argc, argv, "--json", &json_path)) {
     Status written = WriteStringToFile(
-        json_path, viz::ExportEngineJson(*engine.value()));
+        json_path, viz::ExportEngineJson(*engine));
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
       return 1;
@@ -192,12 +289,63 @@ int CmdDetect(int argc, char** argv) {
 
   std::string snapshot_path;
   if (ParseFlag(argc, argv, "--snapshot", &snapshot_path)) {
-    Status saved = SaveSnapshotToFile(*engine.value(), snapshot_path);
+    Status saved = SaveSnapshotToFile(*engine, snapshot_path);
     if (!saved.ok()) {
       std::fprintf(stderr, "%s\n", saved.ToString().c_str());
       return 1;
     }
     std::printf("snapshot saved to %s\n", snapshot_path.c_str());
+  }
+
+  if (durable) {
+    const uint64_t ops = durable->next_lsn();
+    Status finished = durable->Checkpoint();
+    if (finished.ok()) finished = durable->Close();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "%s\n", finished.ToString().c_str());
+      return 1;
+    }
+    std::printf("durable: %llu ops logged and checkpointed under %s "
+                "(recover with `storypivot_cli recover %s`)\n",
+                static_cast<unsigned long long>(ops), wal_dir.c_str(),
+                wal_dir.c_str());
+  }
+  return 0;
+}
+
+int CmdRecover(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  Result<std::unique_ptr<persist::DurableEngine>> opened =
+      persist::DurableEngine::Open(argv[0]);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  persist::DurableEngine& durable = *opened.value();
+  std::printf("recovered %llu ops from %s (%llu replayed from the WAL "
+              "tail)\n",
+              static_cast<unsigned long long>(durable.next_lsn()),
+              durable.dir().c_str(),
+              static_cast<unsigned long long>(
+                  durable.ops_since_checkpoint()));
+  Status aligned = durable.Align();
+  if (!aligned.ok()) {
+    std::fprintf(stderr, "%s\n", aligned.ToString().c_str());
+    return 1;
+  }
+  PrintEngineSummary(durable.engine());
+  if (HasFlag(argc, argv, "--checkpoint")) {
+    Status compacted = durable.Checkpoint();
+    if (!compacted.ok()) {
+      std::fprintf(stderr, "%s\n", compacted.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpointed; covered WAL segments dropped\n");
+  }
+  Status closed = durable.Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "%s\n", closed.ToString().c_str());
+    return 1;
   }
   return 0;
 }
@@ -241,6 +389,7 @@ int main(int argc, char** argv) {
   char** sub_argv = argv + 2;
   if (command == "generate") return CmdGenerate(sub_argc, sub_argv);
   if (command == "detect") return CmdDetect(sub_argc, sub_argv);
+  if (command == "recover") return CmdRecover(sub_argc, sub_argv);
   if (command == "load") return CmdLoad(sub_argc, sub_argv);
   if (command == "query") return CmdQuery(sub_argc, sub_argv);
   return Usage();

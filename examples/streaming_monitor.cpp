@@ -3,9 +3,16 @@
 // order), periodically re-aligns, and prints a live digest — which
 // stories are "hot" right now, which just emerged, and the timeline of a
 // story the reader follows.
+//
+// With `--wal-dir DIR` the stream runs through the durability layer
+// (DESIGN.md §10): every ingested snippet is write-ahead logged before it
+// is acknowledged, so a crash mid-stream loses at most the unsynced tail.
+// Inspect or resume the recorded state with `storypivot_cli recover DIR`.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <set>
 
 #include "core/engine.h"
@@ -13,10 +20,16 @@
 #include "core/trends.h"
 #include "datagen/corpus.h"
 #include "model/time.h"
+#include "persist/durable_engine.h"
 #include "viz/ascii.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace storypivot;
+
+  std::string wal_dir;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--wal-dir") == 0) wal_dir = argv[i + 1];
+  }
 
   datagen::CorpusConfig corpus_config;
   corpus_config.seed = 123;
@@ -27,15 +40,58 @@ int main() {
   datagen::Corpus corpus =
       datagen::CorpusGenerator(corpus_config).Generate();
 
-  StoryPivotEngine engine;
-  if (!engine
-           .ImportVocabularies(*corpus.entity_vocabulary,
-                               *corpus.keyword_vocabulary)
-           .ok()) {
-    return 1;
+  std::unique_ptr<persist::DurableEngine> durable;
+  std::unique_ptr<StoryPivotEngine> plain;
+  if (!wal_dir.empty()) {
+    persist::DurabilityOptions options;
+    options.checkpoint_every_ops = 1000;
+    Result<std::unique_ptr<persist::DurableEngine>> opened =
+        persist::DurableEngine::Open(wal_dir, options);
+    SP_CHECK_OK(opened.status());
+    durable = std::move(opened.value());
+    if (durable->next_lsn() != 0) {
+      std::fprintf(stderr,
+                   "%s already holds a recorded run — inspect it with "
+                   "`storypivot_cli recover %s` or pass an empty "
+                   "directory\n",
+                   wal_dir.c_str(), wal_dir.c_str());
+      return 1;
+    }
+  } else {
+    plain = std::make_unique<StoryPivotEngine>();
   }
-  for (const SourceInfo& source : corpus.sources) {
-    engine.RegisterSource(source.name);
+  StoryPivotEngine& engine = durable ? durable->engine() : *plain;
+
+  // Mutations go through the durability layer when it is on; reads always
+  // go straight to the engine.
+  auto add_snippet = [&](Snippet snippet) -> Status {
+    if (durable) return durable->AddSnippet(std::move(snippet)).status();
+    return engine.AddSnippet(std::move(snippet)).status();
+  };
+  auto realign = [&] {
+    if (durable) {
+      SP_CHECK_OK(durable->Align());
+    } else {
+      engine.Align();
+    }
+  };
+
+  if (durable) {
+    SP_CHECK_OK(durable->ImportVocabularies(*corpus.entity_vocabulary,
+                                            *corpus.keyword_vocabulary));
+    for (const SourceInfo& source : corpus.sources) {
+      SP_CHECK_OK(durable->RegisterSource(source.name));
+    }
+  } else {
+    if (!engine
+             .ImportVocabularies(*corpus.entity_vocabulary,
+                                 *corpus.keyword_vocabulary)
+             .ok()) {
+      return 1;
+    }
+    for (const SourceInfo& source : corpus.sources) {
+      engine.RegisterSource(source.name);
+    }
   }
 
   StoryQuery query(&engine);
@@ -45,13 +101,13 @@ int main() {
   for (size_t i = 0; i < corpus.snippets.size(); ++i) {
     Snippet copy = corpus.snippets[i];
     copy.id = kInvalidSnippetId;
-    SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
+    SP_CHECK_OK(add_snippet(std::move(copy)));
 
     if ((i + 1) % digest_every != 0) continue;
 
     // ---- Periodic digest.
     Timestamp now = corpus.arrivals[i];
-    engine.Align();
+    realign();
     std::printf(
         "================ digest @ %s (%zu snippets ingested) "
         "================\n",
@@ -102,7 +158,7 @@ int main() {
   }
 
   // ---- Follow one story: full cross-source timeline for the biggest.
-  engine.Align();
+  realign();
   const IntegratedStory* followed = nullptr;
   for (const IntegratedStory& story : engine.alignment().stories) {
     if (followed == nullptr ||
@@ -154,5 +210,12 @@ int main() {
               engine.stats().identify_time_ms,
               static_cast<unsigned long long>(engine.stats().alignments_run),
               engine.stats().align_time_ms);
+  if (durable) {
+    const uint64_t ops = durable->next_lsn();
+    SP_CHECK_OK(durable->Checkpoint());
+    SP_CHECK_OK(durable->Close());
+    std::printf("durable: %llu ops checkpointed under %s\n",
+                static_cast<unsigned long long>(ops), wal_dir.c_str());
+  }
   return 0;
 }

@@ -51,6 +51,40 @@ SourceId StoryPivotEngine::RegisterSource(const std::string& name) {
   return id;
 }
 
+Status StoryPivotEngine::AdoptSource(SourceId id, const std::string& name) {
+  if (id == kInvalidSourceId) {
+    return Status::InvalidArgument("cannot adopt the invalid source id");
+  }
+  if (partitions_.contains(id)) {
+    return Status::AlreadyExists(StrFormat("source %u", id));
+  }
+  sources_.push_back({id, name});
+  partitions_.emplace(id, StorySet(id));
+  if (config_.use_sketches) {
+    sketches_.emplace(id, SnippetSketchIndex(config_.sketch_hashes));
+  }
+  next_source_id_ = std::max(next_source_id_, id + 1);
+  stale_ = true;
+  return Status::OK();
+}
+
+StoryPivotEngine::IdCounters StoryPivotEngine::id_counters() const {
+  return {next_source_id_, store_.next_id(),
+          next_story_id_.load(std::memory_order_relaxed)};
+}
+
+Status StoryPivotEngine::AdoptIdCounters(const IdCounters& counters) {
+  if (counters.next_source < next_source_id_ ||
+      counters.next_snippet < store_.next_id() ||
+      counters.next_story < next_story_id_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("id counters may only move forward");
+  }
+  next_source_id_ = counters.next_source;
+  store_.AdoptNextId(counters.next_snippet);
+  next_story_id_.store(counters.next_story, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status StoryPivotEngine::RemoveSource(SourceId source) {
   auto it = partitions_.find(source);
   if (it == partitions_.end()) {

@@ -100,6 +100,12 @@ class StoryPivotEngine {
   /// Registers a data source and returns its id.
   SourceId RegisterSource(const std::string& name);
 
+  /// Registers a source under a caller-chosen id, used when replicating
+  /// another engine's state (snapshot load, WAL replay): source ids in
+  /// persisted records must stay valid verbatim. Future RegisterSource
+  /// ids stay clear of adopted ones. Fails when the id is taken.
+  [[nodiscard]] Status AdoptSource(SourceId id, const std::string& name);
+
   /// Removes a source with all its snippets and stories (§2.4: "any story
   /// detection system should allow the addition or removal of data
   /// sources").
@@ -115,6 +121,7 @@ class StoryPivotEngine {
   /// The entity gazetteer backing document extraction. Seed it with the
   /// entities of your domain before adding raw documents.
   text::Gazetteer* gazetteer() { return &gazetteer_; }
+  const text::Gazetteer& gazetteer() const { return gazetteer_; }
 
   /// Imports the terms of externally built vocabularies (e.g. a generated
   /// corpus) in id order, so pre-annotated snippets can be ingested with
@@ -207,6 +214,22 @@ class StoryPivotEngine {
   const std::vector<std::pair<SourceId, StoryId>>& dirty_stories() const {
     return dirty_stories_;
   }
+
+  /// The engine's monotone id counters. Snapshots persist them so a
+  /// restored engine allocates the SAME future ids as the original would
+  /// have — removals leave gaps that max()+1 inference cannot see, and
+  /// exact id continuation is what makes WAL replay after a checkpoint
+  /// restore deterministic (DESIGN.md §10).
+  struct IdCounters {
+    SourceId next_source = 0;
+    SnippetId next_snippet = 0;
+    StoryId next_story = 0;
+  };
+  [[nodiscard]] IdCounters id_counters() const;
+
+  /// Fast-forwards the id counters when restoring a snapshot. Counters
+  /// only move forward; a value below the current one is an error.
+  [[nodiscard]] Status AdoptIdCounters(const IdCounters& counters);
 
  private:
   StorySet* MutablePartition(SourceId source);

@@ -1,8 +1,10 @@
 #include "core/snapshot.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <tuple>
 
 #include "util/csv.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -41,8 +43,8 @@ Result<text::TermVector> DecodeTerms(std::string_view encoded) {
 
 std::string SaveSnapshot(const StoryPivotEngine& engine) {
   DsvWriter writer('\t');
-  writer.WriteRow({"#storypivot-snapshot", "v1"});
-  // Sources: "S", old id, name.
+  writer.WriteRow({"#storypivot-snapshot", "v2"});
+  // Sources: "S", id (preserved verbatim on load), name.
   for (const SourceInfo& source : engine.sources()) {
     writer.WriteRow({"S", StrFormat("%u", source.id), source.name});
   }
@@ -54,6 +56,12 @@ std::string SaveSnapshot(const StoryPivotEngine& engine) {
   const text::Vocabulary& keywords = engine.keyword_vocabulary();
   for (text::TermId id = 0; id < keywords.size(); ++id) {
     writer.WriteRow({"K", keywords.TermOf(id)});
+  }
+  // Gazetteer aliases in registration order (v2): "G", entity id,
+  // normalised alias. Without these, documents added after a checkpoint
+  // restore would extract no entities.
+  for (const auto& [entity, alias] : engine.gazetteer().aliases()) {
+    writer.WriteRow({"G", StrFormat("%u", entity), alias});
   }
   // Snippets with assignments: walk partitions so the story id is known.
   for (const StorySet* partition : engine.partitions()) {
@@ -76,6 +84,17 @@ std::string SaveSnapshot(const StoryPivotEngine& engine) {
       });
     }
   }
+  // Id counters (v2): "C", next source, next snippet, next story. Max+1
+  // inference cannot reconstruct these once removals have left gaps, and
+  // exact continuation of the id streams is what deterministic WAL replay
+  // after a checkpoint restore depends on.
+  const StoryPivotEngine::IdCounters counters = engine.id_counters();
+  writer.WriteRow({
+      "C",
+      StrFormat("%u", counters.next_source),
+      StrFormat("%llu", static_cast<unsigned long long>(counters.next_snippet)),
+      StrFormat("%llu", static_cast<unsigned long long>(counters.next_story)),
+  });
   return writer.contents();
 }
 
@@ -90,12 +109,12 @@ Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
   ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
                    reader.Parse(contents));
   if (rows.empty() || rows[0].size() != 2 ||
-      rows[0][0] != "#storypivot-snapshot" || rows[0][1] != "v1") {
-    return Status::InvalidArgument("not a v1 storypivot snapshot");
+      rows[0][0] != "#storypivot-snapshot" ||
+      (rows[0][1] != "v1" && rows[0][1] != "v2")) {
+    return Status::InvalidArgument("not a v1/v2 storypivot snapshot");
   }
 
   auto engine = std::make_unique<StoryPivotEngine>(config);
-  std::unordered_map<SourceId, SourceId> source_remap;
 
   for (size_t r = 1; r < rows.size(); ++r) {
     const std::vector<std::string>& row = rows[r];
@@ -107,10 +126,23 @@ Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
     };
     if (kind == "S") {
       if (row.size() != 3) return bad("source row needs 3 fields");
-      int64_t old_id = 0;
-      if (!ParseInt64(row[1], &old_id)) return bad("bad source id");
-      source_remap[static_cast<SourceId>(old_id)] =
-          engine->RegisterSource(row[2]);
+      int64_t id = 0;
+      if (!ParseInt64(row[1], &id) || id < 0 ||
+          id >= static_cast<int64_t>(kInvalidSourceId)) {
+        return bad("bad source id");
+      }
+      RETURN_IF_ERROR(
+          engine->AdoptSource(static_cast<SourceId>(id), row[2]));
+    } else if (kind == "G") {
+      if (row.size() != 3) return bad("gazetteer row needs 3 fields");
+      int64_t entity = 0;
+      const StoryPivotEngine& built = *engine;
+      if (!ParseInt64(row[1], &entity) || entity < 0 ||
+          static_cast<size_t>(entity) >= built.entity_vocabulary().size()) {
+        return bad("gazetteer entity id out of vocabulary range");
+      }
+      engine->gazetteer()->AddAlias(static_cast<text::TermId>(entity),
+                                    row[2]);
     } else if (kind == "E" || kind == "K") {
       if (row.size() != 2) return bad("vocabulary row needs 2 fields");
       text::Vocabulary* vocab = kind == "E" ? engine->entity_vocabulary()
@@ -126,9 +158,10 @@ Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
         return bad("bad numeric field");
       }
       snippet.id = static_cast<SnippetId>(id);
-      auto remapped = source_remap.find(static_cast<SourceId>(source));
-      if (remapped == source_remap.end()) return bad("unknown source");
-      snippet.source = remapped->second;
+      snippet.source = static_cast<SourceId>(source);
+      if (engine->partition(snippet.source) == nullptr) {
+        return bad("unknown source");
+      }
       snippet.timestamp = ts;
       snippet.truth_story = truth;
       snippet.document_url = row[6];
@@ -138,6 +171,19 @@ Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshot(
       ASSIGN_OR_RETURN(snippet.keywords, DecodeTerms(row[10]));
       RETURN_IF_ERROR(engine->AdoptAssignment(
           std::move(snippet), static_cast<StoryId>(story)));
+    } else if (kind == "C") {
+      if (row.size() != 4) return bad("counter row needs 4 fields");
+      int64_t source = 0, snippet = 0, story = 0;
+      if (!ParseInt64(row[1], &source) || !ParseInt64(row[2], &snippet) ||
+          !ParseInt64(row[3], &story) || source < 0 || snippet < 0 ||
+          story < 0) {
+        return bad("bad counter field");
+      }
+      StoryPivotEngine::IdCounters counters;
+      counters.next_source = static_cast<SourceId>(source);
+      counters.next_snippet = static_cast<SnippetId>(snippet);
+      counters.next_story = static_cast<StoryId>(story);
+      RETURN_IF_ERROR(engine->AdoptIdCounters(counters));
     } else {
       return bad("unknown record kind");
     }
@@ -149,6 +195,25 @@ Result<std::unique_ptr<StoryPivotEngine>> LoadSnapshotFromFile(
     const std::string& path, EngineConfig config) {
   ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
   return LoadSnapshot(contents, config);
+}
+
+uint64_t EngineStateFingerprint(const StoryPivotEngine& engine) {
+  std::vector<std::tuple<SourceId, SnippetId, StoryId>> triples;
+  for (const SourceInfo& info : engine.sources()) {
+    const StorySet* partition = engine.partition(info.id);
+    SP_CHECK(partition != nullptr);
+    for (const auto& [ts, sid] : partition->snippet_times().entries()) {
+      triples.emplace_back(info.id, sid, partition->StoryOf(sid));
+    }
+  }
+  std::sort(triples.begin(), triples.end());
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& [source, snippet, story] : triples) {
+    h = HashCombine(h, SplitMix64(source));
+    h = HashCombine(h, SplitMix64(snippet));
+    h = HashCombine(h, SplitMix64(story));
+  }
+  return h;
 }
 
 }  // namespace storypivot

@@ -1,0 +1,193 @@
+#ifndef STORYPIVOT_PERSIST_CODEC_H_
+#define STORYPIVOT_PERSIST_CODEC_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "model/document.h"
+#include "model/snippet.h"
+#include "text/term_vector.h"
+#include "util/status.h"
+
+namespace storypivot::persist {
+
+/// Little-endian binary encoder for write-ahead-log payloads. Fixed-width
+/// integers plus length-prefixed strings: trivially versionable, and a
+/// one-bit flip anywhere is caught by the frame CRC, so the decoder can
+/// assume structurally intact input and only guard against truncation.
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutFixed(v, 4); }
+  void PutU64(uint64_t v) { PutFixed(v, 8); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v), 8); }
+  void PutF64(double v) { PutFixed(std::bit_cast<uint64_t>(v), 8); }
+
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  void PutTermVector(const text::TermVector& terms) {
+    PutU32(static_cast<uint32_t>(terms.size()));
+    for (const auto& [term, weight] : terms.entries()) {
+      PutU32(term);
+      PutF64(weight);
+    }
+  }
+
+  void PutSnippet(const Snippet& snippet) {
+    PutU64(snippet.id);
+    PutU32(snippet.source);
+    PutI64(snippet.timestamp);
+    PutI64(snippet.truth_story);
+    PutString(snippet.document_url);
+    PutString(snippet.event_type);
+    PutString(snippet.description);
+    PutTermVector(snippet.entities);
+    PutTermVector(snippet.keywords);
+  }
+
+  void PutDocument(const Document& document) {
+    PutU32(document.source);
+    PutI64(document.timestamp);
+    PutI64(document.truth_story);
+    PutString(document.url);
+    PutString(document.title);
+    PutString(document.event_type);
+    PutU32(static_cast<uint32_t>(document.paragraphs.size()));
+    for (const std::string& p : document.paragraphs) PutString(p);
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Release() { return std::move(out_); }
+
+ private:
+  void PutFixed(uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  std::string out_;
+};
+
+/// Decoder over an encoded payload. Reads past the end set a sticky error
+/// flag and return zero values; callers check `status()` once after
+/// decoding a record instead of threading a Status through every getter.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view in) : in_(in) {}
+
+  uint8_t GetU8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(in_[pos_++]);
+  }
+  uint32_t GetU32() { return static_cast<uint32_t>(GetFixed(4)); }
+  uint64_t GetU64() { return GetFixed(8); }
+  int64_t GetI64() { return static_cast<int64_t>(GetFixed(8)); }
+  double GetF64() { return std::bit_cast<double>(GetFixed(8)); }
+
+  std::string GetString() {
+    uint32_t size = GetU32();
+    if (!Need(size)) return std::string();
+    std::string out(in_.substr(pos_, size));
+    pos_ += size;
+    return out;
+  }
+
+  text::TermVector GetTermVector() {
+    uint32_t count = GetU32();
+    std::vector<text::TermVector::Entry> entries;
+    // An absurd count means the payload is corrupt; checking against the
+    // bytes actually remaining prevents a huge bogus reserve.
+    if (remaining() / 12 < count) {
+      failed_ = true;
+      return text::TermVector();
+    }
+    entries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      text::TermId term = GetU32();
+      double weight = GetF64();
+      entries.push_back({term, weight});
+    }
+    return text::TermVector::FromEntries(std::move(entries));
+  }
+
+  Snippet GetSnippet() {
+    Snippet snippet;
+    snippet.id = GetU64();
+    snippet.source = GetU32();
+    snippet.timestamp = GetI64();
+    snippet.truth_story = GetI64();
+    snippet.document_url = GetString();
+    snippet.event_type = GetString();
+    snippet.description = GetString();
+    snippet.entities = GetTermVector();
+    snippet.keywords = GetTermVector();
+    return snippet;
+  }
+
+  Document GetDocument() {
+    Document document;
+    document.source = GetU32();
+    document.timestamp = GetI64();
+    document.truth_story = GetI64();
+    document.url = GetString();
+    document.title = GetString();
+    document.event_type = GetString();
+    uint32_t count = GetU32();
+    if (remaining() / 4 < count) {
+      failed_ = true;
+      return document;
+    }
+    document.paragraphs.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      document.paragraphs.push_back(GetString());
+    }
+    return document;
+  }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] size_t remaining() const { return in_.size() - pos_; }
+
+  /// OK when everything decoded in bounds and the payload was consumed
+  /// exactly.
+  [[nodiscard]] Status Finish() const {
+    if (failed_) return Status::IoError("truncated record payload");
+    if (pos_ != in_.size()) {
+      return Status::IoError("trailing bytes in record payload");
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (failed_ || in_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  uint64_t GetFixed(int width) {
+    if (!Need(static_cast<size_t>(width))) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(in_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += static_cast<size_t>(width);
+    return v;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace storypivot::persist
+
+#endif  // STORYPIVOT_PERSIST_CODEC_H_

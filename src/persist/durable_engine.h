@@ -1,0 +1,173 @@
+#ifndef STORYPIVOT_PERSIST_DURABLE_ENGINE_H_
+#define STORYPIVOT_PERSIST_DURABLE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
+#include "util/status.h"
+
+namespace storypivot::persist {
+
+struct DurabilityOptions {
+  WalOptions wal;
+  /// Automatically checkpoint after this many logged operations;
+  /// 0 disables auto-checkpointing (call Checkpoint() yourself).
+  uint64_t checkpoint_every_ops = 0;
+  /// Newest checkpoints kept on disk (>= 1; 2 gives a fallback should
+  /// the newest one be corrupted after the fact).
+  size_t keep_checkpoints = 2;
+};
+
+/// The engine-mutation opcodes recorded in the WAL. Part of the on-disk
+/// format: append only, never renumber.
+enum class WalOp : uint8_t {
+  kRegisterSource = 1,
+  kImportVocabularies = 2,
+  kAddGazetteerEntity = 3,
+  kAddGazetteerAlias = 4,
+  kAddSnippet = 5,
+  kAddSnippets = 6,
+  kAddDocument = 7,
+  kRemoveSource = 8,
+  kRemoveDocument = 9,
+  kRemoveSnippet = 10,
+  kRefine = 11,
+  kAlign = 12,
+};
+
+/// A StoryPivotEngine with a durability layer (DESIGN.md §10): every
+/// mutation is appended to a write-ahead log before the call returns, the
+/// engine state is periodically checkpointed via core/snapshot, and
+/// `Open()` recovers the pre-crash state from the newest checkpoint plus
+/// the WAL tail.
+///
+/// Invariants:
+///   * PREFIX CONSISTENCY — after any crash, recovery yields the state of
+///     some prefix of the acknowledged operation stream (how long a
+///     prefix depends on the fsync policy; kEveryRecord loses nothing).
+///   * DETERMINISTIC REPLAY — replaying a WAL prefix on a fresh engine
+///     reproduces ids and story assignments bit for bit, for any
+///     `EngineConfig::num_threads` (replay rides the engine's
+///     deterministic parallel paths). Recorded result ids are verified
+///     during replay, so silent divergence is caught immediately.
+///   * TORN TAIL, NOT TORN STATE — a crash mid-append leaves an
+///     incomplete final record, which recovery truncates away; a CRC
+///     mismatch anywhere else is reported as corruption, never dropped.
+///
+/// Mutations mirror the StoryPivotEngine API (plus the extraction-state
+/// mutations RegisterSource/ImportVocabularies/gazetteer seeding, which
+/// replay needs). Read paths go through `engine()`. Like the underlying
+/// engine, single-writer.
+class DurableEngine {
+ public:
+  /// Opens (and creates, if needed) the durability directory `dir`,
+  /// recovers the newest checkpoint + WAL tail, repairs a torn tail, and
+  /// opens the WAL for appending. `engine_config` supplies the runtime
+  /// knobs; recovered state does not depend on it (see determinism
+  /// invariant above).
+  [[nodiscard]] static Result<std::unique_ptr<DurableEngine>> Open(
+      const std::string& dir, DurabilityOptions options = {},
+      EngineConfig engine_config = {});
+
+  ~DurableEngine();
+
+  DurableEngine(const DurableEngine&) = delete;
+  DurableEngine& operator=(const DurableEngine&) = delete;
+
+  // --- Logged mutations --------------------------------------------------
+
+  [[nodiscard]] Result<SourceId> RegisterSource(const std::string& name);
+  [[nodiscard]] Status ImportVocabularies(const text::Vocabulary& entities,
+                                          const text::Vocabulary& keywords);
+  [[nodiscard]] Result<text::TermId> AddGazetteerEntity(
+      const std::string& canonical_name);
+  [[nodiscard]] Status AddGazetteerAlias(text::TermId entity,
+                                         const std::string& alias);
+  [[nodiscard]] Result<SnippetId> AddSnippet(Snippet snippet);
+  [[nodiscard]] Result<std::vector<SnippetId>> AddSnippets(
+      std::vector<Snippet> snippets);
+  [[nodiscard]] Result<std::vector<SnippetId>> AddDocument(
+      const Document& document);
+  [[nodiscard]] Status RemoveSource(SourceId source);
+  [[nodiscard]] Status RemoveDocument(const std::string& url);
+  [[nodiscard]] Status RemoveSnippet(SnippetId id);
+
+  /// Refinement moves snippets between stories, so it is a logged
+  /// mutation too (replay re-runs it at the same point in the stream,
+  /// which reproduces the same moves).
+  [[nodiscard]] Result<RefinementStats> Refine();
+
+  /// Alignment is read-mostly but advances the integrated-story-id
+  /// cursor, so it must be logged: an unlogged Align followed by more
+  /// mutations would assign different story ids on replay. Use this, not
+  /// engine().Align(), on a durable engine. The result is readable via
+  /// engine().alignment().
+  [[nodiscard]] Status Align();
+
+  // --- Durability control ------------------------------------------------
+
+  /// Rotates the WAL, writes an atomic checkpoint covering everything
+  /// logged so far, and deletes the WAL segments the checkpoint covers.
+  [[nodiscard]] Status Checkpoint();
+
+  /// Forces the WAL to disk regardless of the fsync policy.
+  [[nodiscard]] Status Sync();
+
+  /// Syncs and closes the WAL. Further mutations fail. Called by the
+  /// destructor when omitted (ignoring errors — call Close() to see
+  /// them).
+  [[nodiscard]] Status Close();
+
+  // --- Reads -------------------------------------------------------------
+
+  /// The wrapped engine, for queries, alignment and introspection. Do
+  /// NOT mutate it directly — unlogged mutations void the durability
+  /// guarantee (they vanish on recovery and can derail replay).
+  [[nodiscard]] StoryPivotEngine& engine() { return *engine_; }
+  [[nodiscard]] const StoryPivotEngine& engine() const { return *engine_; }
+
+  /// Lsn the next mutation will get == number of ops logged ever.
+  [[nodiscard]] uint64_t next_lsn() const;
+
+  /// Ops logged since the last checkpoint (or open).
+  [[nodiscard]] uint64_t ops_since_checkpoint() const {
+    return ops_since_checkpoint_;
+  }
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  DurableEngine(std::string dir, DurabilityOptions options);
+
+  /// OK iff the engine accepts mutations: open and not poisoned. Checked
+  /// BEFORE applying a mutation so a closed engine's in-memory state is
+  /// never silently ahead of its log.
+  [[nodiscard]] Status CheckWritable() const;
+
+  /// Appends an encoded op and applies the auto-checkpoint policy. On a
+  /// WAL write failure the engine is poisoned: the in-memory state has
+  /// the mutation but the log does not, so further logged mutations
+  /// would desynchronise replay.
+  [[nodiscard]] Status LogOp(std::string payload);
+
+  /// Decodes and re-applies one WAL record during recovery, verifying
+  /// recorded result ids.
+  [[nodiscard]] Status ReplayOp(const WalRecord& record);
+
+  std::string dir_;
+  DurabilityOptions options_;
+  std::unique_ptr<StoryPivotEngine> engine_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  Checkpointer checkpointer_;
+  uint64_t ops_since_checkpoint_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace storypivot::persist
+
+#endif  // STORYPIVOT_PERSIST_DURABLE_ENGINE_H_

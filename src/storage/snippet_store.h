@@ -43,6 +43,17 @@ class SnippetStore {
   /// Ids of all snippets extracted from `document_url`.
   std::vector<SnippetId> FindByDocument(const std::string& url) const;
 
+  /// The id the next auto-assigned snippet will get. Monotone: removals
+  /// never roll it back, so ids are never reused.
+  [[nodiscard]] SnippetId next_id() const { return next_id_; }
+
+  /// Fast-forwards the id counter (never backwards) when restoring a
+  /// snapshot, so post-restore inserts continue the original id stream
+  /// even if the highest-id snippets had been removed.
+  void AdoptNextId(SnippetId id) {
+    if (id > next_id_) next_id_ = id;
+  }
+
  private:
   std::unordered_map<SnippetId, Snippet> snippets_;
   std::unordered_map<std::string, std::vector<SnippetId>> by_document_;

@@ -24,6 +24,14 @@ void Gazetteer::AddAlias(TermId entity, std::string_view alias) {
   phrase.entity = entity;
   phrase.tokens.reserve(tokens.size());
   for (Token& t : tokens) phrase.tokens.push_back(std::move(t.text));
+  // Journal the normalised form: re-tokenising it yields these exact
+  // tokens, so replaying the journal reproduces the index.
+  std::string normalised;
+  for (const std::string& t : phrase.tokens) {
+    if (!normalised.empty()) normalised += ' ';
+    normalised += t;
+  }
+  alias_log_.emplace_back(entity, std::move(normalised));
   std::string head = phrase.tokens.front();
   std::vector<Phrase>& bucket = index_[head];
   bucket.push_back(std::move(phrase));

@@ -50,6 +50,16 @@ class Gazetteer {
   /// Number of registered aliases.
   size_t num_aliases() const { return num_aliases_; }
 
+  /// Every registered alias as (entity id, normalised alias text), in
+  /// registration order. Replaying these through AddAlias on a gazetteer
+  /// whose vocabulary holds the same entities reproduces this gazetteer
+  /// exactly (including same-length tie-breaking, which follows
+  /// registration order) — the hook snapshots and the write-ahead log use
+  /// to persist extraction state.
+  const std::vector<std::pair<TermId, std::string>>& aliases() const {
+    return alias_log_;
+  }
+
   const Vocabulary& vocabulary() const { return *vocabulary_; }
 
  private:
@@ -63,6 +73,9 @@ class Gazetteer {
   std::unordered_map<std::string, std::vector<Phrase>> index_;
   Tokenizer tokenizer_;
   size_t num_aliases_ = 0;
+  // Registration-order journal of (entity, normalised alias) for
+  // serialisation; see aliases().
+  std::vector<std::pair<TermId, std::string>> alias_log_;
 };
 
 }  // namespace storypivot::text

@@ -1,7 +1,5 @@
 #include "util/csv.h"
 
-#include <cstdio>
-
 #include "util/strings.h"
 
 namespace storypivot {
@@ -120,34 +118,6 @@ Result<std::vector<std::vector<std::string>>> DsvReader::ReadFile(
                   path + ": " + rows.status().message());
   }
   return rows;
-}
-
-Result<std::string> ReadFileToString(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open for reading: " + path);
-  }
-  std::string out;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    out.append(buf, n);
-  }
-  bool had_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (had_error) return Status::IoError("read error: " + path);
-  return out;
-}
-
-Status WriteStringToFile(const std::string& path, std::string_view contents) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
-  bool ok = written == contents.size() && std::fclose(f) == 0;
-  if (!ok) return Status::IoError("write error: " + path);
-  return Status::OK();
 }
 
 }  // namespace storypivot

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/fs.h"  // IWYU pragma: export — historical home of file IO.
 #include "util/status.h"
 
 namespace storypivot {
@@ -50,12 +51,8 @@ class DsvReader {
   char delimiter_;
 };
 
-/// Reads an entire file into a string.
-[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
-
-/// Writes `contents` to `path`, replacing any existing file.
-[[nodiscard]] Status WriteStringToFile(const std::string& path,
-                                       std::string_view contents);
+// ReadFileToString / WriteStringToFile moved to util/fs.h (re-exported by
+// the include above); WriteStringToFile is now atomic.
 
 }  // namespace storypivot
 

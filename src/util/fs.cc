@@ -1,0 +1,212 @@
+#include "util/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace storypivot {
+namespace {
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Directory component of `path` ("." when there is none), for syncing
+/// the parent after a rename.
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteAllTo(int fd, std::string_view data, const std::string& path) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("cannot write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoError("cannot open for reading", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IoError("read error", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return IoError("cannot open for writing", tmp);
+  Status written = WriteAllTo(fd, contents, tmp);
+  if (written.ok() && ::fsync(fd) != 0) written = IoError("fsync", tmp);
+  if (::close(fd) != 0 && written.ok()) written = IoError("close", tmp);
+  if (written.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    written = IoError("rename", path);
+  }
+  if (!written.ok()) {
+    ::unlink(tmp.c_str());  // Best effort; the error is already recorded.
+    return written;
+  }
+  return SyncDirectory(DirName(path));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return IoError("cannot stat", path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return IoError("cannot unlink", path);
+  }
+  return Status::OK();
+}
+
+Status RemoveDirectory(const std::string& path) {
+  if (::rmdir(path.c_str()) != 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such directory: " + path);
+    }
+    return IoError("cannot rmdir", path);
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return IoError("cannot rename to " + to + " from", from);
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return IoError("cannot truncate", path);
+  }
+  return Status::OK();
+}
+
+Status CreateDirectories(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) slash = path.size();
+    prefix.assign(path, 0, slash);
+    pos = slash + 1;
+    if (prefix.empty()) continue;  // Leading '/'.
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return IoError("cannot mkdir", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return IoError("cannot open directory", path);
+  std::vector<std::string> names;
+  errno = 0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(std::move(name));
+    errno = 0;
+  }
+  bool had_error = errno != 0;
+  ::closedir(dir);
+  if (had_error) return IoError("cannot read directory", path);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SyncDirectory(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return IoError("cannot open directory", path);
+  Status status;
+  if (::fsync(fd) != 0) status = IoError("fsync directory", path);
+  ::close(fd);
+  return status;
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendFile::Open(const std::string& path) {
+  if (fd_ >= 0) {
+    return Status::FailedPrecondition("AppendFile already open: " + path_);
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return IoError("cannot open for append", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return IoError("cannot stat", path);
+  }
+  fd_ = fd;
+  size_ = static_cast<uint64_t>(st.st_size);
+  path_ = path;
+  return Status::OK();
+}
+
+Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("AppendFile not open");
+  RETURN_IF_ERROR(WriteAllTo(fd_, data, path_));
+  size_ += data.size();
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("AppendFile not open");
+  if (::fdatasync(fd_) != 0) return IoError("fdatasync", path_);
+  return Status::OK();
+}
+
+Status AppendFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status status = Sync();
+  if (::close(fd_) != 0 && status.ok()) status = IoError("close", path_);
+  fd_ = -1;
+  size_ = 0;
+  path_.clear();
+  return status;
+}
+
+}  // namespace storypivot

@@ -22,6 +22,16 @@ uint64_t HashCombine(uint64_t a, uint64_t b);
 /// which MinHash sketches rely on.
 uint64_t HashWithSeed(uint64_t x, uint64_t seed);
 
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/gzip variant) of a
+/// byte string. Used to frame write-ahead-log records: unlike the hashes
+/// above it is a standard, externally-checkable checksum, so logs can be
+/// validated by other tooling.
+uint32_t Crc32(std::string_view data);
+
+/// Extends a running CRC-32 with more bytes. `Crc32(ab)` ==
+/// `ExtendCrc32(Crc32(a), b)`.
+uint32_t ExtendCrc32(uint32_t crc, std::string_view data);
+
 }  // namespace storypivot
 
 #endif  // STORYPIVOT_UTIL_HASH_H_

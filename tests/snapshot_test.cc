@@ -126,11 +126,80 @@ TEST(SnapshotTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotTest, RoundTripIsByteIdentical) {
+  std::unique_ptr<StoryPivotEngine> original = BuildPopulatedEngine();
+  std::string first = SaveSnapshot(*original);
+  auto loaded = LoadSnapshot(first);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Save(Load(Save(e))) must be byte-identical, so snapshots are
+  // canonical: equal states produce equal bytes, diffable and hashable.
+  std::string second = SaveSnapshot(*loaded.value());
+  EXPECT_EQ(first, second);
+  auto reloaded = LoadSnapshot(second);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(SaveSnapshot(*reloaded.value()), second);
+}
+
+TEST(SnapshotTest, ByteIdenticalAfterRemovalsAndParallelBatchIngest) {
+  datagen::CorpusConfig corpus_config;
+  corpus_config.seed = 77;
+  corpus_config.num_sources = 4;
+  corpus_config.num_stories = 10;
+  corpus_config.target_num_snippets = 400;
+  datagen::Corpus corpus =
+      datagen::CorpusGenerator(corpus_config).Generate();
+  EngineConfig config;
+  config.num_threads = 4;  // Exercise the parallel batch-ingest path.
+  auto engine = std::make_unique<StoryPivotEngine>(config);
+  SP_CHECK_OK(engine->ImportVocabularies(*corpus.entity_vocabulary,
+                                         *corpus.keyword_vocabulary));
+  for (const SourceInfo& s : corpus.sources) engine->RegisterSource(s.name);
+  engine->gazetteer()->AddEntity("acme corp");
+  engine->gazetteer()->AddAlias(0, "the zeroth entity");
+  std::vector<SnippetId> ids;
+  for (size_t begin = 0; begin < corpus.snippets.size(); begin += 64) {
+    std::vector<Snippet> batch;
+    for (size_t i = begin;
+         i < std::min(begin + 64, corpus.snippets.size()); ++i) {
+      batch.push_back(corpus.snippets[i]);
+      batch.back().id = kInvalidSnippetId;
+    }
+    Result<std::vector<SnippetId>> added =
+        engine->AddSnippets(std::move(batch));
+    SP_CHECK_OK(added.status());
+    ids.insert(ids.end(), added.value().begin(), added.value().end());
+  }
+  // Removals that leave id gaps — including the HIGHEST id, which max+1
+  // counter inference would hand out again.
+  SP_CHECK_OK(engine->RemoveSnippet(ids[5]));
+  SP_CHECK_OK(engine->RemoveSnippet(ids.back()));
+  SP_CHECK_OK(engine->RemoveSource(3));
+
+  std::string first = SaveSnapshot(*engine);
+  auto loaded = LoadSnapshot(first);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(SaveSnapshot(*loaded.value()), first);
+
+  // Id-stream continuation: the restored engine assigns the SAME ids and
+  // story as the original engine would, despite the gaps.
+  Snippet fresh = corpus.snippets[0];
+  fresh.id = kInvalidSnippetId;
+  Snippet fresh_copy = fresh;
+  Result<SnippetId> original_id = engine->AddSnippet(std::move(fresh));
+  Result<SnippetId> restored_id =
+      loaded.value()->AddSnippet(std::move(fresh_copy));
+  ASSERT_TRUE(original_id.ok());
+  ASSERT_TRUE(restored_id.ok());
+  EXPECT_EQ(original_id.value(), restored_id.value());
+  EXPECT_EQ(EngineStateFingerprint(*loaded.value()),
+            EngineStateFingerprint(*engine));
+}
+
 TEST(SnapshotTest, RejectsGarbage) {
   EXPECT_FALSE(LoadSnapshot("").ok());
   EXPECT_FALSE(LoadSnapshot("not a snapshot\n").ok());
   EXPECT_FALSE(
-      LoadSnapshot("#storypivot-snapshot\tv2\n").ok());  // Wrong version.
+      LoadSnapshot("#storypivot-snapshot\tv99\n").ok());  // Wrong version.
   // Valid header but broken snippet row.
   EXPECT_FALSE(
       LoadSnapshot("#storypivot-snapshot\tv1\nN\txx\n").ok());

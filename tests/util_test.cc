@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/csv.h"
+#include "util/fs.h"
 #include "util/hash.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -594,6 +595,91 @@ TEST(ThreadPoolTest, BoundedQueueDoesNotDeadlock) {
   }
   pool.Wait();
   EXPECT_EQ(count.load(), 500);
+}
+
+TEST(HashTest, Crc32MatchesKnownVectors) {
+  // IEEE 802.3 check value for the canonical test string.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Incremental extension equals one-shot computation.
+  uint32_t incremental = ExtendCrc32(ExtendCrc32(0, "1234"), "56789");
+  EXPECT_EQ(incremental, Crc32("123456789"));
+  // One-bit sensitivity: flipping any bit changes the sum.
+  EXPECT_NE(Crc32("123456788"), Crc32("123456789"));
+}
+
+TEST(FsTest, WriteReadRoundTripAndAtomicReplace) {
+  const std::string path = ::testing::TempDir() + "/sp_fs_roundtrip.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "first contents").ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "first contents");
+  // Overwrite is atomic (tmp + rename): no `.tmp` litter afterwards.
+  ASSERT_TRUE(WriteStringToFile(path, "second contents").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "second contents");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  Result<uint64_t> size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 15u);
+  ASSERT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(FsTest, MissingFilesReportErrors) {
+  const std::string path = ::testing::TempDir() + "/sp_fs_does_not_exist";
+  EXPECT_FALSE(ReadFileToString(path).ok());
+  EXPECT_FALSE(FileSize(path).ok());
+  EXPECT_FALSE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(FsTest, AppendFilePersistsAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "/sp_fs_append.log";
+  if (FileExists(path)) {
+    ASSERT_TRUE(RemoveFile(path).ok());
+  }
+  {
+    AppendFile file;
+    ASSERT_TRUE(file.Open(path).ok());
+    ASSERT_TRUE(file.Append("hello ").ok());
+    ASSERT_TRUE(file.Sync().ok());
+    ASSERT_TRUE(file.Append("world").ok());
+    EXPECT_EQ(file.size(), 11u);
+    ASSERT_TRUE(file.Close().ok());
+  }
+  {
+    // Reopening continues at the existing length.
+    AppendFile file;
+    ASSERT_TRUE(file.Open(path).ok());
+    EXPECT_EQ(file.size(), 11u);
+    ASSERT_TRUE(file.Append("!").ok());
+    ASSERT_TRUE(file.Close().ok());
+    ASSERT_TRUE(file.Close().ok());  // Idempotent.
+  }
+  EXPECT_EQ(ReadFileToString(path).value(), "hello world!");
+  ASSERT_TRUE(TruncateFile(path, 5).ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "hello");
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(FsTest, CreateDirectoriesAndList) {
+  const std::string root = ::testing::TempDir() + "/sp_fs_tree";
+  const std::string nested = root + "/a/b/c";
+  ASSERT_TRUE(CreateDirectories(nested).ok());
+  ASSERT_TRUE(CreateDirectories(nested).ok());  // mkdir -p idempotence.
+  ASSERT_TRUE(WriteStringToFile(nested + "/zeta", "z").ok());
+  ASSERT_TRUE(WriteStringToFile(nested + "/alpha", "a").ok());
+  Result<std::vector<std::string>> names = ListDirectory(nested);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"alpha", "zeta"}));
+  EXPECT_FALSE(ListDirectory(root + "/missing").ok());
+  // rmdir semantics: refuses non-empty, removes empty, NotFound when gone.
+  EXPECT_FALSE(RemoveDirectory(nested).ok());
+  ASSERT_TRUE(RemoveFile(nested + "/alpha").ok());
+  ASSERT_TRUE(RemoveFile(nested + "/zeta").ok());
+  EXPECT_TRUE(RemoveDirectory(nested).ok());
+  EXPECT_FALSE(FileExists(nested));
+  EXPECT_EQ(RemoveDirectory(nested).code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -15,6 +15,10 @@ examples/ (and tools/ headers if any appear):
   stdout-in-lib     no std::cout / std::cerr in src/ libraries; use
                     util/logging.h (SP_LOG) so verbosity stays
                     controllable.
+  raw-file-write    no std::ofstream / std::fstream / fopen() anywhere
+                    but src/util/fs.cc — every write must go through
+                    util/fs.h so its atomic-replace and fsync guarantees
+                    (DESIGN.md §10) hold repo-wide.
   build-artifact    no committed build trees or object/cache files.
 
 A finding can be suppressed on its line with:  // splint: allow(<rule>)
@@ -46,6 +50,15 @@ BANNED_EVERYWHERE = [
      "sprintf()/vsprintf() are banned; use StrFormat() or snprintf()"),
     (re.compile(r"(?<![A-Za-z0-9_])strcpy\s*\("), "banned-function",
      "strcpy() is banned; use std::string"),
+]
+
+BANNED_WRITERS = [
+    (re.compile(r"std::w?o?fstream\b"), "raw-file-write",
+     "std::ofstream/std::fstream are banned; write through util/fs.h "
+     "(atomic WriteStringToFile or AppendFile)"),
+    (re.compile(r"(?<![A-Za-z0-9_])fopen\s*\("), "raw-file-write",
+     "fopen() is banned; write through util/fs.h "
+     "(atomic WriteStringToFile or AppendFile)"),
 ]
 
 BANNED_IN_SRC = [
@@ -90,6 +103,10 @@ def line_allows(line, rule):
 def check_banned(relpath, lines):
     in_src = relpath.startswith("src/")
     rules = list(BANNED_EVERYWHERE) + (BANNED_IN_SRC if in_src else [])
+    # util/fs.cc is the one place allowed to touch the OS write APIs —
+    # it is what everything else is told to use instead.
+    if relpath != "src/util/fs.cc":
+        rules += BANNED_WRITERS
     # logging/status/strings own the stderr fallback path that everything
     # else is told to use instead.
     exempt_stdout = relpath in (
