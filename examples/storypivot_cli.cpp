@@ -18,6 +18,12 @@
 //       Load a previously saved engine snapshot and print its stories.
 //   query <in.tsv> <entity>
 //       Detect stories, then show the context card for an entity.
+//   search <in.tsv> "<query>" [--topk N] [--from T] [--to T]
+//          [--mode and|or] [--scan]
+//       Detect stories, then rank them against a free-text query with
+//       BM25 over the inverted index (--scan forces the index-free
+//       reference path; --from/--to bound snippet timestamps
+//       inclusively, as YYYY-MM-DD or epoch seconds).
 //
 // Examples:
 //   storypivot_cli generate /tmp/news.tsv --snippets 5000
@@ -26,9 +32,11 @@
 //   storypivot_cli recover /tmp/news.wal
 //   storypivot_cli load /tmp/run.sp
 //   storypivot_cli query /tmp/news.tsv Ukraine
+//   storypivot_cli search /tmp/news.tsv "MH17 crash" --topk 5
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "core/engine.h"
@@ -38,6 +46,7 @@
 #include "datagen/gdelt_export.h"
 #include "eval/experiment.h"
 #include "persist/durable_engine.h"
+#include "search/search_engine.h"
 #include "text/knowledge_base.h"
 #include "util/csv.h"
 #include "util/strings.h"
@@ -60,7 +69,9 @@ int Usage() {
                " [--wal-dir DIR]\n"
                "  storypivot_cli recover <wal-dir> [--checkpoint]\n"
                "  storypivot_cli load <snapshot.sp>\n"
-               "  storypivot_cli query <in.tsv> <entity>\n");
+               "  storypivot_cli query <in.tsv> <entity>\n"
+               "  storypivot_cli search <in.tsv> \"<query>\" [--topk N]"
+               " [--from T] [--to T] [--mode and|or] [--scan]\n");
   return 2;
 }
 
@@ -89,6 +100,22 @@ int64_t FlagInt(int argc, char** argv, const char* name, int64_t def) {
     std::fprintf(stderr, "bad integer for %s: %s\n", name, value.c_str());
   }
   return out;
+}
+
+// Time bounds for `search --from/--to`: either a raw Timestamp (epoch
+// seconds) or a YYYY-MM-DD date.
+Timestamp FlagTime(int argc, char** argv, const char* name, Timestamp def) {
+  std::string value;
+  if (!ParseFlag(argc, argv, name, &value)) return def;
+  int year = 0, month = 0, day = 0;
+  if (std::sscanf(value.c_str(), "%d-%d-%d", &year, &month, &day) == 3) {
+    return MakeTimestamp(year, month, day);
+  }
+  int64_t out = 0;
+  if (ParseInt64(value, &out)) return static_cast<Timestamp>(out);
+  std::fprintf(stderr, "bad time for %s: %s (want YYYY-MM-DD or epoch)\n",
+               name, value.c_str());
+  return def;
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -380,6 +407,70 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+int CmdSearch(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Result<std::unique_ptr<StoryPivotEngine>> engine =
+      DetectFromTsv(argv[0], EngineConfig{});
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  engine.value()->Align();
+  search::SearchEngine searcher(engine.value().get());
+
+  search::SearchOptions options;
+  options.k = static_cast<size_t>(FlagInt(argc, argv, "--topk", 10));
+  std::string mode;
+  if (ParseFlag(argc, argv, "--mode", &mode) && mode == "and") {
+    options.mode = search::MatchMode::kAll;
+  }
+  std::string bound;
+  if (ParseFlag(argc, argv, "--from", &bound) ||
+      ParseFlag(argc, argv, "--to", &bound)) {
+    options.filter_time = true;
+    options.from = FlagTime(argc, argv, "--from", 0);
+    options.to = FlagTime(argc, argv, "--to",
+                          std::numeric_limits<Timestamp>::max());
+  }
+
+  search::ParsedQuery parsed = searcher.Parse(argv[1]);
+  for (const search::QueryTerm& term : parsed.terms) {
+    const char* kind = term.field == search::Field::kEntity ? "entity"
+                       : term.field == search::Field::kKeyword
+                           ? "keyword"
+                           : "event-type";
+    std::printf("term: %s (%s)\n", term.surface.c_str(), kind);
+  }
+  for (const std::string& word : parsed.unmatched) {
+    std::printf("ignored: %s\n", word.c_str());
+  }
+  if (parsed.empty()) {
+    std::printf("no recognized query terms\n");
+    return 0;
+  }
+
+  std::vector<search::StoryHit> hits =
+      HasFlag(argc, argv, "--scan") ? searcher.SearchScan(parsed, options)
+                                    : searcher.Search(parsed, options);
+  if (hits.empty()) {
+    std::printf("no matching stories\n");
+    return 0;
+  }
+  StoryQuery query(engine.value().get());
+  int rank = 0;
+  for (const search::StoryHit& hit : hits) {
+    const Story* story =
+        engine.value()->partition(hit.source)->FindStory(hit.story);
+    std::printf("#%d  score=%.4f  matched=%u/%zu  source=%s\n", ++rank,
+                hit.score, hit.matched_terms, parsed.terms.size(),
+                engine.value()->SourceName(hit.source).c_str());
+    std::printf("%s",
+                viz::RenderStoryOverview(query.Overview(*story, false))
+                    .c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -392,5 +483,6 @@ int main(int argc, char** argv) {
   if (command == "recover") return CmdRecover(sub_argc, sub_argv);
   if (command == "load") return CmdLoad(sub_argc, sub_argv);
   if (command == "query") return CmdQuery(sub_argc, sub_argv);
+  if (command == "search") return CmdSearch(sub_argc, sub_argv);
   return Usage();
 }

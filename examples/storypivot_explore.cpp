@@ -14,6 +14,7 @@
 //   story <id>               overview card + snippets of a story
 //   entity <name>            knowledge-base context card for an entity
 //   keyword <stem>           stories containing a stemmed keyword
+//   search <free text>       BM25-ranked stories for a free-text query
 //   diagnose                 fragmentation/contamination report
 //   remove <url>             remove a document and re-align
 //   stats                    engine counters
@@ -27,6 +28,7 @@
 #include "datagen/gdelt_export.h"
 #include "datagen/mh17.h"
 #include "eval/diagnostics.h"
+#include "search/search_engine.h"
 #include "text/knowledge_base.h"
 #include "util/csv.h"
 #include "util/strings.h"
@@ -39,13 +41,14 @@ using namespace storypivot;
 void PrintHelp() {
   std::printf(
       "commands: sources | stories [src] | story <id> | entity <name> |\n"
-      "          keyword <stem> | diagnose | remove <url> | stats | help |"
-      " quit\n");
+      "          keyword <stem> | search <text> | diagnose | remove <url> |"
+      " stats | help | quit\n");
 }
 
 void ShowStory(StoryPivotEngine& engine, StoryQuery& query, StoryId id) {
   // Search per-source stories first, then integrated ones.
-  for (const StorySet* partition : engine.partitions()) {
+  // Id lookup across a handful of partitions, not a story scan.
+  for (const StorySet* partition : engine.partitions()) {  // splint: allow(full-scan)
     if (const Story* story = partition->FindStory(id)) {
       std::printf("%s", viz::RenderStoryOverview(
                             query.Overview(*story, false))
@@ -115,6 +118,7 @@ int main(int argc, char** argv) {
   }
   engine = owned.get();
   engine->Align();
+  search::SearchEngine searcher(engine);
 
   text::KnowledgeBase kb = text::KnowledgeBase::WithEmbeddedWorldFacts();
   StoryQuery query(engine);
@@ -173,6 +177,23 @@ int main(int argc, char** argv) {
                     FormatDate(story.start_time).c_str(),
                     FormatDate(story.end_time).c_str(),
                     story.num_snippets);
+      }
+    } else if (command == "search" && args.size() > 1) {
+      std::string text(input.substr(command.size() + 1));
+      search::ParsedQuery parsed = searcher.Parse(text);
+      for (const std::string& word : parsed.unmatched) {
+        std::printf("  ignored: %s\n", word.c_str());
+      }
+      std::vector<search::StoryHit> hits = searcher.Search(parsed);
+      if (hits.empty()) std::printf("  no matching stories\n");
+      for (const search::StoryHit& hit : hits) {
+        const Story* story =
+            engine->partition(hit.source)->FindStory(hit.story);
+        std::printf("  c%-5llu score=%.3f %-18s %s..%s %zu snippets\n",
+                    static_cast<unsigned long long>(hit.story), hit.score,
+                    engine->SourceName(hit.source).c_str(),
+                    FormatDate(story->start_time()).c_str(),
+                    FormatDate(story->end_time()).c_str(), story->size());
       }
     } else if (command == "diagnose") {
       std::printf("%s", eval::DiagnoseAlignment(*engine).ToString().c_str());

@@ -100,7 +100,9 @@ Status StoryPivotEngine::RemoveSource(SourceId source) {
     const Snippet* snippet = store_.Find(sid);
     SP_CHECK(snippet != nullptr);
     df_.RemoveDocument(snippet->keywords);
+    Snippet copy = *snippet;  // Remove() invalidates the pointer.
     SP_CHECK_OK(store_.Remove(sid));
+    NotifyRemoved(copy);
     ++stats_.snippets_removed;
   }
   partitions_.erase(it);
@@ -235,6 +237,7 @@ Result<SnippetId> StoryPivotEngine::AddSnippet(Snippet snippet) {
   }
   ++stats_.snippets_ingested;
   stale_ = true;
+  NotifyAdded(*stored);
   return id;
 }
 
@@ -331,6 +334,9 @@ Result<std::vector<SnippetId>> StoryPivotEngine::AddSnippets(
   stats_.identify_time_ms += std::max(identify_ms, batch_wall_ms);
   stats_.snippets_ingested += stored.size();
   stale_ = true;
+  // Observer notifications happen in the serial epilogue, in arrival
+  // order — identical for every thread count.
+  for (const Snippet* snippet : stored) NotifyAdded(*snippet);
   return ids;
 }
 
@@ -369,6 +375,7 @@ Result<SnippetId> StoryPivotEngine::AdoptAssignment(Snippet snippet,
   }
   ++stats_.snippets_ingested;
   stale_ = true;
+  NotifyAdded(*stored);
   return id;
 }
 
@@ -391,6 +398,7 @@ void StoryPivotEngine::RemoveSnippetInternal(const Snippet& snippet,
   }
   SnippetId id = snippet.id;
   SP_CHECK(store_.Remove(id).ok());
+  NotifyRemoved(snippet);
   ++stats_.snippets_removed;
   if (split_check && story_id != kInvalidStoryId &&
       partition->FindStory(story_id) != nullptr) {

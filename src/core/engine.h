@@ -68,6 +68,24 @@ struct EngineStats {
   double refine_time_ms = 0.0;
 };
 
+/// Observer of the engine's snippet-level mutations, implemented by
+/// external index maintainers (the search subsystem keeps its inverted
+/// index in sync through it). Callbacks fire only from the engine's
+/// serial sections, after a snippet is fully part of the engine state
+/// (or fully removed), in a deterministic order: arrival order for
+/// batches, reverse-arrival order for rollbacks. Story merges and splits
+/// deliberately have no callback — snippet membership is the only state
+/// an observer can rely on, and story-level views must resolve
+/// snippet -> story assignments live (DESIGN.md §11 explains why this is
+/// what makes observer-maintained indexes deterministic). Implementations
+/// must not call back into the engine's mutating API.
+class IngestObserver {
+ public:
+  virtual ~IngestObserver() = default;
+  virtual void OnSnippetAdded(const Snippet& snippet) = 0;
+  virtual void OnSnippetRemoved(const Snippet& snippet) = 0;
+};
+
 /// STORYPIVOT — the façade over extraction, story identification, story
 /// alignment and refinement (§2.1, Fig. 1). Usage:
 ///
@@ -215,6 +233,16 @@ class StoryPivotEngine {
     return dirty_stories_;
   }
 
+  /// Attaches (or, with nullptr, detaches) the single snippet-mutation
+  /// observer. The observer sees every snippet already in the engine via
+  /// no replay — attach before ingesting, or rebuild from store() first
+  /// (the search subsystem does the latter). The observer must outlive
+  /// its registration.
+  void set_ingest_observer(IngestObserver* observer) {
+    observer_ = observer;
+  }
+  IngestObserver* ingest_observer() const { return observer_; }
+
   /// The engine's monotone id counters. Snapshots persist them so a
   /// restored engine allocates the SAME future ids as the original would
   /// have — removals leave gaps that max()+1 inference cannot see, and
@@ -234,6 +262,13 @@ class StoryPivotEngine {
  private:
   StorySet* MutablePartition(SourceId source);
   void RemoveSnippetInternal(const Snippet& snippet, bool split_check);
+
+  void NotifyAdded(const Snippet& snippet) {
+    if (observer_ != nullptr) observer_->OnSnippetAdded(snippet);
+  }
+  void NotifyRemoved(const Snippet& snippet) {
+    if (observer_ != nullptr) observer_->OnSnippetRemoved(snippet);
+  }
 
   /// Unwinds snippets inserted by a failed multi-snippet operation
   /// (AddDocument / AddSnippets), newest first, so the operation is
@@ -267,6 +302,8 @@ class StoryPivotEngine {
   std::vector<std::pair<SourceId, StoryId>> dirty_stories_;
   bool stale_ = true;
   EngineStats stats_;
+  /// Snippet-mutation observer; nullptr when nothing is attached.
+  IngestObserver* observer_ = nullptr;
 };
 
 }  // namespace storypivot

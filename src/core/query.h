@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -52,10 +53,47 @@ struct EntityContext {
   std::vector<StoryOverview> stories;
 };
 
+/// Abstract story-lookup index: the dependency-inverted seam between the
+/// core query layer and the search subsystem (sp_search implements it
+/// with an inverted index; core must not depend on search). Every method
+/// returns the live (source, story) pairs matching the probe — exactly
+/// the stories the equivalent full scan would find, in any order; the
+/// query layer orders and materializes them.
+class StoryIndex {
+ public:
+  virtual ~StoryIndex() = default;
+
+  /// Stories whose aggregate contains the entity term.
+  virtual std::vector<std::pair<SourceId, StoryId>> StoriesWithEntity(
+      text::TermId term) const = 0;
+
+  /// Stories whose aggregate contains the keyword term.
+  virtual std::vector<std::pair<SourceId, StoryId>> StoriesWithKeyword(
+      text::TermId term) const = 0;
+
+  /// Stories with at least one snippet of the given event type.
+  virtual std::vector<std::pair<SourceId, StoryId>> StoriesWithEventType(
+      std::string_view event_type) const = 0;
+
+  /// Stories whose [start_time, end_time] span intersects [begin, end].
+  virtual std::vector<std::pair<SourceId, StoryId>> StoriesInTimeRange(
+      Timestamp begin, Timestamp end) const = 0;
+};
+
+/// Default cap on the stories a Find* call returns. `top_k` bounds the
+/// terms per overview card; without a separate result cap a broad query
+/// materializes a card for every matching story in the corpus.
+inline constexpr size_t kDefaultMaxResults = 20;
+
 /// Read-only query layer over an engine: the lookups behind the demo's
 /// exploration modules, plus entity/keyword/time-range search
 /// ("queries will consist of enquiries about specified real-world events
 /// or entities", §4.2).
+///
+/// With an attached StoryIndex (set_index), the Find* lookups route
+/// through the index instead of scanning every story of every partition;
+/// results are identical either way (ids and order), which
+/// set_force_scan(true) lets tests verify.
 class StoryQuery {
  public:
   /// The engine must outlive the query object.
@@ -65,6 +103,14 @@ class StoryQuery {
   /// knowledge base must outlive the query object.
   void set_knowledge_base(const text::KnowledgeBase* kb) { kb_ = kb; }
 
+  /// Attaches a story index for the Find* lookups; nullptr reverts to
+  /// scanning. The index must outlive the query object.
+  void set_index(const StoryIndex* index) { index_ = index; }
+
+  /// Forces the scan path even when an index is attached (equivalence
+  /// testing).
+  void set_force_scan(bool force_scan) { force_scan_ = force_scan; }
+
   /// Overview cards for all stories of one source, largest first.
   std::vector<StoryOverview> SourceStories(SourceId source,
                                            size_t top_k = 5) const;
@@ -73,23 +119,33 @@ class StoryQuery {
   /// largest first. Requires engine->has_alignment().
   std::vector<StoryOverview> IntegratedStories(size_t top_k = 5) const;
 
-  /// Stories (within sources) mentioning the entity, largest first.
-  /// Matching is by exact canonical entity name.
-  std::vector<StoryOverview> FindByEntity(std::string_view entity_name,
-                                          size_t top_k = 5) const;
+  /// Stories (within sources) mentioning the entity, largest first (at
+  /// most max_results of them). The query is canonicalized the same way
+  /// ingest is: exact canonical name, then gazetteer alias ("MH17" finds
+  /// the canonical entity it aliases), then case-insensitive match.
+  std::vector<StoryOverview> FindByEntity(
+      std::string_view entity_name, size_t top_k = 5,
+      size_t max_results = kDefaultMaxResults) const;
 
-  /// Stories whose keyword histogram contains the (stemmed) keyword.
-  std::vector<StoryOverview> FindByKeyword(std::string_view keyword,
-                                           size_t top_k = 5) const;
+  /// Stories whose keyword histogram contains the keyword, largest first
+  /// (at most max_results). The query is stemmed like ingested text, so
+  /// surface forms ("bombing") match the stored stem ("bomb").
+  std::vector<StoryOverview> FindByKeyword(
+      std::string_view keyword, size_t top_k = 5,
+      size_t max_results = kDefaultMaxResults) const;
 
   /// Stories containing at least one snippet of the given event type
-  /// (e.g. "Accident" — the paper's tuple type field).
-  std::vector<StoryOverview> FindByEventType(std::string_view event_type,
-                                             size_t top_k = 5) const;
+  /// (e.g. "Accident" — the paper's tuple type field), largest first (at
+  /// most max_results).
+  std::vector<StoryOverview> FindByEventType(
+      std::string_view event_type, size_t top_k = 5,
+      size_t max_results = kDefaultMaxResults) const;
 
-  /// Stories whose span intersects [begin, end].
-  std::vector<StoryOverview> FindInTimeRange(Timestamp begin, Timestamp end,
-                                             size_t top_k = 5) const;
+  /// Stories whose span intersects [begin, end], largest first (at most
+  /// max_results).
+  std::vector<StoryOverview> FindInTimeRange(
+      Timestamp begin, Timestamp end, size_t top_k = 5,
+      size_t max_results = kDefaultMaxResults) const;
 
   /// Overview card for one per-source story.
   StoryOverview Overview(const Story& story, bool integrated,
@@ -109,10 +165,21 @@ class StoryQuery {
 
  private:
   template <typename Pred>
-  std::vector<StoryOverview> CollectStories(Pred&& pred, size_t top_k) const;
+  std::vector<StoryOverview> CollectStories(Pred&& pred, size_t top_k,
+                                            size_t max_results) const;
+
+  /// Orders index hits like the scan path (size desc, id asc), truncates
+  /// to max_results, and materializes only the survivors' cards.
+  std::vector<StoryOverview> MaterializeHits(
+      std::vector<std::pair<SourceId, StoryId>> hits, size_t top_k,
+      size_t max_results) const;
+
+  bool use_index() const { return index_ != nullptr && !force_scan_; }
 
   const StoryPivotEngine* engine_;
   const text::KnowledgeBase* kb_ = nullptr;
+  const StoryIndex* index_ = nullptr;
+  bool force_scan_ = false;
 };
 
 }  // namespace storypivot

@@ -15,7 +15,8 @@ QualityScores ScoreEngine(const StoryPivotEngine& engine) {
   PairCounts si_counts;
   double bcubed_p_weighted = 0.0, bcubed_r_weighted = 0.0;
   size_t bcubed_n = 0;
-  for (const StorySet* partition : engine.partitions()) {
+  // Evaluation scores every story by construction.  // splint: allow(full-scan)
+  for (const StorySet* partition : engine.partitions()) {  // splint: allow(full-scan)
     std::vector<int64_t> truth, predicted;
     for (const auto& [ts, sid] : partition->snippet_times().entries()) {
       const Snippet* snippet = engine.store().Find(sid);

@@ -1,0 +1,130 @@
+#include "search/postings_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace storypivot::search {
+
+namespace {
+
+/// lower_bound over a postings list sorted by snippet id.
+std::vector<Posting>::iterator FindPosting(std::vector<Posting>* list,
+                                           SnippetId snippet) {
+  return std::lower_bound(
+      list->begin(), list->end(), snippet,
+      [](const Posting& p, SnippetId id) { return p.snippet < id; });
+}
+
+}  // namespace
+
+void PostingsIndex::Post(std::vector<Posting>* list,
+                         const Posting& posting) {
+  auto it = FindPosting(list, posting.snippet);
+  SP_CHECK(it == list->end() || it->snippet != posting.snippet);
+  list->insert(it, posting);
+  ++num_postings_;
+}
+
+void PostingsIndex::Unpost(TermPostings* postings, text::TermId term,
+                           SnippetId snippet) {
+  auto entry = postings->find(term);
+  SP_CHECK(entry != postings->end());
+  auto it = FindPosting(&entry->second, snippet);
+  SP_CHECK(it != entry->second.end() && it->snippet == snippet);
+  entry->second.erase(it);
+  --num_postings_;
+  if (entry->second.empty()) postings->erase(entry);
+}
+
+void PostingsIndex::AddSnippet(const Snippet& snippet) {
+  Posting posting;
+  posting.snippet = snippet.id;
+  posting.source = snippet.source;
+  posting.timestamp = snippet.timestamp;
+  for (const auto& [term, tf] : snippet.entities.entries()) {
+    posting.tf = tf;
+    Post(&entity_postings_[term], posting);
+  }
+  for (const auto& [term, tf] : snippet.keywords.entries()) {
+    posting.tf = tf;
+    Post(&keyword_postings_[term], posting);
+  }
+  if (!snippet.event_type.empty()) {
+    posting.tf = 1.0;
+    Post(&event_postings_[snippet.event_type], posting);
+  }
+  ++num_documents_;
+  total_length_ += snippet.entities.Sum() + snippet.keywords.Sum();
+}
+
+void PostingsIndex::RemoveSnippet(const Snippet& snippet) {
+  for (const auto& [term, tf] : snippet.entities.entries()) {
+    Unpost(&entity_postings_, term, snippet.id);
+  }
+  for (const auto& [term, tf] : snippet.keywords.entries()) {
+    Unpost(&keyword_postings_, term, snippet.id);
+  }
+  if (!snippet.event_type.empty()) {
+    auto entry = event_postings_.find(snippet.event_type);
+    SP_CHECK(entry != event_postings_.end());
+    auto it = FindPosting(&entry->second, snippet.id);
+    SP_CHECK(it != entry->second.end() && it->snippet == snippet.id);
+    entry->second.erase(it);
+    --num_postings_;
+    if (entry->second.empty()) event_postings_.erase(entry);
+  }
+  SP_CHECK(num_documents_ > 0);
+  --num_documents_;
+  total_length_ -= snippet.entities.Sum() + snippet.keywords.Sum();
+}
+
+const std::vector<Posting>* PostingsIndex::Postings(
+    Field field, text::TermId term) const {
+  SP_CHECK(field == Field::kEntity || field == Field::kKeyword);
+  const TermPostings& postings =
+      field == Field::kEntity ? entity_postings_ : keyword_postings_;
+  auto it = postings.find(term);
+  return it == postings.end() ? nullptr : &it->second;
+}
+
+const std::vector<Posting>* PostingsIndex::EventTypePostings(
+    std::string_view event_type) const {
+  auto it = event_postings_.find(event_type);
+  return it == event_postings_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, size_t>> PostingsIndex::EventTypes()
+    const {
+  std::vector<std::pair<std::string, size_t>> out;
+  out.reserve(event_postings_.size());
+  for (const auto& [type, postings] : event_postings_) {
+    out.push_back({type, postings.size()});
+  }
+  return out;
+}
+
+size_t PostingsIndex::DocumentFrequency(Field field,
+                                        text::TermId term) const {
+  const std::vector<Posting>* postings = Postings(field, term);
+  return postings == nullptr ? 0 : postings->size();
+}
+
+size_t PostingsIndex::EventTypeFrequency(std::string_view event_type) const {
+  const std::vector<Posting>* postings = EventTypePostings(event_type);
+  return postings == nullptr ? 0 : postings->size();
+}
+
+size_t PostingsIndex::num_terms(Field field) const {
+  switch (field) {
+    case Field::kEntity:
+      return entity_postings_.size();
+    case Field::kKeyword:
+      return keyword_postings_.size();
+    case Field::kEventType:
+      return event_postings_.size();
+  }
+  return 0;
+}
+
+}  // namespace storypivot::search

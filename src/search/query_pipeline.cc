@@ -1,0 +1,111 @@
+#include "search/query_pipeline.h"
+
+#include <utility>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace storypivot::search {
+
+namespace {
+
+/// Case-insensitive entity-vocabulary match; lowest id wins.
+text::TermId EntityTermOfToken(const text::Vocabulary& vocabulary,
+                               const std::string& token) {
+  text::TermId exact = vocabulary.Lookup(token);
+  if (exact != text::kInvalidTermId) return exact;
+  for (text::TermId id = 0; id < vocabulary.size(); ++id) {
+    if (ToLower(vocabulary.TermOf(id)) == token) return id;
+  }
+  return text::kInvalidTermId;
+}
+
+/// Case-insensitive event-type match against the types the index has
+/// seen; lexicographically smallest canonical form wins (EventTypes()
+/// enumerates in order).
+std::string EventTypeOfToken(const PostingsIndex& index,
+                             const std::string& token) {
+  if (index.EventTypePostings(token) != nullptr) return token;
+  for (const auto& [type, df] : index.EventTypes()) {
+    if (ToLower(type) == token) return type;
+  }
+  return {};
+}
+
+}  // namespace
+
+ParsedQuery ParseQuery(const StoryPivotEngine& engine,
+                       const PostingsIndex& index, std::string_view query) {
+  ParsedQuery out;
+  text::Tokenizer tokenizer;
+  std::vector<text::Token> tokens = tokenizer.Tokenize(query);
+  if (tokens.empty()) return out;
+
+  auto add_term = [&out](QueryTerm term) {
+    for (const QueryTerm& existing : out.terms) {
+      if (existing.field != term.field) continue;
+      if (term.field == Field::kEventType
+              ? existing.event_type == term.event_type
+              : existing.term == term.term) {
+        return;  // Duplicate resolution.
+      }
+    }
+    out.terms.push_back(std::move(term));
+  };
+
+  // Multi-token entity aliases first: the gazetteer consumes its tokens,
+  // exactly as AnnotationPipeline does on ingest.
+  std::vector<bool> consumed(tokens.size(), false);
+  for (const text::EntityMention& mention :
+       engine.gazetteer().FindMentions(tokens)) {
+    QueryTerm term;
+    term.field = Field::kEntity;
+    term.term = mention.entity;
+    for (size_t i = mention.token_begin; i < mention.token_end; ++i) {
+      if (!term.surface.empty()) term.surface += ' ';
+      term.surface += tokens[i].text;
+      consumed[i] = true;
+    }
+    add_term(std::move(term));
+  }
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (consumed[i]) continue;
+    const std::string& word = tokens[i].text;
+
+    text::TermId entity =
+        EntityTermOfToken(engine.entity_vocabulary(), word);
+    if (entity != text::kInvalidTermId) {
+      add_term({Field::kEntity, entity, {}, word});
+      continue;
+    }
+
+    if (!text::IsStopword(word)) {
+      // Exact and stemmed keyword forms, mirroring ingest stemming.
+      text::TermId keyword = engine.keyword_vocabulary().Lookup(word);
+      if (keyword == text::kInvalidTermId) {
+        keyword = engine.keyword_vocabulary().Lookup(text::PorterStem(word));
+      }
+      if (keyword != text::kInvalidTermId) {
+        add_term({Field::kKeyword, keyword, {}, word});
+        continue;
+      }
+    } else {
+      continue;  // Unmatched stopwords are dropped silently.
+    }
+
+    std::string event_type = EventTypeOfToken(index, word);
+    if (!event_type.empty()) {
+      add_term({Field::kEventType, text::kInvalidTermId,
+                std::move(event_type), word});
+      continue;
+    }
+
+    out.unmatched.push_back(word);
+  }
+  return out;
+}
+
+}  // namespace storypivot::search

@@ -1,0 +1,56 @@
+#ifndef STORYPIVOT_SEARCH_QUERY_PIPELINE_H_
+#define STORYPIVOT_SEARCH_QUERY_PIPELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "search/postings_index.h"
+#include "text/vocabulary.h"
+
+namespace storypivot::search {
+
+/// One resolved query term: which field it searches and, for vocabulary
+/// fields, the canonical TermId ingest would have produced.
+struct QueryTerm {
+  Field field = Field::kKeyword;
+  /// Canonical term id (kEntity / kKeyword fields).
+  text::TermId term = text::kInvalidTermId;
+  /// Canonical event type (kEventType field).
+  std::string event_type;
+  /// The query text this term came from, for display/diagnostics.
+  std::string surface;
+};
+
+/// A free-text query after canonicalization: resolved terms (deduplicated,
+/// in resolution order) plus the tokens that matched nothing (reported so
+/// callers can surface "ignored: ..." instead of silently dropping them).
+struct ParsedQuery {
+  std::vector<QueryTerm> terms;
+  std::vector<std::string> unmatched;
+
+  [[nodiscard]] bool empty() const { return terms.empty(); }
+};
+
+/// Canonicalizes a free-text query through the same text path ingest
+/// uses, fixing the historical alias/stem mismatch between queries and
+/// indexed content (DESIGN.md §11):
+///
+///   1. tokenize (lowercasing, like AnnotationPipeline);
+///   2. gazetteer alias mentions become entity terms ("MH17" resolves to
+///      its canonical entity), consuming their tokens;
+///   3. each remaining token is tried as an entity name
+///      (case-insensitive), then — stopwords excluded — as a keyword via
+///      Porter stemming, then as an event type known to `index`
+///      (case-insensitive);
+///   4. anything left lands in `unmatched`.
+///
+/// Duplicate resolutions collapse to one term.
+[[nodiscard]] ParsedQuery ParseQuery(const StoryPivotEngine& engine,
+                                     const PostingsIndex& index,
+                                     std::string_view query);
+
+}  // namespace storypivot::search
+
+#endif  // STORYPIVOT_SEARCH_QUERY_PIPELINE_H_

@@ -1,0 +1,114 @@
+#include "search/search_engine.h"
+
+#include <algorithm>
+
+#include "core/story_set.h"
+#include "util/logging.h"
+
+namespace storypivot::search {
+
+SearchEngine::SearchEngine(StoryPivotEngine* engine) : engine_(engine) {
+  SP_CHECK(engine_ != nullptr);
+  // One observer per engine: silently stacking indexes would leave the
+  // earlier one stale.
+  SP_CHECK(engine_->ingest_observer() == nullptr);
+  engine_->store().ForEach(
+      [this](const Snippet& snippet) { index_.AddSnippet(snippet); });
+  engine_->set_ingest_observer(this);
+}
+
+SearchEngine::~SearchEngine() {
+  if (engine_->ingest_observer() == this) {
+    engine_->set_ingest_observer(nullptr);
+  }
+}
+
+void SearchEngine::OnSnippetAdded(const Snippet& snippet) {
+  index_.AddSnippet(snippet);
+}
+
+void SearchEngine::OnSnippetRemoved(const Snippet& snippet) {
+  index_.RemoveSnippet(snippet);
+}
+
+std::vector<std::pair<SourceId, StoryId>> SearchEngine::ResolveStories(
+    const std::vector<Posting>* postings) const {
+  std::vector<std::pair<SourceId, StoryId>> out;
+  if (postings == nullptr) return out;
+  out.reserve(postings->size());
+  // Source ids are dense; a prefilled directory keeps the per-posting
+  // partition lookup off the hash path.
+  std::vector<const StorySet*> partition_of;
+  for (const StorySet* part : engine_->partitions()) {
+    if (part->source() >= partition_of.size()) {
+      partition_of.resize(part->source() + 1, nullptr);
+    }
+    partition_of[part->source()] = part;
+  }
+  for (const Posting& posting : *postings) {
+    const StorySet* partition = posting.source < partition_of.size()
+                                    ? partition_of[posting.source]
+                                    : nullptr;
+    if (partition == nullptr) continue;
+    const StoryId story = partition->StoryOf(posting.snippet);
+    if (story == kInvalidStoryId) continue;
+    out.emplace_back(posting.source, story);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesWithEntity(
+    text::TermId term) const {
+  return ResolveStories(index_.Postings(Field::kEntity, term));
+}
+
+std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesWithKeyword(
+    text::TermId term) const {
+  return ResolveStories(index_.Postings(Field::kKeyword, term));
+}
+
+std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesWithEventType(
+    std::string_view event_type) const {
+  return ResolveStories(index_.EventTypePostings(event_type));
+}
+
+std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesInTimeRange(
+    Timestamp begin, Timestamp end) const {
+  // Postings cannot answer span intersection (a story's span can cover a
+  // window none of its snippets falls into), so this walks the story
+  // partitions directly — O(1) per story against the maintained spans,
+  // with the Find* win coming from k-bounded overview materialization.
+  std::vector<std::pair<SourceId, StoryId>> out;
+  for (const StorySet* partition : engine_->partitions()) {
+    for (const auto& [id, story] : partition->stories()) {
+      if (story.start_time() <= end && story.end_time() >= begin) {
+        out.emplace_back(partition->source(), id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ParsedQuery SearchEngine::Parse(std::string_view query) const {
+  return ParseQuery(*engine_, index_, query);
+}
+
+std::vector<StoryHit> SearchEngine::Search(
+    std::string_view query, const SearchOptions& options) const {
+  return Search(Parse(query), options);
+}
+
+std::vector<StoryHit> SearchEngine::Search(
+    const ParsedQuery& query, const SearchOptions& options) const {
+  return RankStories(index_, *engine_, query, options);
+}
+
+std::vector<StoryHit> SearchEngine::SearchScan(
+    const ParsedQuery& query, const SearchOptions& options) const {
+  return RankStoriesScan(*engine_, query, options);
+}
+
+}  // namespace storypivot::search

@@ -1,0 +1,89 @@
+#ifndef STORYPIVOT_SEARCH_SEARCH_ENGINE_H_
+#define STORYPIVOT_SEARCH_SEARCH_ENGINE_H_
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "search/postings_index.h"
+#include "search/query_pipeline.h"
+#include "search/ranker.h"
+
+namespace storypivot::search {
+
+/// The search subsystem's facade: an incrementally maintained
+/// PostingsIndex plus the ranked (BM25 top-k) and boolean (StoryIndex)
+/// query entry points over it (DESIGN.md §11).
+///
+/// Attaching (construction) registers the object as the engine's
+/// IngestObserver — the engine must have no other observer — and bulk-
+/// builds the index from the live snippet store. The build is iteration-
+/// order independent (postings lists are sorted, statistics are sums), so
+/// an index rebuilt after DurableEngine recovery is identical to one
+/// maintained live; that is why recovery needs no index snapshot
+/// (rebuild-on-recover, DESIGN.md §11.4). Detaching happens in the
+/// destructor. The engine must outlive this object.
+///
+/// Threading: mirrors the engine's single-writer model. The engine
+/// invokes the observer hooks only from serial sections (including the
+/// AddSnippets parallel batch path, which notifies in arrival order from
+/// its serial epilogue), so index contents are identical across
+/// num_threads settings. Queries are safe concurrently with each other
+/// in the absence of writers.
+class SearchEngine final : public IngestObserver, public StoryIndex {
+ public:
+  /// Attaches to `engine` and indexes its current snippets.
+  explicit SearchEngine(StoryPivotEngine* engine);
+  ~SearchEngine() override;
+
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
+
+  // IngestObserver — engine callbacks, not for direct use.
+  void OnSnippetAdded(const Snippet& snippet) override;
+  void OnSnippetRemoved(const Snippet& snippet) override;
+
+  // StoryIndex — the boolean lookups StoryQuery::Find* routes through.
+  // Each resolves postings to the snippets' *current* stories at call
+  // time, deduplicated and sorted by (source, story).
+  [[nodiscard]] std::vector<std::pair<SourceId, StoryId>> StoriesWithEntity(
+      text::TermId term) const override;
+  [[nodiscard]] std::vector<std::pair<SourceId, StoryId>> StoriesWithKeyword(
+      text::TermId term) const override;
+  [[nodiscard]] std::vector<std::pair<SourceId, StoryId>>
+  StoriesWithEventType(std::string_view event_type) const override;
+  [[nodiscard]] std::vector<std::pair<SourceId, StoryId>> StoriesInTimeRange(
+      Timestamp begin, Timestamp end) const override;
+
+  /// Canonicalizes a free-text query (see ParseQuery).
+  [[nodiscard]] ParsedQuery Parse(std::string_view query) const;
+
+  /// Parses and ranks in one step.
+  [[nodiscard]] std::vector<StoryHit> Search(
+      std::string_view query, const SearchOptions& options = {}) const;
+
+  /// Ranks an already-parsed query through the index (RankStories).
+  [[nodiscard]] std::vector<StoryHit> Search(
+      const ParsedQuery& query, const SearchOptions& options = {}) const;
+
+  /// Index-free reference ranking (RankStoriesScan); bit-identical to
+  /// Search. Exposed for equivalence tests and benchmarking.
+  [[nodiscard]] std::vector<StoryHit> SearchScan(
+      const ParsedQuery& query, const SearchOptions& options = {}) const;
+
+  [[nodiscard]] const PostingsIndex& index() const { return index_; }
+  [[nodiscard]] const StoryPivotEngine& engine() const { return *engine_; }
+
+ private:
+  [[nodiscard]] std::vector<std::pair<SourceId, StoryId>> ResolveStories(
+      const std::vector<Posting>* postings) const;
+
+  StoryPivotEngine* engine_;
+  PostingsIndex index_;
+};
+
+}  // namespace storypivot::search
+
+#endif  // STORYPIVOT_SEARCH_SEARCH_ENGINE_H_

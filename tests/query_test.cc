@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "datagen/corpus.h"
+#include "datagen/mh17.h"
+#include "persist/durable_engine.h"
+#include "search/search_engine.h"
+#include "util/fs.h"
+#include "util/logging.h"
+
+namespace storypivot {
+namespace {
+
+using search::SearchEngine;
+using search::SearchOptions;
+using search::StoryHit;
+
+std::unique_ptr<StoryPivotEngine> BuildFromCorpus(
+    const datagen::Corpus& corpus, size_t num_threads = 1,
+    bool batch = false) {
+  EngineConfig config;
+  config.num_threads = num_threads;
+  auto engine = std::make_unique<StoryPivotEngine>(config);
+  SP_CHECK_OK(engine->ImportVocabularies(*corpus.entity_vocabulary,
+                                         *corpus.keyword_vocabulary));
+  for (const SourceInfo& source : corpus.sources) {
+    engine->RegisterSource(source.name);
+  }
+  if (batch) {
+    std::vector<Snippet> snippets;
+    snippets.reserve(corpus.snippets.size());
+    for (const Snippet& snippet : corpus.snippets) {
+      Snippet copy = snippet;
+      copy.id = kInvalidSnippetId;
+      snippets.push_back(std::move(copy));
+    }
+    SP_CHECK_OK(engine->AddSnippets(std::move(snippets)));
+  } else {
+    for (const Snippet& snippet : corpus.snippets) {
+      Snippet copy = snippet;
+      copy.id = kInvalidSnippetId;
+      SP_CHECK_OK(engine->AddSnippet(std::move(copy)));
+    }
+  }
+  return engine;
+}
+
+std::vector<StoryId> IdsOf(const std::vector<StoryOverview>& overviews) {
+  std::vector<StoryId> ids;
+  ids.reserve(overviews.size());
+  for (const StoryOverview& overview : overviews) ids.push_back(overview.id);
+  return ids;
+}
+
+/// Asserts that the indexed and forced-scan routes agree on ids AND order
+/// for every Find* lookup, across a spread of query arguments drawn from
+/// the engine's vocabularies and index.
+void ExpectFindEquivalence(const StoryPivotEngine& engine,
+                           const SearchEngine& searcher) {
+  StoryQuery indexed(&engine);
+  indexed.set_index(&searcher);
+  StoryQuery scan(&engine);
+  scan.set_index(&searcher);
+  scan.set_force_scan(true);
+
+  const text::Vocabulary& entities = engine.entity_vocabulary();
+  for (text::TermId id = 0; id < entities.size(); id += 3) {
+    const std::string& name = entities.TermOf(id);
+    EXPECT_EQ(IdsOf(indexed.FindByEntity(name)),
+              IdsOf(scan.FindByEntity(name)))
+        << "entity " << name;
+  }
+  const text::Vocabulary& keywords = engine.keyword_vocabulary();
+  for (text::TermId id = 0; id < keywords.size(); id += 5) {
+    const std::string& word = keywords.TermOf(id);
+    EXPECT_EQ(IdsOf(indexed.FindByKeyword(word)),
+              IdsOf(scan.FindByKeyword(word)))
+        << "keyword " << word;
+  }
+  for (const auto& [type, df] : searcher.index().EventTypes()) {
+    EXPECT_EQ(IdsOf(indexed.FindByEventType(type)),
+              IdsOf(scan.FindByEventType(type)))
+        << "event type " << type;
+  }
+  const Timestamp lo = MakeTimestamp(2014, 6, 1);
+  const Timestamp hi = MakeTimestamp(2014, 12, 1);
+  const Timestamp mid = (lo + hi) / 2;
+  for (auto [begin, end] : {std::pair<Timestamp, Timestamp>{lo, hi},
+                            {lo, mid},
+                            {mid, hi},
+                            {mid, mid + kSecondsPerDay}}) {
+    EXPECT_EQ(IdsOf(indexed.FindInTimeRange(begin, end)),
+              IdsOf(scan.FindInTimeRange(begin, end)))
+        << "range " << begin << ".." << end;
+  }
+}
+
+// ------------------------------ Empty engine -------------------------------
+
+TEST(QueryEmptyEngine, AllLookupsReturnNothing) {
+  StoryPivotEngine engine;
+  SearchEngine searcher(&engine);
+  StoryQuery query(&engine);
+  query.set_index(&searcher);
+
+  EXPECT_FALSE(engine.has_alignment());
+  EXPECT_TRUE(query.FindByEntity("Ukraine").empty());
+  EXPECT_TRUE(query.FindByKeyword("crash").empty());
+  EXPECT_TRUE(query.FindByEventType("Conflict").empty());
+  EXPECT_TRUE(query.FindInTimeRange(0, MakeTimestamp(2020, 1, 1)).empty());
+  EXPECT_TRUE(searcher.Search("anything at all").empty());
+}
+
+// ------------------------- Alias and stem bugfixes -------------------------
+
+class Mh17Query : public ::testing::Test {
+ protected:
+  Mh17Query() : corpus_(datagen::MakeMh17Corpus()) {
+    engine_ = std::make_unique<StoryPivotEngine>(NewsProseEngineConfig());
+    for (const SourceInfo& source : corpus_.sources) {
+      engine_->RegisterSource(source.name);
+    }
+    datagen::PopulateMh17Gazetteer(corpus_, engine_->gazetteer());
+    for (const Document& doc : corpus_.documents) {
+      SP_CHECK_OK(engine_->AddDocument(doc));
+    }
+    searcher_ = std::make_unique<SearchEngine>(engine_.get());
+  }
+
+  datagen::Mh17Corpus corpus_;
+  std::unique_ptr<StoryPivotEngine> engine_;
+  std::unique_ptr<SearchEngine> searcher_;
+};
+
+TEST_F(Mh17Query, FindByEntityResolvesGazetteerAliases) {
+  StoryQuery query(engine_.get());
+  // "MH17" and "Malaysia Airlines Flight 17" are aliases of the canonical
+  // "Malaysia Airlines" entity; all three must hit the same stories.
+  std::vector<StoryId> canonical = IdsOf(query.FindByEntity("Malaysia Airlines"));
+  ASSERT_FALSE(canonical.empty());
+  EXPECT_EQ(IdsOf(query.FindByEntity("MH17")), canonical);
+  EXPECT_EQ(IdsOf(query.FindByEntity("Malaysia Airlines Flight 17")),
+            canonical);
+}
+
+TEST_F(Mh17Query, FindByEntityIsCaseInsensitive) {
+  StoryQuery query(engine_.get());
+  std::vector<StoryId> exact = IdsOf(query.FindByEntity("Ukraine"));
+  ASSERT_FALSE(exact.empty());
+  EXPECT_EQ(IdsOf(query.FindByEntity("ukraine")), exact);
+}
+
+TEST_F(Mh17Query, FindByKeywordStemsTheQuery) {
+  StoryQuery query(engine_.get());
+  // Ingest stems keywords, so surface forms must be stemmed on query too:
+  // "investigations" and "investigation" share the stem "investig".
+  std::vector<StoryId> plural = IdsOf(query.FindByKeyword("investigations"));
+  ASSERT_FALSE(plural.empty());
+  EXPECT_EQ(IdsOf(query.FindByKeyword("investigation")), plural);
+  EXPECT_EQ(IdsOf(query.FindByKeyword("investig")), plural);
+}
+
+TEST_F(Mh17Query, WorksWithoutAlignment) {
+  // No Align() was run: per-source lookups must work regardless.
+  ASSERT_FALSE(engine_->has_alignment());
+  StoryQuery query(engine_.get());
+  EXPECT_FALSE(query.FindByEntity("Ukraine").empty());
+  query.set_index(searcher_.get());
+  EXPECT_FALSE(query.FindByEntity("Ukraine").empty());
+  EXPECT_FALSE(searcher_->Search("Ukraine crash").empty());
+}
+
+TEST_F(Mh17Query, IndexedAndScanAgree) {
+  ExpectFindEquivalence(*engine_, *searcher_);
+}
+
+TEST_F(Mh17Query, RankedSearchFindsAliasQueries) {
+  std::vector<StoryHit> hits = searcher_->Search("MH17 crash");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits, searcher_->SearchScan(searcher_->Parse("MH17 crash")));
+}
+
+// ------------------------------- max_results -------------------------------
+
+TEST(QueryMaxResults, CapsBothRoutes) {
+  datagen::CorpusConfig config;
+  config.target_num_snippets = 600;
+  config.num_stories = 40;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+  std::unique_ptr<StoryPivotEngine> engine = BuildFromCorpus(corpus);
+  SearchEngine searcher(engine.get());
+
+  const Timestamp lo = MakeTimestamp(2014, 1, 1);
+  const Timestamp hi = MakeTimestamp(2015, 1, 1);
+  StoryQuery indexed(engine.get());
+  indexed.set_index(&searcher);
+  StoryQuery scan(engine.get());
+
+  // Far more than kDefaultMaxResults stories exist in the window.
+  ASSERT_GT(engine->TotalStories(), kDefaultMaxResults);
+  EXPECT_EQ(indexed.FindInTimeRange(lo, hi).size(), kDefaultMaxResults);
+  EXPECT_EQ(scan.FindInTimeRange(lo, hi).size(), kDefaultMaxResults);
+  EXPECT_EQ(indexed.FindInTimeRange(lo, hi, 5, 7).size(), 7u);
+  EXPECT_EQ(scan.FindInTimeRange(lo, hi, 5, 7).size(), 7u);
+  EXPECT_EQ(IdsOf(indexed.FindInTimeRange(lo, hi, 5, 7)),
+            IdsOf(scan.FindInTimeRange(lo, hi, 5, 7)));
+}
+
+// -------------------- Scan/index equivalence (property) --------------------
+
+TEST(QueryEquivalenceProperty, HoldsAcrossSeedsRemovalsAndRefinement) {
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    datagen::CorpusConfig config;
+    config.seed = seed;
+    config.target_num_snippets = 150;
+    config.num_sources = 4;
+    config.num_stories = 12;
+    config.num_entities = 60;
+    datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+    std::unique_ptr<StoryPivotEngine> engine = BuildFromCorpus(corpus);
+    SearchEngine searcher(engine.get());
+
+    ExpectFindEquivalence(*engine, searcher);
+
+    // Merges/splits: refinement moves snippets between stories; the
+    // snippet-granular index must track the post-refinement assignment.
+    engine->Align();
+    engine->Refine();
+    ExpectFindEquivalence(*engine, searcher);
+
+    // Removal: dropping a whole source unposts its snippets.
+    SP_CHECK_OK(engine->RemoveSource(corpus.sources[0].id));
+    ExpectFindEquivalence(*engine, searcher);
+
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "equivalence broke at seed " << seed;
+    }
+  }
+}
+
+// ------------------------ Thread-count determinism -------------------------
+
+TEST(QueryThreadDeterminism, IndexIdenticalAcrossThreadCounts) {
+  datagen::CorpusConfig config;
+  config.target_num_snippets = 1200;
+  config.num_sources = 6;
+  config.num_stories = 25;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+
+  std::unique_ptr<StoryPivotEngine> serial =
+      BuildFromCorpus(corpus, /*num_threads=*/1, /*batch=*/true);
+  std::unique_ptr<StoryPivotEngine> parallel =
+      BuildFromCorpus(corpus, /*num_threads=*/4, /*batch=*/true);
+  SearchEngine serial_search(serial.get());
+  SearchEngine parallel_search(parallel.get());
+
+  EXPECT_EQ(serial_search.index().num_documents(),
+            parallel_search.index().num_documents());
+  EXPECT_EQ(serial_search.index().num_postings(),
+            parallel_search.index().num_postings());
+  EXPECT_EQ(serial_search.index().total_length(),
+            parallel_search.index().total_length());
+
+  const text::Vocabulary& entities =
+      std::as_const(*serial).entity_vocabulary();
+  for (text::TermId id = 0; id < entities.size(); id += 7) {
+    std::string query = entities.TermOf(id) + " crisis talks";
+    EXPECT_EQ(serial_search.Search(query), parallel_search.Search(query))
+        << "query " << query;
+  }
+  ExpectFindEquivalence(*parallel, parallel_search);
+}
+
+// --------------------- Rebuild-on-recover equivalence ----------------------
+
+TEST(QueryDurableRecovery, RecoveredIndexMatchesLiveOne) {
+  // Empty the durability directory first: a leftover WAL from an earlier
+  // run would be recovered into the "fresh" engine and skew every count.
+  std::string dir = ::testing::TempDir() + "/sp_query_recover";
+  if (FileExists(dir)) {
+    Result<std::vector<std::string>> stale = ListDirectory(dir);
+    SP_CHECK_OK(stale.status());
+    for (const std::string& entry : stale.value()) {
+      SP_CHECK_OK(RemoveFile(dir + "/" + entry));
+    }
+  }
+  datagen::CorpusConfig config;
+  config.target_num_snippets = 300;
+  config.num_sources = 4;
+  config.num_stories = 12;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+
+  // Live engine: plain in-memory build with an attached index.
+  std::unique_ptr<StoryPivotEngine> live = BuildFromCorpus(corpus);
+  SearchEngine live_search(live.get());
+
+  // Durable twin of the same stream, checkpointed mid-way so recovery
+  // exercises checkpoint restore + WAL tail replay.
+  {
+    Result<std::unique_ptr<persist::DurableEngine>> opened =
+        persist::DurableEngine::Open(dir);
+    SP_CHECK_OK(opened.status());
+    persist::DurableEngine& durable = *opened.value();
+    SP_CHECK_OK(durable.ImportVocabularies(*corpus.entity_vocabulary,
+                                           *corpus.keyword_vocabulary));
+    for (const SourceInfo& source : corpus.sources) {
+      SP_CHECK_OK(durable.RegisterSource(source.name));
+    }
+    for (size_t i = 0; i < corpus.snippets.size(); ++i) {
+      Snippet copy = corpus.snippets[i];
+      copy.id = kInvalidSnippetId;
+      SP_CHECK_OK(durable.AddSnippet(std::move(copy)));
+      if (i == corpus.snippets.size() / 2) {
+        SP_CHECK_OK(durable.Checkpoint());
+      }
+    }
+    // No Close(): the destructor path doubles as the crash simulation —
+    // recovery may only rely on the checkpoint and the flushed WAL tail.
+  }
+
+  Result<std::unique_ptr<persist::DurableEngine>> recovered =
+      persist::DurableEngine::Open(dir);
+  SP_CHECK_OK(recovered.status());
+  // Rebuild-on-recover: attaching constructs the index from the store.
+  SearchEngine recovered_search(&recovered.value()->engine());
+
+  EXPECT_EQ(live_search.index().num_documents(),
+            recovered_search.index().num_documents());
+  EXPECT_EQ(live_search.index().num_postings(),
+            recovered_search.index().num_postings());
+  EXPECT_EQ(live_search.index().total_length(),
+            recovered_search.index().total_length());
+
+  const text::Vocabulary& entities =
+      std::as_const(*live).entity_vocabulary();
+  for (text::TermId id = 0; id < entities.size(); id += 5) {
+    std::string query = entities.TermOf(id) + " emergency response";
+    EXPECT_EQ(live_search.Search(query), recovered_search.Search(query))
+        << "query " << query;
+  }
+  ExpectFindEquivalence(recovered.value()->engine(), recovered_search);
+  SP_CHECK_OK(recovered.value()->Close());
+}
+
+}  // namespace
+}  // namespace storypivot

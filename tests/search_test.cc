@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datagen/corpus.h"
+#include "search/postings_index.h"
+#include "search/query_pipeline.h"
+#include "search/ranker.h"
+#include "search/search_engine.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace storypivot {
+namespace {
+
+using search::Field;
+using search::MatchMode;
+using search::ParsedQuery;
+using search::PostingsIndex;
+using search::Posting;
+using search::QueryTerm;
+using search::SearchEngine;
+using search::SearchOptions;
+using search::StoryHit;
+
+Snippet MakeSnippet(SnippetId id, SourceId source, Timestamp ts,
+                    std::vector<text::TermVector::Entry> entities,
+                    std::vector<text::TermVector::Entry> keywords,
+                    std::string event_type = {}) {
+  Snippet snippet;
+  snippet.id = id;
+  snippet.source = source;
+  snippet.timestamp = ts;
+  snippet.entities = text::TermVector::FromEntries(std::move(entities));
+  snippet.keywords = text::TermVector::FromEntries(std::move(keywords));
+  snippet.event_type = std::move(event_type);
+  return snippet;
+}
+
+// ----------------------------- PostingsIndex -------------------------------
+
+TEST(PostingsIndexTest, PostsAndUnpostsAllFields) {
+  PostingsIndex index;
+  index.AddSnippet(MakeSnippet(7, 0, 100, {{1, 2.0}, {4, 1.0}}, {{9, 3.0}},
+                               "Accident"));
+  index.AddSnippet(MakeSnippet(3, 1, 50, {{1, 1.0}}, {}, "Accident"));
+
+  EXPECT_EQ(index.num_documents(), 2u);
+  EXPECT_EQ(index.DocumentFrequency(Field::kEntity, 1), 2u);
+  EXPECT_EQ(index.DocumentFrequency(Field::kEntity, 4), 1u);
+  EXPECT_EQ(index.DocumentFrequency(Field::kKeyword, 9), 1u);
+  EXPECT_EQ(index.EventTypeFrequency("Accident"), 2u);
+  EXPECT_EQ(index.EventTypeFrequency("Conflict"), 0u);
+  EXPECT_DOUBLE_EQ(index.total_length(), 2.0 + 1.0 + 3.0 + 1.0);
+
+  // Postings are sorted by snippet id even with out-of-order adds.
+  const std::vector<Posting>* postings = index.Postings(Field::kEntity, 1);
+  ASSERT_NE(postings, nullptr);
+  ASSERT_EQ(postings->size(), 2u);
+  EXPECT_EQ((*postings)[0].snippet, 3u);
+  EXPECT_EQ((*postings)[1].snippet, 7u);
+  EXPECT_DOUBLE_EQ((*postings)[1].tf, 2.0);
+
+  index.RemoveSnippet(MakeSnippet(7, 0, 100, {{1, 2.0}, {4, 1.0}},
+                                  {{9, 3.0}}, "Accident"));
+  EXPECT_EQ(index.num_documents(), 1u);
+  EXPECT_EQ(index.DocumentFrequency(Field::kEntity, 1), 1u);
+  EXPECT_EQ(index.Postings(Field::kEntity, 4), nullptr);
+  EXPECT_EQ(index.Postings(Field::kKeyword, 9), nullptr);
+  EXPECT_EQ(index.EventTypeFrequency("Accident"), 1u);
+
+  index.RemoveSnippet(MakeSnippet(3, 1, 50, {{1, 1.0}}, {}, "Accident"));
+  EXPECT_EQ(index.num_documents(), 0u);
+  EXPECT_EQ(index.num_postings(), 0u);
+  EXPECT_DOUBLE_EQ(index.total_length(), 0.0);
+  EXPECT_TRUE(index.EventTypes().empty());
+}
+
+TEST(PostingsIndexTest, EventTypesEnumerateLexicographically) {
+  PostingsIndex index;
+  index.AddSnippet(MakeSnippet(1, 0, 10, {}, {{0, 1.0}}, "Protest"));
+  index.AddSnippet(MakeSnippet(2, 0, 20, {}, {{0, 1.0}}, "Accident"));
+  index.AddSnippet(MakeSnippet(3, 0, 30, {}, {{0, 1.0}}, "Protest"));
+  std::vector<std::pair<std::string, size_t>> types = index.EventTypes();
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0].first, "Accident");
+  EXPECT_EQ(types[0].second, 1u);
+  EXPECT_EQ(types[1].first, "Protest");
+  EXPECT_EQ(types[1].second, 2u);
+}
+
+// ------------------------------ BM25 ranking -------------------------------
+
+/// Tiny fixed engine: one source, two far-apart stories with known
+/// content, so BM25 scores can be checked against hand arithmetic.
+class TinyRankFixture : public ::testing::Test {
+ protected:
+  TinyRankFixture() {
+    engine_ = std::make_unique<StoryPivotEngine>();
+    SourceId source = engine_->RegisterSource("wire");
+    // Two snippets close in time -> one story; a third far away -> its
+    // own story (default temporal window is 7 days).
+    const Timestamp t0 = MakeTimestamp(2014, 7, 17);
+    SP_CHECK_OK(engine_->AddSnippet(MakeSnippet(
+        kInvalidSnippetId, source, t0, {{0, 2.0}}, {{0, 1.0}}, "Accident")));
+    SP_CHECK_OK(engine_->AddSnippet(MakeSnippet(
+        kInvalidSnippetId, source, t0 + kSecondsPerDay, {{0, 1.0}, {1, 1.0}},
+        {{0, 1.0}}, "Accident")));
+    SP_CHECK_OK(engine_->AddSnippet(MakeSnippet(
+        kInvalidSnippetId, source, t0 + 300 * kSecondsPerDay, {{1, 4.0}},
+        {{0, 2.0}}, "Protest")));
+    searcher_ = std::make_unique<SearchEngine>(engine_.get());
+    SP_CHECK(engine_->TotalStories() == 2);
+  }
+
+  static ParsedQuery EntityQuery(text::TermId term) {
+    ParsedQuery query;
+    query.terms.push_back({Field::kEntity, term, {}, "e"});
+    return query;
+  }
+
+  std::unique_ptr<StoryPivotEngine> engine_;
+  std::unique_ptr<SearchEngine> searcher_;
+};
+
+TEST_F(TinyRankFixture, ScoresMatchHandComputedBm25) {
+  // Entity 0 occurs in both snippets of story A (tf 2+1=3) and nowhere
+  // else: df=2 of N=3 snippets; story A has dl = entities (2+1+1) +
+  // keywords (1+1) = 6, story B dl = 4+2 = 6, avgdl = 6.
+  std::vector<StoryHit> hits = searcher_->Search(EntityQuery(0));
+  ASSERT_EQ(hits.size(), 1u);
+  const double idf = std::log(1.0 + (3 - 2 + 0.5) / (2 + 0.5));
+  const double k1 = 1.2, b = 0.75;
+  const double norm = k1 * (1.0 - b + b * (6.0 / 6.0));
+  const double expected = idf * (3.0 * (k1 + 1.0)) / (3.0 + norm);
+  EXPECT_DOUBLE_EQ(hits[0].score, expected);
+  EXPECT_EQ(hits[0].matched_terms, 1u);
+}
+
+TEST_F(TinyRankFixture, ConjunctiveRequiresEveryTerm) {
+  // Entity 1 is in both stories; keyword 0 too; but entity 0 only in
+  // story A. kAll over {entity 0, entity 1} must keep story A only.
+  ParsedQuery query;
+  query.terms.push_back({Field::kEntity, 0, {}, "e0"});
+  query.terms.push_back({Field::kEntity, 1, {}, "e1"});
+  SearchOptions options;
+  options.mode = MatchMode::kAll;
+  std::vector<StoryHit> conjunctive = searcher_->Search(query, options);
+  ASSERT_EQ(conjunctive.size(), 1u);
+  EXPECT_EQ(conjunctive[0].matched_terms, 2u);
+
+  std::vector<StoryHit> disjunctive = searcher_->Search(query);
+  EXPECT_EQ(disjunctive.size(), 2u);
+
+  // A term matching nothing empties a conjunctive query entirely.
+  query.terms.push_back({Field::kEntity, 99, {}, "none"});
+  EXPECT_TRUE(searcher_->Search(query, options).empty());
+  EXPECT_EQ(searcher_->Search(query).size(), 2u);
+}
+
+TEST_F(TinyRankFixture, TimeFilterLimitsContributingSnippets) {
+  // Restrict to the first story's window: the far-future snippet can no
+  // longer contribute, so a query on entity 1 sees only story A's tf=1.
+  SearchOptions options;
+  options.filter_time = true;
+  options.from = MakeTimestamp(2014, 7, 1);
+  options.to = MakeTimestamp(2014, 8, 1);
+  std::vector<StoryHit> hits = searcher_->Search(EntityQuery(1), options);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], searcher_->SearchScan(EntityQuery(1), options)[0]);
+
+  // An empty window matches nothing.
+  options.from = MakeTimestamp(2013, 1, 1);
+  options.to = MakeTimestamp(2013, 2, 1);
+  EXPECT_TRUE(searcher_->Search(EntityQuery(1), options).empty());
+}
+
+TEST_F(TinyRankFixture, KBoundsTheResultList) {
+  ParsedQuery query;
+  query.terms.push_back({Field::kEntity, 1, {}, "e1"});
+  SearchOptions options;
+  options.k = 1;
+  std::vector<StoryHit> top1 = searcher_->Search(query, options);
+  ASSERT_EQ(top1.size(), 1u);
+  std::vector<StoryHit> top10 = searcher_->Search(query);
+  ASSERT_EQ(top10.size(), 2u);
+  EXPECT_EQ(top1[0], top10[0]);
+  EXPECT_GE(top10[0].score, top10[1].score);
+}
+
+// -------------------- Pruned == exhaustive (property) ----------------------
+
+TEST(RankEquivalenceProperty, PrunedMatchesScanAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    datagen::CorpusConfig config;
+    config.seed = seed;
+    config.target_num_snippets = 200;
+    config.num_sources = 4;
+    config.num_stories = 15;
+    config.num_entities = 50;
+    datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+    StoryPivotEngine engine;
+    SP_CHECK_OK(engine.ImportVocabularies(*corpus.entity_vocabulary,
+                                          *corpus.keyword_vocabulary));
+    for (const SourceInfo& source : corpus.sources) {
+      engine.RegisterSource(source.name);
+    }
+    for (const Snippet& snippet : corpus.snippets) {
+      Snippet copy = snippet;
+      copy.id = kInvalidSnippetId;
+      SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
+    }
+    SearchEngine searcher(&engine);
+
+    // Random multi-term queries over the live vocabularies, random k,
+    // both modes, and occasional time windows.
+    Pcg32 rng(seed * 977 + 13);
+    for (int q = 0; q < 15; ++q) {
+      ParsedQuery query;
+      const size_t num_terms = 1 + rng.NextBounded(4);
+      for (size_t t = 0; t < num_terms; ++t) {
+        if (rng.NextBounded(3) == 0) {
+          query.terms.push_back(
+              {Field::kEntity,
+               static_cast<text::TermId>(rng.NextBounded(
+                   static_cast<uint32_t>(engine.entity_vocabulary()->size()))),
+               {},
+               "e"});
+        } else {
+          query.terms.push_back(
+              {Field::kKeyword,
+               static_cast<text::TermId>(rng.NextBounded(static_cast<uint32_t>(
+                   engine.keyword_vocabulary()->size()))),
+               {},
+               "k"});
+        }
+      }
+      SearchOptions options;
+      options.k = 1 + rng.NextBounded(8);
+      options.mode =
+          rng.NextBounded(2) == 0 ? MatchMode::kAny : MatchMode::kAll;
+      if (rng.NextBounded(3) == 0) {
+        options.filter_time = true;
+        options.from = MakeTimestamp(2014, 6, 1) +
+                       static_cast<Timestamp>(rng.NextBounded(120)) *
+                           kSecondsPerDay;
+        options.to = options.from +
+                     static_cast<Timestamp>(1 + rng.NextBounded(60)) *
+                         kSecondsPerDay;
+      }
+      std::vector<StoryHit> indexed = searcher.Search(query, options);
+      std::vector<StoryHit> scanned = searcher.SearchScan(query, options);
+      ASSERT_EQ(indexed.size(), scanned.size())
+          << "seed " << seed << " query " << q;
+      for (size_t i = 0; i < indexed.size(); ++i) {
+        EXPECT_EQ(indexed[i], scanned[i])
+            << "seed " << seed << " query " << q << " hit " << i;
+      }
+    }
+  }
+}
+
+// ------------------------------- ParseQuery --------------------------------
+
+class ParseFixture : public ::testing::Test {
+ protected:
+  ParseFixture() {
+    engine_ = std::make_unique<StoryPivotEngine>();
+    SourceId source = engine_->RegisterSource("wire");
+    text::TermId ukraine = engine_->gazetteer()->AddEntity("Ukraine");
+    engine_->gazetteer()->AddAlias(ukraine, "Kiev government");
+    text::TermId crash = engine_->keyword_vocabulary()->Intern("crash");
+    SP_CHECK_OK(engine_->AddSnippet(MakeSnippet(
+        kInvalidSnippetId, source, MakeTimestamp(2014, 7, 17),
+        {{ukraine, 1.0}}, {{crash, 2.0}}, "Accident")));
+    searcher_ = std::make_unique<SearchEngine>(engine_.get());
+  }
+
+  std::unique_ptr<StoryPivotEngine> engine_;
+  std::unique_ptr<SearchEngine> searcher_;
+};
+
+TEST_F(ParseFixture, ResolvesEveryFieldAndReportsUnmatched) {
+  ParsedQuery parsed =
+      searcher_->Parse("Ukraine crashed the accident zzznope");
+  ASSERT_EQ(parsed.terms.size(), 3u);
+  EXPECT_EQ(parsed.terms[0].field, Field::kEntity);
+  EXPECT_EQ(parsed.terms[0].term,
+            engine_->entity_vocabulary()->Lookup("Ukraine"));
+  // "crashed" stems to the interned "crash".
+  EXPECT_EQ(parsed.terms[1].field, Field::kKeyword);
+  EXPECT_EQ(parsed.terms[1].term,
+            engine_->keyword_vocabulary()->Lookup("crash"));
+  // "accident" case-insensitively matches the indexed event type; "the"
+  // is a stopword and vanishes silently.
+  EXPECT_EQ(parsed.terms[2].field, Field::kEventType);
+  EXPECT_EQ(parsed.terms[2].event_type, "Accident");
+  ASSERT_EQ(parsed.unmatched.size(), 1u);
+  EXPECT_EQ(parsed.unmatched[0], "zzznope");
+}
+
+TEST_F(ParseFixture, MultiTokenAliasResolvesThroughGazetteer) {
+  ParsedQuery parsed = searcher_->Parse("kiev government crash");
+  ASSERT_EQ(parsed.terms.size(), 2u);
+  EXPECT_EQ(parsed.terms[0].field, Field::kEntity);
+  EXPECT_EQ(parsed.terms[0].term,
+            engine_->entity_vocabulary()->Lookup("Ukraine"));
+  EXPECT_EQ(parsed.terms[1].field, Field::kKeyword);
+  EXPECT_TRUE(parsed.unmatched.empty());
+}
+
+TEST_F(ParseFixture, DuplicateResolutionsCollapse) {
+  ParsedQuery parsed = searcher_->Parse("crash crashes crashing");
+  EXPECT_EQ(parsed.terms.size(), 1u);
+}
+
+// -------------------- Incremental maintenance vs rebuild -------------------
+
+TEST(SearchMaintenance, ObserverMatchesFreshRebuildAfterRemovals) {
+  datagen::CorpusConfig config;
+  config.target_num_snippets = 250;
+  config.num_sources = 4;
+  config.num_stories = 12;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+  StoryPivotEngine engine;
+  SP_CHECK_OK(engine.ImportVocabularies(*corpus.entity_vocabulary,
+                                        *corpus.keyword_vocabulary));
+  for (const SourceInfo& source : corpus.sources) {
+    engine.RegisterSource(source.name);
+  }
+  // Attach BEFORE ingest: every posting arrives via observer callbacks.
+  SearchEngine live(&engine);
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
+  }
+  SP_CHECK_OK(engine.RemoveSource(corpus.sources[1].id));
+
+  // A second index built from scratch off the post-removal store must be
+  // indistinguishable (pure function of the live snippet set).
+  search::PostingsIndex rebuilt;
+  engine.store().ForEach(
+      [&](const Snippet& snippet) { rebuilt.AddSnippet(snippet); });
+
+  EXPECT_EQ(live.index().num_documents(), rebuilt.num_documents());
+  EXPECT_EQ(live.index().num_postings(), rebuilt.num_postings());
+  EXPECT_DOUBLE_EQ(live.index().total_length(), rebuilt.total_length());
+  EXPECT_EQ(live.index().EventTypes(), rebuilt.EventTypes());
+  for (text::TermId id = 0; id < engine.entity_vocabulary()->size(); ++id) {
+    EXPECT_EQ(live.index().DocumentFrequency(Field::kEntity, id),
+              rebuilt.DocumentFrequency(Field::kEntity, id));
+  }
+}
+
+}  // namespace
+}  // namespace storypivot

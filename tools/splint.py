@@ -20,6 +20,11 @@ examples/ (and tools/ headers if any appear):
                     util/fs.h so its atomic-replace and fsync guarantees
                     (DESIGN.md §10) hold repo-wide.
   build-artifact    no committed build trees or object/cache files.
+  full-scan         no partitions() full-story scans outside src/core/
+                    and src/search/ — route story lookups through
+                    StoryQuery (which uses the search index) so O(all
+                    stories) walks stay contained in the two layers that
+                    own them. Tests are exempt.
 
 A finding can be suppressed on its line with:  // splint: allow(<rule>)
 
@@ -158,7 +163,27 @@ def check_using_namespace(relpath, lines):
                 "`using namespace` in a header leaks into every includer")
 
 
-FILE_CHECKS = [check_banned, check_include_guard, check_using_namespace]
+FULL_SCAN_RE = re.compile(r"(?:->|\.)\s*partitions\s*\(\s*\)")
+
+
+def check_full_scan(relpath, lines):
+    """partitions() walks every story of every source; only the core and
+    search layers may pay that cost (everything else goes through
+    StoryQuery / SearchEngine, which are index-backed and k-bounded)."""
+    if relpath.startswith(("src/core/", "src/search/", "tests/")):
+        return
+    for number, line in enumerate(lines, start=1):
+        if LINE_COMMENT_RE.match(line):
+            continue
+        if FULL_SCAN_RE.search(line) and not line_allows(line, "full-scan"):
+            yield number, "full-scan", (
+                "partitions() full-story scan outside src/core//src/search/;"
+                " use StoryQuery/SearchEngine, or annotate why the full walk"
+                " is required")
+
+
+FILE_CHECKS = [check_banned, check_include_guard, check_using_namespace,
+               check_full_scan]
 
 
 def check_build_artifacts(root):
