@@ -5,15 +5,20 @@
 //       Generate a synthetic multi-source corpus (GDELT-style TSV).
 //   detect <in.tsv> [--mode temporal|complete] [--window-days W]
 //          [--refine] [--diagnose] [--snapshot out.sp] [--json out.json]
-//          [--wal-dir DIR]
+//          [--wal-dir DIR] [--strict]
 //       Run story identification + alignment over a TSV corpus; print the
 //       integrated story table and quality (when truth labels exist).
-//       With --wal-dir, every mutation is write-ahead logged to DIR and
-//       the final state checkpointed, so the run is crash-recoverable.
+//       Malformed input rows are QUARANTINED by default — skipped,
+//       counted and reported with line numbers; --strict fails the run
+//       on the first bad row instead. With --wal-dir, every mutation is
+//       write-ahead logged to DIR and the final state checkpointed, so
+//       the run is crash-recoverable.
 //   recover <wal-dir> [--checkpoint]
 //       Recover the engine state from a durability directory (newest
 //       checkpoint + WAL tail) and print its stories. --checkpoint also
-//       compacts the directory afterwards.
+//       compacts the directory afterwards. A missing or unreadable
+//       directory exits non-zero with a one-line diagnostic that
+//       classifies the failure (transient vs. corruption).
 //   load <snapshot.sp>
 //       Load a previously saved engine snapshot and print its stories.
 //   query <in.tsv> <entity>
@@ -49,6 +54,7 @@
 #include "search/search_engine.h"
 #include "text/knowledge_base.h"
 #include "util/csv.h"
+#include "util/retry.h"
 #include "util/strings.h"
 #include "eval/diagnostics.h"
 #include "viz/ascii.h"
@@ -66,7 +72,7 @@ int Usage() {
                "  storypivot_cli detect <in.tsv> [--mode temporal|complete]"
                " [--window-days W] [--refine] [--diagnose]\n"
                "                 [--snapshot out.sp] [--json out.json]"
-               " [--wal-dir DIR]\n"
+               " [--wal-dir DIR] [--strict]\n"
                "  storypivot_cli recover <wal-dir> [--checkpoint]\n"
                "  storypivot_cli load <snapshot.sp>\n"
                "  storypivot_cli query <in.tsv> <entity>\n"
@@ -142,15 +148,61 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
-Result<std::unique_ptr<StoryPivotEngine>> DetectFromTsv(
-    const std::string& path, const EngineConfig& config) {
+/// Loads the TSV corpus at `path`. Permissive by default: malformed rows
+/// are quarantined and summarised on stderr (line numbers + reasons, the
+/// first few in full), keeping partial feeds ingestable; `strict` fails
+/// on the first bad row instead.
+Result<datagen::ImportedCorpus> LoadCorpus(const std::string& path,
+                                           bool strict) {
   Result<std::string> contents = ReadFileToString(path);
   if (!contents.ok()) return contents.status();
-  Result<datagen::ImportedCorpus> imported =
-      datagen::ImportTsv(contents.value());
-  if (!imported.ok()) return imported.status();
-  const datagen::ImportedCorpus& corpus = imported.value();
+  if (strict) return datagen::ImportTsv(contents.value());
 
+  datagen::ImportReport report;
+  Result<datagen::ImportedCorpus> imported =
+      datagen::ImportTsvPermissive(contents.value(), &report);
+  if (!imported.ok()) return imported.status();
+  if (!report.skipped.empty()) {
+    constexpr size_t kShown = 8;
+    for (size_t i = 0; i < report.skipped.size() && i < kShown; ++i) {
+      std::fprintf(stderr, "%s: line %zu: %s (row quarantined)\n",
+                   path.c_str(), report.skipped[i].line,
+                   report.skipped[i].reason.c_str());
+    }
+    if (report.skipped.size() > kShown) {
+      std::fprintf(stderr, "%s: ... %zu more quarantined rows\n",
+                   path.c_str(), report.skipped.size() - kShown);
+    }
+    std::fprintf(stderr,
+                 "%s: quarantined %zu of %zu rows, imported %zu "
+                 "(use --strict to fail on the first bad row)\n",
+                 path.c_str(), report.skipped.size(), report.rows_seen,
+                 report.rows_imported);
+  }
+  return imported;
+}
+
+/// One-line diagnostic for a failed durability-directory open, with a
+/// non-zero exit for scripting. Classifies the failure: TRANSIENT (a
+/// retry may succeed), CORRUPTION (bytes on disk changed after they
+/// were acknowledged — the message carries segment and byte offset), or
+/// plain permanent error (e.g. the directory does not exist).
+int WalOpenFailed(const char* verb, const std::string& dir,
+                  const Status& status) {
+  const char* kind = "error";
+  if (IsTransient(status)) {
+    kind = "transient";
+  } else if (std::string(status.message()).find("corruption") !=
+             std::string::npos) {
+    kind = "corruption";
+  }
+  std::fprintf(stderr, "%s: %s: [%s] %s\n", verb, dir.c_str(), kind,
+               std::string(status.message()).c_str());
+  return 1;
+}
+
+Result<std::unique_ptr<StoryPivotEngine>> DetectFromCorpus(
+    const datagen::ImportedCorpus& corpus, const EngineConfig& config) {
   auto engine = std::make_unique<StoryPivotEngine>(config);
   Status vocab = engine->ImportVocabularies(*corpus.entity_vocabulary,
                                             *corpus.keyword_vocabulary);
@@ -169,16 +221,9 @@ Result<std::unique_ptr<StoryPivotEngine>> DetectFromTsv(
 
 /// Ingests the TSV corpus through a DurableEngine so every mutation lands
 /// in the write-ahead log under `wal_dir` before it is acknowledged.
-Result<std::unique_ptr<persist::DurableEngine>> DetectFromTsvDurable(
-    const std::string& path, const EngineConfig& config,
+Result<std::unique_ptr<persist::DurableEngine>> DetectDurable(
+    const datagen::ImportedCorpus& corpus, const EngineConfig& config,
     const std::string& wal_dir) {
-  Result<std::string> contents = ReadFileToString(path);
-  if (!contents.ok()) return contents.status();
-  Result<datagen::ImportedCorpus> imported =
-      datagen::ImportTsv(contents.value());
-  if (!imported.ok()) return imported.status();
-  const datagen::ImportedCorpus& corpus = imported.value();
-
   persist::DurabilityOptions options;
   options.checkpoint_every_ops = 2000;
   Result<std::unique_ptr<persist::DurableEngine>> opened =
@@ -249,6 +294,13 @@ int CmdDetect(int argc, char** argv) {
   config.identifier.window =
       FlagInt(argc, argv, "--window-days", 7) * kSecondsPerDay;
 
+  Result<datagen::ImportedCorpus> imported =
+      LoadCorpus(argv[0], HasFlag(argc, argv, "--strict"));
+  if (!imported.ok()) {
+    std::fprintf(stderr, "%s\n", imported.status().ToString().c_str());
+    return 1;
+  }
+
   // With --wal-dir, ingestion runs through the durability layer; without
   // it, through a plain in-memory engine. Either way `engine` points at
   // the engine to summarise.
@@ -257,15 +309,14 @@ int CmdDetect(int argc, char** argv) {
   std::string wal_dir;
   if (ParseFlag(argc, argv, "--wal-dir", &wal_dir)) {
     Result<std::unique_ptr<persist::DurableEngine>> opened =
-        DetectFromTsvDurable(argv[0], config, wal_dir);
+        DetectDurable(imported.value(), config, wal_dir);
     if (!opened.ok()) {
-      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
-      return 1;
+      return WalOpenFailed("detect --wal-dir", wal_dir, opened.status());
     }
     durable = std::move(opened.value());
   } else {
     Result<std::unique_ptr<StoryPivotEngine>> detected =
-        DetectFromTsv(argv[0], config);
+        DetectFromCorpus(imported.value(), config);
     if (!detected.ok()) {
       std::fprintf(stderr, "%s\n", detected.status().ToString().c_str());
       return 1;
@@ -342,11 +393,21 @@ int CmdDetect(int argc, char** argv) {
 
 int CmdRecover(int argc, char** argv) {
   if (argc < 1) return Usage();
-  Result<std::unique_ptr<persist::DurableEngine>> opened =
-      persist::DurableEngine::Open(argv[0]);
-  if (!opened.ok()) {
-    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+  const std::string dir = argv[0];
+  // Open() creates missing directories (that is right for `detect`,
+  // which starts new runs), so a recover of a nonexistent path must be
+  // caught here or it would "recover" an empty engine.
+  if (!FileExists(dir)) {
+    std::fprintf(stderr,
+                 "recover: %s: [error] no durability directory here — "
+                 "nothing to recover\n",
+                 dir.c_str());
     return 1;
+  }
+  Result<std::unique_ptr<persist::DurableEngine>> opened =
+      persist::DurableEngine::Open(dir);
+  if (!opened.ok()) {
+    return WalOpenFailed("recover", dir, opened.status());
   }
   persist::DurableEngine& durable = *opened.value();
   std::printf("recovered %llu ops from %s (%llu replayed from the WAL "
@@ -390,10 +451,18 @@ int CmdLoad(int argc, char** argv) {
   return 0;
 }
 
+Result<std::unique_ptr<StoryPivotEngine>> DetectFromTsv(int argc,
+                                                        char** argv) {
+  Result<datagen::ImportedCorpus> imported =
+      LoadCorpus(argv[0], HasFlag(argc, argv, "--strict"));
+  if (!imported.ok()) return imported.status();
+  return DetectFromCorpus(imported.value(), EngineConfig{});
+}
+
 int CmdQuery(int argc, char** argv) {
   if (argc < 2) return Usage();
   Result<std::unique_ptr<StoryPivotEngine>> engine =
-      DetectFromTsv(argv[0], EngineConfig{});
+      DetectFromTsv(argc, argv);
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
@@ -410,7 +479,7 @@ int CmdQuery(int argc, char** argv) {
 int CmdSearch(int argc, char** argv) {
   if (argc < 2) return Usage();
   Result<std::unique_ptr<StoryPivotEngine>> engine =
-      DetectFromTsv(argv[0], EngineConfig{});
+      DetectFromTsv(argc, argv);
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;

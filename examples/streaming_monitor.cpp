@@ -64,14 +64,17 @@ int main(int argc, char** argv) {
 
   // Mutations go through the durability layer when it is on; reads always
   // go straight to the engine.
-  auto add_snippet = [&](Snippet snippet) -> Status {
-    if (durable) return durable->AddSnippet(std::move(snippet)).status();
-    return engine.AddSnippet(std::move(snippet)).status();
+  auto add_snippet = [&](const Snippet& snippet) -> Status {
+    Snippet copy = snippet;
+    if (durable) return durable->AddSnippet(std::move(copy)).status();
+    return engine.AddSnippet(std::move(copy)).status();
   };
   auto realign = [&] {
-    if (durable) {
+    if (durable && !durable->degraded()) {
       SP_CHECK_OK(durable->Align());
     } else {
+      // Degraded engines are read-only, so nothing further will be
+      // logged and an unlogged align cannot desynchronise replay.
       engine.Align();
     }
   };
@@ -101,7 +104,27 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < corpus.snippets.size(); ++i) {
     Snippet copy = corpus.snippets[i];
     copy.id = kInvalidSnippetId;
-    SP_CHECK_OK(add_snippet(std::move(copy)));
+    Status added = add_snippet(copy);
+    if (added.code() == StatusCode::kDegraded) {
+      // A permanent WAL failure dropped the durable engine into
+      // read-only degraded mode (DESIGN.md §12). Surface the cause, try
+      // ONE in-place recovery — Reopen() rebuilds from the
+      // log-consistent state on disk — and re-ingest the rejected
+      // snippet. If recovery fails too, stop the stream and fall
+      // through to the final digest, which only needs reads.
+      std::fprintf(
+          stderr,
+          "monitor: durable engine degraded at snippet %zu (%s); "
+          "attempting in-place recovery\n",
+          i, std::string(durable->degraded_cause().message()).c_str());
+      if (durable->Reopen().ok()) added = add_snippet(copy);
+    }
+    if (!added.ok()) {
+      std::fprintf(stderr,
+                   "monitor: ingest stopped after %zu snippets: %s\n", i,
+                   added.ToString().c_str());
+      break;
+    }
 
     if ((i + 1) % digest_every != 0) continue;
 
@@ -211,6 +234,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(engine.stats().alignments_run),
               engine.stats().align_time_ms);
   if (durable) {
+    if (durable->degraded()) {
+      // No checkpoint/close on a degraded engine: its WAL is the
+      // log-consistent record, and the unlogged tail above was
+      // display-only.
+      std::fprintf(stderr,
+                   "monitor: finished DEGRADED (%s); on-disk state is "
+                   "the acknowledged prefix — inspect it with "
+                   "`storypivot_cli recover %s`\n",
+                   std::string(
+                       durable->degraded_cause().message()).c_str(),
+                   wal_dir.c_str());
+      return 1;
+    }
     const uint64_t ops = durable->next_lsn();
     SP_CHECK_OK(durable->Checkpoint());
     SP_CHECK_OK(durable->Close());

@@ -48,85 +48,131 @@ Status ExportTsvToFile(const Corpus& corpus, const std::string& path) {
   return WriteStringToFile(path, ExportTsv(corpus));
 }
 
-Result<ImportedCorpus> ImportTsv(const std::string& contents) {
+namespace {
+
+/// Parses one data row into a snippet. Validation (field count, id,
+/// date) happens BEFORE any shared state is touched, so a rejected row
+/// leaves no trace in the vocabularies or source table — that is what
+/// makes permissive-mode quarantine safe.
+Status ImportRow(const std::vector<std::string>& row, ImportedCorpus* out,
+                 std::unordered_map<std::string, SourceId>* source_ids) {
+  if (row.size() != 9) {
+    return Status::InvalidArgument(
+        StrFormat("expected 9 fields, got %zu", row.size()));
+  }
+  Snippet s;
+  int64_t id = 0;
+  if (!ParseInt64(row[0], &id)) {
+    return Status::InvalidArgument("bad id \"" + row[0] + "\"");
+  }
+  s.id = static_cast<SnippetId>(id);
+
+  // Parse "YYYY-MM-DD HH:MM".
+  const std::string& dt = row[3];
+  int64_t y = 0, mo = 0, d = 0, h = 0, mi = 0;
+  if (dt.size() < 16 || !ParseInt64(dt.substr(0, 4), &y) ||
+      !ParseInt64(dt.substr(5, 2), &mo) ||
+      !ParseInt64(dt.substr(8, 2), &d) ||
+      !ParseInt64(dt.substr(11, 2), &h) ||
+      !ParseInt64(dt.substr(14, 2), &mi)) {
+    return Status::InvalidArgument("bad date \"" + dt + "\"");
+  }
+  s.timestamp = MakeTimestamp(static_cast<int>(y), static_cast<int>(mo),
+                              static_cast<int>(d), static_cast<int>(h),
+                              static_cast<int>(mi));
+
+  // Row is valid; from here on we may mutate shared state.
+  auto [it, inserted] = source_ids->try_emplace(
+      row[1], static_cast<SourceId>(source_ids->size()));
+  if (inserted) {
+    SourceInfo info;
+    info.id = it->second;
+    info.name = row[1];
+    out->sources.push_back(std::move(info));
+  }
+  s.source = it->second;
+  s.event_type = row[2];
+
+  if (!row[4].empty()) {
+    std::vector<text::TermVector::Entry> ents;
+    for (std::string_view name : Split(row[4], ';')) {
+      ents.push_back({out->entity_vocabulary->Intern(name), 1.0});
+    }
+    s.entities = text::TermVector::FromEntries(std::move(ents));
+  }
+  if (!row[5].empty()) {
+    std::vector<text::TermVector::Entry> kws;
+    for (std::string_view item : Split(row[5], ';')) {
+      size_t colon = item.rfind(':');
+      double count = 1.0;
+      std::string_view term = item;
+      if (colon != std::string_view::npos) {
+        if (!ParseDouble(item.substr(colon + 1), &count)) count = 1.0;
+        term = item.substr(0, colon);
+      }
+      kws.push_back({out->keyword_vocabulary->Intern(term), count});
+    }
+    s.keywords = text::TermVector::FromEntries(std::move(kws));
+  }
+  s.description = row[6];
+  s.document_url = row[7];
+  int64_t truth = -1;
+  if (!ParseInt64(row[8], &truth)) truth = -1;
+  s.truth_story = truth;
+  out->snippets.push_back(std::move(s));
+  return Status::OK();
+}
+
+/// Shared import loop; `report == nullptr` selects strict mode.
+Result<ImportedCorpus> ImportTsvImpl(const std::string& contents,
+                                     ImportReport* report) {
+  const bool permissive = report != nullptr;
   DsvReader reader('\t');
-  ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
-                   reader.Parse(contents));
-  if (rows.empty()) return Status::InvalidArgument("empty TSV");
+  PermissiveDsv parsed;
+  if (permissive) {
+    parsed = reader.ParsePermissive(contents);
+    for (const DsvSkipped& sk : parsed.skipped) {
+      report->skipped.push_back(ImportSkipped{sk.line, sk.reason});
+    }
+  } else {
+    ASSIGN_OR_RETURN(parsed.rows, reader.Parse(contents));
+  }
+  if (parsed.rows.empty()) return Status::InvalidArgument("empty TSV");
 
   ImportedCorpus out;
   out.entity_vocabulary = std::make_unique<text::Vocabulary>();
   out.keyword_vocabulary = std::make_unique<text::Vocabulary>();
   std::unordered_map<std::string, SourceId> source_ids;
 
-  for (size_t r = 1; r < rows.size(); ++r) {
-    const std::vector<std::string>& row = rows[r];
-    if (row.size() != 9) {
-      return Status::InvalidArgument(
-          StrFormat("row %zu: expected 9 fields, got %zu", r, row.size()));
+  if (permissive) {
+    report->rows_seen = (parsed.rows.size() - 1) + parsed.skipped.size();
+  }
+  for (size_t r = 1; r < parsed.rows.size(); ++r) {
+    Status row_status = ImportRow(parsed.rows[r], &out, &source_ids);
+    if (row_status.ok()) {
+      if (permissive) ++report->rows_imported;
+      continue;
     }
-    Snippet s;
-    int64_t id = 0;
-    if (!ParseInt64(row[0], &id)) {
-      return Status::InvalidArgument("bad id at row " + StrFormat("%zu", r));
+    if (!permissive) {
+      return Status::InvalidArgument(StrFormat("row %zu: ", r) +
+                                     std::string(row_status.message()));
     }
-    s.id = static_cast<SnippetId>(id);
-
-    auto [it, inserted] = source_ids.try_emplace(
-        row[1], static_cast<SourceId>(source_ids.size()));
-    if (inserted) {
-      SourceInfo info;
-      info.id = it->second;
-      info.name = row[1];
-      out.sources.push_back(std::move(info));
-    }
-    s.source = it->second;
-
-    s.event_type = row[2];
-    // Parse "YYYY-MM-DD HH:MM".
-    const std::string& dt = row[3];
-    int64_t y = 0, mo = 0, d = 0, h = 0, mi = 0;
-    if (dt.size() < 16 || !ParseInt64(dt.substr(0, 4), &y) ||
-        !ParseInt64(dt.substr(5, 2), &mo) ||
-        !ParseInt64(dt.substr(8, 2), &d) ||
-        !ParseInt64(dt.substr(11, 2), &h) ||
-        !ParseInt64(dt.substr(14, 2), &mi)) {
-      return Status::InvalidArgument("bad date at row " +
-                                     StrFormat("%zu", r));
-    }
-    s.timestamp = MakeTimestamp(static_cast<int>(y), static_cast<int>(mo),
-                                static_cast<int>(d), static_cast<int>(h),
-                                static_cast<int>(mi));
-
-    if (!row[4].empty()) {
-      std::vector<text::TermVector::Entry> ents;
-      for (std::string_view name : Split(row[4], ';')) {
-        ents.push_back({out.entity_vocabulary->Intern(name), 1.0});
-      }
-      s.entities = text::TermVector::FromEntries(std::move(ents));
-    }
-    if (!row[5].empty()) {
-      std::vector<text::TermVector::Entry> kws;
-      for (std::string_view item : Split(row[5], ';')) {
-        size_t colon = item.rfind(':');
-        double count = 1.0;
-        std::string_view term = item;
-        if (colon != std::string_view::npos) {
-          if (!ParseDouble(item.substr(colon + 1), &count)) count = 1.0;
-          term = item.substr(0, colon);
-        }
-        kws.push_back({out.keyword_vocabulary->Intern(term), count});
-      }
-      s.keywords = text::TermVector::FromEntries(std::move(kws));
-    }
-    s.description = row[6];
-    s.document_url = row[7];
-    int64_t truth = -1;
-    if (!ParseInt64(row[8], &truth)) truth = -1;
-    s.truth_story = truth;
-    out.snippets.push_back(std::move(s));
+    size_t line = r < parsed.row_lines.size() ? parsed.row_lines[r] : 0;
+    report->skipped.push_back(
+        ImportSkipped{line, std::string(row_status.message())});
   }
   return out;
+}
+
+}  // namespace
+
+Result<ImportedCorpus> ImportTsv(const std::string& contents) {
+  return ImportTsvImpl(contents, nullptr);
+}
+
+Result<ImportedCorpus> ImportTsvPermissive(const std::string& contents,
+                                           ImportReport* report) {
+  return ImportTsvImpl(contents, report);
 }
 
 }  // namespace storypivot::datagen

@@ -35,7 +35,32 @@ struct ImportedCorpus {
 
 /// Parses TSV content produced by ExportTsv. Term ids are re-interned, so
 /// they need not match the exporting process's ids, but names round-trip.
+/// STRICT: the first malformed row fails the whole import.
 [[nodiscard]] Result<ImportedCorpus> ImportTsv(const std::string& contents);
+
+/// One quarantined input row: the 1-based line in the TSV and why it
+/// was skipped.
+struct ImportSkipped {
+  size_t line = 0;
+  std::string reason;
+};
+
+/// Per-batch quarantine report produced by `ImportTsvPermissive`.
+struct ImportReport {
+  /// Data rows seen (header excluded).
+  size_t rows_seen = 0;
+  size_t rows_imported = 0;
+  std::vector<ImportSkipped> skipped;
+};
+
+/// PERMISSIVE variant of `ImportTsv` (DESIGN.md §12): malformed rows —
+/// wrong field count, bad id, bad date, torn quoting — are skipped,
+/// counted and reported in `*report` with their line numbers instead of
+/// failing the file. Vocabularies and sources only absorb rows that
+/// import, so a quarantined row leaves no trace in the corpus. Still
+/// fails outright on inputs with no usable structure (empty file).
+[[nodiscard]] Result<ImportedCorpus> ImportTsvPermissive(
+    const std::string& contents, ImportReport* report);
 
 }  // namespace storypivot::datagen
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -54,6 +55,7 @@ Result<std::vector<uint64_t>> Checkpointer::List() const {
 
 Status Checkpointer::Write(const StoryPivotEngine& engine,
                            uint64_t covered_lsn) {
+  SP_FAILPOINT("checkpoint.write");
   RETURN_IF_ERROR(CreateDirectories(dir_));
   // WriteStringToFile is atomic (tmp + fsync + rename + dir sync): a
   // crash at any instant leaves either no new checkpoint or a complete
@@ -62,6 +64,7 @@ Status Checkpointer::Write(const StoryPivotEngine& engine,
   RETURN_IF_ERROR(WriteStringToFile(dir_ + "/" + CheckpointName(covered_lsn),
                                     SaveSnapshot(engine)));
   // Prune old checkpoints, newest `keep_` survive.
+  SP_FAILPOINT("checkpoint.prune");
   ASSIGN_OR_RETURN(std::vector<uint64_t> lsns, List());
   if (lsns.size() > keep_) {
     for (size_t i = 0; i + keep_ < lsns.size(); ++i) {

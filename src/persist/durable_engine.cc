@@ -38,23 +38,31 @@ DurableEngine::~DurableEngine() {
 Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
     const std::string& dir, DurabilityOptions options,
     EngineConfig engine_config) {
-  RETURN_IF_ERROR(CreateDirectories(dir));
   std::unique_ptr<DurableEngine> durable(
       new DurableEngine(dir, options));
+  durable->engine_config_ = engine_config;
+  RETURN_IF_ERROR(durable->Recover());
+  return durable;
+}
 
-  // 1. Newest valid checkpoint (if any) seeds the engine state.
+Status DurableEngine::Recover() {
+  RETURN_IF_ERROR(CreateDirectories(dir_));
+
+  // 1. Newest valid checkpoint (if any) seeds the engine state. All
+  // recovered state is built into LOCALS and committed to members only
+  // at the end, so a failed recovery (Reopen on a bad disk) leaves the
+  // previous in-memory state readable.
   ASSIGN_OR_RETURN(Checkpointer::Loaded loaded,
-                   durable->checkpointer_.LoadNewest(engine_config));
-  if (loaded.engine != nullptr) {
-    durable->engine_ = std::move(loaded.engine);
-  } else {
-    durable->engine_ = std::make_unique<StoryPivotEngine>(engine_config);
-  }
+                   checkpointer_.LoadNewest(engine_config_));
+  std::unique_ptr<StoryPivotEngine> engine =
+      loaded.engine != nullptr
+          ? std::move(loaded.engine)
+          : std::make_unique<StoryPivotEngine>(engine_config_);
   const uint64_t covered = loaded.covered_lsn;
 
   // 2. Replay the WAL tail: every record with lsn >= covered, in order.
   ASSIGN_OR_RETURN(std::vector<uint64_t> segments,
-                   WriteAheadLog::ListSegments(dir));
+                   WriteAheadLog::ListSegments(dir_));
   uint64_t expected_next = covered;
   for (size_t i = 0; i < segments.size(); ++i) {
     const bool last = i + 1 == segments.size();
@@ -69,7 +77,7 @@ Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
           static_cast<unsigned long long>(expected_next)));
     }
     ASSIGN_OR_RETURN(SegmentScan scan,
-                     WriteAheadLog::ScanSegmentFile(dir, segments[i]));
+                     WriteAheadLog::ScanSegmentFile(dir_, segments[i]));
     if (scan.torn_tail && !last) {
       return Status::IoError(
           "WAL corruption: torn record in a non-final segment " +
@@ -77,7 +85,7 @@ Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
     }
     for (const WalRecord& record : scan.records) {
       if (record.lsn < expected_next) continue;  // Below the checkpoint.
-      RETURN_IF_ERROR(durable->ReplayOp(record));
+      RETURN_IF_ERROR(ReplayOp(record, engine.get()));
       ++expected_next;
     }
     const uint64_t segment_end = segments[i] + scan.records.size();
@@ -93,7 +101,7 @@ Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
     // durable — dropping it is exactly the prefix-consistency contract.
     if (scan.torn_tail) {
       const std::string path =
-          dir + "/" + WriteAheadLog::SegmentName(segments[i]);
+          dir_ + "/" + WriteAheadLog::SegmentName(segments[i]);
       ASSIGN_OR_RETURN(uint64_t actual_size, FileSize(path));
       SP_LOG(kWarning) << "WAL " << path << ": dropping torn tail ("
                        << actual_size - scan.valid_bytes << " bytes)";
@@ -104,19 +112,40 @@ Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
   // 4. Open the log for appending where replay ended. The replayed tail
   // counts towards the auto-checkpoint policy: it is exactly the log a
   // subsequent checkpoint would compact away.
-  durable->ops_since_checkpoint_ = expected_next - covered;
-  ASSIGN_OR_RETURN(durable->wal_,
-                   WriteAheadLog::Open(dir, options.wal, expected_next));
-  return durable;
+  ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal,
+                   WriteAheadLog::Open(dir_, options_.wal, expected_next));
+
+  // Commit: recovery succeeded, adopt the rebuilt state.
+  engine_ = std::move(engine);
+  wal_ = std::move(wal);
+  ops_since_checkpoint_ = expected_next - covered;
+  degraded_ = false;
+  degraded_cause_ = Status::OK();
+  return Status::OK();
+}
+
+Status DurableEngine::Reopen() {
+  if (wal_ != nullptr) {
+    IgnoreError(wal_->Close());
+    wal_.reset();
+  }
+  Status recovered = Recover();
+  if (!recovered.ok()) {
+    // Still broken: stay degraded on the old in-memory state so reads
+    // keep working, and record why.
+    degraded_ = true;
+    degraded_cause_ = recovered;
+  }
+  return recovered;
 }
 
 // --- Logged mutations ------------------------------------------------------
 
 Status DurableEngine::CheckWritable() const {
-  if (poisoned_) {
-    return Status::FailedPrecondition(
-        "durable engine is poisoned by an earlier WAL write failure; "
-        "reopen to recover");
+  if (degraded_) {
+    return Status::Degraded(
+        "durable engine is in read-only degraded mode ("
+        + degraded_cause_.ToString() + "); call Reopen() to recover");
   }
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("durable engine is closed");
@@ -128,16 +157,31 @@ Status DurableEngine::LogOp(std::string payload) {
   RETURN_IF_ERROR(CheckWritable());
   Result<uint64_t> lsn = wal_->Append(payload);
   if (!lsn.ok()) {
-    // In-memory state now has a mutation the log does not: acknowledging
-    // further ops would desynchronise replay, so fail them all.
-    poisoned_ = true;
-    return Status::IoError("WAL append failed, durable engine poisoned: " +
-                           lsn.status().ToString());
+    // The WAL already retried transients, so this failure is permanent.
+    // The in-memory state now has a mutation the log does not:
+    // acknowledging further mutations would desynchronise replay, so
+    // drop to READ-ONLY degraded mode — queries stay served (from state
+    // ahead of the log by exactly this op), mutations are rejected with
+    // kDegraded, and Reopen() rebuilds from disk.
+    degraded_ = true;
+    degraded_cause_ = lsn.status();
+    return Status::Degraded(
+        "WAL append failed, durable engine now read-only: " +
+        lsn.status().ToString());
   }
   ++ops_since_checkpoint_;
   if (options_.checkpoint_every_ops > 0 &&
       ops_since_checkpoint_ >= options_.checkpoint_every_ops) {
-    RETURN_IF_ERROR(Checkpoint());
+    Status checkpointed = Checkpoint();
+    if (!checkpointed.ok()) {
+      // Best-effort: the op itself is durably logged, a failed AUTO
+      // checkpoint only delays compaction. ops_since_checkpoint_ keeps
+      // growing, so the next op triggers another attempt. (A rotation
+      // failure inside Checkpoint closes the WAL; the next mutation
+      // then degrades the engine through the append path.)
+      SP_LOG(kWarning) << "auto-checkpoint failed (will retry after next "
+                       << "op): " << checkpointed.ToString();
+    }
   }
   return Status::OK();
 }
@@ -276,7 +320,8 @@ Status DurableEngine::Align() {
 
 // --- Replay ----------------------------------------------------------------
 
-Status DurableEngine::ReplayOp(const WalRecord& record) {
+Status DurableEngine::ReplayOp(const WalRecord& record,
+                               StoryPivotEngine* engine) {
   Decoder dec(record.payload);
   const WalOp op = static_cast<WalOp>(dec.GetU8());
   switch (op) {
@@ -284,7 +329,7 @@ Status DurableEngine::ReplayOp(const WalRecord& record) {
       std::string name = dec.GetString();
       SourceId expected = dec.GetU32();
       RETURN_IF_ERROR(dec.Finish());
-      if (engine_->RegisterSource(name) != expected) {
+      if (engine->RegisterSource(name) != expected) {
         return ReplayMismatch("RegisterSource id", record.lsn);
       }
       return Status::OK();
@@ -300,13 +345,13 @@ Status DurableEngine::ReplayOp(const WalRecord& record) {
         keywords.Intern(dec.GetString());
       }
       RETURN_IF_ERROR(dec.Finish());
-      return engine_->ImportVocabularies(entities, keywords);
+      return engine->ImportVocabularies(entities, keywords);
     }
     case WalOp::kAddGazetteerEntity: {
       std::string name = dec.GetString();
       text::TermId expected = dec.GetU32();
       RETURN_IF_ERROR(dec.Finish());
-      if (engine_->gazetteer()->AddEntity(name) != expected) {
+      if (engine->gazetteer()->AddEntity(name) != expected) {
         return ReplayMismatch("gazetteer entity id", record.lsn);
       }
       return Status::OK();
@@ -315,7 +360,7 @@ Status DurableEngine::ReplayOp(const WalRecord& record) {
       text::TermId entity = dec.GetU32();
       std::string alias = dec.GetString();
       RETURN_IF_ERROR(dec.Finish());
-      engine_->gazetteer()->AddAlias(entity, alias);
+      engine->gazetteer()->AddAlias(entity, alias);
       return Status::OK();
     }
     case WalOp::kAddSnippet: {
@@ -323,7 +368,7 @@ Status DurableEngine::ReplayOp(const WalRecord& record) {
       SnippetId expected = dec.GetU64();
       RETURN_IF_ERROR(dec.Finish());
       ASSIGN_OR_RETURN(SnippetId id,
-                       engine_->AddSnippet(std::move(snippet)));
+                       engine->AddSnippet(std::move(snippet)));
       if (id != expected) {
         return ReplayMismatch("AddSnippet id", record.lsn);
       }
@@ -344,7 +389,7 @@ Status DurableEngine::ReplayOp(const WalRecord& record) {
       }
       RETURN_IF_ERROR(dec.Finish());
       ASSIGN_OR_RETURN(std::vector<SnippetId> ids,
-                       engine_->AddSnippets(std::move(snippets)));
+                       engine->AddSnippets(std::move(snippets)));
       if (ids != expected) {
         return ReplayMismatch("AddSnippets ids", record.lsn);
       }
@@ -360,7 +405,7 @@ Status DurableEngine::ReplayOp(const WalRecord& record) {
       }
       RETURN_IF_ERROR(dec.Finish());
       ASSIGN_OR_RETURN(std::vector<SnippetId> ids,
-                       engine_->AddDocument(document));
+                       engine->AddDocument(document));
       if (ids != expected) {
         return ReplayMismatch("AddDocument ids", record.lsn);
       }
@@ -369,23 +414,23 @@ Status DurableEngine::ReplayOp(const WalRecord& record) {
     case WalOp::kRemoveSource: {
       SourceId source = dec.GetU32();
       RETURN_IF_ERROR(dec.Finish());
-      return engine_->RemoveSource(source);
+      return engine->RemoveSource(source);
     }
     case WalOp::kRemoveDocument: {
       std::string url = dec.GetString();
       RETURN_IF_ERROR(dec.Finish());
-      return engine_->RemoveDocument(url);
+      return engine->RemoveDocument(url);
     }
     case WalOp::kRemoveSnippet: {
       SnippetId id = dec.GetU64();
       RETURN_IF_ERROR(dec.Finish());
-      return engine_->RemoveSnippet(id);
+      return engine->RemoveSnippet(id);
     }
     case WalOp::kRefine: {
       int64_t moved = dec.GetI64();
       int64_t split = dec.GetI64();
       RETURN_IF_ERROR(dec.Finish());
-      RefinementStats stats = engine_->Refine();
+      RefinementStats stats = engine->Refine();
       if (stats.snippets_moved != moved || stats.stories_split != split) {
         return ReplayMismatch("Refine outcome", record.lsn);
       }
@@ -394,7 +439,7 @@ Status DurableEngine::ReplayOp(const WalRecord& record) {
     case WalOp::kAlign: {
       uint64_t expected = dec.GetU64();
       RETURN_IF_ERROR(dec.Finish());
-      const AlignmentResult& aligned = engine_->Align();
+      const AlignmentResult& aligned = engine->Align();
       if (aligned.stories.size() != expected) {
         return ReplayMismatch("Align story count", record.lsn);
       }

@@ -59,6 +59,14 @@ enum class WalOp : uint8_t {
 ///     incomplete final record, which recovery truncates away; a CRC
 ///     mismatch anywhere else is reported as corruption, never dropped.
 ///
+/// Fault tolerance (DESIGN.md §12): transient IO failures are retried
+/// inside the WAL (WalOptions::retry) and never surface. A PERMANENT
+/// WAL failure drops the engine into read-only DEGRADED mode instead of
+/// dying: queries and search keep working from the in-memory state,
+/// mutations are rejected with a typed `kDegraded` status, and
+/// `Reopen()` re-runs recovery from disk to rejoin the log-consistent
+/// state (discarding the at-most-one mutation that outran the log).
+///
 /// Mutations mirror the StoryPivotEngine API (plus the extraction-state
 /// mutations RegisterSource/ImportVocabularies/gazetteer seeding, which
 /// replay needs). Read paths go through `engine()`. Like the underlying
@@ -123,6 +131,16 @@ class DurableEngine {
   /// them).
   [[nodiscard]] Status Close();
 
+  /// Recovers a DEGRADED engine in place: closes the WAL, re-runs the
+  /// full recovery sequence (checkpoint + WAL tail + torn-tail repair)
+  /// and, on success, resumes accepting mutations. The in-memory state
+  /// is rebuilt from disk, so the unlogged mutation that triggered
+  /// degradation is discarded — exactly the prefix-consistency
+  /// contract. On failure the engine stays degraded on its OLD
+  /// in-memory state (reads keep working) and Reopen can be called
+  /// again.
+  [[nodiscard]] Status Reopen();
+
   // --- Reads -------------------------------------------------------------
 
   /// The wrapped engine, for queries, alignment and introspection. Do
@@ -141,31 +159,52 @@ class DurableEngine {
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
+  /// True when a permanent WAL failure put the engine into read-only
+  /// degraded mode (reads served, mutations rejected with kDegraded).
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+  /// The failure that caused degradation (OK when not degraded).
+  [[nodiscard]] const Status& degraded_cause() const {
+    return degraded_cause_;
+  }
+
  private:
   DurableEngine(std::string dir, DurabilityOptions options);
 
-  /// OK iff the engine accepts mutations: open and not poisoned. Checked
-  /// BEFORE applying a mutation so a closed engine's in-memory state is
-  /// never silently ahead of its log.
+  /// OK iff the engine accepts mutations: open and not degraded.
+  /// Checked BEFORE applying a mutation so a rejected mutation never
+  /// leaks into the in-memory state.
   [[nodiscard]] Status CheckWritable() const;
 
-  /// Appends an encoded op and applies the auto-checkpoint policy. On a
-  /// WAL write failure the engine is poisoned: the in-memory state has
-  /// the mutation but the log does not, so further logged mutations
-  /// would desynchronise replay.
+  /// Appends an encoded op and applies the auto-checkpoint policy
+  /// (best-effort: the op is already durable, so a failed auto
+  /// checkpoint warns and retries after the next op). On a WAL append
+  /// failure — transients were already retried inside the WAL — the
+  /// engine degrades: the in-memory state has the mutation but the log
+  /// does not, so acknowledging further logged mutations would
+  /// desynchronise replay.
   [[nodiscard]] Status LogOp(std::string payload);
+
+  /// The full recovery sequence (newest checkpoint + WAL tail replay +
+  /// torn-tail repair + WAL open), built into locals and committed to
+  /// members only on success — a failed recovery leaves the previous
+  /// in-memory state readable. Shared by Open() and Reopen().
+  [[nodiscard]] Status Recover();
 
   /// Decodes and re-applies one WAL record during recovery, verifying
   /// recorded result ids.
-  [[nodiscard]] Status ReplayOp(const WalRecord& record);
+  [[nodiscard]] Status ReplayOp(const WalRecord& record,
+                                StoryPivotEngine* engine);
 
   std::string dir_;
   DurabilityOptions options_;
+  EngineConfig engine_config_;
   std::unique_ptr<StoryPivotEngine> engine_;
   std::unique_ptr<WriteAheadLog> wal_;
   Checkpointer checkpointer_;
   uint64_t ops_since_checkpoint_ = 0;
-  bool poisoned_ = false;
+  bool degraded_ = false;
+  Status degraded_cause_;
 };
 
 }  // namespace storypivot::persist

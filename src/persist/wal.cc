@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
 #include "util/hash.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace storypivot::persist {
@@ -171,23 +173,50 @@ Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
   frame[6] = static_cast<char>((crc >> 16) & 0xFF);
   frame[7] = static_cast<char>((crc >> 24) & 0xFF);
 
-  RETURN_IF_ERROR(active_.Append(frame));
-  next_lsn_ = lsn + 1;
-  ++unsynced_records_;
+  SP_FAILPOINT("wal.append");
+  const uint64_t pre_size = active_.size();
+  // Transient write failures are retried; each re-attempt first rewinds
+  // the partial bytes the failed one left, so a retry can never leave a
+  // torn frame mid-segment (which would masquerade as a torn TAIL and
+  // silently hide every later record from recovery).
+  Status appended = retry_.Run(
+      "WAL append", [&] { return active_.Append(frame); },
+      [&] { return active_.Rewind(); });
+  bool sync_now = false;
   switch (options_.fsync) {
     case FsyncPolicy::kEveryRecord:
-      RETURN_IF_ERROR(Sync());
+      sync_now = true;
       break;
     case FsyncPolicy::kEveryN:
-      if (unsynced_records_ >= options_.fsync_every_n) {
-        RETURN_IF_ERROR(Sync());
-      }
+      sync_now = unsynced_records_ + 1 >= options_.fsync_every_n;
       break;
     case FsyncPolicy::kOnRotate:
       break;
   }
+  if (appended.ok() && sync_now) {
+    appended = retry_.Run("WAL fsync", [&] { return active_.Sync(); });
+  }
+  if (!appended.ok()) {
+    // Withdraw the record (or its torn prefix): the caller will treat
+    // this op as not-logged, so the bytes must not survive into
+    // recovery where they would replay an unacknowledged mutation.
+    // After the rewind the log is byte-for-byte its pre-call self.
+    IgnoreError(active_.TruncateTo(pre_size));
+    return appended;
+  }
+  next_lsn_ = lsn + 1;
+  unsynced_records_ = sync_now ? 0 : unsynced_records_ + 1;
   if (active_.size() >= options_.segment_bytes) {
-    RETURN_IF_ERROR(Rotate());
+    Status rotated = Rotate();
+    if (!rotated.ok()) {
+      // The record itself is durable and acknowledged; failed rotation
+      // only affects FUTURE appends. Close the log so they fail fast
+      // (letting the engine degrade) instead of appending to a segment
+      // whose directory entry may not be durable.
+      SP_LOG(kWarning) << "WAL rotation failed, closing log: "
+                       << rotated.ToString();
+      IgnoreError(active_.Close());
+    }
   }
   return lsn;
 }
@@ -196,7 +225,7 @@ Status WriteAheadLog::Sync() {
   if (!active_.is_open()) {
     return Status::FailedPrecondition("WAL is closed");
   }
-  RETURN_IF_ERROR(active_.Sync());
+  RETURN_IF_ERROR(retry_.Run("WAL fsync", [&] { return active_.Sync(); }));
   unsynced_records_ = 0;
   return Status::OK();
 }
@@ -206,12 +235,18 @@ Status WriteAheadLog::Rotate() {
     return Status::FailedPrecondition("WAL is closed");
   }
   if (active_.size() == 0) return Status::OK();
+  SP_FAILPOINT("wal.rotate");
+  // Sync with retry BEFORE Close: Close's own fsync cannot be retried
+  // (it closes the fd either way), so drain transients first.
+  RETURN_IF_ERROR(retry_.Run("WAL pre-rotate sync",
+                             [&] { return active_.Sync(); }));
   RETURN_IF_ERROR(active_.Close());
   unsynced_records_ = 0;
-  RETURN_IF_ERROR(OpenSegment(next_lsn_));
+  RETURN_IF_ERROR(retry_.Run("WAL segment open",
+                             [&] { return OpenSegment(next_lsn_); }));
   // Make the new segment's directory entry durable: recovery relies on
   // the segment chain being gapless.
-  return SyncDirectory(dir_);
+  return retry_.Run("WAL directory sync", [&] { return SyncDirectory(dir_); });
 }
 
 Status WriteAheadLog::DropSegmentsBelow(uint64_t lsn) {

@@ -36,15 +36,20 @@ Status DsvWriter::Flush(const std::string& path) const {
   return WriteStringToFile(path, buffer_);
 }
 
-Result<std::vector<std::vector<std::string>>> DsvReader::Parse(
-    std::string_view contents) const {
-  std::vector<std::vector<std::string>> rows;
+namespace {
+
+/// Shared parse loop. Strict mode fails the whole input on the first
+/// malformed construct; permissive mode quarantines the offending row
+/// into `out->skipped` and keeps going.
+Status ParseDsv(std::string_view contents, char delimiter, bool permissive,
+                PermissiveDsv* out) {
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool row_started = false;
-  size_t line = 1;        // 1-based input line for error messages.
-  size_t quote_line = 0;  // Line where the open quote started.
+  size_t line = 1;          // 1-based input line for error messages.
+  size_t quote_line = 0;    // Line where the open quote started.
+  size_t row_line = 1;      // Line where the current row started.
   size_t i = 0;
   while (i < contents.size()) {
     char c = contents[i];
@@ -67,11 +72,13 @@ Result<std::vector<std::vector<std::string>>> DsvReader::Parse(
     if (c == '"' && field.empty()) {
       in_quotes = true;
       quote_line = line;
+      if (!row_started) row_line = line;
       row_started = true;
       ++i;
       continue;
     }
-    if (c == delimiter_) {
+    if (c == delimiter) {
+      if (!row_started) row_line = line;
       row.push_back(std::move(field));
       field.clear();
       row_started = true;
@@ -82,7 +89,8 @@ Result<std::vector<std::vector<std::string>>> DsvReader::Parse(
       if (row_started || !field.empty()) {
         row.push_back(std::move(field));
         field.clear();
-        rows.push_back(std::move(row));
+        out->rows.push_back(std::move(row));
+        out->row_lines.push_back(row_line);
         row.clear();
         row_started = false;
       }
@@ -93,19 +101,47 @@ Result<std::vector<std::vector<std::string>>> DsvReader::Parse(
       ++i;
       continue;
     }
+    if (!row_started) row_line = line;
     field.push_back(c);
     row_started = true;
     ++i;
   }
   if (in_quotes) {
-    return Status::InvalidArgument(StrFormat(
-        "line %zu: unterminated quoted field", quote_line));
+    if (!permissive) {
+      return Status::InvalidArgument(StrFormat(
+          "line %zu: unterminated quoted field", quote_line));
+    }
+    // The unterminated quote swallowed everything to end-of-input;
+    // quarantine the row it started in and drop the partial fields.
+    out->skipped.push_back(DsvSkipped{
+        quote_line, StrFormat("unterminated quoted field (row dropped, "
+                              "quote opened on line %zu)",
+                              quote_line)});
+    return Status::OK();
   }
   if (row_started || !field.empty()) {
     row.push_back(std::move(field));
-    rows.push_back(std::move(row));
+    out->rows.push_back(std::move(row));
+    out->row_lines.push_back(row_line);
   }
-  return rows;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<std::string>>> DsvReader::Parse(
+    std::string_view contents) const {
+  PermissiveDsv out;
+  RETURN_IF_ERROR(ParseDsv(contents, delimiter_, /*permissive=*/false, &out));
+  return std::move(out.rows);
+}
+
+PermissiveDsv DsvReader::ParsePermissive(std::string_view contents) const {
+  PermissiveDsv out;
+  // Permissive parsing cannot fail: every malformed construct lands in
+  // `skipped` instead.
+  SP_CHECK_OK(ParseDsv(contents, delimiter_, /*permissive=*/true, &out));
+  return out;
 }
 
 Result<std::vector<std::vector<std::string>>> DsvReader::ReadFile(

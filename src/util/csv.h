@@ -31,6 +31,22 @@ class DsvWriter {
   std::string buffer_;
 };
 
+/// One input row skipped by permissive parsing, with the 1-based line
+/// where the row started and why it was dropped.
+struct DsvSkipped {
+  size_t line = 0;
+  std::string reason;
+};
+
+/// Result of `DsvReader::ParsePermissive`: the rows that parsed, the
+/// 1-based start line of each (for downstream per-line diagnostics),
+/// and the quarantined rows.
+struct PermissiveDsv {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<size_t> row_lines;
+  std::vector<DsvSkipped> skipped;
+};
+
 /// Parses delimiter-separated content produced by DsvWriter (or plain
 /// TSV/CSV without quotes).
 class DsvReader {
@@ -40,6 +56,14 @@ class DsvReader {
   /// Parses the full `contents` into rows of fields. Errors carry the
   /// 1-based line number of the offending input.
   [[nodiscard]] Result<std::vector<std::vector<std::string>>> Parse(
+      std::string_view contents) const;
+
+  /// PERMISSIVE parse: instead of failing the whole input on a
+  /// malformed row, the row is quarantined — skipped, counted and
+  /// reported with its line number — and parsing continues. Feeds the
+  /// ingest quarantine path (DESIGN.md §12); pair with `--strict` in
+  /// the CLI for the fail-fast behaviour of `Parse`.
+  [[nodiscard]] PermissiveDsv ParsePermissive(
       std::string_view contents) const;
 
   /// Reads and parses the file at `path`. Errors are prefixed with the

@@ -10,6 +10,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/failpoint.h"
+#include "util/strings.h"
+
 namespace storypivot {
 namespace {
 
@@ -26,12 +29,35 @@ std::string DirName(const std::string& path) {
   return path.substr(0, slash);
 }
 
-Status WriteAllTo(int fd, std::string_view data, const std::string& path) {
+/// `fail_site` injects a clean failure before any byte is written;
+/// `partial_site` injects a SHORT write — half the remaining bytes land
+/// on disk and the error reports how many, the shape of a real ENOSPC.
+Status WriteAllTo(int fd, std::string_view data, const std::string& path,
+                  const char* fail_site, const char* partial_site) {
+  SP_FAILPOINT(fail_site);
   size_t done = 0;
   while (done < data.size()) {
+    Status injected;
+    if (SP_FAILPOINT_FIRED(partial_site, &injected)) {
+      const size_t chunk = (data.size() - done) / 2;
+      const ssize_t wrote =
+          chunk == 0 ? 0 : ::write(fd, data.data() + done, chunk);
+      if (wrote > 0) done += static_cast<size_t>(wrote);
+      return Status(injected.code(),
+                    injected.message() +
+                        StrFormat(" (short write: %zu of %zu bytes to ",
+                                  done, data.size()) +
+                        path + ")");
+    }
     ssize_t n = ::write(fd, data.data() + done, data.size() - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (done > 0) {
+        return IoError(StrFormat("short write (%zu of %zu bytes), cannot "
+                                 "write rest to",
+                                 done, data.size()),
+                       path);
+      }
       return IoError("cannot write", path);
     }
     done += static_cast<size_t>(n);
@@ -42,6 +68,7 @@ Status WriteAllTo(int fd, std::string_view data, const std::string& path) {
 }  // namespace
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  SP_FAILPOINT("fs.read.open");
   int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) return IoError("cannot open for reading", path);
   std::string out;
@@ -61,14 +88,20 @@ Result<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  SP_FAILPOINT("fs.write.open");
   const std::string tmp = path + ".tmp";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                   0644);
   if (fd < 0) return IoError("cannot open for writing", tmp);
-  Status written = WriteAllTo(fd, contents, tmp);
-  if (written.ok() && ::fsync(fd) != 0) written = IoError("fsync", tmp);
+  Status written =
+      WriteAllTo(fd, contents, tmp, "fs.write.write", "fs.write.partial");
+  if (written.ok() && !SP_FAILPOINT_FIRED("fs.write.fsync", &written) &&
+      ::fsync(fd) != 0) {
+    written = IoError("fsync", tmp);
+  }
   if (::close(fd) != 0 && written.ok()) written = IoError("close", tmp);
-  if (written.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (written.ok() && !SP_FAILPOINT_FIRED("fs.write.rename", &written) &&
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
     written = IoError("rename", path);
   }
   if (!written.ok()) {
@@ -84,12 +117,14 @@ bool FileExists(const std::string& path) {
 }
 
 Result<uint64_t> FileSize(const std::string& path) {
+  SP_FAILPOINT("fs.stat");
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) return IoError("cannot stat", path);
   return static_cast<uint64_t>(st.st_size);
 }
 
 Status RemoveFile(const std::string& path) {
+  SP_FAILPOINT("fs.remove");
   if (::unlink(path.c_str()) != 0) {
     if (errno == ENOENT) return Status::NotFound("no such file: " + path);
     return IoError("cannot unlink", path);
@@ -108,6 +143,7 @@ Status RemoveDirectory(const std::string& path) {
 }
 
 Status RenameFile(const std::string& from, const std::string& to) {
+  SP_FAILPOINT("fs.rename");
   if (::rename(from.c_str(), to.c_str()) != 0) {
     return IoError("cannot rename to " + to + " from", from);
   }
@@ -115,6 +151,7 @@ Status RenameFile(const std::string& from, const std::string& to) {
 }
 
 Status TruncateFile(const std::string& path, uint64_t size) {
+  SP_FAILPOINT("fs.truncate");
   if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
     return IoError("cannot truncate", path);
   }
@@ -123,6 +160,7 @@ Status TruncateFile(const std::string& path, uint64_t size) {
 
 Status CreateDirectories(const std::string& path) {
   if (path.empty()) return Status::InvalidArgument("empty directory path");
+  SP_FAILPOINT("fs.mkdir");
   std::string prefix;
   size_t pos = 0;
   while (pos <= path.size()) {
@@ -139,6 +177,7 @@ Status CreateDirectories(const std::string& path) {
 }
 
 Result<std::vector<std::string>> ListDirectory(const std::string& path) {
+  SP_FAILPOINT("fs.list");
   DIR* dir = ::opendir(path.c_str());
   if (dir == nullptr) return IoError("cannot open directory", path);
   std::vector<std::string> names;
@@ -156,6 +195,7 @@ Result<std::vector<std::string>> ListDirectory(const std::string& path) {
 }
 
 Status SyncDirectory(const std::string& path) {
+  SP_FAILPOINT("fs.dir.sync");
   int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (fd < 0) return IoError("cannot open directory", path);
   Status status;
@@ -172,6 +212,7 @@ Status AppendFile::Open(const std::string& path) {
   if (fd_ >= 0) {
     return Status::FailedPrecondition("AppendFile already open: " + path_);
   }
+  SP_FAILPOINT("fs.append.open");
   int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
                   0644);
   if (fd < 0) return IoError("cannot open for append", path);
@@ -188,13 +229,41 @@ Status AppendFile::Open(const std::string& path) {
 
 Status AppendFile::Append(std::string_view data) {
   if (fd_ < 0) return Status::FailedPrecondition("AppendFile not open");
-  RETURN_IF_ERROR(WriteAllTo(fd_, data, path_));
+  RETURN_IF_ERROR(
+      WriteAllTo(fd_, data, path_, "fs.append.write", "fs.append.partial"));
   size_ += data.size();
+  return Status::OK();
+}
+
+Status AppendFile::Rewind() {
+  if (fd_ < 0) return Status::FailedPrecondition("AppendFile not open");
+  SP_FAILPOINT("fs.append.rewind");
+  if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0) {
+    return IoError("cannot truncate partial append from", path_);
+  }
+  return Status::OK();
+}
+
+Status AppendFile::TruncateTo(uint64_t new_size) {
+  if (fd_ < 0) return Status::FailedPrecondition("AppendFile not open");
+  if (new_size > size_) {
+    return Status::InvalidArgument(
+        StrFormat("TruncateTo %llu past size %llu of ",
+                  static_cast<unsigned long long>(new_size),
+                  static_cast<unsigned long long>(size_)) +
+        path_);
+  }
+  SP_FAILPOINT("fs.append.rewind");
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return IoError("cannot truncate append file", path_);
+  }
+  size_ = new_size;
   return Status::OK();
 }
 
 Status AppendFile::Sync() {
   if (fd_ < 0) return Status::FailedPrecondition("AppendFile not open");
+  SP_FAILPOINT("fs.append.sync");
   if (::fdatasync(fd_) != 0) return IoError("fdatasync", path_);
   return Status::OK();
 }

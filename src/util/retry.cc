@@ -1,0 +1,68 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/failpoint.h"
+#include "util/strings.h"
+
+namespace storypivot {
+
+bool IsTransient(const Status& status) {
+  if (status.ok()) return false;
+  if (status.code() != StatusCode::kIoError) return false;
+  return status.message().find(failpoint::kTransientMarker) !=
+         std::string::npos;
+}
+
+RetryPolicy::RetryPolicy(RetryOptions options) : options_(options) {
+  options_.max_attempts = std::max(options_.max_attempts, 1);
+  if (options_.backoff_multiplier < 1.0) options_.backoff_multiplier = 1.0;
+}
+
+void RetryPolicy::set_sleep_fn(SleepFn fn) { sleep_ = std::move(fn); }
+
+Status RetryPolicy::Run(const char* what, const std::function<Status()>& op,
+                        const std::function<Status()>& before_retry) {
+  ++stats_.runs;
+  uint64_t backoff_us = options_.initial_backoff_us;
+  Status status;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      stats_.backoff_us += backoff_us;
+      if (sleep_) {
+        sleep_(backoff_us);
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      }
+      backoff_us = std::min<uint64_t>(
+          static_cast<uint64_t>(static_cast<double>(backoff_us) *
+                                options_.backoff_multiplier),
+          options_.max_backoff_us);
+      if (before_retry) {
+        Status restored = before_retry();
+        if (!restored.ok()) {
+          return Status(restored.code(),
+                        StrFormat("%s: retry aborted, could not restore "
+                                  "state before attempt %d: ",
+                                  what, attempt) +
+                            restored.message());
+        }
+      }
+      ++stats_.retries;
+    }
+    ++stats_.attempts;
+    status = op();
+    if (status.ok()) return status;
+    if (!IsTransient(status)) return status;
+  }
+  ++stats_.exhausted;
+  return Status(status.code(),
+                StrFormat("%s: still failing after %d attempts: ", what,
+                          options_.max_attempts) +
+                    status.message());
+}
+
+}  // namespace storypivot

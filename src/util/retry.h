@@ -1,0 +1,86 @@
+#ifndef STORYPIVOT_UTIL_RETRY_H_
+#define STORYPIVOT_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+
+namespace storypivot {
+
+/// Transient-vs-permanent classification (DESIGN.md §12). A transient
+/// error is one where retrying the SAME operation can plausibly succeed
+/// — the canonical producer is a failpoint armed with
+/// `Trigger::transient`, whose injected kIoError carries the
+/// `[transient]` marker. Real environmental errors default to PERMANENT:
+/// misclassifying a permanent fault as transient only costs bounded
+/// retry latency, while the reverse would skip recoverable work, so the
+/// conservative default is to escalate.
+[[nodiscard]] bool IsTransient(const Status& status);
+
+struct RetryOptions {
+  /// Total tries including the first (>= 1). 1 disables retrying.
+  int max_attempts = 4;
+  /// Backoff before the first retry.
+  uint64_t initial_backoff_us = 100;
+  /// Backoff growth factor per retry.
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling.
+  uint64_t max_backoff_us = 50'000;
+};
+
+/// Bounded exponential backoff around a fallible operation. Only
+/// TRANSIENT failures (see `IsTransient`) are retried; permanent errors
+/// and success return immediately. The clock is injectable: tests and
+/// benches install a recording `SleepFn` so retry schedules are
+/// asserted, not slept through.
+///
+/// Not thread-safe (stats are plain counters); give each writer its own
+/// policy, matching the WAL's single-writer discipline.
+class RetryPolicy {
+ public:
+  /// Sleeps for the given backoff. The default implementation really
+  /// sleeps (std::this_thread::sleep_for).
+  using SleepFn = std::function<void(uint64_t micros)>;
+
+  explicit RetryPolicy(RetryOptions options = {});
+
+  /// Replaces the sleep implementation; pass nullptr to restore the
+  /// real-sleep default.
+  void set_sleep_fn(SleepFn fn);
+
+  /// Runs `op` up to `max_attempts` times. Before each RE-attempt,
+  /// sleeps the current backoff and then calls `before_retry` (when
+  /// provided) — the hook restores invariants a failed attempt may have
+  /// broken, e.g. truncating away a partial append. A failing
+  /// `before_retry` aborts the loop with its error: retrying on a
+  /// corrupted base is worse than surfacing the fault.
+  ///
+  /// `what` names the operation in escalated error messages.
+  [[nodiscard]] Status Run(const char* what,
+                           const std::function<Status()>& op,
+                           const std::function<Status()>& before_retry = {});
+
+  /// Cumulative counters across every `Run` on this policy.
+  struct Stats {
+    uint64_t runs = 0;
+    uint64_t attempts = 0;
+    uint64_t retries = 0;
+    /// Backoff requested from the sleep fn, microseconds.
+    uint64_t backoff_us = 0;
+    /// Runs that still failed after max_attempts transient failures.
+    uint64_t exhausted = 0;
+  };
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const RetryOptions& options() const { return options_; }
+
+ private:
+  RetryOptions options_;
+  SleepFn sleep_;
+  Stats stats_;
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_UTIL_RETRY_H_

@@ -23,6 +23,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDegraded:
+      return "Degraded";
   }
   return "Unknown";
 }

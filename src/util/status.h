@@ -19,6 +19,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  /// The component survives but is read-only: a permanent IO fault put
+  /// it into degraded mode, mutations are rejected until recovery (see
+  /// DurableEngine::Reopen, DESIGN.md §12).
+  kDegraded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -60,6 +64,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  [[nodiscard]] static Status Degraded(std::string msg) {
+    return Status(StatusCode::kDegraded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,35 @@
+// Proof that failpoint macros compile to NOTHING when the
+// STORYPIVOT_FAILPOINTS option is OFF (registered as the ctest target
+// lint.failpoint_noop, always compiled without the define).
+//
+// Each macro is used inside a constexpr function evaluated by a
+// static_assert: constant evaluation rejects any call into the runtime
+// registry (a non-constexpr singleton behind a mutex), so this file
+// compiles ONLY if the OFF expansions are pure no-ops.
+
+#include "util/failpoint.h"
+
+#ifdef STORYPIVOT_FAILPOINTS
+#error "failpoint_noop.cc must be compiled without STORYPIVOT_FAILPOINTS"
+#endif
+
+namespace {
+
+constexpr int NoOpFailpoint() {
+  SP_FAILPOINT("lint.noop.site");
+  return 1;
+}
+static_assert(NoOpFailpoint() == 1,
+              "SP_FAILPOINT must vanish when the option is OFF");
+
+constexpr int NoOpFired() {
+  int sink = 0;
+  if (SP_FAILPOINT_FIRED("lint.noop.fired", &sink)) return 0;
+  return 2;
+}
+static_assert(NoOpFired() == 2,
+              "SP_FAILPOINT_FIRED must be a constant false when OFF");
+
+}  // namespace
+
+int main() { return NoOpFailpoint() + NoOpFired() == 3 ? 0 : 1; }

@@ -320,6 +320,66 @@ TEST(GdeltExportTest, ImportRejectsMalformedRows) {
           .ok());
 }
 
+TEST(GdeltExportTest, PermissiveImportQuarantinesWithLineNumbers) {
+  const std::string header =
+      "id\tsource\tevent_type\tevent_date\tentities\tkeywords"
+      "\tdescription\turl\ttruth\n";
+  const std::string tsv =
+      header +
+      "1\tNYT\tAccident\t2014-07-17 13:20\tMH17\tcrash:2\td\tu\t0\n" +
+      "oops\tNYT\tAccident\t2014-07-17 13:20\tMH17\tcrash:1\td\tu\t0\n" +
+      "3\tBBC\n" +
+      "4\tBBC\tAccident\tnot-a-date\tMH17\tcrash:1\td\tu\t1\n" +
+      "5\tBBC\tAccident\t2014-07-18 09:00\tMH17\tcrash:3\td\tu\t0\n";
+  ImportReport report;
+  Result<ImportedCorpus> imported = ImportTsvPermissive(tsv, &report);
+  ASSERT_TRUE(imported.ok());
+  // Good rows import; each bad row is reported with its FILE line.
+  EXPECT_EQ(imported.value().snippets.size(), 2u);
+  EXPECT_EQ(report.rows_seen, 5u);
+  EXPECT_EQ(report.rows_imported, 2u);
+  ASSERT_EQ(report.skipped.size(), 3u);
+  EXPECT_EQ(report.skipped[0].line, 3u);
+  EXPECT_NE(report.skipped[0].reason.find("bad id"), std::string::npos);
+  EXPECT_EQ(report.skipped[1].line, 4u);
+  EXPECT_NE(report.skipped[1].reason.find("expected 9 fields"),
+            std::string::npos);
+  EXPECT_EQ(report.skipped[2].line, 5u);
+  EXPECT_NE(report.skipped[2].reason.find("bad date"), std::string::npos);
+  // Quarantined rows leave no trace: only one source (NYT from row 1 was
+  // valid; the bad NYT/BBC rows interned nothing... BBC appears via the
+  // valid row 6).
+  EXPECT_EQ(imported.value().sources.size(), 2u);
+}
+
+TEST(GdeltExportTest, PermissiveImportStillRejectsEmptyInput) {
+  ImportReport report;
+  EXPECT_FALSE(ImportTsvPermissive("", &report).ok());
+}
+
+TEST(GdeltExportTest, PermissiveMatchesStrictOnCleanInput) {
+  CorpusConfig config;
+  config.seed = 14;
+  config.num_sources = 2;
+  config.num_stories = 3;
+  config.target_num_snippets = 60;
+  Corpus corpus = CorpusGenerator(config).Generate();
+  std::string tsv = ExportTsv(corpus);
+  ImportReport report;
+  Result<ImportedCorpus> permissive = ImportTsvPermissive(tsv, &report);
+  Result<ImportedCorpus> strict = ImportTsv(tsv);
+  ASSERT_TRUE(permissive.ok());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(report.skipped.empty());
+  EXPECT_EQ(report.rows_imported, report.rows_seen);
+  ASSERT_EQ(permissive.value().snippets.size(),
+            strict.value().snippets.size());
+  for (size_t i = 0; i < strict.value().snippets.size(); ++i) {
+    EXPECT_EQ(permissive.value().snippets[i].id,
+              strict.value().snippets[i].id);
+  }
+}
+
 // --------------------------------- MH17 ------------------------------------
 
 TEST(Mh17Test, CorpusIsWellFormed) {

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/hash.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -42,15 +44,16 @@ TEST(StatusTest, AllFactoryFunctionsSetDistinctCodes) {
       Status::InvalidArgument("").code(), Status::NotFound("").code(),
       Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
       Status::FailedPrecondition("").code(), Status::Internal("").code(),
-      Status::IoError("").code(),
+      Status::IoError("").code(),         Status::Degraded("").code(),
   };
-  EXPECT_EQ(codes.size(), 7u);
+  EXPECT_EQ(codes.size(), 8u);
 }
 
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
   EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDegraded), "Degraded");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -681,6 +684,301 @@ TEST(FsTest, CreateDirectoriesAndList) {
   EXPECT_FALSE(FileExists(nested));
   EXPECT_EQ(RemoveDirectory(nested).code(), StatusCode::kNotFound);
 }
+
+// --------------------------- Permissive DSV -------------------------------
+
+TEST(DsvPermissiveTest, QuarantinesUnterminatedQuoteAndKeepsGoodRows) {
+  DsvReader reader(',');
+  PermissiveDsv parsed =
+      reader.ParsePermissive("a,b\nc,d\n\"torn quote,e\n");
+  // The unterminated quote swallows to end-of-input; the rows before it
+  // survive, the torn one is quarantined with its opening line.
+  ASSERT_EQ(parsed.rows.size(), 2u);
+  EXPECT_EQ(parsed.rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(parsed.rows[1], (std::vector<std::string>{"c", "d"}));
+  ASSERT_EQ(parsed.skipped.size(), 1u);
+  EXPECT_EQ(parsed.skipped[0].line, 3u);
+  EXPECT_NE(parsed.skipped[0].reason.find("unterminated"),
+            std::string::npos);
+}
+
+TEST(DsvPermissiveTest, RowLinesTrackMultilineQuotedFields) {
+  DsvReader reader(',');
+  PermissiveDsv parsed =
+      reader.ParsePermissive("h1,h2\n\"multi\nline\",x\nlast,y\n");
+  ASSERT_EQ(parsed.rows.size(), 3u);
+  ASSERT_EQ(parsed.row_lines.size(), 3u);
+  EXPECT_EQ(parsed.row_lines[0], 1u);
+  EXPECT_EQ(parsed.row_lines[1], 2u);  // Quoted field spans lines 2-3...
+  EXPECT_EQ(parsed.row_lines[2], 4u);  // ...so the next row starts at 4.
+  EXPECT_TRUE(parsed.skipped.empty());
+}
+
+TEST(DsvPermissiveTest, CleanInputHasNoSkips) {
+  DsvReader reader('\t');
+  PermissiveDsv parsed = reader.ParsePermissive("a\tb\nc\td\n");
+  EXPECT_EQ(parsed.rows.size(), 2u);
+  EXPECT_TRUE(parsed.skipped.empty());
+  // Strict parse agrees on well-formed input.
+  Result<std::vector<std::vector<std::string>>> strict =
+      reader.Parse("a\tb\nc\td\n");
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict.value(), parsed.rows);
+}
+
+// --------------------------- Retry policy ---------------------------------
+
+Status Transient(const std::string& what) {
+  return Status::IoError(what + " " +
+                         std::string(failpoint::kTransientMarker));
+}
+
+TEST(RetryTest, TransientThenSuccess) {
+  RetryPolicy retry;
+  std::vector<uint64_t> sleeps;
+  retry.set_sleep_fn([&](uint64_t us) { sleeps.push_back(us); });
+  int calls = 0;
+  Status status = retry.Run("op", [&] {
+    return ++calls < 3 ? Transient("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(calls, 3);
+  // Exponential: 100us then 200us.
+  EXPECT_EQ(sleeps, (std::vector<uint64_t>{100, 200}));
+  EXPECT_EQ(retry.stats().retries, 2u);
+  EXPECT_EQ(retry.stats().exhausted, 0u);
+}
+
+TEST(RetryTest, PermanentErrorIsNotRetried) {
+  RetryPolicy retry;
+  retry.set_sleep_fn([](uint64_t) {});
+  int calls = 0;
+  Status status = retry.Run("op", [&] {
+    ++calls;
+    return Status::IoError("disk on fire");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retry.stats().retries, 0u);
+}
+
+TEST(RetryTest, ExhaustionEscalatesWithAttemptCount) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryPolicy retry(options);
+  retry.set_sleep_fn([](uint64_t) {});
+  int calls = 0;
+  Status status = retry.Run("sync wal", [&] {
+    ++calls;
+    return Transient("still flaky");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_NE(std::string(status.message()).find("after 3 attempts"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(retry.stats().exhausted, 1u);
+}
+
+TEST(RetryTest, BackoffDoublesAndCaps) {
+  RetryOptions options;
+  options.max_attempts = 8;
+  options.initial_backoff_us = 100;
+  options.max_backoff_us = 500;
+  RetryPolicy retry(options);
+  std::vector<uint64_t> sleeps;
+  retry.set_sleep_fn([&](uint64_t us) { sleeps.push_back(us); });
+  [[maybe_unused]] Status status =
+      retry.Run("op", [] { return Transient("x"); });
+  EXPECT_EQ(sleeps,
+            (std::vector<uint64_t>{100, 200, 400, 500, 500, 500, 500}));
+}
+
+TEST(RetryTest, FailingBeforeRetryHookAbortsTheLoop) {
+  RetryPolicy retry;
+  retry.set_sleep_fn([](uint64_t) {});
+  int calls = 0;
+  Status status = retry.Run(
+      "op", [&] { ++calls; return Transient("flaky"); },
+      [] { return Status::Internal("cannot rewind"); });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 1);  // The op never re-ran on a broken base.
+  EXPECT_NE(std::string(status.message()).find("cannot rewind"),
+            std::string::npos);
+}
+
+#ifdef STORYPIVOT_FAILPOINTS
+
+// --------------------------- Failpoints -----------------------------------
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::Registry::Instance().DisarmAll(); }
+  void TearDown() override { failpoint::Registry::Instance().DisarmAll(); }
+};
+
+Status EvalSite(const char* site) {
+  SP_FAILPOINT(site);
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, DisarmedSiteIsOk) {
+  EXPECT_TRUE(EvalSite("util_test.never_armed").ok());
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnSchedule) {
+  failpoint::Registry::Instance().Arm("util_test.nth",
+                                      failpoint::EveryNth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(!EvalSite("util_test.nth").ok());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      true, false, false, true}));
+  EXPECT_EQ(failpoint::Registry::Instance().Stats("util_test.nth").fires,
+            3u);
+}
+
+TEST_F(FailpointTest, OneShotFiresExactlyOnce) {
+  failpoint::Registry::Instance().Arm("util_test.one",
+                                      failpoint::OneShot(2));
+  EXPECT_TRUE(EvalSite("util_test.one").ok());
+  Status injected = EvalSite("util_test.one");
+  EXPECT_EQ(injected.code(), StatusCode::kIoError);
+  EXPECT_TRUE(failpoint::IsInjected(injected));
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(EvalSite("util_test.one").ok());
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  auto draw = [](uint64_t seed) {
+    failpoint::Registry::Instance().Arm(
+        "util_test.prob", failpoint::Probability(0.5, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!EvalSite("util_test.prob").ok());
+    }
+    return fired;
+  };
+  std::vector<bool> first = draw(7);
+  EXPECT_EQ(first, draw(7));       // Same seed, same schedule.
+  EXPECT_NE(first, draw(8));       // Different seed, different schedule.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST_F(FailpointTest, TransientMarkerAndNotePropagate) {
+  failpoint::Trigger trigger = failpoint::OneShot(1, /*transient=*/true);
+  trigger.note = "ENOSPC";
+  failpoint::Registry::Instance().Arm("util_test.note", trigger);
+  Status injected = EvalSite("util_test.note");
+  ASSERT_FALSE(injected.ok());
+  EXPECT_TRUE(IsTransient(injected));
+  EXPECT_NE(std::string(injected.message()).find("ENOSPC"),
+            std::string::npos);
+  EXPECT_NE(std::string(injected.message()).find("util_test.note"),
+            std::string::npos);
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverything) {
+  failpoint::Registry::Instance().Arm("util_test.a", failpoint::EveryNth(1));
+  failpoint::Registry::Instance().Arm("util_test.b", failpoint::EveryNth(1));
+  EXPECT_EQ(failpoint::Registry::Instance().ArmedSites().size(), 2u);
+  EXPECT_FALSE(EvalSite("util_test.a").ok());
+  failpoint::Registry::Instance().DisarmAll();
+  EXPECT_TRUE(failpoint::Registry::Instance().ArmedSites().empty());
+  EXPECT_TRUE(EvalSite("util_test.a").ok());
+  EXPECT_TRUE(EvalSite("util_test.b").ok());
+}
+
+// --------------------------- fs error paths -------------------------------
+//
+// Failpoints stand in for the hard-to-provoke real failures (ENOSPC,
+// EACCES, fsync loss) so the cleanup contracts get exercised every run.
+
+class FsFailpointTest : public FailpointTest {};
+
+TEST_F(FsFailpointTest, WriteStringToFileCleansUpTempOnFsyncFailure) {
+  const std::string path = ::testing::TempDir() + "/sp_fsfp_atomic.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "established").ok());
+
+  failpoint::Trigger trigger = failpoint::OneShot(1);
+  trigger.note = "ENOSPC";
+  failpoint::Registry::Instance().Arm("fs.write.fsync", trigger);
+  Status failed = WriteStringToFile(path, "replacement");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failpoint::IsInjected(failed));
+  // The atomic-replace contract: no temp litter, old contents intact.
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  EXPECT_EQ(ReadFileToString(path).value(), "established");
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST_F(FsFailpointTest, AppendFileReportsShortWriteAndRewinds) {
+  const std::string path = ::testing::TempDir() + "/sp_fsfp_append.log";
+  if (FileExists(path)) {
+    ASSERT_TRUE(RemoveFile(path).ok());
+  }
+  AppendFile file;
+  ASSERT_TRUE(file.Open(path).ok());
+  ASSERT_TRUE(file.Append("durable|").ok());
+
+  failpoint::Registry::Instance().Arm("fs.append.partial",
+                                      failpoint::OneShot(1));
+  Status failed = file.Append("0123456789");
+  ASSERT_FALSE(failed.ok());
+  // The error reports how much of the payload actually landed...
+  EXPECT_NE(std::string(failed.message()).find("short write"),
+            std::string::npos)
+      << failed.ToString();
+  // ...size() still names the durable prefix, and Rewind drops the torn
+  // bytes so the next append continues cleanly.
+  EXPECT_EQ(file.size(), 8u);
+  ASSERT_TRUE(file.Rewind().ok());
+  ASSERT_TRUE(file.Append("recovered").ok());
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "durable|recovered");
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST_F(FsFailpointTest, AppendFileTruncateToWithdrawsFullRecord) {
+  const std::string path = ::testing::TempDir() + "/sp_fsfp_withdraw.log";
+  if (FileExists(path)) {
+    ASSERT_TRUE(RemoveFile(path).ok());
+  }
+  AppendFile file;
+  ASSERT_TRUE(file.Open(path).ok());
+  ASSERT_TRUE(file.Append("keep").ok());
+  ASSERT_TRUE(file.Append("withdraw-me").ok());
+  // The record is fully written (e.g. its fsync failed after the write);
+  // TruncateTo withdraws it so it cannot resurface at recovery.
+  ASSERT_TRUE(file.TruncateTo(4).ok());
+  EXPECT_EQ(file.size(), 4u);
+  ASSERT_TRUE(file.Append("!").ok());
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "keep!");
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST_F(FsFailpointTest, AppendFileOpenFailureWithAccessNote) {
+  failpoint::Trigger trigger = failpoint::OneShot(1);
+  trigger.note = "EACCES";
+  failpoint::Registry::Instance().Arm("fs.append.open", trigger);
+  AppendFile file;
+  Status failed = file.Open(::testing::TempDir() + "/sp_fsfp_denied.log");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(std::string(failed.message()).find("EACCES"),
+            std::string::npos);
+}
+
+TEST_F(FsFailpointTest, SyncDirectoryFailureSurfaces) {
+  failpoint::Registry::Instance().Arm("fs.dir.sync", failpoint::OneShot(1));
+  Status failed = SyncDirectory(::testing::TempDir());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failpoint::IsInjected(failed));
+  // Disarmed, the same call works.
+  failpoint::Registry::Instance().DisarmAll();
+  EXPECT_TRUE(SyncDirectory(::testing::TempDir()).ok());
+}
+
+#endif  // STORYPIVOT_FAILPOINTS
 
 }  // namespace
 }  // namespace storypivot
