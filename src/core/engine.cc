@@ -41,6 +41,7 @@ StoryPivotEngine::StoryPivotEngine(EngineConfig config)
 }
 
 SourceId StoryPivotEngine::RegisterSource(const std::string& name) {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   SourceId id = next_source_id_++;
   sources_.push_back({id, name});
   partitions_.emplace(id, StorySet(id));
@@ -52,6 +53,7 @@ SourceId StoryPivotEngine::RegisterSource(const std::string& name) {
 }
 
 Status StoryPivotEngine::AdoptSource(SourceId id, const std::string& name) {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   if (id == kInvalidSourceId) {
     return Status::InvalidArgument("cannot adopt the invalid source id");
   }
@@ -69,11 +71,13 @@ Status StoryPivotEngine::AdoptSource(SourceId id, const std::string& name) {
 }
 
 StoryPivotEngine::IdCounters StoryPivotEngine::id_counters() const {
+  serial_.AssertInSection();  // Single-writer read (DESIGN.md §13).
   return {next_source_id_, store_.next_id(),
           next_story_id_.load(std::memory_order_relaxed)};
 }
 
 Status StoryPivotEngine::AdoptIdCounters(const IdCounters& counters) {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   if (counters.next_source < next_source_id_ ||
       counters.next_snippet < store_.next_id() ||
       counters.next_story < next_story_id_.load(std::memory_order_relaxed)) {
@@ -86,6 +90,7 @@ Status StoryPivotEngine::AdoptIdCounters(const IdCounters& counters) {
 }
 
 Status StoryPivotEngine::RemoveSource(SourceId source) {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   auto it = partitions_.find(source);
   if (it == partitions_.end()) {
     return Status::NotFound(StrFormat("source %u", source));
@@ -151,6 +156,7 @@ Status StoryPivotEngine::ImportVocabularies(
 
 Result<std::vector<SnippetId>> StoryPivotEngine::AddDocument(
     const Document& document) {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   if (!partitions_.contains(document.source)) {
     return Status::InvalidArgument(
         StrFormat("unregistered source %u", document.source));
@@ -199,6 +205,7 @@ void StoryPivotEngine::RollbackIngested(const std::vector<SnippetId>& ids) {
 }
 
 Result<SnippetId> StoryPivotEngine::AddSnippet(Snippet snippet) {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   StorySet* partition = MutablePartition(snippet.source);
   if (partition == nullptr) {
     return Status::InvalidArgument(
@@ -243,6 +250,7 @@ Result<SnippetId> StoryPivotEngine::AddSnippet(Snippet snippet) {
 
 Result<std::vector<SnippetId>> StoryPivotEngine::AddSnippets(
     std::vector<Snippet> snippets) {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   std::vector<SnippetId> ids;
   if (snippets.empty()) return ids;
   ids.reserve(snippets.size());
@@ -342,6 +350,7 @@ Result<std::vector<SnippetId>> StoryPivotEngine::AddSnippets(
 
 Result<SnippetId> StoryPivotEngine::AdoptAssignment(Snippet snippet,
                                                     StoryId story) {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   StorySet* partition = MutablePartition(snippet.source);
   if (partition == nullptr) {
     return Status::InvalidArgument(
@@ -410,6 +419,7 @@ void StoryPivotEngine::RemoveSnippetInternal(const Snippet& snippet,
 }
 
 Status StoryPivotEngine::RemoveDocument(const std::string& url) {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   std::vector<SnippetId> ids = store_.FindByDocument(url);
   if (ids.empty()) return Status::NotFound("document " + url);
   for (SnippetId id : ids) {
@@ -422,6 +432,7 @@ Status StoryPivotEngine::RemoveDocument(const std::string& url) {
 }
 
 Status StoryPivotEngine::RemoveSnippet(SnippetId id) {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   const Snippet* snippet = store_.Find(id);
   if (snippet == nullptr) {
     return Status::NotFound(
@@ -433,6 +444,7 @@ Status StoryPivotEngine::RemoveSnippet(SnippetId id) {
 }
 
 const AlignmentResult& StoryPivotEngine::Align() {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   WallTimer timer;
   StoryId cursor = next_story_id_.load(std::memory_order_relaxed);
   if (config_.incremental_alignment) {
@@ -456,6 +468,7 @@ const AlignmentResult& StoryPivotEngine::alignment() const {
 }
 
 RefinementStats StoryPivotEngine::Refine() {
+  serial_.AssertInSection();  // Mutator: single-writer serial section.
   if (stale_ || !alignment_.has_value()) Align();
   std::vector<StorySet*> mutable_partitions;
   std::vector<SourceId> order;

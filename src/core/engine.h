@@ -22,6 +22,7 @@
 #include "text/tfidf.h"
 #include "text/vocabulary.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace storypivot {
@@ -106,6 +107,16 @@ class IngestObserver {
 /// Align() fans story-pair scoring out across the pool (§2.3). Both
 /// parallel paths are deterministic — the result is bit-identical for
 /// every thread count, including the serial num_threads == 1 path.
+///
+/// The single-writer discipline is machine-checked (DESIGN.md §13): the
+/// phantom capability `serial_` models the engine's SERIAL SECTION, the
+/// state only that section may touch is `SP_GUARDED_BY(serial_)`, and
+/// the observer hooks are `SP_REQUIRES(serial_)` — so under Clang's
+/// thread-safety analysis a parallel-path worker (or any future reader
+/// thread) that touches serial-only state or fires an observer callback
+/// fails to COMPILE. Fields the parallel phases do read concurrently
+/// (`store_`, `df_`, `similarity_`, per-shard partitions) are documented
+/// in the §13 capability table instead of guarded.
 class StoryPivotEngine {
  public:
   explicit StoryPivotEngine(EngineConfig config = {});
@@ -201,7 +212,10 @@ class StoryPivotEngine {
   const AlignmentResult& Align();
 
   /// True when an up-to-date alignment result is available.
-  bool has_alignment() const { return alignment_.has_value() && !stale_; }
+  bool has_alignment() const {
+    serial_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+    return alignment_.has_value() && !stale_;
+  }
 
   /// Last alignment result; requires has_alignment().
   const AlignmentResult& alignment() const;
@@ -222,7 +236,10 @@ class StoryPivotEngine {
   const SimilarityModel& similarity() const { return similarity_; }
   const text::DocumentFrequency& document_frequency() const { return df_; }
   const EngineConfig& config() const { return config_; }
-  const EngineStats& stats() const { return stats_; }
+  const EngineStats& stats() const {
+    serial_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+    return stats_;
+  }
 
   /// Total stories across all per-source partitions.
   size_t TotalStories() const;
@@ -230,6 +247,7 @@ class StoryPivotEngine {
   /// Stories touched since the last alignment (incremental mode only;
   /// empty otherwise). Exposed for diagnostics and tests.
   const std::vector<std::pair<SourceId, StoryId>>& dirty_stories() const {
+    serial_.AssertInSection();  // Single-writer read (DESIGN.md §13).
     return dirty_stories_;
   }
 
@@ -239,9 +257,13 @@ class StoryPivotEngine {
   /// (the search subsystem does the latter). The observer must outlive
   /// its registration.
   void set_ingest_observer(IngestObserver* observer) {
+    serial_.AssertInSection();  // Attaching is a serial-section mutation.
     observer_ = observer;
   }
-  IngestObserver* ingest_observer() const { return observer_; }
+  IngestObserver* ingest_observer() const {
+    serial_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+    return observer_;
+  }
 
   /// The engine's monotone id counters. Snapshots persist them so a
   /// restored engine allocates the SAME future ids as the original would
@@ -261,12 +283,16 @@ class StoryPivotEngine {
 
  private:
   StorySet* MutablePartition(SourceId source);
-  void RemoveSnippetInternal(const Snippet& snippet, bool split_check);
+  void RemoveSnippetInternal(const Snippet& snippet, bool split_check)
+      SP_REQUIRES(serial_);
 
-  void NotifyAdded(const Snippet& snippet) {
+  // SP_REQUIRES(serial_) is the compile-time form of the IngestObserver
+  // contract: callbacks fire only from the engine's serial sections.
+  // Code that has not declared itself serial cannot call these.
+  void NotifyAdded(const Snippet& snippet) SP_REQUIRES(serial_) {
     if (observer_ != nullptr) observer_->OnSnippetAdded(snippet);
   }
-  void NotifyRemoved(const Snippet& snippet) {
+  void NotifyRemoved(const Snippet& snippet) SP_REQUIRES(serial_) {
     if (observer_ != nullptr) observer_->OnSnippetRemoved(snippet);
   }
 
@@ -274,36 +300,53 @@ class StoryPivotEngine {
   /// (AddDocument / AddSnippets), newest first, so the operation is
   /// all-or-nothing. Stories bridged only by rolled-back snippets are
   /// split back by the split check.
-  void RollbackIngested(const std::vector<SnippetId>& ids);
+  void RollbackIngested(const std::vector<SnippetId>& ids)
+      SP_REQUIRES(serial_);
+
+  /// The engine's serial-section role (a phantom capability — no
+  /// runtime lock; see util/sync.h and DESIGN.md §13). Exclusive =
+  /// "this context is the single writer"; every mutating method asserts
+  /// it, the parallel phase-2 shards deliberately do NOT.
+  // lockcheck: name=StoryPivotEngine.serial_ role
+  SerialSection serial_;
 
   EngineConfig config_;
   text::Vocabulary entity_vocab_;
   text::Vocabulary keyword_vocab_;
   text::Gazetteer gazetteer_;
   text::AnnotationPipeline annotator_;
+  /// Written only in serial sections; read concurrently (lock-free) by
+  /// phase-2 identification workers via SimilarityModel. Guarded by the
+  /// phase structure, not by serial_ — see the §13 capability table.
   text::DocumentFrequency df_;
   SimilarityModel similarity_;
   std::unique_ptr<StoryIdentifier> identifier_;
   StoryAligner aligner_;
   IncrementalAligner incremental_aligner_;
   StoryRefiner refiner_;
+  /// Like df_: serial writes, concurrent phase-2 reads (snippets are
+  /// immutable once stored; the map is not resized during phase 2).
   SnippetStore store_;
   std::vector<SourceInfo> sources_;
+  /// The map itself is serial-only; each phase-2 shard mutates ONE
+  /// StorySet through its private IngestShard::partition pointer, and
+  /// shards are disjoint by source.
   std::unordered_map<SourceId, StorySet> partitions_;
   std::unordered_map<SourceId, SnippetSketchIndex> sketches_;
   /// Next unassigned story id. Atomic so the parallel paths may read it
   /// concurrently; all stores happen in serial sections (relaxed order).
   std::atomic<StoryId> next_story_id_ = 0;
-  SourceId next_source_id_ = 0;
+  SourceId next_source_id_ SP_GUARDED_BY(serial_) = 0;
   /// Workers for AddSnippets / Align; null when num_threads <= 1.
   std::unique_ptr<ThreadPool> pool_;
   std::optional<AlignmentResult> alignment_;
   /// Stories touched since the last alignment (incremental mode).
-  std::vector<std::pair<SourceId, StoryId>> dirty_stories_;
-  bool stale_ = true;
-  EngineStats stats_;
+  std::vector<std::pair<SourceId, StoryId>> dirty_stories_
+      SP_GUARDED_BY(serial_);
+  bool stale_ SP_GUARDED_BY(serial_) = true;
+  EngineStats stats_ SP_GUARDED_BY(serial_);
   /// Snippet-mutation observer; nullptr when nothing is attached.
-  IngestObserver* observer_ = nullptr;
+  IngestObserver* observer_ SP_GUARDED_BY(serial_) = nullptr;
 };
 
 }  // namespace storypivot

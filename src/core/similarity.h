@@ -79,6 +79,12 @@ class SimilarityModel {
   /// concurrently from the parallel ingestion/alignment paths, so a plain
   /// counter would be a data race. Relaxed ordering suffices — the count
   /// is only read from serial sections (benches, stats).
+  ///
+  /// Deliberately NOT `SP_GUARDED_BY` any capability (DESIGN.md §13):
+  /// an atomic needs no lock, and guarding it by the engine's serial
+  /// role would wrongly forbid exactly the concurrent scoring paths the
+  /// atomic exists for. The same reasoning covers `ResetCounters`,
+  /// which callers invoke only between phases.
   uint64_t num_comparisons() const {
     return num_comparisons_.load(std::memory_order_relaxed);
   }

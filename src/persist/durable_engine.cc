@@ -41,6 +41,9 @@ Result<std::unique_ptr<DurableEngine>> DurableEngine::Open(
   std::unique_ptr<DurableEngine> durable(
       new DurableEngine(dir, options));
   durable->engine_config_ = engine_config;
+  // The factory IS the serial section: no other thread can hold a
+  // reference to `durable` before Open returns it.
+  durable->writer_.AssertInSection();
   RETURN_IF_ERROR(durable->Recover());
   return durable;
 }
@@ -125,6 +128,7 @@ Status DurableEngine::Recover() {
 }
 
 Status DurableEngine::Reopen() {
+  writer_.AssertInSection();  // Single-writer serial section.
   if (wal_ != nullptr) {
     IgnoreError(wal_->Close());
     wal_.reset();
@@ -187,6 +191,7 @@ Status DurableEngine::LogOp(std::string payload) {
 }
 
 Result<SourceId> DurableEngine::RegisterSource(const std::string& name) {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   SourceId id = engine_->RegisterSource(name);
   Encoder enc;
@@ -199,6 +204,7 @@ Result<SourceId> DurableEngine::RegisterSource(const std::string& name) {
 
 Status DurableEngine::ImportVocabularies(const text::Vocabulary& entities,
                                          const text::Vocabulary& keywords) {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   RETURN_IF_ERROR(engine_->ImportVocabularies(entities, keywords));
   Encoder enc;
@@ -210,6 +216,7 @@ Status DurableEngine::ImportVocabularies(const text::Vocabulary& entities,
 
 Result<text::TermId> DurableEngine::AddGazetteerEntity(
     const std::string& canonical_name) {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   text::TermId id = engine_->gazetteer()->AddEntity(canonical_name);
   Encoder enc;
@@ -222,6 +229,7 @@ Result<text::TermId> DurableEngine::AddGazetteerEntity(
 
 Status DurableEngine::AddGazetteerAlias(text::TermId entity,
                                         const std::string& alias) {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   engine_->gazetteer()->AddAlias(entity, alias);
   Encoder enc;
@@ -232,6 +240,7 @@ Status DurableEngine::AddGazetteerAlias(text::TermId entity,
 }
 
 Result<SnippetId> DurableEngine::AddSnippet(Snippet snippet) {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   Encoder enc;
   enc.PutU8(static_cast<uint8_t>(WalOp::kAddSnippet));
@@ -244,6 +253,7 @@ Result<SnippetId> DurableEngine::AddSnippet(Snippet snippet) {
 
 Result<std::vector<SnippetId>> DurableEngine::AddSnippets(
     std::vector<Snippet> snippets) {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   Encoder enc;
   enc.PutU8(static_cast<uint8_t>(WalOp::kAddSnippets));
@@ -259,6 +269,7 @@ Result<std::vector<SnippetId>> DurableEngine::AddSnippets(
 
 Result<std::vector<SnippetId>> DurableEngine::AddDocument(
     const Document& document) {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   ASSIGN_OR_RETURN(std::vector<SnippetId> ids,
                    engine_->AddDocument(document));
@@ -272,6 +283,7 @@ Result<std::vector<SnippetId>> DurableEngine::AddDocument(
 }
 
 Status DurableEngine::RemoveSource(SourceId source) {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   RETURN_IF_ERROR(engine_->RemoveSource(source));
   Encoder enc;
@@ -281,6 +293,7 @@ Status DurableEngine::RemoveSource(SourceId source) {
 }
 
 Status DurableEngine::RemoveDocument(const std::string& url) {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   RETURN_IF_ERROR(engine_->RemoveDocument(url));
   Encoder enc;
@@ -290,6 +303,7 @@ Status DurableEngine::RemoveDocument(const std::string& url) {
 }
 
 Status DurableEngine::RemoveSnippet(SnippetId id) {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   RETURN_IF_ERROR(engine_->RemoveSnippet(id));
   Encoder enc;
@@ -299,6 +313,7 @@ Status DurableEngine::RemoveSnippet(SnippetId id) {
 }
 
 Result<RefinementStats> DurableEngine::Refine() {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   RefinementStats stats = engine_->Refine();
   Encoder enc;
@@ -310,6 +325,7 @@ Result<RefinementStats> DurableEngine::Refine() {
 }
 
 Status DurableEngine::Align() {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   const AlignmentResult& aligned = engine_->Align();
   Encoder enc;
@@ -455,6 +471,7 @@ Status DurableEngine::ReplayOp(const WalRecord& record,
 // --- Durability control ----------------------------------------------------
 
 Status DurableEngine::Checkpoint() {
+  writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
   // Rotate first so every previous segment becomes droppable the moment
   // the checkpoint lands.
@@ -472,6 +489,7 @@ Status DurableEngine::Checkpoint() {
 }
 
 Status DurableEngine::Sync() {
+  writer_.AssertInSection();  // Single-writer serial section.
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("durable engine is closed");
   }
@@ -479,6 +497,7 @@ Status DurableEngine::Sync() {
 }
 
 Status DurableEngine::Close() {
+  writer_.AssertInSection();  // Single-writer serial section.
   if (wal_ == nullptr) return Status::OK();
   Status status = wal_->Close();
   wal_.reset();
@@ -486,6 +505,7 @@ Status DurableEngine::Close() {
 }
 
 uint64_t DurableEngine::next_lsn() const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
   return wal_ == nullptr ? 0 : wal_->next_lsn();
 }
 

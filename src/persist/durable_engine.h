@@ -10,6 +10,7 @@
 #include "persist/checkpoint.h"
 #include "persist/wal.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace storypivot::persist {
 
@@ -70,7 +71,10 @@ enum class WalOp : uint8_t {
 /// Mutations mirror the StoryPivotEngine API (plus the extraction-state
 /// mutations RegisterSource/ImportVocabularies/gazetteer seeding, which
 /// replay needs). Read paths go through `engine()`. Like the underlying
-/// engine, single-writer.
+/// engine, single-writer — and machine-checked as such: every method
+/// asserts the `writer_` serial role (DESIGN.md §13), so Clang's
+/// thread-safety analysis rejects code paths that touch the degraded-mode
+/// or WAL state without declaring themselves part of the serial section.
 class DurableEngine {
  public:
   /// Opens (and creates, if needed) the durability directory `dir`,
@@ -146,14 +150,21 @@ class DurableEngine {
   /// The wrapped engine, for queries, alignment and introspection. Do
   /// NOT mutate it directly — unlogged mutations void the durability
   /// guarantee (they vanish on recovery and can derail replay).
-  [[nodiscard]] StoryPivotEngine& engine() { return *engine_; }
-  [[nodiscard]] const StoryPivotEngine& engine() const { return *engine_; }
+  [[nodiscard]] StoryPivotEngine& engine() {
+    writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+    return *engine_;
+  }
+  [[nodiscard]] const StoryPivotEngine& engine() const {
+    writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+    return *engine_;
+  }
 
   /// Lsn the next mutation will get == number of ops logged ever.
   [[nodiscard]] uint64_t next_lsn() const;
 
   /// Ops logged since the last checkpoint (or open).
   [[nodiscard]] uint64_t ops_since_checkpoint() const {
+    writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
     return ops_since_checkpoint_;
   }
 
@@ -161,10 +172,14 @@ class DurableEngine {
 
   /// True when a permanent WAL failure put the engine into read-only
   /// degraded mode (reads served, mutations rejected with kDegraded).
-  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] bool degraded() const {
+    writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+    return degraded_;
+  }
 
   /// The failure that caused degradation (OK when not degraded).
   [[nodiscard]] const Status& degraded_cause() const {
+    writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
     return degraded_cause_;
   }
 
@@ -174,7 +189,7 @@ class DurableEngine {
   /// OK iff the engine accepts mutations: open and not degraded.
   /// Checked BEFORE applying a mutation so a rejected mutation never
   /// leaks into the in-memory state.
-  [[nodiscard]] Status CheckWritable() const;
+  [[nodiscard]] Status CheckWritable() const SP_REQUIRES(writer_);
 
   /// Appends an encoded op and applies the auto-checkpoint policy
   /// (best-effort: the op is already durable, so a failed auto
@@ -183,28 +198,35 @@ class DurableEngine {
   /// engine degrades: the in-memory state has the mutation but the log
   /// does not, so acknowledging further logged mutations would
   /// desynchronise replay.
-  [[nodiscard]] Status LogOp(std::string payload);
+  [[nodiscard]] Status LogOp(std::string payload) SP_REQUIRES(writer_);
 
   /// The full recovery sequence (newest checkpoint + WAL tail replay +
   /// torn-tail repair + WAL open), built into locals and committed to
   /// members only on success — a failed recovery leaves the previous
   /// in-memory state readable. Shared by Open() and Reopen().
-  [[nodiscard]] Status Recover();
+  [[nodiscard]] Status Recover() SP_REQUIRES(writer_);
 
   /// Decodes and re-applies one WAL record during recovery, verifying
   /// recorded result ids.
   [[nodiscard]] Status ReplayOp(const WalRecord& record,
                                 StoryPivotEngine* engine);
 
+  /// Phantom capability for the single-writer serial section (DESIGN.md
+  /// §13). Guards the degraded-mode flags and the WAL handle: the two
+  /// pieces of state whose desynchronisation would break the durability
+  /// contract if a second writer ever raced them.
+  // lockcheck: name=DurableEngine.writer_ role
+  SerialSection writer_;
+  /// Immutable after construction; safe to read without the role.
   std::string dir_;
   DurabilityOptions options_;
   EngineConfig engine_config_;
-  std::unique_ptr<StoryPivotEngine> engine_;
-  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<StoryPivotEngine> engine_ SP_GUARDED_BY(writer_);
+  std::unique_ptr<WriteAheadLog> wal_ SP_GUARDED_BY(writer_);
   Checkpointer checkpointer_;
-  uint64_t ops_since_checkpoint_ = 0;
-  bool degraded_ = false;
-  Status degraded_cause_;
+  uint64_t ops_since_checkpoint_ SP_GUARDED_BY(writer_) = 0;
+  bool degraded_ SP_GUARDED_BY(writer_) = false;
+  Status degraded_cause_ SP_GUARDED_BY(writer_);
 };
 
 }  // namespace storypivot::persist

@@ -148,6 +148,9 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
         SegmentName(start).c_str(),
         static_cast<unsigned long long>(next_lsn)));
   }
+  // The factory IS the serial section: no other thread can hold a
+  // reference to `log` before Open returns it.
+  log->writer_.AssertInSection();
   RETURN_IF_ERROR(log->OpenSegment(start));
   return log;
 }
@@ -157,6 +160,7 @@ Status WriteAheadLog::OpenSegment(uint64_t start_lsn) {
 }
 
 Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
+  writer_.AssertInSection();  // Single-writer serial section.
   if (!active_.is_open()) {
     return Status::FailedPrecondition("WAL is closed");
   }
@@ -179,9 +183,18 @@ Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
   // the partial bytes the failed one left, so a retry can never leave a
   // torn frame mid-segment (which would masquerade as a torn TAIL and
   // silently hide every later record from recovery).
+  // Each lambda is a separate function to the thread-safety analysis,
+  // so it re-asserts the role the enclosing Append already holds.
   Status appended = retry_.Run(
-      "WAL append", [&] { return active_.Append(frame); },
-      [&] { return active_.Rewind(); });
+      "WAL append",
+      [&] {
+        writer_.AssertInSection();
+        return active_.Append(frame);
+      },
+      [&] {
+        writer_.AssertInSection();
+        return active_.Rewind();
+      });
   bool sync_now = false;
   switch (options_.fsync) {
     case FsyncPolicy::kEveryRecord:
@@ -194,7 +207,10 @@ Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
       break;
   }
   if (appended.ok() && sync_now) {
-    appended = retry_.Run("WAL fsync", [&] { return active_.Sync(); });
+    appended = retry_.Run("WAL fsync", [&] {
+      writer_.AssertInSection();
+      return active_.Sync();
+    });
   }
   if (!appended.ok()) {
     // Withdraw the record (or its torn prefix): the caller will treat
@@ -222,15 +238,20 @@ Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
 }
 
 Status WriteAheadLog::Sync() {
+  writer_.AssertInSection();  // Single-writer serial section.
   if (!active_.is_open()) {
     return Status::FailedPrecondition("WAL is closed");
   }
-  RETURN_IF_ERROR(retry_.Run("WAL fsync", [&] { return active_.Sync(); }));
+  RETURN_IF_ERROR(retry_.Run("WAL fsync", [&] {
+    writer_.AssertInSection();
+    return active_.Sync();
+  }));
   unsynced_records_ = 0;
   return Status::OK();
 }
 
 Status WriteAheadLog::Rotate() {
+  writer_.AssertInSection();  // Single-writer serial section.
   if (!active_.is_open()) {
     return Status::FailedPrecondition("WAL is closed");
   }
@@ -238,18 +259,23 @@ Status WriteAheadLog::Rotate() {
   SP_FAILPOINT("wal.rotate");
   // Sync with retry BEFORE Close: Close's own fsync cannot be retried
   // (it closes the fd either way), so drain transients first.
-  RETURN_IF_ERROR(retry_.Run("WAL pre-rotate sync",
-                             [&] { return active_.Sync(); }));
+  RETURN_IF_ERROR(retry_.Run("WAL pre-rotate sync", [&] {
+    writer_.AssertInSection();
+    return active_.Sync();
+  }));
   RETURN_IF_ERROR(active_.Close());
   unsynced_records_ = 0;
-  RETURN_IF_ERROR(retry_.Run("WAL segment open",
-                             [&] { return OpenSegment(next_lsn_); }));
+  RETURN_IF_ERROR(retry_.Run("WAL segment open", [&] {
+    writer_.AssertInSection();
+    return OpenSegment(next_lsn_);
+  }));
   // Make the new segment's directory entry durable: recovery relies on
   // the segment chain being gapless.
   return retry_.Run("WAL directory sync", [&] { return SyncDirectory(dir_); });
 }
 
 Status WriteAheadLog::DropSegmentsBelow(uint64_t lsn) {
+  writer_.AssertInSection();  // Single-writer serial section.
   ASSIGN_OR_RETURN(std::vector<uint64_t> segments, ListSegments(dir_));
   // Segment i holds lsns [start_i, start_{i+1}); it is fully covered when
   // the NEXT segment starts at or below `lsn`. The active (last) segment
@@ -263,6 +289,7 @@ Status WriteAheadLog::DropSegmentsBelow(uint64_t lsn) {
 }
 
 Status WriteAheadLog::Close() {
+  writer_.AssertInSection();  // Single-writer serial section.
   if (!active_.is_open()) return Status::OK();
   unsynced_records_ = 0;
   return active_.Close();

@@ -10,6 +10,7 @@
 #include "util/fs.h"
 #include "util/retry.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace storypivot::persist {
 
@@ -74,7 +75,11 @@ struct SegmentScan {
 ///     filesystem acknowledged and later changed — and is a hard error,
 ///     never silently truncated.
 ///
-/// Single-writer, like the engine it protects.
+/// Single-writer, like the engine it protects. The discipline is
+/// machine-checked: every mutating method asserts the `writer_` serial
+/// role (a phantom capability, DESIGN.md §13), so under Clang's
+/// thread-safety analysis the append/rotation state cannot be touched
+/// from code that has not declared itself part of the serial section.
 class WriteAheadLog {
  public:
   /// Opens the log in `dir` (created if missing) for appending at
@@ -113,7 +118,10 @@ class WriteAheadLog {
   /// Syncs and closes the active segment.
   [[nodiscard]] Status Close();
 
-  [[nodiscard]] uint64_t next_lsn() const { return next_lsn_; }
+  [[nodiscard]] uint64_t next_lsn() const {
+    writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+    return next_lsn_;
+  }
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
   /// Cumulative retry counters (attempts, retries, backoff) across every
@@ -158,14 +166,20 @@ class WriteAheadLog {
     if (options_.retry_sleep) retry_.set_sleep_fn(options_.retry_sleep);
   }
 
-  [[nodiscard]] Status OpenSegment(uint64_t start_lsn);
+  [[nodiscard]] Status OpenSegment(uint64_t start_lsn) SP_REQUIRES(writer_);
 
+  /// Phantom capability for the single-writer serial section. Not a
+  /// lock: asserting it declares "I am the one writer" and lets the
+  /// analysis reject any second code path touching the guarded state.
+  // lockcheck: name=WriteAheadLog.writer_ role
+  SerialSection writer_;
+  /// Immutable after construction; safe to read without the role.
   std::string dir_;
   WalOptions options_;
-  uint64_t next_lsn_ = 0;
-  AppendFile active_;
+  uint64_t next_lsn_ SP_GUARDED_BY(writer_) = 0;
+  AppendFile active_ SP_GUARDED_BY(writer_);
   /// Records appended since the last sync (for FsyncPolicy::kEveryN).
-  size_t unsynced_records_ = 0;
+  size_t unsynced_records_ SP_GUARDED_BY(writer_) = 0;
   RetryPolicy retry_;
 };
 

@@ -12,8 +12,12 @@ SearchEngine::SearchEngine(StoryPivotEngine* engine) : engine_(engine) {
   // One observer per engine: silently stacking indexes would leave the
   // earlier one stale.
   SP_CHECK(engine_->ingest_observer() == nullptr);
-  engine_->store().ForEach(
-      [this](const Snippet& snippet) { index_.AddSnippet(snippet); });
+  // The lambda is a separate function to the thread-safety analysis, so
+  // it re-asserts the serial role the constructing thread holds.
+  engine_->store().ForEach([this](const Snippet& snippet) {
+    writer_.AssertInSection();
+    index_.AddSnippet(snippet);
+  });
   engine_->set_ingest_observer(this);
 }
 
@@ -24,10 +28,14 @@ SearchEngine::~SearchEngine() {
 }
 
 void SearchEngine::OnSnippetAdded(const Snippet& snippet) {
+  // The engine fires observer hooks only from serial sections
+  // (NotifyAdded is SP_REQUIRES(serial_)), so the role holds here.
+  writer_.AssertInSection();
   index_.AddSnippet(snippet);
 }
 
 void SearchEngine::OnSnippetRemoved(const Snippet& snippet) {
+  writer_.AssertInSection();
   index_.RemoveSnippet(snippet);
 }
 
@@ -61,16 +69,19 @@ std::vector<std::pair<SourceId, StoryId>> SearchEngine::ResolveStories(
 
 std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesWithEntity(
     text::TermId term) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
   return ResolveStories(index_.Postings(Field::kEntity, term));
 }
 
 std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesWithKeyword(
     text::TermId term) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
   return ResolveStories(index_.Postings(Field::kKeyword, term));
 }
 
 std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesWithEventType(
     std::string_view event_type) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
   return ResolveStories(index_.EventTypePostings(event_type));
 }
 
@@ -93,6 +104,7 @@ std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesInTimeRange(
 }
 
 ParsedQuery SearchEngine::Parse(std::string_view query) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
   return ParseQuery(*engine_, index_, query);
 }
 
@@ -103,6 +115,7 @@ std::vector<StoryHit> SearchEngine::Search(
 
 std::vector<StoryHit> SearchEngine::Search(
     const ParsedQuery& query, const SearchOptions& options) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
   return RankStories(index_, *engine_, query, options);
 }
 

@@ -10,6 +10,7 @@
 #include "search/postings_index.h"
 #include "search/query_pipeline.h"
 #include "search/ranker.h"
+#include "util/sync.h"
 
 namespace storypivot::search {
 
@@ -26,12 +27,13 @@ namespace storypivot::search {
 /// (rebuild-on-recover, DESIGN.md §11.4). Detaching happens in the
 /// destructor. The engine must outlive this object.
 ///
-/// Threading: mirrors the engine's single-writer model. The engine
-/// invokes the observer hooks only from serial sections (including the
-/// AddSnippets parallel batch path, which notifies in arrival order from
-/// its serial epilogue), so index contents are identical across
-/// num_threads settings. Queries are safe concurrently with each other
-/// in the absence of writers.
+/// Threading: mirrors the engine's single-writer model, machine-checked
+/// via the `writer_` serial role (DESIGN.md §13). The engine invokes the
+/// observer hooks only from serial sections (including the AddSnippets
+/// parallel batch path, which notifies in arrival order from its serial
+/// epilogue) — the hooks assert the role, so the analysis rejects any
+/// new code path mutating the index outside it. Queries are safe
+/// concurrently with each other in the absence of writers.
 class SearchEngine final : public IngestObserver, public StoryIndex {
  public:
   /// Attaches to `engine` and indexes its current snippets.
@@ -73,15 +75,24 @@ class SearchEngine final : public IngestObserver, public StoryIndex {
   [[nodiscard]] std::vector<StoryHit> SearchScan(
       const ParsedQuery& query, const SearchOptions& options = {}) const;
 
-  [[nodiscard]] const PostingsIndex& index() const { return index_; }
+  [[nodiscard]] const PostingsIndex& index() const {
+    writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+    return index_;
+  }
   [[nodiscard]] const StoryPivotEngine& engine() const { return *engine_; }
 
  private:
   [[nodiscard]] std::vector<std::pair<SourceId, StoryId>> ResolveStories(
       const std::vector<Posting>* postings) const;
 
+  /// Phantom capability for the single-writer serial section the index
+  /// shares with the engine (DESIGN.md §13). Observer hooks and query
+  /// entry points assert it; only hook-driven code may mutate `index_`.
+  // lockcheck: name=SearchEngine.writer_ role
+  SerialSection writer_;
+  /// Points at the engine this object observes; never reseated.
   StoryPivotEngine* engine_;
-  PostingsIndex index_;
+  PostingsIndex index_ SP_GUARDED_BY(writer_);
 };
 
 }  // namespace storypivot::search

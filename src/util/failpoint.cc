@@ -1,12 +1,12 @@
 #include "util/failpoint.h"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_map>
 
 #include "util/hash.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "util/sync.h"
 
 namespace storypivot::failpoint {
 namespace {
@@ -27,8 +27,12 @@ struct ArmedSite {
 /// header stays cheap to include and the atomic fast path is the only
 /// thing callers ever touch when nothing is armed.
 struct RegistryState {
-  std::mutex mu;
-  std::unordered_map<std::string, ArmedSite> sites;
+  /// A LEAF of the lock hierarchy: no other lock is ever acquired while
+  /// holding it (armed-site bookkeeping only — never calls out), so
+  /// SP_FAILPOINT sites stay safe to drop into any locked region.
+  // lockcheck: name=failpoint.Registry.mu
+  Mutex mu;
+  std::unordered_map<std::string, ArmedSite> sites SP_GUARDED_BY(mu);
 };
 
 RegistryState& State() {
@@ -86,7 +90,7 @@ Registry& Registry::Instance() {
 void Registry::Arm(std::string_view site, Trigger trigger) {
   trigger.n = std::max<uint64_t>(trigger.n, 1);
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   ArmedSite& armed = state.sites[std::string(site)];
   if (!armed.armed) armed_sites_.fetch_add(1, std::memory_order_relaxed);
   // The site name is the RNG stream, so several sites armed with the
@@ -100,7 +104,7 @@ void Registry::Arm(std::string_view site, Trigger trigger) {
 
 void Registry::Disarm(std::string_view site) {
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   auto it = state.sites.find(std::string(site));
   if (it == state.sites.end() || !it->second.armed) return;
   it->second.armed = false;
@@ -109,7 +113,7 @@ void Registry::Disarm(std::string_view site) {
 
 void Registry::DisarmAll() {
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   for (auto& [name, site] : state.sites) {
     if (site.armed) armed_sites_.fetch_sub(1, std::memory_order_relaxed);
     site.armed = false;
@@ -119,7 +123,7 @@ void Registry::DisarmAll() {
 
 Status Registry::EvaluateSlow(std::string_view site) {
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   auto it = state.sites.find(std::string(site));
   if (it == state.sites.end() || !it->second.armed) return Status::OK();
   ArmedSite& armed = it->second;
@@ -151,7 +155,7 @@ bool Registry::Fired(std::string_view site, Status* error) {
 
 SiteStats Registry::Stats(std::string_view site) const {
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   auto it = state.sites.find(std::string(site));
   if (it == state.sites.end()) return SiteStats{};
   return it->second.stats;
@@ -159,7 +163,7 @@ SiteStats Registry::Stats(std::string_view site) const {
 
 std::vector<std::string> Registry::ArmedSites() const {
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   std::vector<std::string> names;
   for (const auto& [name, site] : state.sites) {
     if (site.armed) names.push_back(name);

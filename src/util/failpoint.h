@@ -73,9 +73,11 @@ struct SiteStats {
 };
 
 /// Process-wide registry of armed failpoints. Thread-safe: arming is
-/// mutex-protected and the disarmed fast path is a single relaxed
-/// atomic load, so leaving sites compiled in does not perturb the
-/// engine's parallel sections.
+/// protected by an annotated `Mutex` (util/sync.h) that is a LEAF of
+/// the lock hierarchy (DESIGN.md §13) — it never wraps another lock, so
+/// SP_FAILPOINT sites are safe inside any locked region — and the
+/// disarmed fast path is a single relaxed atomic load, so leaving sites
+/// compiled in does not perturb the engine's parallel sections.
 class Registry {
  public:
   static Registry& Instance();

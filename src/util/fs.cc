@@ -17,7 +17,17 @@ namespace storypivot {
 namespace {
 
 Status IoError(const std::string& what, const std::string& path) {
-  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+  // strerror_r, not strerror: IO errors can surface concurrently from
+  // pool workers, and strerror's shared buffer is a data race
+  // (clang-tidy concurrency-mt-unsafe).
+  char buf[256];
+  const char* msg = "unknown error";
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  msg = strerror_r(errno, buf, sizeof(buf));  // GNU: returns the string.
+#else
+  if (strerror_r(errno, buf, sizeof(buf)) == 0) msg = buf;  // POSIX.
+#endif
+  return Status::IoError(what + " " + path + ": " + msg);
 }
 
 /// Directory component of `path` ("." when there is none), for syncing

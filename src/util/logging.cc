@@ -7,6 +7,12 @@
 namespace storypivot {
 namespace {
 
+/// Concurrency model (DESIGN.md §13): logging is lock-free. The level
+/// gate is a relaxed atomic — SP_GUARDED_BY would be wrong here, as any
+/// thread may log without holding anything — and each message is emitted
+/// as ONE fwrite call, which POSIX serialises per stream, so concurrent
+/// log lines never interleave mid-line. No Mutex, so SP_LOG is safe
+/// inside any locked region without extending the lock hierarchy.
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelTag(LogLevel level) {

@@ -1,0 +1,18 @@
+#include "util/sync.h"
+
+namespace storypivot {
+
+// Out of line so the header never names std::unique_lock (the adopt/
+// release dance below is an implementation detail of bridging our
+// annotated Mutex to std::condition_variable, not part of the API).
+void CondVar::Wait(Mutex& mu) {
+  // The caller holds mu (SP_REQUIRES); adopt it, let the condition
+  // variable release-and-reacquire it, then release ownership back to
+  // the caller without unlocking. From the analysis's point of view the
+  // capability is held across the call, matching the contract.
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);  // splint: allow(raw-sync)
+  cv_.wait(lock);
+  lock.release();
+}
+
+}  // namespace storypivot

@@ -1,0 +1,227 @@
+#ifndef STORYPIVOT_UTIL_SYNC_H_
+#define STORYPIVOT_UTIL_SYNC_H_
+
+#include <condition_variable>  // splint: allow(raw-sync)
+#include <mutex>               // splint: allow(raw-sync)
+
+namespace storypivot {
+
+/// Annotated synchronization primitives (DESIGN.md §13).
+///
+/// Every lock in this codebase goes through the wrappers below instead
+/// of the raw std:: primitives (enforced by splint's `raw-sync` rule),
+/// for two machine-checked guarantees:
+///
+///   1. CLANG CAPABILITY ANALYSIS — the wrappers carry Clang
+///      thread-safety attributes, so under Clang with
+///      `-Werror=thread-safety` (CMake option STORYPIVOT_THREAD_SAFETY,
+///      pinned ON in the clang CI leg) an access to an `SP_GUARDED_BY`
+///      field without its mutex held, an unbalanced Lock/Unlock, or a
+///      call that violates an `SP_REQUIRES` contract is a COMPILE
+///      ERROR. On non-Clang compilers every annotation macro expands to
+///      nothing and the wrappers are zero-overhead shims over std::.
+///
+///   2. LOCK-ORDER LINTING — every `Mutex` / `SerialSection`
+///      declaration carries a `// lockcheck:` annotation naming it and
+///      declaring which locks may already be held when it is acquired
+///      (`after=`). `tools/lockcheck.py` (CTest target lint.lockcheck)
+///      builds the declared hierarchy, verifies it is ACYCLIC, and
+///      cross-checks every lexically nested acquisition site against
+///      it — the deadlock-shaped discipline the per-function Clang
+///      analysis cannot see.
+///
+/// `SP_NO_THREAD_SAFETY_ANALYSIS` is the escape hatch of last resort;
+/// every use must carry a written justification (DESIGN.md §13 rule R4).
+
+// --- Annotation macros -----------------------------------------------------
+//
+// The standard Clang thread-safety macro set (named after the
+// "capability" attribute spelling; see the Clang Thread Safety Analysis
+// docs). No-ops everywhere but Clang.
+
+#if defined(__clang__)
+#define SP_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define SP_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (e.g. a mutex or a thread role).
+#define SP_CAPABILITY(x) SP_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SP_SCOPED_CAPABILITY SP_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field attribute: reads and writes require holding the capability.
+#define SP_GUARDED_BY(x) SP_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer-field attribute: dereferences require holding the capability
+/// (the pointer itself may be read freely).
+#define SP_PT_GUARDED_BY(x) SP_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Declaration-site lock-order hints (also parsed by tools/lockcheck.py
+/// alongside the `// lockcheck:` comments).
+#define SP_ACQUIRED_BEFORE(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define SP_ACQUIRED_AFTER(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function attribute: the caller must hold the capability (exclusively
+/// / shared) for the duration of the call.
+#define SP_REQUIRES(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define SP_REQUIRES_SHARED(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability and holds it on return.
+#define SP_ACQUIRE(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define SP_ACQUIRE_SHARED(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases a capability the caller holds.
+#define SP_RELEASE(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define SP_RELEASE_SHARED(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the returned value
+/// equals the first argument.
+#define SP_TRY_ACQUIRE(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must NOT hold the capability (the
+/// function acquires it itself; documents self-deadlock hazards).
+#define SP_EXCLUDES(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: asserts (to the analysis only — no runtime
+/// effect in our wrappers) that the capability is held from here on.
+#define SP_ASSERT_CAPABILITY(...) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(__VA_ARGS__))
+
+/// Function attribute: the function returns a reference to the given
+/// capability (lets accessors participate in capability expressions).
+#define SP_RETURN_CAPABILITY(x) \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Turns the analysis OFF for one function. Escape hatch of last
+/// resort: every use MUST carry a written justification on the
+/// preceding line (DESIGN.md §13 rule R4; grep for uses when auditing).
+#define SP_NO_THREAD_SAFETY_ANALYSIS \
+  SP_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+// --- Wrappers --------------------------------------------------------------
+
+class CondVar;
+
+/// An annotated exclusive mutex. Prefer the scoped `MutexLock`; call
+/// Lock()/Unlock() directly only where a scope cannot express the
+/// critical section. Non-recursive: re-acquiring on the same thread
+/// deadlocks (and is flagged by both analyzers).
+class SP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  ~Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SP_ACQUIRE() { mu_.lock(); }
+  void Unlock() SP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() SP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis this thread holds the mutex when the fact is
+  /// invisible to it (e.g. across a virtual-call boundary). No runtime
+  /// check — pair with a comment explaining why it is true.
+  void AssertHeld() const SP_ASSERT_CAPABILITY() {}
+
+ private:
+  friend class CondVar;  // Wait() needs the native handle.
+  std::mutex mu_;  // splint: allow(raw-sync)
+};
+
+/// Scoped (RAII) lock on a Mutex — the default way to hold one.
+class SP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SP_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SP_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// An annotated condition variable. Wait() atomically releases the
+/// mutex, blocks, and reacquires it before returning; from the
+/// analysis's point of view the capability is held across the call
+/// (which is exactly the caller-visible contract).
+class CondVar {
+ public:
+  CondVar() = default;
+  ~CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One wakeup-and-recheck step; spurious wakeups happen, so callers
+  /// loop on their predicate (or use the predicate overload below).
+  void Wait(Mutex& mu) SP_REQUIRES(mu);
+
+  /// Blocks until `pred()` holds. The predicate runs with `mu` held, so
+  /// it may read `SP_GUARDED_BY(mu)` state — but note that Clang
+  /// analyzes a lambda as its own function: prefer a plain
+  /// `while (!cond) cv.Wait(mu);` loop in annotated code so guarded
+  /// reads stay inside the function that visibly holds the lock.
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) SP_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Notify does not require the mutex; holding it is allowed too.
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // splint: allow(raw-sync)
+};
+
+/// A ZERO-COST PHANTOM CAPABILITY — a "thread role" in Clang
+/// thread-safety terms — modelling a single-writer SERIAL SECTION
+/// rather than a runtime lock. Several layers of this codebase (the
+/// engine, the WAL, the durable engine, the search index) are
+/// single-writer by design: mutations are serialized by the caller, and
+/// const reads are safe only in the absence of writers (DESIGN.md §9).
+/// No mutex exists to annotate, but the DISCIPLINE is still machine-
+/// checkable: fields that only the serial section may touch are marked
+/// `SP_GUARDED_BY(serial_)`, serial-only functions are marked
+/// `SP_REQUIRES(serial_)`, and every function that is part of the
+/// serial section states so with `serial_.AssertInSection()`.
+///
+/// Under Clang this makes it a COMPILE ERROR for code that has not
+/// declared itself part of the serial section — e.g. a parallel-path
+/// worker, or a future reader thread — to touch serial-only state or to
+/// invoke a serial-only hook (the engine's IngestObserver callbacks are
+/// the canonical example). At runtime the class is empty: asserting is
+/// a no-op, and nothing is ever locked.
+class SP_CAPABILITY("role") SerialSection {
+ public:
+  SerialSection() = default;
+  ~SerialSection() = default;
+
+  SerialSection(const SerialSection&) = delete;
+  SerialSection& operator=(const SerialSection&) = delete;
+
+  /// Declares (to the analysis only) that the calling context is part
+  /// of this serial section: no other thread is concurrently mutating
+  /// the state this role guards. Callable from const methods — reads
+  /// are part of the section whenever no writer runs, which is the
+  /// documented single-writer reader contract.
+  void AssertInSection() const SP_ASSERT_CAPABILITY() {}
+};
+
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_UTIL_SYNC_H_

@@ -16,13 +16,21 @@ ThreadPool::ThreadPool(size_t num_threads, size_t max_queued)
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_available_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  work_available_.NotifyAll();
+  // Producers blocked at the queue cap must wake to observe stop_ and
+  // fall back to inline execution (see Submit) — otherwise a full queue
+  // at shutdown would strand them.
+  queue_not_full_.NotifyAll();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -30,14 +38,25 @@ void ThreadPool::Submit(std::function<void()> task) {
     task();
     return;
   }
+  bool run_inline = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    queue_not_full_.wait(lock, [this] { return queue_.size() < max_queued_; });
-    SP_CHECK(!stop_);
-    queue_.push_back(std::move(task));
-    ++in_flight_;
+    MutexLock lock(mu_);
+    while (!stop_ && queue_.size() >= max_queued_) queue_not_full_.Wait(mu_);
+    if (stop_) {
+      // Shutting down: workers may already have drained the queue and
+      // exited, so an enqueued task could never run. Run it inline
+      // instead — every submitted task runs exactly once.
+      run_inline = true;
+    } else {
+      queue_.push_back(std::move(task));
+      ++in_flight_;
+    }
   }
-  work_available_.notify_one();
+  if (run_inline) {
+    task();
+    return;
+  }
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::ParallelFor(
@@ -52,8 +71,11 @@ void ThreadPool::ParallelFor(
     for (size_t c = 0; c < num_chunks; ++c) body(c, bound(c), bound(c + 1));
     return;
   }
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  // Locals, so no SP_GUARDED_BY (the analysis only tracks member
+  // declarations); `remaining` is protected by done_mu by construction.
+  // lockcheck: name=ThreadPool.ParallelFor.done_mu
+  Mutex done_mu;
+  CondVar done_cv;
   size_t remaining = num_chunks;
   for (size_t c = 0; c < num_chunks; ++c) {
     Submit([&body, &done_mu, &done_cv, &remaining, bound, c] {
@@ -61,36 +83,36 @@ void ThreadPool::ParallelFor(
       // Notify while holding the lock: the waiter owns done_cv on its
       // stack and destroys it as soon as it observes remaining == 0, so
       // an unlocked notify could touch a dead condition variable.
-      std::unique_lock<std::mutex> lock(done_mu);
-      if (--remaining == 0) done_cv.notify_all();
+      MutexLock lock(done_mu);
+      if (--remaining == 0) done_cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  MutexLock lock(done_mu);
+  while (remaining != 0) done_cv.Wait(done_mu);
 }
 
 void ThreadPool::Wait() {
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_available_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    queue_not_full_.notify_one();
+    queue_not_full_.NotifyOne();
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,13 +1,13 @@
 #ifndef STORYPIVOT_UTIL_THREAD_POOL_H_
 #define STORYPIVOT_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace storypivot {
 
@@ -19,26 +19,36 @@ namespace storypivot {
 /// inline on the caller's thread, so the serial and parallel paths of a
 /// caller share one code path. Tasks must not call back into the pool
 /// (no nested ParallelFor) and, with -fno-exceptions, must not fail.
+///
+/// Shutdown semantics (DESIGN.md §13): `Shutdown()` stops intake, drains
+/// every already-queued task, and joins the workers; the destructor calls
+/// it when the caller did not. A `Submit` that observes the pool shutting
+/// down runs its task INLINE on the submitting thread instead of
+/// enqueueing — so every task passed to Submit runs exactly once, even
+/// when Submit races Shutdown (the caller must still keep the pool object
+/// alive for the duration of every Submit call, as with any object).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (none when <= 1). `max_queued` bounds
   /// the number of tasks waiting in the queue.
   explicit ThreadPool(size_t num_threads, size_t max_queued = 4096);
 
-  /// Drains the queue, then joins all workers.
+  /// Calls Shutdown() if the caller has not.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Degree of parallelism: worker count, or 1 for an inline pool.
+  /// (`workers_` is immutable after construction, so this is safe to
+  /// call from any thread without the lock.)
   size_t num_threads() const {
     return workers_.empty() ? 1 : workers_.size();
   }
 
   /// Enqueues a task; blocks while the queue is at capacity. Runs the
-  /// task inline when the pool has no workers.
-  void Submit(std::function<void()> task);
+  /// task inline when the pool has no workers or is shutting down.
+  void Submit(std::function<void()> task) SP_EXCLUDES(mu_);
 
   /// Runs `body(chunk, begin, end)` over `num_chunks` contiguous chunks
   /// of [0, n) and blocks until all chunks completed. Chunk boundaries
@@ -47,22 +57,35 @@ class ThreadPool {
   /// Must be called from outside the pool (not from a worker task).
   void ParallelFor(size_t n, size_t num_chunks,
                    const std::function<void(size_t chunk, size_t begin,
-                                            size_t end)>& body);
+                                            size_t end)>& body)
+      SP_EXCLUDES(mu_);
 
   /// Blocks until every previously submitted task has finished.
-  void Wait();
+  void Wait() SP_EXCLUDES(mu_);
+
+  /// Stops intake (subsequent or racing Submits run their task inline),
+  /// drains the queue, and joins all workers. Idempotent from the
+  /// owning thread (the destructor relies on that); must not be called
+  /// from two threads concurrently or from inside a task.
+  void Shutdown() SP_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SP_EXCLUDES(mu_);
 
   const size_t max_queued_;
-  std::mutex mu_;
-  std::condition_variable work_available_;  // Signals waiting workers.
-  std::condition_variable queue_not_full_;  // Signals blocked producers.
-  std::condition_variable all_done_;        // Signals Wait().
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // Queued plus currently running tasks.
-  bool stop_ = false;
+  /// Lock hierarchy (tools/lockcheck.py): a leaf — no other lock is
+  /// ever acquired while holding it (tasks run with it released).
+  // lockcheck: name=ThreadPool.mu_
+  Mutex mu_;
+  CondVar work_available_;  // Signals waiting workers.
+  CondVar queue_not_full_;  // Signals blocked producers.
+  CondVar all_done_;        // Signals Wait().
+  std::deque<std::function<void()>> queue_ SP_GUARDED_BY(mu_);
+  /// Queued plus currently running tasks.
+  size_t in_flight_ SP_GUARDED_BY(mu_) = 0;
+  bool stop_ SP_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor and Shutdown's joins; read-only
+  /// everywhere else, so unguarded reads of `workers_.empty()` are safe.
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,66 @@
+// Scratch TU proving the thread-safety analysis has teeth. Compiled twice
+// by CTest, Clang only (the SP_* annotations are no-ops elsewhere):
+//
+//   lint.threadsafety_compile_fail   -DSP_TEST_UNGUARDED: reads and
+//                                    writes an SP_GUARDED_BY field
+//                                    without holding its mutex. Must
+//                                    FAIL under -Werror=thread-safety
+//                                    (WILL_FAIL inverts the outcome).
+//   lint.threadsafety_compile_ok     same TU with the define absent:
+//                                    every guarded access holds the
+//                                    lock. Must COMPILE, proving the
+//                                    failure above is the analysis
+//                                    firing and not an unrelated error.
+//
+// Not part of any build target.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+#if defined(SP_TEST_UNGUARDED)
+    // Error: writes `count_` without holding `mu_`.
+    ++count_;
+#else
+    storypivot::MutexLock lock(mu_);
+    ++count_;
+#endif
+  }
+
+  int Get() {
+#if defined(SP_TEST_UNGUARDED)
+    // Error: reads `count_` without holding `mu_`.
+    return count_;
+#else
+    storypivot::MutexLock lock(mu_);
+    return count_;
+#endif
+  }
+
+  void SerialTouch() {
+#if defined(SP_TEST_UNGUARDED)
+    // Error: touches role-guarded state without asserting the role.
+    ++serial_state_;
+#else
+    serial_.AssertInSection();
+    ++serial_state_;
+#endif
+  }
+
+ private:
+  storypivot::Mutex mu_;
+  int count_ SP_GUARDED_BY(mu_) = 0;
+  storypivot::SerialSection serial_;
+  int serial_state_ SP_GUARDED_BY(serial_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  counter.SerialTouch();
+  return counter.Get();
+}

@@ -1,0 +1,438 @@
+#!/usr/bin/env python3
+"""lockcheck — the StoryPivot lock-order linter (DESIGN.md §13).
+
+Clang's thread-safety analysis is per-function: it proves that guarded
+state is only touched under its lock, but it cannot see a DEADLOCK-shaped
+bug — two locks taken in opposite orders on two code paths. lockcheck
+closes that gap with a declared, machine-checked lock hierarchy:
+
+  1. DECLARATIONS. Every `Mutex` / `SerialSection` declaration in src/
+     must carry an annotation on the line above it (or its own line):
+
+         // lockcheck: name=<dotted-id> [after=<id>[,<id>...]] [role]
+
+     `name` is the lock's repo-unique identity (convention:
+     `Class.member_` or `file.Scope.var`). `after=A` declares "this lock
+     may be acquired while A is held" — i.e. A precedes it in the
+     hierarchy. `role` marks a zero-cost SerialSection phantom
+     capability (asserted, never acquired). A Mutex/SerialSection
+     declaration WITHOUT an annotation is an error: new shared state
+     must state its place in the hierarchy (DESIGN.md §13 rule R2).
+
+  2. ACYCLICITY. The declared `after` edges must form a DAG. A cycle
+     means the declared hierarchy itself permits deadlock, before any
+     code runs. The passing run prints a valid total order.
+
+  3. ACQUISITION SITES. Every `MutexLock guard(expr);` and explicit
+     `expr.Lock()` in src/ is extracted, resolved to a declared lock by
+     its variable name, and checked: a site that acquires lock I while
+     lock O is (lexically) still held is legal only when the hierarchy
+     declares O before I (directly or transitively). The nesting check
+     is a lexical brace-scope approximation — deferred lambdas count as
+     if they ran in place, which over-approximates (safe direction:
+     false positives, suppressible with `// lockcheck: allow(nested)`
+     on the acquiring line, never false negatives for straight-line
+     code).
+
+SerialSection roles participate in (1) and (2) — their names are
+reserved and their `after` edges checked — but have no acquisition
+sites: they are asserted, not locked, so they can never deadlock.
+
+Usage:
+  tools/lockcheck.py [--root REPO_ROOT] [--verbose] [PATH ...]
+  tools/lockcheck.py --self-test
+
+Exits 0 when clean, 1 when findings exist, 2 on usage errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+DEFAULT_SCAN_DIRS = ["src"]
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+# The wrapper library itself declares/locks the raw primitives.
+EXEMPT_FILES = ("src/util/sync.h", "src/util/sync.cc")
+
+ANNOTATION_RE = re.compile(
+    r"//\s*lockcheck:\s*name=(?P<name>[A-Za-z_][\w.]*)"
+    r"(?:\s+after=(?P<after>[A-Za-z_][\w.]*(?:,[A-Za-z_][\w.]*)*))?"
+    r"(?P<role>\s+role)?\s*$")
+DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?P<kind>Mutex|SerialSection)\s+"
+    r"(?P<var>[A-Za-z_]\w*)\s*;")
+SCOPED_ACQUIRE_RE = re.compile(
+    r"\bMutexLock\s+[A-Za-z_]\w*\s*\((?P<expr>[^()]+)\)")
+DIRECT_ACQUIRE_RE = re.compile(
+    r"(?P<expr>[A-Za-z_][\w.>-]*)\s*(?:\.|->)\s*Lock\s*\(\s*\)")
+ALLOW_NESTED_RE = re.compile(r"//\s*lockcheck:\s*allow\(nested\)")
+LINE_COMMENT_RE = re.compile(r"^\s*//")
+
+
+class Lock:
+    def __init__(self, name, kind, is_role, after, site):
+        self.name = name
+        self.kind = kind
+        self.is_role = is_role
+        self.after = after  # Names that may be held when this is acquired.
+        self.site = site    # "file:line" of the declaration.
+
+
+def strip_comment(line):
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def base_var(expr):
+    """`state.mu` -> `mu`, `this->mu_` -> `mu_`: the declared member the
+    acquisition expression bottoms out in."""
+    return re.split(r"\.|->", expr.strip())[-1].strip().rstrip("()")
+
+
+def scan_file(relpath, lines, locks, acquisitions, findings):
+    """Collects declarations and acquisition sites from one file."""
+    pending = None  # Annotation waiting for its declaration line.
+    held = []       # Stack of (lock name, brace depth at acquisition).
+    depth = 0
+    for number, line in enumerate(lines, start=1):
+        annotation = ANNOTATION_RE.search(line)
+        decl = DECL_RE.match(line)
+        if annotation and not decl:
+            pending = (annotation, number)
+        elif decl:
+            name_match = annotation or (pending[0] if pending else None)
+            if name_match is None:
+                findings.append((relpath, number, (
+                    "%s `%s` has no `// lockcheck: name=...` annotation; "
+                    "every lock must declare its place in the hierarchy "
+                    "(DESIGN.md §13 rule R2)"
+                    % (decl.group("kind"), decl.group("var")))))
+            else:
+                name = name_match.group("name")
+                after = (name_match.group("after") or "")
+                after = [a for a in after.split(",") if a]
+                is_role = bool(name_match.group("role"))
+                if is_role != (decl.group("kind") == "SerialSection"):
+                    findings.append((relpath, number, (
+                        "lock `%s`: the `role` marker must be present "
+                        "exactly for SerialSection declarations" % name)))
+                if name in locks:
+                    findings.append((relpath, number, (
+                        "duplicate lock name `%s` (first declared at %s)"
+                        % (name, locks[name].site))))
+                else:
+                    locks[name] = Lock(name, decl.group("kind"), is_role,
+                                       after, "%s:%d" % (relpath, number))
+                    locks[name].var = decl.group("var")
+            pending = None
+        elif pending is not None and not LINE_COMMENT_RE.match(line):
+            findings.append((relpath, pending[1],
+                             "dangling lockcheck annotation: the next "
+                             "code line is not a Mutex/SerialSection "
+                             "declaration"))
+            pending = None
+
+        # Braces, acquisitions and releases are processed in the order
+        # they appear ON the line, so `{ MutexLock l(mu); }` scopes
+        # correctly. A scoped guard is held until its enclosing scope
+        # closes (depth drops below the depth it was taken at); a direct
+        # Lock() is held until the matching Unlock() or scope close.
+        code = strip_comment(line)
+        allow = bool(ALLOW_NESTED_RE.search(line))
+        events = [(m.start(), "brace", ch)
+                  for m, ch in ((m, m.group()) for m in
+                                re.finditer(r"[{}]", code))]
+        events += [(m.start(), "acquire", m.group("expr"))
+                   for m in SCOPED_ACQUIRE_RE.finditer(code)]
+        events += [(m.start(), "acquire", m.group("expr"))
+                   for m in DIRECT_ACQUIRE_RE.finditer(code)]
+        events += [(m.start(), "release", m.group("expr"))
+                   for m in re.finditer(
+                       r"(?P<expr>[A-Za-z_][\w.>-]*)\s*(?:\.|->)\s*"
+                       r"Unlock\s*\(\s*\)", code)]
+        for _, kind, payload in sorted(events):
+            if kind == "brace":
+                depth += 1 if payload == "{" else -1
+                while held and depth < held[-1][1]:
+                    held.pop()
+            elif kind == "acquire":
+                acquisitions.append((relpath, number, payload,
+                                     list(held), allow))
+                held.append((payload, depth))
+            else:  # release
+                for i in range(len(held) - 1, -1, -1):
+                    if base_var(held[i][0]) == base_var(payload):
+                        held.pop(i)
+                        break
+
+
+def resolve(expr, locks, relpath):
+    """Acquisition expression -> declared lock, by base variable name,
+    preferring a lock declared in the same file on ties."""
+    var = base_var(expr)
+    matches = [l for l in locks.values() if l.var == var]
+    if len(matches) > 1:
+        same_file = [l for l in matches if l.site.startswith(relpath + ":")]
+        matches = same_file or matches
+    return matches[0] if len(matches) == 1 else None
+
+
+def check(files, verbose=False, out=sys.stdout):
+    """files: list of (relpath, lines). Returns list of findings."""
+    locks, acquisitions, findings = {}, [], []
+    for relpath, lines in files:
+        scan_file(relpath, lines, locks, acquisitions, findings)
+
+    # Acyclicity of the declared hierarchy (edges: after -> lock).
+    graph = {name: [] for name in locks}
+    for lock in locks.values():
+        for prior in lock.after:
+            if prior not in locks:
+                findings.append((lock.site.split(":")[0],
+                                 int(lock.site.split(":")[1]),
+                                 "lock `%s`: after=%s names an undeclared "
+                                 "lock" % (lock.name, prior)))
+            else:
+                graph[prior].append(lock.name)
+
+    order, state = [], {}  # state: 1 = visiting, 2 = done.
+
+    def visit(node, path):
+        state[node] = 1
+        for succ in graph[node]:
+            if state.get(succ) == 1:
+                cycle = path[path.index(succ):] + [succ] \
+                    if succ in path else [node, succ]
+                findings.append((locks[succ].site.split(":")[0],
+                                 int(locks[succ].site.split(":")[1]),
+                                 "lock hierarchy cycle: %s"
+                                 % " -> ".join(cycle)))
+            elif state.get(succ) != 2:
+                visit(succ, path + [succ])
+        state[node] = 2
+        order.append(node)
+
+    for name in sorted(graph):
+        if state.get(name) != 2:
+            visit(name, [name])
+
+    def reaches(src, dst):
+        stack, seen = [src], set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False
+
+    # Acquisition sites: resolvable, and nested only along declared edges.
+    for relpath, number, expr, held, allowed in acquisitions:
+        inner = resolve(expr, locks, relpath)
+        if inner is None:
+            findings.append((relpath, number,
+                             "acquisition of `%s` does not resolve to a "
+                             "uniquely annotated lock" % expr.strip()))
+            continue
+        if allowed:
+            continue
+        for held_expr, _ in held:
+            outer = resolve(held_expr, locks, relpath)
+            if outer is None or outer.name == inner.name:
+                continue  # Unresolvable outer already reported at its site.
+            if not reaches(outer.name, inner.name):
+                findings.append((relpath, number, (
+                    "acquires `%s` while `%s` is held, but the hierarchy "
+                    "does not declare `after=%s` (directly or "
+                    "transitively) on `%s`"
+                    % (inner.name, outer.name, outer.name, inner.name))))
+
+    if verbose and not findings:
+        roles = sum(1 for l in locks.values() if l.is_role)
+        print("lockcheck: %d lock(s) (%d mutex, %d role), "
+              "%d acquisition site(s), hierarchy acyclic"
+              % (len(locks), len(locks) - roles, roles, len(acquisitions)),
+              file=out)
+        print("lockcheck: valid order: %s"
+              % " -> ".join(reversed(order)), file=out)
+    return findings
+
+
+# --- Self test ---------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    ("valid nested order passes", 0, """
+// lockcheck: name=A
+Mutex a_mu;
+// lockcheck: name=B after=A
+Mutex b_mu;
+void f() {
+  MutexLock outer(a_mu);
+  MutexLock inner(b_mu);
+}
+"""),
+    ("declared cycle is a finding", 1, """
+// lockcheck: name=A after=B
+Mutex a_mu;
+// lockcheck: name=B after=A
+Mutex b_mu;
+"""),
+    ("undeclared nested acquisition is a finding", 1, """
+// lockcheck: name=A
+Mutex a_mu;
+// lockcheck: name=B
+Mutex b_mu;
+void f() {
+  MutexLock outer(a_mu);
+  MutexLock inner(b_mu);
+}
+"""),
+    ("reverse-order acquisition against declared edge is a finding", 1, """
+// lockcheck: name=A
+Mutex a_mu;
+// lockcheck: name=B after=A
+Mutex b_mu;
+void f() {
+  MutexLock outer(b_mu);
+  MutexLock inner(a_mu);
+}
+"""),
+    ("unannotated Mutex is a finding", 1, """
+Mutex naked_mu;
+"""),
+    ("role marker required for SerialSection", 1, """
+// lockcheck: name=R
+SerialSection serial_;
+"""),
+    ("transitive edge suffices", 0, """
+// lockcheck: name=A
+Mutex a_mu;
+// lockcheck: name=B after=A
+Mutex b_mu;
+// lockcheck: name=C after=B
+Mutex c_mu;
+void f() {
+  MutexLock outer(a_mu);
+  MutexLock inner(c_mu);
+}
+"""),
+    ("sequential (non-nested) acquisitions pass", 0, """
+// lockcheck: name=A
+Mutex a_mu;
+// lockcheck: name=B
+Mutex b_mu;
+void f() {
+  { MutexLock one(a_mu); }
+  { MutexLock two(b_mu); }
+}
+"""),
+    ("direct Lock() call is a site too", 1, """
+// lockcheck: name=A
+Mutex a_mu;
+// lockcheck: name=B
+Mutex b_mu;
+void f() {
+  MutexLock outer(a_mu);
+  b_mu.Lock();
+}
+"""),
+    ("allow(nested) suppresses the nesting check", 0, """
+// lockcheck: name=A
+Mutex a_mu;
+// lockcheck: name=B
+Mutex b_mu;
+void f() {
+  MutexLock outer(a_mu);
+  MutexLock inner(b_mu);  // lockcheck: allow(nested)
+}
+"""),
+]
+
+
+def self_test():
+    failures = 0
+    for title, want_findings, source in SELF_TEST_CASES:
+        findings = check([("fixture.cc", source.splitlines())])
+        got = 1 if findings else 0
+        status = "ok" if got == want_findings else "FAIL"
+        if got != want_findings:
+            failures += 1
+            for relpath, number, message in findings:
+                print("    %s:%d: %s" % (relpath, number, message))
+        print("%-4s %s" % (status, title))
+    if failures:
+        print("lockcheck --self-test: %d case(s) failed" % failures,
+              file=sys.stderr)
+        return 1
+    print("lockcheck --self-test: %d case(s) passed" % len(SELF_TEST_CASES))
+    return 0
+
+
+def iter_source_files(root, paths):
+    for path in paths:
+        absolute = os.path.join(root, path)
+        if os.path.isfile(absolute):
+            yield path
+            continue
+        for directory, _, names in sorted(os.walk(absolute)):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    full = os.path.join(directory, name)
+                    yield os.path.relpath(full, root)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded fixture cases and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print the lock inventory and a valid order")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories relative to the root "
+                             "(default: %s)" % " ".join(DEFAULT_SCAN_DIRS))
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = args.paths or [d for d in DEFAULT_SCAN_DIRS
+                           if os.path.isdir(os.path.join(root, d))]
+    for path in args.paths or ():
+        if not os.path.exists(os.path.join(root, path)):
+            print("lockcheck: no such file or directory: %s" % path,
+                  file=sys.stderr)
+            return 2
+
+    files = []
+    for relpath in iter_source_files(root, paths):
+        relpath = relpath.replace(os.sep, "/")
+        if relpath in EXEMPT_FILES:
+            continue
+        try:
+            with open(os.path.join(root, relpath),
+                      encoding="utf-8", errors="replace") as handle:
+                files.append((relpath, handle.read().splitlines()))
+        except OSError as error:
+            print("lockcheck: cannot read %s: %s" % (relpath, error),
+                  file=sys.stderr)
+            return 2
+
+    findings = check(files, verbose=True)
+    for relpath, number, message in findings:
+        print("%s:%d: [lockcheck] %s" % (relpath, number, message))
+    if findings:
+        print("lockcheck: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

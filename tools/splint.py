@@ -25,6 +25,13 @@ examples/ (and tools/ headers if any appear):
                     StoryQuery (which uses the search index) so O(all
                     stories) walks stay contained in the two layers that
                     own them. Tests are exempt.
+  raw-sync          no raw std::mutex / std::lock_guard /
+                    std::unique_lock / std::condition_variable (or their
+                    shared/timed/recursive cousins) outside
+                    src/util/sync.{h,cc} — use the annotated Mutex /
+                    MutexLock / CondVar wrappers so Clang's thread-safety
+                    analysis and tools/lockcheck.py see every lock
+                    (DESIGN.md §13).
 
 A finding can be suppressed on its line with:  // splint: allow(<rule>)
 
@@ -163,6 +170,32 @@ def check_using_namespace(relpath, lines):
                 "`using namespace` in a header leaks into every includer")
 
 
+RAW_SYNC_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+
+# The annotated wrappers themselves are built on the raw primitives.
+RAW_SYNC_EXEMPT = ("src/util/sync.h", "src/util/sync.cc")
+
+
+def check_raw_sync(relpath, lines):
+    """Raw std:: synchronization primitives are invisible to Clang's
+    thread-safety analysis and to tools/lockcheck.py; everything must go
+    through the annotated wrappers in util/sync.h (DESIGN.md §13)."""
+    if relpath in RAW_SYNC_EXEMPT:
+        return
+    for number, line in enumerate(lines, start=1):
+        if LINE_COMMENT_RE.match(line):
+            continue
+        if RAW_SYNC_RE.search(line) and not line_allows(line, "raw-sync"):
+            yield number, "raw-sync", (
+                "raw std:: sync primitive; use Mutex/MutexLock/CondVar "
+                "from util/sync.h so the thread-safety analysis and "
+                "lockcheck see the lock")
+
+
 FULL_SCAN_RE = re.compile(r"(?:->|\.)\s*partitions\s*\(\s*\)")
 
 
@@ -183,7 +216,7 @@ def check_full_scan(relpath, lines):
 
 
 FILE_CHECKS = [check_banned, check_include_guard, check_using_namespace,
-               check_full_scan]
+               check_full_scan, check_raw_sync]
 
 
 def check_build_artifacts(root):
