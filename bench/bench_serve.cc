@@ -1,0 +1,374 @@
+// Serving-tier bench (DESIGN.md §14): closed-loop readers against the
+// epoch-pinned Server, sweeping reader count x read/write mix.
+//
+// Before any timing, the harness asserts correctness: a pinned
+// ReadSnapshot must answer every workload query byte-identically to a
+// fresh serial engine fed exactly the same acked operation prefix. Only
+// then does it measure:
+//
+//   * read_only  — R closed-loop readers, no writer. Epochs never
+//     advance, so the hot-query cache converges to ~100% hits.
+//   * read_write — the same readers while the single writer streams
+//     snippet batches, publishing a new epoch per acked batch. Every
+//     epoch change invalidates the cache for free (epoch-prefixed
+//     keys), so this measures the steady-state mix of fresh ranks and
+//     hits under snapshot churn.
+//
+// Emits BENCH_serve.json. Run with --smoke for the CI-sized variant
+// (small corpus, two reader counts, short cells, same assertions).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "search/search_engine.h"
+#include "serve/serving_engine.h"
+#include "util/fs.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace storypivot::bench {
+namespace {
+
+using search::SearchOptions;
+using search::StoryHit;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = "bench_serve_wal_" + name;
+  if (FileExists(dir)) {
+    Result<std::vector<std::string>> names = ListDirectory(dir);
+    SP_CHECK_OK(names.status());
+    for (const std::string& entry : names.value()) {
+      SP_CHECK_OK(RemoveFile(dir + "/" + entry));
+    }
+  }
+  SP_CHECK_OK(CreateDirectories(dir));
+  return dir;
+}
+
+/// First half of the corpus (id-cleared) is the warmup batch every cell
+/// ingests up front; the second half is what the writer streams during
+/// read_write cells.
+struct SplitCorpus {
+  std::vector<Snippet> warmup;
+  std::vector<Snippet> pending;
+};
+
+SplitCorpus Split(const datagen::Corpus& corpus) {
+  SplitCorpus split;
+  const size_t half = corpus.snippets.size() / 2;
+  for (size_t i = 0; i < corpus.snippets.size(); ++i) {
+    Snippet copy = corpus.snippets[i];
+    copy.id = kInvalidSnippetId;
+    (i < half ? split.warmup : split.pending).push_back(std::move(copy));
+  }
+  return split;
+}
+
+/// The acked prefix every cell starts from: vocabularies, sources, the
+/// warmup half as ONE batch, one Align. Returns the streamable rest.
+std::vector<Snippet> IngestWarmup(const datagen::Corpus& corpus,
+                                  persist::DurableEngine* durable) {
+  SP_CHECK_OK(durable->ImportVocabularies(*corpus.entity_vocabulary,
+                                          *corpus.keyword_vocabulary));
+  for (const SourceInfo& source : corpus.sources) {
+    SP_CHECK_OK(durable->RegisterSource(source.name).status());
+  }
+  SplitCorpus split = Split(corpus);
+  SP_CHECK_OK(durable->AddSnippets(std::move(split.warmup)).status());
+  SP_CHECK_OK(durable->Align());
+  return std::move(split.pending);
+}
+
+/// Deterministic free-text workload: surfaces of terms that occur in
+/// the warmup prefix, ranked by document frequency and strided so the
+/// mix spans hot and selective terms (same scheme as bench_search).
+std::vector<std::string> MakeWorkload(const StoryPivotEngine& engine,
+                                      const search::SearchEngine& searcher,
+                                      size_t count) {
+  auto surfaces_by_df = [&](search::Field field,
+                            const text::Vocabulary& vocabulary) {
+    std::vector<std::pair<size_t, text::TermId>> terms;
+    for (text::TermId id = 0; id < vocabulary.size(); ++id) {
+      size_t df = searcher.index().DocumentFrequency(field, id);
+      if (df > 0) terms.push_back({df, id});
+    }
+    std::sort(terms.begin(), terms.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    return terms;
+  };
+  auto entities =
+      surfaces_by_df(search::Field::kEntity, engine.entity_vocabulary());
+  auto keywords =
+      surfaces_by_df(search::Field::kKeyword, engine.keyword_vocabulary());
+  SP_CHECK(!entities.empty() && keywords.size() >= 2);
+
+  std::vector<std::string> workload;
+  for (size_t q = 0; q < count; ++q) {
+    std::string query =
+        engine.entity_vocabulary().TermOf(entities[(q * 7) % entities.size()]
+                                              .second);
+    for (size_t j = 0; j < 2; ++j) {
+      query += ' ';
+      query += engine.keyword_vocabulary().TermOf(
+          keywords[(q * 5 + j * 3) % keywords.size()].second);
+    }
+    workload.push_back(std::move(query));
+  }
+  return workload;
+}
+
+/// The bench's correctness gate: every workload query answered from a
+/// pinned snapshot must equal a fresh serial engine fed the same acked
+/// prefix. Runs before any timing; a mismatch aborts the bench.
+void AssertSnapshotMatchesSerialEngine(const datagen::Corpus& corpus,
+                                       const std::vector<std::string>& workload,
+                                       const SearchOptions& options,
+                                       serve::ServingEngine* serving) {
+  StoryPivotEngine serial;
+  search::SearchEngine serial_search(&serial);
+  SP_CHECK_OK(serial.ImportVocabularies(*corpus.entity_vocabulary,
+                                        *corpus.keyword_vocabulary));
+  for (const SourceInfo& source : corpus.sources) {
+    serial.RegisterSource(source.name);
+  }
+  SP_CHECK_OK(serial.AddSnippets(Split(corpus).warmup).status());
+  (void)serial.Align();
+
+  std::shared_ptr<const serve::ReadSnapshot> snapshot =
+      serving->epochs().Pin();
+  SP_CHECK(snapshot != nullptr);
+  size_t nonempty = 0;
+  for (const std::string& query : workload) {
+    std::vector<StoryHit> pinned = snapshot->Search(query, options);
+    std::vector<StoryHit> serial_hits = serial_search.Search(query, options);
+    SP_CHECK(pinned == serial_hits);
+    if (!pinned.empty()) ++nonempty;
+  }
+  SP_CHECK(nonempty > 0);
+  std::printf("equality gate: %zu queries, %zu non-empty, pinned snapshot "
+              "== serial engine at acked prefix\n",
+              workload.size(), nonempty);
+}
+
+struct CellResult {
+  std::string mix;
+  size_t readers = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t epochs_published = 0;
+  uint64_t epochs_reclaimed = 0;
+  size_t snippets_ingested = 0;
+};
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  std::sort(sorted->begin(), sorted->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted->size()));
+  if (idx >= sorted->size()) idx = sorted->size() - 1;
+  return (*sorted)[idx];
+}
+
+CellResult RunCell(const datagen::Corpus& corpus,
+                   const std::vector<std::string>& workload,
+                   const SearchOptions& options, const std::string& mix,
+                   size_t readers, double seconds, size_t write_batch) {
+  const std::string dir =
+      FreshDir(mix + "_" + std::to_string(readers));
+  serve::ServerOptions server_options;
+  server_options.num_threads = 4;
+  server_options.max_queued = 1024;
+  server_options.cache_capacity = 256;
+  persist::DurabilityOptions durability;
+  durability.checkpoint_every_ops = 1 << 20;  // no mid-cell checkpoints
+  Result<std::unique_ptr<serve::ServingEngine>> opened =
+      serve::ServingEngine::Open(dir, server_options, durability);
+  SP_CHECK_OK(opened.status());
+  serve::ServingEngine& serving = *opened.value();
+
+  std::vector<Snippet> pending = IngestWarmup(corpus, &serving.durable());
+
+  struct Tally {
+    uint64_t ok = 0;
+    uint64_t shed = 0;
+    std::vector<double> latencies_ms;
+  };
+  std::atomic<bool> stop{false};
+  std::vector<Tally> tallies(readers);
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      Tally& tally = tallies[r];
+      size_t next = r;  // offset per reader so caches are shared, not lockstep
+      while (!stop.load(std::memory_order_relaxed)) {
+        serve::QueryRequest request;
+        request.query = workload[next++ % workload.size()];
+        request.options = options;
+        WallTimer timer;
+        Result<serve::QueryResponse> response = serving.Query(request);
+        if (response.ok()) {
+          ++tally.ok;
+          tally.latencies_ms.push_back(timer.ElapsedMillis());
+        } else {
+          ++tally.shed;
+        }
+      }
+    });
+  }
+
+  WallTimer wall;
+  size_t ingested = 0;
+  if (mix == "read_write") {
+    // The single writer: stream the held-back half, one acked batch =
+    // one published epoch. Wraps around (fresh ids) if it drains early.
+    size_t cursor = 0;
+    while (wall.ElapsedSeconds() < seconds) {
+      size_t n = std::min(write_batch, pending.size() - cursor);
+      std::vector<Snippet> chunk;
+      chunk.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        Snippet copy = pending[cursor + i];
+        copy.id = kInvalidSnippetId;
+        chunk.push_back(std::move(copy));
+      }
+      SP_CHECK_OK(serving.durable().AddSnippets(std::move(chunk)).status());
+      ingested += n;
+      cursor = (cursor + n) % pending.size();
+    }
+  } else {
+    while (wall.ElapsedSeconds() < seconds) {
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  CellResult cell;
+  cell.mix = mix;
+  cell.readers = readers;
+  std::vector<double> latencies;
+  for (Tally& tally : tallies) {
+    cell.ok += tally.ok;
+    cell.shed += tally.shed;
+    latencies.insert(latencies.end(), tally.latencies_ms.begin(),
+                     tally.latencies_ms.end());
+  }
+  cell.qps = static_cast<double>(cell.ok) / elapsed;
+  cell.p50_ms = Percentile(&latencies, 0.50);
+  cell.p99_ms = Percentile(&latencies, 0.99);
+  serve::Server::Stats server_stats = serving.server().GetStats();
+  uint64_t lookups = server_stats.cache.hits + server_stats.cache.misses;
+  cell.cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(server_stats.cache.hits) /
+                         static_cast<double>(lookups);
+  serve::EpochManager::Stats epoch_stats = serving.epochs().GetStats();
+  cell.epochs_published = epoch_stats.published;
+  cell.epochs_reclaimed = epoch_stats.reclaimed;
+  cell.snippets_ingested = ingested;
+  return cell;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const int target_snippets = smoke ? 1200 : 8000;
+  const double seconds = smoke ? 0.3 : 2.0;
+  const size_t num_queries = smoke ? 12 : 32;
+  const size_t write_batch = 64;
+  const std::vector<size_t> reader_counts =
+      smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4, 8};
+
+  datagen::CorpusConfig config = Fig7CorpusConfig(target_snippets);
+  config.num_stories = std::max(10, target_snippets / 50);
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+
+  // Build one serving stack just for the equality gate and workload
+  // derivation; the timed cells each get a fresh directory.
+  SearchOptions options;
+  options.k = 10;
+  std::vector<std::string> workload;
+  {
+    const std::string dir = FreshDir("gate");
+    Result<std::unique_ptr<serve::ServingEngine>> opened =
+        serve::ServingEngine::Open(dir);
+    SP_CHECK_OK(opened.status());
+    serve::ServingEngine& serving = *opened.value();
+    IngestWarmup(corpus, &serving.durable());
+    workload =
+        MakeWorkload(serving.durable().engine(), serving.search(),
+                     num_queries);
+    AssertSnapshotMatchesSerialEngine(corpus, workload, options, &serving);
+  }
+
+  std::printf("\nServing tier: %d snippets (half warmup), %.1fs cells, "
+              "top-%zu\n",
+              target_snippets, seconds, options.k);
+  std::printf("%11s %8s %10s %9s %9s %7s %7s %7s %9s\n", "mix", "readers",
+              "QPS", "p50 ms", "p99 ms", "hit%", "epochs", "shed",
+              "ingested");
+  std::vector<CellResult> cells;
+  for (const char* mix : {"read_only", "read_write"}) {
+    for (size_t readers : reader_counts) {
+      CellResult cell = RunCell(corpus, workload, options, mix, readers,
+                                seconds, write_batch);
+      std::printf("%11s %8zu %10.0f %9.3f %9.3f %6.1f%% %7llu %7llu %9zu\n",
+                  cell.mix.c_str(), cell.readers, cell.qps, cell.p50_ms,
+                  cell.p99_ms, 100.0 * cell.cache_hit_rate,
+                  static_cast<unsigned long long>(cell.epochs_published),
+                  static_cast<unsigned long long>(cell.shed),
+                  cell.snippets_ingested);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  std::string json = StrFormat(
+      "{\"bench\":\"serve\",\"smoke\":%s,\"snippets\":%d,"
+      "\"cell_seconds\":%.1f,\"k\":%zu,\"workload_queries\":%zu,"
+      "\"equality_gate\":\"pinned snapshot == serial engine at acked "
+      "prefix\",\"cells\":[",
+      smoke ? "true" : "false", target_snippets, seconds, options.k,
+      workload.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = cells[i];
+    json += StrFormat(
+        "%s{\"mix\":\"%s\",\"readers\":%zu,\"qps\":%.0f,"
+        "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"cache_hit_rate\":%.3f,"
+        "\"epochs_published\":%llu,\"epochs_reclaimed\":%llu,"
+        "\"shed\":%llu,\"snippets_ingested\":%zu}",
+        i == 0 ? "" : ",", cell.mix.c_str(), cell.readers, cell.qps,
+        cell.p50_ms, cell.p99_ms, cell.cache_hit_rate,
+        static_cast<unsigned long long>(cell.epochs_published),
+        static_cast<unsigned long long>(cell.epochs_reclaimed),
+        static_cast<unsigned long long>(cell.shed), cell.snippets_ingested);
+  }
+  json += "]}\n";
+  SP_CHECK_OK(WriteStringToFile("BENCH_serve.json", json));
+  std::printf("\nwrote BENCH_serve.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace storypivot::bench
+
+int main(int argc, char** argv) {
+  return storypivot::bench::Main(argc, argv);
+}

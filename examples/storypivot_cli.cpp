@@ -501,6 +501,13 @@ int CmdSearch(int argc, char** argv) {
     options.to = FlagTime(argc, argv, "--to",
                           std::numeric_limits<Timestamp>::max());
   }
+  // An inverted --from/--to window is a typed error, not an empty
+  // result (DESIGN.md §11 — silence is indistinguishable from "no
+  // stories in range").
+  if (Status valid = search::ValidateSearchOptions(options); !valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 1;
+  }
 
   search::ParsedQuery parsed = searcher.Parse(argv[1]);
   for (const search::QueryTerm& term : parsed.terms) {

@@ -69,6 +69,8 @@ struct EngineStats {
   double refine_time_ms = 0.0;
 };
 
+class StoryPivotEngine;
+
 /// Observer of the engine's snippet-level mutations, implemented by
 /// external index maintainers (the search subsystem keeps its inverted
 /// index in sync through it). Callbacks fire only from the engine's
@@ -85,6 +87,16 @@ class IngestObserver {
   virtual ~IngestObserver() = default;
   virtual void OnSnippetAdded(const Snippet& snippet) = 0;
   virtual void OnSnippetRemoved(const Snippet& snippet) = 0;
+
+  /// The engine object this observer was attached to has been REPLACED
+  /// wholesale by `engine` — DurableEngine::Reopen rebuilds a fresh
+  /// StoryPivotEngine from the checkpoint + WAL and re-attaches the old
+  /// engine's observer to it. Implementations must drop every pointer
+  /// into the old engine (it is about to be destroyed) and rebuild any
+  /// derived state from `engine`; the default ignores the event, which
+  /// is only correct for observers that keep no engine-derived state.
+  /// Fires from the replacing serial section, like the other hooks.
+  virtual void OnEngineReplaced(StoryPivotEngine* engine) { (void)engine; }
 };
 
 /// STORYPIVOT — the façade over extraction, story identification, story

@@ -124,4 +124,13 @@ std::vector<StoryId> StorySet::StoriesInWindow(Timestamp lo,
   return out;
 }
 
+StorySet StorySet::Clone() const {
+  StorySet copy(source_);
+  copy.stories_ = stories_;
+  copy.story_of_ = story_of_;
+  copy.snippet_times_ = snippet_times_;
+  copy.entity_index_ = entity_index_.Clone();
+  return copy;
+}
+
 }  // namespace storypivot

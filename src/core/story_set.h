@@ -76,6 +76,12 @@ class StorySet {
   /// Number of snippets assigned in this partition.
   size_t num_snippets() const { return story_of_.size(); }
 
+  /// Deep copy of the whole partition (stories, assignments and both
+  /// indexes). Copying is disallowed to keep accidental copies out of
+  /// the ingest path; snapshot capture (serve/ReadSnapshot, DESIGN.md
+  /// §14) asks for one explicitly.
+  [[nodiscard]] StorySet Clone() const;
+
  private:
   SourceId source_;
   std::unordered_map<StoryId, Story> stories_;

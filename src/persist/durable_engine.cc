@@ -118,12 +118,24 @@ Status DurableEngine::Recover() {
   ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal,
                    WriteAheadLog::Open(dir_, options_.wal, expected_next));
 
-  // Commit: recovery succeeded, adopt the rebuilt state.
+  // Commit: recovery succeeded, adopt the rebuilt state. The previous
+  // engine's IngestObserver must move with it — recovery replaces the
+  // engine OBJECT, and an observer left behind on the dying engine
+  // (e.g. search's index maintainer) would silently serve the
+  // pre-recovery state forever after. Re-attach first, then fire
+  // OnEngineReplaced so the observer reseats its pointers and rebuilds
+  // derived state from the recovered store.
+  IngestObserver* observer =
+      engine_ != nullptr ? engine_->ingest_observer() : nullptr;
   engine_ = std::move(engine);
   wal_ = std::move(wal);
   ops_since_checkpoint_ = expected_next - covered;
   degraded_ = false;
   degraded_cause_ = Status::OK();
+  if (observer != nullptr) {
+    engine_->set_ingest_observer(observer);
+    observer->OnEngineReplaced(engine_.get());
+  }
   return Status::OK();
 }
 
@@ -139,6 +151,10 @@ Status DurableEngine::Reopen() {
     // keep working, and record why.
     degraded_ = true;
     degraded_cause_ = recovered;
+  } else if (commit_hook_) {
+    // Recovery rewound to the log-consistent prefix; readers must see
+    // the rebuilt state, not the discarded pre-degradation one.
+    commit_hook_();
   }
   return recovered;
 }
@@ -187,6 +203,11 @@ Status DurableEngine::LogOp(std::string payload) {
                        << "op): " << checkpointed.ToString();
     }
   }
+  // The op is durable and applied: tell the serving tier (when one is
+  // attached) to publish a fresh read snapshot. One hook firing per
+  // logged op — a batch ingest is one op, so snapshots advance per
+  // batch, not per snippet.
+  if (commit_hook_) commit_hook_();
   return Status::OK();
 }
 

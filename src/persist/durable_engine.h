@@ -2,6 +2,7 @@
 #define STORYPIVOT_PERSIST_DURABLE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -170,6 +171,17 @@ class DurableEngine {
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
+  /// Installs (or, with an empty function, removes) the commit hook:
+  /// fired from the serial section after every successfully logged
+  /// mutation (once per op — a batch is one op) and after a successful
+  /// Reopen(). The serving tier uses it to publish a fresh read
+  /// snapshot (serve/ServingEngine, DESIGN.md §14). The hook must not
+  /// call back into mutating DurableEngine methods.
+  void set_commit_hook(std::function<void()> hook) {
+    writer_.AssertInSection();  // Serial-section mutation.
+    commit_hook_ = std::move(hook);
+  }
+
   /// True when a permanent WAL failure put the engine into read-only
   /// degraded mode (reads served, mutations rejected with kDegraded).
   [[nodiscard]] bool degraded() const {
@@ -227,6 +239,8 @@ class DurableEngine {
   uint64_t ops_since_checkpoint_ SP_GUARDED_BY(writer_) = 0;
   bool degraded_ SP_GUARDED_BY(writer_) = false;
   Status degraded_cause_ SP_GUARDED_BY(writer_);
+  /// Post-commit notification (see set_commit_hook); empty when unset.
+  std::function<void()> commit_hook_ SP_GUARDED_BY(writer_);
 };
 
 }  // namespace storypivot::persist

@@ -127,4 +127,15 @@ size_t PostingsIndex::num_terms(Field field) const {
   return 0;
 }
 
+PostingsIndex PostingsIndex::Clone() const {
+  PostingsIndex copy;
+  copy.entity_postings_ = entity_postings_;
+  copy.keyword_postings_ = keyword_postings_;
+  copy.event_postings_ = event_postings_;
+  copy.num_documents_ = num_documents_;
+  copy.num_postings_ = num_postings_;
+  copy.total_length_ = total_length_;
+  return copy;
+}
+
 }  // namespace storypivot::search

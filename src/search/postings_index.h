@@ -53,6 +53,8 @@ class PostingsIndex {
 
   PostingsIndex(const PostingsIndex&) = delete;
   PostingsIndex& operator=(const PostingsIndex&) = delete;
+  PostingsIndex(PostingsIndex&&) = default;
+  PostingsIndex& operator=(PostingsIndex&&) = default;
 
   /// Posts the snippet's entity terms, keyword terms and event type.
   void AddSnippet(const Snippet& snippet);
@@ -93,6 +95,11 @@ class PostingsIndex {
 
   /// Number of distinct terms posted per field.
   [[nodiscard]] size_t num_terms(Field field) const;
+
+  /// Deep copy. Copying is disallowed (an accidental index copy is
+  /// almost always a bug); snapshot capture (serve/ReadSnapshot,
+  /// DESIGN.md §14) asks for one explicitly.
+  [[nodiscard]] PostingsIndex Clone() const;
 
  private:
   using TermPostings = std::unordered_map<text::TermId, std::vector<Posting>>;

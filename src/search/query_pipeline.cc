@@ -38,6 +38,14 @@ std::string EventTypeOfToken(const PostingsIndex& index,
 
 ParsedQuery ParseQuery(const StoryPivotEngine& engine,
                        const PostingsIndex& index, std::string_view query) {
+  return ParseQuery(engine.gazetteer(), engine.entity_vocabulary(),
+                    engine.keyword_vocabulary(), index, query);
+}
+
+ParsedQuery ParseQuery(const text::Gazetteer& gazetteer,
+                       const text::Vocabulary& entities,
+                       const text::Vocabulary& keywords,
+                       const PostingsIndex& index, std::string_view query) {
   ParsedQuery out;
   text::Tokenizer tokenizer;
   std::vector<text::Token> tokens = tokenizer.Tokenize(query);
@@ -58,8 +66,7 @@ ParsedQuery ParseQuery(const StoryPivotEngine& engine,
   // Multi-token entity aliases first: the gazetteer consumes its tokens,
   // exactly as AnnotationPipeline does on ingest.
   std::vector<bool> consumed(tokens.size(), false);
-  for (const text::EntityMention& mention :
-       engine.gazetteer().FindMentions(tokens)) {
+  for (const text::EntityMention& mention : gazetteer.FindMentions(tokens)) {
     QueryTerm term;
     term.field = Field::kEntity;
     term.term = mention.entity;
@@ -75,8 +82,7 @@ ParsedQuery ParseQuery(const StoryPivotEngine& engine,
     if (consumed[i]) continue;
     const std::string& word = tokens[i].text;
 
-    text::TermId entity =
-        EntityTermOfToken(engine.entity_vocabulary(), word);
+    text::TermId entity = EntityTermOfToken(entities, word);
     if (entity != text::kInvalidTermId) {
       add_term({Field::kEntity, entity, {}, word});
       continue;
@@ -84,9 +90,9 @@ ParsedQuery ParseQuery(const StoryPivotEngine& engine,
 
     if (!text::IsStopword(word)) {
       // Exact and stemmed keyword forms, mirroring ingest stemming.
-      text::TermId keyword = engine.keyword_vocabulary().Lookup(word);
+      text::TermId keyword = keywords.Lookup(word);
       if (keyword == text::kInvalidTermId) {
-        keyword = engine.keyword_vocabulary().Lookup(text::PorterStem(word));
+        keyword = keywords.Lookup(text::PorterStem(word));
       }
       if (keyword != text::kInvalidTermId) {
         add_term({Field::kKeyword, keyword, {}, word});

@@ -7,6 +7,7 @@
 
 #include "core/engine.h"
 #include "search/postings_index.h"
+#include "text/gazetteer.h"
 #include "text/vocabulary.h"
 
 namespace storypivot::search {
@@ -48,6 +49,17 @@ struct ParsedQuery {
 ///
 /// Duplicate resolutions collapse to one term.
 [[nodiscard]] ParsedQuery ParseQuery(const StoryPivotEngine& engine,
+                                     const PostingsIndex& index,
+                                     std::string_view query);
+
+/// Same canonicalization over explicit text-state components instead of
+/// a live engine — the entry point snapshot readers (serve/ReadSnapshot)
+/// use. The engine overload forwards here with the engine's gazetteer
+/// and vocabularies, so the two are identical on equal state by
+/// construction.
+[[nodiscard]] ParsedQuery ParseQuery(const text::Gazetteer& gazetteer,
+                                     const text::Vocabulary& entities,
+                                     const text::Vocabulary& keywords,
                                      const PostingsIndex& index,
                                      std::string_view query);
 

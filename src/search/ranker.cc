@@ -10,6 +10,7 @@
 #include "model/story.h"
 #include "storage/snippet_store.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace storypivot::search {
 
@@ -93,12 +94,31 @@ bool InWindow(const SearchOptions& options, Timestamp ts) {
 
 }  // namespace
 
+Status ValidateSearchOptions(const SearchOptions& options) {
+  if (options.filter_time && options.from > options.to) {
+    return Status::InvalidArgument(
+        StrFormat("inverted time range: from (%lld) > to (%lld); the "
+                  "[from, to] filter is inclusive, so this window matches "
+                  "nothing",
+                  static_cast<long long>(options.from),
+                  static_cast<long long>(options.to)));
+  }
+  return Status::OK();
+}
+
 std::vector<StoryHit> RankStories(const PostingsIndex& index,
                                   const StoryPivotEngine& engine,
                                   const ParsedQuery& query,
                                   const SearchOptions& options) {
+  return RankStories(index, CorpusView(engine), query, options);
+}
+
+std::vector<StoryHit> RankStories(const PostingsIndex& index,
+                                  const StoryCorpus& corpus,
+                                  const ParsedQuery& query,
+                                  const SearchOptions& options) {
   if (query.empty() || options.k == 0) return {};
-  const size_t num_stories = engine.TotalStories();
+  const size_t num_stories = corpus.total_stories;
   if (num_stories == 0) return {};
 
   // Resolve each term's postings list; list length is its snippet df.
@@ -138,19 +158,10 @@ std::vector<StoryHit> RankStories(const PostingsIndex& index,
   std::vector<Candidate> candidates;
   // Dense candidate directory: story ids are assigned from one engine-wide
   // counter, so a flat array beats a hash map on the per-posting hot path.
+  // The partition directory comes prefilled with the corpus.
   constexpr uint32_t kNoCandidate = UINT32_MAX;
-  const StoryPivotEngine::IdCounters counters = engine.id_counters();
-  std::vector<uint32_t> candidate_of(counters.next_story, kNoCandidate);
-  // Source ids are dense too; prefill the partition directory once.
-  std::vector<const StorySet*> partition_of(counters.next_source, nullptr);
-  for (const StorySet* part : engine.partitions()) {
-    if (part->source() < partition_of.size()) {
-      partition_of[part->source()] = part;
-    }
-  }
-  auto partition = [&](SourceId source) {
-    return source < partition_of.size() ? partition_of[source] : nullptr;
-  };
+  std::vector<uint32_t> candidate_of(corpus.next_story, kNoCandidate);
+  auto partition = [&](SourceId source) { return corpus.partition(source); };
 
   double remaining_ub = 0.0;
   for (const ScoredTerm& term : terms) remaining_ub += term.ub;

@@ -9,6 +9,8 @@
 #include "model/time.h"
 #include "search/postings_index.h"
 #include "search/query_pipeline.h"
+#include "search/story_view.h"
+#include "util/status.h"
 
 namespace storypivot::search {
 
@@ -70,6 +72,23 @@ struct StoryHit {
 [[nodiscard]] std::vector<StoryHit> RankStories(
     const PostingsIndex& index, const StoryPivotEngine& engine,
     const ParsedQuery& query, const SearchOptions& options = {});
+
+/// Same ranking over an explicit StoryCorpus view instead of a live
+/// engine — the entry point snapshot readers (serve/ReadSnapshot) use.
+/// The engine overload is exactly `RankStories(index, CorpusView(engine),
+/// ...)`, so the two are bit-identical on equal state by construction.
+[[nodiscard]] std::vector<StoryHit> RankStories(
+    const PostingsIndex& index, const StoryCorpus& corpus,
+    const ParsedQuery& query, const SearchOptions& options = {});
+
+/// Validates a SearchOptions before evaluation. Today's single rule: an
+/// inverted time window (`filter_time && from > to`) is rejected with
+/// kInvalidArgument — the inclusive [from, to] filter would match
+/// nothing, and silently returning an empty result is indistinguishable
+/// from "no stories in range" (the same contract TemporalIndex windows
+/// follow). Callers surfacing user input (CLI, serve) must check this
+/// before ranking.
+[[nodiscard]] Status ValidateSearchOptions(const SearchOptions& options);
 
 /// Reference implementation without the index: scans every story of
 /// every partition (and the snippet store, for document frequencies and

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/story_set.h"
+#include "search/story_view.h"
 #include "util/logging.h"
 
 namespace storypivot::search {
@@ -12,12 +13,8 @@ SearchEngine::SearchEngine(StoryPivotEngine* engine) : engine_(engine) {
   // One observer per engine: silently stacking indexes would leave the
   // earlier one stale.
   SP_CHECK(engine_->ingest_observer() == nullptr);
-  // The lambda is a separate function to the thread-safety analysis, so
-  // it re-asserts the serial role the constructing thread holds.
-  engine_->store().ForEach([this](const Snippet& snippet) {
-    writer_.AssertInSection();
-    index_.AddSnippet(snippet);
-  });
+  writer_.AssertInSection();  // The constructing thread is the writer.
+  BuildIndexFromStore();
   engine_->set_ingest_observer(this);
 }
 
@@ -39,32 +36,30 @@ void SearchEngine::OnSnippetRemoved(const Snippet& snippet) {
   index_.RemoveSnippet(snippet);
 }
 
+void SearchEngine::OnEngineReplaced(StoryPivotEngine* engine) {
+  // Recovery rebuilt the engine object (DurableEngine::Reopen); the old
+  // one is about to be destroyed, so reseat before touching anything.
+  writer_.AssertInSection();
+  SP_CHECK(engine != nullptr);
+  engine_ = engine;
+  index_ = PostingsIndex();
+  BuildIndexFromStore();
+}
+
+void SearchEngine::BuildIndexFromStore() {
+  // The lambda is a separate function to the thread-safety analysis, so
+  // it re-asserts the serial role the calling thread holds.
+  engine_->store().ForEach([this](const Snippet& snippet) {
+    writer_.AssertInSection();
+    index_.AddSnippet(snippet);
+  });
+}
+
 std::vector<std::pair<SourceId, StoryId>> SearchEngine::ResolveStories(
     const std::vector<Posting>* postings) const {
-  std::vector<std::pair<SourceId, StoryId>> out;
-  if (postings == nullptr) return out;
-  out.reserve(postings->size());
-  // Source ids are dense; a prefilled directory keeps the per-posting
-  // partition lookup off the hash path.
-  std::vector<const StorySet*> partition_of;
-  for (const StorySet* part : engine_->partitions()) {
-    if (part->source() >= partition_of.size()) {
-      partition_of.resize(part->source() + 1, nullptr);
-    }
-    partition_of[part->source()] = part;
-  }
-  for (const Posting& posting : *postings) {
-    const StorySet* partition = posting.source < partition_of.size()
-                                    ? partition_of[posting.source]
-                                    : nullptr;
-    if (partition == nullptr) continue;
-    const StoryId story = partition->StoryOf(posting.snippet);
-    if (story == kInvalidStoryId) continue;
-    out.emplace_back(posting.source, story);
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  // The corpus view carries the dense partition directory that keeps
+  // the per-posting lookup off the hash path (story_view.h).
+  return ResolvePostingsToStories(postings, CorpusView(*engine_));
 }
 
 std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesWithEntity(
@@ -87,20 +82,9 @@ std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesWithEventType(
 
 std::vector<std::pair<SourceId, StoryId>> SearchEngine::StoriesInTimeRange(
     Timestamp begin, Timestamp end) const {
-  // Postings cannot answer span intersection (a story's span can cover a
-  // window none of its snippets falls into), so this walks the story
-  // partitions directly — O(1) per story against the maintained spans,
-  // with the Find* win coming from k-bounded overview materialization.
-  std::vector<std::pair<SourceId, StoryId>> out;
-  for (const StorySet* partition : engine_->partitions()) {
-    for (const auto& [id, story] : partition->stories()) {
-      if (story.start_time() <= end && story.end_time() >= begin) {
-        out.emplace_back(partition->source(), id);
-      }
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  // Span intersection walks the partitions (see StoriesIntersecting) —
+  // the Find* win comes from k-bounded overview materialization.
+  return StoriesIntersecting(CorpusView(*engine_), begin, end);
 }
 
 ParsedQuery SearchEngine::Parse(std::string_view query) const {

@@ -46,6 +46,11 @@ class SearchEngine final : public IngestObserver, public StoryIndex {
   // IngestObserver — engine callbacks, not for direct use.
   void OnSnippetAdded(const Snippet& snippet) override;
   void OnSnippetRemoved(const Snippet& snippet) override;
+  /// Recovery re-attach (DurableEngine::Reopen): reseats onto the
+  /// rebuilt engine and rebuilds the index from its snippet store —
+  /// the rebuild is bit-identical to an index maintained live
+  /// (rebuild-on-recover, DESIGN.md §11.4).
+  void OnEngineReplaced(StoryPivotEngine* engine) override;
 
   // StoryIndex — the boolean lookups StoryQuery::Find* routes through.
   // Each resolves postings to the snippets' *current* stories at call
@@ -85,12 +90,17 @@ class SearchEngine final : public IngestObserver, public StoryIndex {
   [[nodiscard]] std::vector<std::pair<SourceId, StoryId>> ResolveStories(
       const std::vector<Posting>* postings) const;
 
+  /// Bulk-builds `index_` from the engine's live snippet store (the
+  /// constructor and OnEngineReplaced share it).
+  void BuildIndexFromStore() SP_REQUIRES(writer_);
+
   /// Phantom capability for the single-writer serial section the index
   /// shares with the engine (DESIGN.md §13). Observer hooks and query
   /// entry points assert it; only hook-driven code may mutate `index_`.
   // lockcheck: name=SearchEngine.writer_ role
   SerialSection writer_;
-  /// Points at the engine this object observes; never reseated.
+  /// Points at the engine this object observes; reseated only by
+  /// OnEngineReplaced (recovery rebuilt the engine object).
   StoryPivotEngine* engine_;
   PostingsIndex index_ SP_GUARDED_BY(writer_);
 };

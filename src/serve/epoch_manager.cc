@@ -1,0 +1,63 @@
+#include "serve/epoch_manager.h"
+
+#include <utility>
+
+namespace storypivot::serve {
+
+uint64_t EpochManager::Publish(std::unique_ptr<ReadSnapshot> snapshot) {
+  // The snapshot destructor (partition + index teardown) must not run
+  // under mu_, so the retiree is moved out and dropped after unlock.
+  std::shared_ptr<const ReadSnapshot> retired;
+  uint64_t epoch = 0;
+  {
+    MutexLock lock(mu_);
+    epoch = ++next_epoch_;
+    snapshot->epoch_ = epoch;  // Friend access: publish-time stamp.
+    retired = std::move(current_);
+    current_ = std::shared_ptr<const ReadSnapshot>(std::move(snapshot));
+    ++published_;
+    if (retired != nullptr) {
+      retired_.push_back(retired);
+    }
+  }
+  // `retired` may be the last reference; if so the old epoch is
+  // reclaimed right here (outside the lock). Otherwise in-flight
+  // readers keep it alive and ReclaimExpired() notices the drain later.
+  return epoch;
+}
+
+std::shared_ptr<const ReadSnapshot> EpochManager::Pin() const {
+  MutexLock lock(mu_);
+  return current_;
+}
+
+uint64_t EpochManager::current_epoch() const {
+  MutexLock lock(mu_);
+  return current_ == nullptr ? 0 : current_->epoch();
+}
+
+size_t EpochManager::ReclaimExpired() {
+  MutexLock lock(mu_);
+  size_t before = retired_.size();
+  std::erase_if(retired_,
+                [](const std::weak_ptr<const ReadSnapshot>& weak) {
+                  return weak.expired();
+                });
+  size_t reclaimed = before - retired_.size();
+  reclaimed_ += reclaimed;
+  return reclaimed;
+}
+
+EpochManager::Stats EpochManager::GetStats() const {
+  MutexLock lock(mu_);
+  Stats stats;
+  stats.current_epoch = current_ == nullptr ? 0 : current_->epoch();
+  stats.published = published_;
+  stats.reclaimed = reclaimed_;
+  for (const auto& weak : retired_) {
+    if (!weak.expired()) ++stats.retired_live;
+  }
+  return stats;
+}
+
+}  // namespace storypivot::serve

@@ -1,0 +1,86 @@
+#ifndef STORYPIVOT_SERVE_EPOCH_MANAGER_H_
+#define STORYPIVOT_SERVE_EPOCH_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/read_snapshot.h"
+#include "util/sync.h"
+
+namespace storypivot::serve {
+
+/// Epoch-based snapshot publication (RCU-flavoured; DESIGN.md §14).
+///
+/// The single writer publishes immutable ReadSnapshot objects; readers
+/// pin the current one with a shared_ptr and work against it lock-free
+/// for the duration of a query. Publishing a new epoch never blocks on
+/// readers: the old snapshot simply drops out of `current_` and is
+/// reclaimed when the last pinned reference drains (shared_ptr refcount
+/// IS the per-epoch reader count — grace period detection for free).
+///
+/// A weak_ptr registry of retired epochs powers observability
+/// (`Stats::retired_live` = retired epochs still pinned by in-flight
+/// readers) and `ReclaimExpired()` trims the registry's fully-drained
+/// entries so it cannot grow unboundedly under sustained ingest.
+class EpochManager {
+ public:
+  EpochManager() = default;
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  struct Stats {
+    /// Epoch of the currently published snapshot (0 = none published).
+    uint64_t current_epoch = 0;
+    /// Snapshots ever published.
+    uint64_t published = 0;
+    /// Retired epochs whose snapshot is still pinned by readers.
+    size_t retired_live = 0;
+    /// Retired epochs observed fully drained (reclaimed).
+    uint64_t reclaimed = 0;
+  };
+
+  /// Stamps the next epoch number on `snapshot` and makes it the
+  /// current snapshot. Writer-side only (the caller serializes
+  /// publishes; concurrent Pin()s are fine). The previous snapshot is
+  /// retired: it stays alive exactly as long as readers still pin it.
+  uint64_t Publish(std::unique_ptr<ReadSnapshot> snapshot)
+      SP_EXCLUDES(mu_);
+
+  /// Pins the current snapshot for reading. The returned shared_ptr
+  /// keeps the epoch alive until the reader drops it. Null iff nothing
+  /// has been published yet.
+  [[nodiscard]] std::shared_ptr<const ReadSnapshot> Pin() const
+      SP_EXCLUDES(mu_);
+
+  /// Epoch of the current snapshot (0 = none published yet).
+  [[nodiscard]] uint64_t current_epoch() const SP_EXCLUDES(mu_);
+
+  /// Prunes fully-drained retired epochs from the registry and returns
+  /// how many were reclaimed by this call. Safe from any thread; the
+  /// writer calls it opportunistically after each publish.
+  size_t ReclaimExpired() SP_EXCLUDES(mu_);
+
+  [[nodiscard]] Stats GetStats() const SP_EXCLUDES(mu_);
+
+ private:
+  /// Guards the published pointer and the retirement registry. Leaf
+  /// lock held only for pointer swaps and registry scans — never while
+  /// capturing or destroying a snapshot. Publish runs from the durable
+  /// engine's commit hook, i.e. inside the writer serial section.
+  // lockcheck: name=EpochManager.mu_ after=DurableEngine.writer_
+  mutable Mutex mu_;
+  std::shared_ptr<const ReadSnapshot> current_ SP_GUARDED_BY(mu_);
+  uint64_t next_epoch_ SP_GUARDED_BY(mu_) = 0;
+  uint64_t published_ SP_GUARDED_BY(mu_) = 0;
+  uint64_t reclaimed_ SP_GUARDED_BY(mu_) = 0;
+  /// Retired (superseded) epochs, oldest first; entries expire when the
+  /// last reader unpins.
+  std::vector<std::weak_ptr<const ReadSnapshot>> retired_
+      SP_GUARDED_BY(mu_);
+};
+
+}  // namespace storypivot::serve
+
+#endif  // STORYPIVOT_SERVE_EPOCH_MANAGER_H_

@@ -1,0 +1,84 @@
+#ifndef STORYPIVOT_SERVE_QUERY_CACHE_H_
+#define STORYPIVOT_SERVE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "search/query_pipeline.h"
+#include "search/ranker.h"
+#include "util/sync.h"
+
+namespace storypivot::serve {
+
+/// A small thread-safe LRU cache of ranked results for hot queries.
+///
+/// Keys are `(epoch, canonical query, options)` — the epoch prefix makes
+/// invalidation free: publishing a new snapshot changes the epoch, so
+/// entries for superseded epochs simply stop being looked up and age out
+/// via LRU eviction. No flush, no generation scan, no stale reads — a
+/// hit is always byte-identical to re-running the query against the
+/// pinned snapshot (DESIGN.md §14). The canonical part is built from the
+/// PARSED query (terms sorted by field/id) rather than the raw text, so
+/// surface variants that canonicalize identically ("mh17 crash" vs
+/// "crash MH17") share one entry.
+class QueryCache {
+ public:
+  /// `capacity` = max cached entries (>= 1; 0 disables caching — every
+  /// Lookup misses and Insert is a no-op).
+  explicit QueryCache(size_t capacity) : capacity_(capacity) {}
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  /// Canonical cache key for a parsed query at an epoch. Sorts a copy
+  /// of the terms, encodes every option that affects ranking, and
+  /// prefixes the epoch.
+  [[nodiscard]] static std::string Key(uint64_t epoch,
+                                       const search::ParsedQuery& query,
+                                       const search::SearchOptions& options);
+
+  /// On hit, copies the cached hits into `*hits`, refreshes recency and
+  /// returns true.
+  [[nodiscard]] bool Lookup(const std::string& key,
+                            std::vector<search::StoryHit>* hits)
+      SP_EXCLUDES(mu_);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry when over capacity.
+  void Insert(const std::string& key, std::vector<search::StoryHit> hits)
+      SP_EXCLUDES(mu_);
+
+  [[nodiscard]] Stats GetStats() const SP_EXCLUDES(mu_);
+
+ private:
+  using LruList = std::list<std::pair<std::string, //
+                                      std::vector<search::StoryHit>>>;
+
+  const size_t capacity_;
+  /// Leaf lock (held only for map/list surgery, never while ranking).
+  // lockcheck: name=QueryCache.mu_
+  mutable Mutex mu_;
+  /// Most recent at the front.
+  LruList lru_ SP_GUARDED_BY(mu_);
+  std::unordered_map<std::string, LruList::iterator> entries_
+      SP_GUARDED_BY(mu_);
+  uint64_t hits_ SP_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ SP_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ SP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace storypivot::serve
+
+#endif  // STORYPIVOT_SERVE_QUERY_CACHE_H_

@@ -1,0 +1,94 @@
+#include "serve/read_snapshot.h"
+
+namespace storypivot::serve {
+
+std::unique_ptr<ReadSnapshot> ReadSnapshot::Capture(
+    const StoryPivotEngine& engine, const search::PostingsIndex& index) {
+  // Private constructor, so no make_unique.
+  std::unique_ptr<ReadSnapshot> snapshot(new ReadSnapshot());
+
+  // Text state: vocabularies clone by re-interning in id order (ids are
+  // dense and stable), the gazetteer by replaying its registration-
+  // order alias journal against the cloned entity vocabulary — the same
+  // rebuild path core/snapshot uses for persistence.
+  const text::Vocabulary& entities = engine.entity_vocabulary();
+  for (text::TermId id = 0; id < entities.size(); ++id) {
+    snapshot->entity_vocab_.Intern(entities.TermOf(id));
+  }
+  const text::Vocabulary& keywords = engine.keyword_vocabulary();
+  for (text::TermId id = 0; id < keywords.size(); ++id) {
+    snapshot->keyword_vocab_.Intern(keywords.TermOf(id));
+  }
+  snapshot->gazetteer_ =
+      std::make_unique<text::Gazetteer>(&snapshot->entity_vocab_);
+  for (const auto& [entity, alias] : engine.gazetteer().aliases()) {
+    snapshot->gazetteer_->AddAlias(entity, alias);
+  }
+
+  snapshot->index_ = index.Clone();
+  snapshot->sources_ = engine.sources();
+
+  // Partitions: deep clones, then the corpus view over the clones. The
+  // directory is built AFTER the vector is final so its pointers stay
+  // valid for the snapshot's lifetime.
+  // Snapshot capture must copy every partition by definition.  // splint: allow(full-scan)
+  std::vector<const StorySet*> live = engine.partitions();  // splint: allow(full-scan)
+  snapshot->partitions_.reserve(live.size());
+  for (const StorySet* part : live) {
+    snapshot->partitions_.push_back(part->Clone());
+  }
+  search::StoryCorpus& corpus = snapshot->corpus_;
+  corpus.total_stories = engine.TotalStories();
+  const StoryPivotEngine::IdCounters counters = engine.id_counters();
+  corpus.next_story = counters.next_story;
+  corpus.partitions.reserve(snapshot->partitions_.size());
+  corpus.partition_of.assign(counters.next_source, nullptr);
+  for (const StorySet& part : snapshot->partitions_) {
+    corpus.partitions.push_back(&part);
+    if (part.source() < corpus.partition_of.size()) {
+      corpus.partition_of[part.source()] = &part;
+    }
+  }
+  return snapshot;
+}
+
+search::ParsedQuery ReadSnapshot::Parse(std::string_view query) const {
+  return search::ParseQuery(*gazetteer_, entity_vocab_, keyword_vocab_,
+                            index_, query);
+}
+
+std::vector<search::StoryHit> ReadSnapshot::Search(
+    const search::ParsedQuery& query,
+    const search::SearchOptions& options) const {
+  return search::RankStories(index_, corpus_, query, options);
+}
+
+std::vector<search::StoryHit> ReadSnapshot::Search(
+    std::string_view query, const search::SearchOptions& options) const {
+  return Search(Parse(query), options);
+}
+
+std::vector<std::pair<SourceId, StoryId>> ReadSnapshot::StoriesWithEntity(
+    text::TermId term) const {
+  return ResolvePostingsToStories(
+      index_.Postings(search::Field::kEntity, term), corpus_);
+}
+
+std::vector<std::pair<SourceId, StoryId>> ReadSnapshot::StoriesWithKeyword(
+    text::TermId term) const {
+  return ResolvePostingsToStories(
+      index_.Postings(search::Field::kKeyword, term), corpus_);
+}
+
+std::vector<std::pair<SourceId, StoryId>> ReadSnapshot::StoriesWithEventType(
+    std::string_view event_type) const {
+  return ResolvePostingsToStories(index_.EventTypePostings(event_type),
+                                  corpus_);
+}
+
+std::vector<std::pair<SourceId, StoryId>> ReadSnapshot::StoriesInTimeRange(
+    Timestamp begin, Timestamp end) const {
+  return StoriesIntersecting(corpus_, begin, end);
+}
+
+}  // namespace storypivot::serve

@@ -1,0 +1,106 @@
+#ifndef STORYPIVOT_SERVE_READ_SNAPSHOT_H_
+#define STORYPIVOT_SERVE_READ_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/story_set.h"
+#include "model/document.h"
+#include "model/ids.h"
+#include "model/time.h"
+#include "search/postings_index.h"
+#include "search/query_pipeline.h"
+#include "search/ranker.h"
+#include "search/story_view.h"
+#include "text/gazetteer.h"
+#include "text/vocabulary.h"
+
+namespace storypivot::serve {
+
+/// An immutable, self-contained view of everything the read path needs:
+/// cloned story partitions, cloned text state (vocabularies + gazetteer,
+/// so query parsing canonicalizes against the snapshot, not the moving
+/// live engine) and a cloned PostingsIndex. Exploits the PR-4 invariant
+/// that index state is a pure function of the live snippet set — the
+/// capture is an exact, reproducible freeze of the serial engine at one
+/// acked prefix, so reads pinned to a snapshot are byte-identical to a
+/// serial engine at that prefix (DESIGN.md §14).
+///
+/// Snapshots are immutable after capture and therefore safe to read
+/// from any number of threads concurrently with no synchronization;
+/// lifetime is managed by EpochManager via shared_ptr (readers pin, the
+/// last unpin reclaims). The epoch number is stamped by EpochManager at
+/// publish time.
+class ReadSnapshot {
+ public:
+  /// Captures a frozen view. Must run inside the writer's serial
+  /// section (it reads serial-guarded engine state; the caller holds
+  /// the role — commit hooks and factories do).
+  [[nodiscard]] static std::unique_ptr<ReadSnapshot> Capture(
+      const StoryPivotEngine& engine, const search::PostingsIndex& index);
+
+  // Self-referential (gazetteer_ -> entity_vocab_, corpus_ ->
+  // partitions_): address identity must be stable, so no copies or
+  // moves — snapshots live behind pointers.
+  ReadSnapshot(const ReadSnapshot&) = delete;
+  ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+
+  /// Epoch this snapshot was published as (EpochManager stamps it).
+  [[nodiscard]] uint64_t epoch() const { return epoch_; }
+
+  /// Canonicalizes a free-text query against the SNAPSHOT text state
+  /// (same pipeline as SearchEngine::Parse — see query_pipeline.h).
+  [[nodiscard]] search::ParsedQuery Parse(std::string_view query) const;
+
+  /// Ranked BM25 top-k over the snapshot (same kernel as
+  /// SearchEngine::Search; byte-identical on equal state).
+  [[nodiscard]] std::vector<search::StoryHit> Search(
+      const search::ParsedQuery& query,
+      const search::SearchOptions& options = {}) const;
+  [[nodiscard]] std::vector<search::StoryHit> Search(
+      std::string_view query,
+      const search::SearchOptions& options = {}) const;
+
+  // Boolean story lookups, mirroring SearchEngine's StoryIndex surface.
+  [[nodiscard]] std::vector<std::pair<SourceId, StoryId>> StoriesWithEntity(
+      text::TermId term) const;
+  [[nodiscard]] std::vector<std::pair<SourceId, StoryId>> StoriesWithKeyword(
+      text::TermId term) const;
+  [[nodiscard]] std::vector<std::pair<SourceId, StoryId>>
+  StoriesWithEventType(std::string_view event_type) const;
+  [[nodiscard]] std::vector<std::pair<SourceId, StoryId>> StoriesInTimeRange(
+      Timestamp begin, Timestamp end) const;
+
+  [[nodiscard]] const search::PostingsIndex& index() const { return index_; }
+  [[nodiscard]] const search::StoryCorpus& corpus() const { return corpus_; }
+  [[nodiscard]] const std::vector<SourceInfo>& sources() const {
+    return sources_;
+  }
+  [[nodiscard]] size_t total_stories() const { return corpus_.total_stories; }
+
+ private:
+  ReadSnapshot() = default;
+
+  friend class EpochManager;  // Stamps epoch_ at publish time.
+
+  uint64_t epoch_ = 0;
+  text::Vocabulary entity_vocab_;
+  text::Vocabulary keyword_vocab_;
+  /// Rebuilt against entity_vocab_ by replaying the alias journal
+  /// (gazetteer.h documents this reproduces the gazetteer exactly).
+  std::unique_ptr<text::Gazetteer> gazetteer_;
+  search::PostingsIndex index_;
+  /// Deep-cloned partitions, in engine partition order.
+  std::vector<StorySet> partitions_;
+  /// View over partitions_ (owned above, so the pointers never dangle).
+  search::StoryCorpus corpus_;
+  std::vector<SourceInfo> sources_;
+};
+
+}  // namespace storypivot::serve
+
+#endif  // STORYPIVOT_SERVE_READ_SNAPSHOT_H_

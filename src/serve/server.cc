@@ -1,0 +1,130 @@
+#include "serve/server.h"
+
+#include <memory>
+
+#include "util/strings.h"
+
+namespace storypivot::serve {
+
+Server::Server(EpochManager* epochs, ServerOptions options)
+    : epochs_(epochs),
+      options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.num_threads, options.max_queued) {}
+
+Result<QueryResponse> Server::Query(const QueryRequest& request) {
+  // --- Admission (caller's thread) ---------------------------------------
+  if (Status valid = search::ValidateSearchOptions(request.options);
+      !valid.ok()) {
+    MutexLock lock(stats_mu_);
+    ++rejected_invalid_;
+    return valid;
+  }
+  const uint64_t deadline_ms = request.deadline_ms != 0
+                                   ? request.deadline_ms
+                                   : options_.default_deadline_ms;
+  WallTimer admitted;  // Queue wait counts against the deadline.
+
+  // Rendezvous for the synchronous reply. Heap-allocated and shared
+  // with the task: Submit's inline-execution paths make stack lifetime
+  // subtle, and shared ownership is simply robust.
+  struct Waiter {
+    /// Leaf: taken only to flip done/result and by the blocked caller.
+    // lockcheck: name=Server.Query.waiter_mu
+    Mutex mu;
+    CondVar cv;
+    bool done SP_GUARDED_BY(mu) = false;
+    Result<QueryResponse> result SP_GUARDED_BY(mu) =
+        Status::Internal("query never executed");
+  };
+  auto waiter = std::make_shared<Waiter>();
+
+  bool accepted = pool_.TrySubmit([this, waiter, request, admitted,
+                                   deadline_ms]() {
+    Result<QueryResponse> result = Execute(request, admitted, deadline_ms);
+    MutexLock lock(waiter->mu);
+    waiter->result = std::move(result);
+    waiter->done = true;
+    waiter->cv.NotifyOne();
+  });
+  if (!accepted) {
+    MutexLock lock(stats_mu_);
+    ++rejected_queue_full_;
+    return Status::Unavailable(StrFormat(
+        "serving queue full (%llu queries queued); back off and retry",
+        static_cast<unsigned long long>(options_.max_queued)));
+  }
+  {
+    MutexLock lock(stats_mu_);
+    ++admitted_;
+  }
+
+  MutexLock lock(waiter->mu);
+  while (!waiter->done) waiter->cv.Wait(waiter->mu);
+  return std::move(waiter->result);
+}
+
+Result<QueryResponse> Server::Execute(const QueryRequest& request,
+                                      const WallTimer& admitted,
+                                      uint64_t deadline_ms) {
+  if (before_execute_) before_execute_();
+
+  // Deadline gate: fail fast BEFORE doing any work, so an expired query
+  // (typically one that sat in the queue) costs nothing further.
+  if (deadline_ms != 0 &&
+      admitted.ElapsedNanos() >
+          static_cast<int64_t>(deadline_ms) * 1'000'000) {
+    MutexLock lock(stats_mu_);
+    ++deadline_exceeded_;
+    return Status::DeadlineExceeded(
+        StrFormat("deadline of %llu ms exceeded after %.1f ms (including "
+                  "queue wait)",
+                  static_cast<unsigned long long>(deadline_ms),
+                  admitted.ElapsedMillis()));
+  }
+
+  // Pin once; everything below reads only the pinned snapshot.
+  std::shared_ptr<const ReadSnapshot> snapshot = epochs_->Pin();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition(
+        "no snapshot published yet; the writer must publish before the "
+        "server can answer queries");
+  }
+
+  QueryResponse response;
+  response.epoch = snapshot->epoch();
+  search::ParsedQuery parsed = snapshot->Parse(request.query);
+  // Unmatched tokens always come from the fresh parse (they are
+  // diagnostics about THIS request's surface text, not about the
+  // canonical result the cache stores).
+  response.unmatched = parsed.unmatched;
+
+  const std::string key =
+      QueryCache::Key(snapshot->epoch(), parsed, request.options);
+  if (cache_.Lookup(key, &response.hits)) {
+    response.from_cache = true;
+  } else {
+    response.hits = snapshot->Search(parsed, request.options);
+    cache_.Insert(key, response.hits);
+  }
+
+  MutexLock lock(stats_mu_);
+  ++completed_;
+  return response;
+}
+
+Server::Stats Server::GetStats() const {
+  Stats stats;
+  {
+    MutexLock lock(stats_mu_);
+    stats.admitted = admitted_;
+    stats.completed = completed_;
+    stats.rejected_invalid = rejected_invalid_;
+    stats.rejected_queue_full = rejected_queue_full_;
+    stats.deadline_exceeded = deadline_exceeded_;
+  }
+  stats.cache = cache_.GetStats();
+  return stats;
+}
+
+}  // namespace storypivot::serve

@@ -1,0 +1,136 @@
+#ifndef STORYPIVOT_SERVE_SERVER_H_
+#define STORYPIVOT_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "search/ranker.h"
+#include "serve/epoch_manager.h"
+#include "serve/query_cache.h"
+#include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace storypivot::serve {
+
+struct ServerOptions {
+  /// Worker threads executing queries. <= 1 runs every query inline on
+  /// the calling thread (same single-code-path convention as
+  /// ThreadPool), which is what the determinism tests use.
+  size_t num_threads = 4;
+  /// Admission bound: queries queued beyond this are rejected with
+  /// kUnavailable instead of building an unbounded backlog
+  /// (backpressure — the caller backs off and retries).
+  size_t max_queued = 64;
+  /// Default per-query deadline in milliseconds; 0 = no deadline.
+  /// Checked when a worker dequeues the query: a query that spent its
+  /// budget waiting in the queue fails fast with kDeadlineExceeded
+  /// rather than burning a worker on an answer nobody is waiting for.
+  uint64_t default_deadline_ms = 0;
+  /// Hot-query cache entries (0 disables caching).
+  size_t cache_capacity = 128;
+};
+
+struct QueryRequest {
+  std::string query;
+  search::SearchOptions options;
+  /// Overrides ServerOptions::default_deadline_ms when nonzero.
+  uint64_t deadline_ms = 0;
+};
+
+struct QueryResponse {
+  /// Epoch the query was served at (all hits are consistent with
+  /// exactly this snapshot).
+  uint64_t epoch = 0;
+  std::vector<search::StoryHit> hits;
+  /// Query tokens that matched nothing (always freshly parsed, even on
+  /// a cache hit).
+  std::vector<std::string> unmatched;
+  bool from_cache = false;
+};
+
+/// The serving front-end (DESIGN.md §14): a thread pool draining a
+/// bounded query queue against epoch-pinned snapshots.
+///
+/// Request lifecycle:
+///   1. ADMISSION (caller's thread): options are validated
+///      (kInvalidArgument for inverted time ranges — see
+///      ValidateSearchOptions) and the query is enqueued with
+///      TrySubmit; a full queue rejects with kUnavailable.
+///   2. EXECUTION (worker): the deadline is checked first — queue wait
+///      counts against it — then the worker pins the current snapshot
+///      and serves entirely from it: parse, cache probe, rank. The
+///      pinned epoch cannot be reclaimed mid-query no matter how many
+///      snapshots the writer publishes meanwhile.
+///
+/// Query() is synchronous (blocks the caller until its result is
+/// ready); concurrency comes from many caller threads, as in the bench
+/// harness's closed-loop readers.
+class Server {
+ public:
+  /// `epochs` must outlive the server.
+  explicit Server(EpochManager* epochs, ServerOptions options = {});
+
+  /// Drains in-flight queries (ThreadPool shutdown) before returning.
+  ~Server() = default;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Executes one query end to end. Thread-safe; blocks until the
+  /// result is ready. Errors:
+  ///   * kInvalidArgument  — malformed options (rejected at admission);
+  ///   * kUnavailable      — queue full (admission backpressure);
+  ///   * kDeadlineExceeded — deadline expired before execution started;
+  ///   * kFailedPrecondition — no snapshot published yet.
+  [[nodiscard]] Result<QueryResponse> Query(const QueryRequest& request);
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t completed = 0;
+    uint64_t rejected_invalid = 0;
+    uint64_t rejected_queue_full = 0;
+    uint64_t deadline_exceeded = 0;
+    QueryCache::Stats cache;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  /// TEST HOOK: runs on the worker at the top of every execution (after
+  /// dequeue, before the deadline check). Tests use it to stall workers
+  /// — filling the queue to force kUnavailable, or burning a deadline
+  /// to force kDeadlineExceeded. Install before issuing queries; not
+  /// synchronized against in-flight ones.
+  void set_before_execute(std::function<void()> hook) {
+    before_execute_ = std::move(hook);
+  }
+
+ private:
+  /// The worker-side half of Query() (step 2 above).
+  [[nodiscard]] Result<QueryResponse> Execute(const QueryRequest& request,
+                                              const WallTimer& admitted,
+                                              uint64_t deadline_ms);
+
+  EpochManager* const epochs_;
+  const ServerOptions options_;
+  QueryCache cache_;
+  /// Counter lock; leaf (nothing is acquired under it).
+  // lockcheck: name=Server.stats_mu_
+  mutable Mutex stats_mu_;
+  uint64_t admitted_ SP_GUARDED_BY(stats_mu_) = 0;
+  uint64_t completed_ SP_GUARDED_BY(stats_mu_) = 0;
+  uint64_t rejected_invalid_ SP_GUARDED_BY(stats_mu_) = 0;
+  uint64_t rejected_queue_full_ SP_GUARDED_BY(stats_mu_) = 0;
+  uint64_t deadline_exceeded_ SP_GUARDED_BY(stats_mu_) = 0;
+  std::function<void()> before_execute_;
+  /// Last member: destroyed (and drained) first, so workers never see a
+  /// partially-destroyed server.
+  ThreadPool pool_;
+};
+
+}  // namespace storypivot::serve
+
+#endif  // STORYPIVOT_SERVE_SERVER_H_

@@ -1,0 +1,44 @@
+#include "serve/serving_engine.h"
+
+#include <utility>
+
+#include "serve/read_snapshot.h"
+
+namespace storypivot::serve {
+
+Result<std::unique_ptr<ServingEngine>> ServingEngine::Open(
+    const std::string& dir, ServerOptions server_options,
+    persist::DurabilityOptions durability_options,
+    EngineConfig engine_config) {
+  std::unique_ptr<ServingEngine> serving(new ServingEngine());
+  ASSIGN_OR_RETURN(serving->durable_,
+                   persist::DurableEngine::Open(dir, durability_options,
+                                                std::move(engine_config)));
+  serving->search_ = std::make_unique<search::SearchEngine>(
+      &serving->durable_->engine());
+  // Every acked mutation (and every successful Reopen) republishes.
+  // The hook runs inside the writer serial section, which is exactly
+  // what Capture requires.
+  ServingEngine* raw = serving.get();
+  serving->durable_->set_commit_hook([raw] { raw->PublishSnapshot(); });
+  serving->PublishSnapshot();  // Epoch 1: the recovered state.
+  serving->server_ =
+      std::make_unique<Server>(&serving->epochs_, server_options);
+  return serving;
+}
+
+ServingEngine::~ServingEngine() {
+  if (durable_ != nullptr) {
+    // Detach the hook before members start dying under it.
+    durable_->set_commit_hook({});
+  }
+}
+
+uint64_t ServingEngine::PublishSnapshot() {
+  uint64_t epoch = epochs_.Publish(
+      ReadSnapshot::Capture(durable_->engine(), search_->index()));
+  epochs_.ReclaimExpired();  // Opportunistic registry trim.
+  return epoch;
+}
+
+}  // namespace storypivot::serve

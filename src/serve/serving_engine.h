@@ -1,0 +1,81 @@
+#ifndef STORYPIVOT_SERVE_SERVING_ENGINE_H_
+#define STORYPIVOT_SERVE_SERVING_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "persist/durable_engine.h"
+#include "search/search_engine.h"
+#include "serve/epoch_manager.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace storypivot::serve {
+
+/// The full serving stack wired together (DESIGN.md §14):
+///
+///   DurableEngine (WAL + recovery, the single writer)
+///     + SearchEngine (incrementally maintained postings index)
+///     + EpochManager (immutable snapshot publication)
+///     + Server (thread pool, admission control, deadlines, cache)
+///
+/// The durable engine's commit hook captures a fresh ReadSnapshot after
+/// every acknowledged mutation (a batch = one op = one snapshot) and
+/// publishes it as a new epoch, so readers always see some acked prefix
+/// of the operation stream — never a mid-batch state. The hook also
+/// fires after a successful Reopen(), so recovery republishes too.
+///
+/// Threading contract: all mutations go through the single writer
+/// thread (the DurableEngine serial section); Query() is safe from any
+/// number of concurrent reader threads, which only ever touch pinned
+/// immutable snapshots and the leaf-locked serve structures.
+class ServingEngine {
+ public:
+  /// Opens (or creates) the durable engine at `dir`, attaches search,
+  /// captures and publishes the initial snapshot (epoch 1), and starts
+  /// the serving pool.
+  [[nodiscard]] static Result<std::unique_ptr<ServingEngine>> Open(
+      const std::string& dir, ServerOptions server_options = {},
+      persist::DurabilityOptions durability_options = {},
+      EngineConfig engine_config = {});
+
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// The single writer. Mutate through durable().Add*/Remove*/Align;
+  /// every acked mutation publishes a new epoch automatically.
+  [[nodiscard]] persist::DurableEngine& durable() { return *durable_; }
+
+  /// Read path: thread-safe, epoch-pinned.
+  [[nodiscard]] Result<QueryResponse> Query(const QueryRequest& request) {
+    return server_->Query(request);
+  }
+
+  [[nodiscard]] EpochManager& epochs() { return epochs_; }
+  [[nodiscard]] Server& server() { return *server_; }
+  [[nodiscard]] const search::SearchEngine& search() const {
+    return *search_;
+  }
+
+  /// Re-captures and publishes a snapshot of the current engine state.
+  /// Writer-side. Normally automatic (commit hook); exposed for the
+  /// initial publish and for tests.
+  uint64_t PublishSnapshot();
+
+ private:
+  ServingEngine() = default;
+
+  // Destruction order (reverse of declaration): the server drains its
+  // workers first, then epochs drop their snapshots, then search
+  // detaches, then the durable engine closes.
+  std::unique_ptr<persist::DurableEngine> durable_;
+  std::unique_ptr<search::SearchEngine> search_;
+  EpochManager epochs_;
+  std::unique_ptr<Server> server_;
+};
+
+}  // namespace storypivot::serve
+
+#endif  // STORYPIVOT_SERVE_SERVING_ENGINE_H_

@@ -53,4 +53,12 @@ void InvertedIndex::Compact() {
   tombstones_.clear();
 }
 
+InvertedIndex InvertedIndex::Clone() const {
+  InvertedIndex copy;
+  copy.postings_ = postings_;
+  copy.tombstones_ = tombstones_;
+  copy.num_postings_ = num_postings_;
+  return copy;
+}
+
 }  // namespace storypivot

@@ -41,6 +41,11 @@ class InvertedIndex {
   /// Physically removes tombstoned entries.
   void Compact();
 
+  /// Deep copy. Copying is disallowed (accidental copies of a large
+  /// index are almost always bugs), so snapshot capture asks for one
+  /// explicitly (serve/ReadSnapshot, DESIGN.md §14).
+  [[nodiscard]] InvertedIndex Clone() const;
+
   /// Live postings count (approximate cost indicator).
   size_t num_postings() const { return num_postings_; }
   size_t num_tombstones() const { return tombstones_.size(); }

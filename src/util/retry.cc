@@ -1,6 +1,7 @@
 #include "util/retry.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -17,30 +18,69 @@ bool IsTransient(const Status& status) {
          std::string::npos;
 }
 
-RetryPolicy::RetryPolicy(RetryOptions options) : options_(options) {
+namespace {
+/// Per-policy seed when the caller passed jitter_seed == 0. Policies
+/// must NOT share a jitter schedule — synchronized schedules are the
+/// exact storm the jitter exists to break up — so each auto-seeded
+/// policy draws a distinct stream.
+uint64_t NextAutoSeed() {
+  static std::atomic<uint64_t> counter{0x9e3779b97f4a7c15ULL};
+  return counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                           std::memory_order_relaxed);
+}
+}  // namespace
+
+RetryPolicy::RetryPolicy(RetryOptions options)
+    : options_(options),
+      jitter_rng_(options.jitter_seed != 0 ? options.jitter_seed
+                                           : NextAutoSeed()) {
   options_.max_attempts = std::max(options_.max_attempts, 1);
   if (options_.backoff_multiplier < 1.0) options_.backoff_multiplier = 1.0;
+  if (options_.initial_backoff_us == 0) options_.initial_backoff_us = 1;
+  options_.max_backoff_us =
+      std::max(options_.max_backoff_us, options_.initial_backoff_us);
 }
 
 void RetryPolicy::set_sleep_fn(SleepFn fn) { sleep_ = std::move(fn); }
 
+uint64_t RetryPolicy::NextBackoff(uint64_t prev) {
+  if (!options_.jitter) {
+    if (prev == 0) return options_.initial_backoff_us;
+    return std::min<uint64_t>(
+        static_cast<uint64_t>(static_cast<double>(prev) *
+                              options_.backoff_multiplier),
+        options_.max_backoff_us);
+  }
+  // Decorrelated jitter: uniform in [initial, 3 * previous], capped.
+  // The lower bound keeps a floor under the wait; the 3x upper bound
+  // grows the *spread* (not just the mean) each round, so colliding
+  // retriers separate quickly.
+  const uint64_t lo = options_.initial_backoff_us;
+  const uint64_t hi =
+      std::min<uint64_t>(std::max<uint64_t>(3 * std::max(prev, lo), lo),
+                         options_.max_backoff_us);
+  return static_cast<uint64_t>(jitter_rng_.NextInRange(
+      static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+}
+
 Status RetryPolicy::Run(const char* what, const std::function<Status()>& op,
                         const std::function<Status()>& before_retry) {
   ++stats_.runs;
-  uint64_t backoff_us = options_.initial_backoff_us;
+  uint64_t backoff_us = 0;  // Last slept backoff; 0 before first retry.
   Status status;
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     if (attempt > 1) {
+      backoff_us = NextBackoff(backoff_us);
       stats_.backoff_us += backoff_us;
       if (sleep_) {
         sleep_(backoff_us);
       } else {
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
       }
-      backoff_us = std::min<uint64_t>(
-          static_cast<uint64_t>(static_cast<double>(backoff_us) *
-                                options_.backoff_multiplier),
-          options_.max_backoff_us);
+      // Count the retry once its backoff is slept — even when
+      // before_retry then aborts the run, the wait happened, and
+      // stats_.backoff_us must stay the sum over stats_.retries.
+      ++stats_.retries;
       if (before_retry) {
         Status restored = before_retry();
         if (!restored.ok()) {
@@ -51,7 +91,6 @@ Status RetryPolicy::Run(const char* what, const std::function<Status()>& op,
                             restored.message());
         }
       }
-      ++stats_.retries;
     }
     ++stats_.attempts;
     status = op();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace storypivot {
@@ -23,10 +24,24 @@ struct RetryOptions {
   int max_attempts = 4;
   /// Backoff before the first retry.
   uint64_t initial_backoff_us = 100;
-  /// Backoff growth factor per retry.
+  /// Backoff growth factor per retry (jitter off only).
   double backoff_multiplier = 2.0;
   /// Backoff ceiling.
   uint64_t max_backoff_us = 50'000;
+  /// Decorrelated jitter (default ON). Pure exponential backoff makes N
+  /// writers that hit the same transient fault retry in lockstep —
+  /// every wave lands on the contended resource at the same instant.
+  /// With jitter the k-th backoff is drawn uniformly from
+  /// [initial_backoff_us, 3 * previous_backoff], capped at
+  /// max_backoff_us ("decorrelated jitter"), so concurrent retriers
+  /// spread out. Set false to restore the deterministic exponential
+  /// schedule (some tests assert it).
+  bool jitter = true;
+  /// Seed for the jitter RNG. 0 (the default) derives a distinct seed
+  /// per policy instance — the whole point is that policies do NOT
+  /// share a schedule. Tests pass a nonzero seed to make the jittered
+  /// schedule reproducible.
+  uint64_t jitter_seed = 0;
 };
 
 /// Bounded exponential backoff around a fallible operation. Only
@@ -76,9 +91,15 @@ class RetryPolicy {
   [[nodiscard]] const RetryOptions& options() const { return options_; }
 
  private:
+  /// Next backoff: exponential when jitter is off, decorrelated-jitter
+  /// draw otherwise. `prev` is the backoff just slept (0 before the
+  /// first retry of a Run).
+  [[nodiscard]] uint64_t NextBackoff(uint64_t prev);
+
   RetryOptions options_;
   SleepFn sleep_;
   Stats stats_;
+  Pcg32 jitter_rng_;
 };
 
 }  // namespace storypivot

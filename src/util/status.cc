@@ -25,6 +25,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kDegraded:
       return "Degraded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -23,6 +23,12 @@ enum class StatusCode {
   /// it into degraded mode, mutations are rejected until recovery (see
   /// DurableEngine::Reopen, DESIGN.md §12).
   kDegraded,
+  /// Load shedding: the serving tier rejected the request at admission
+  /// (queue full). Retrying later can succeed — the caller should back
+  /// off, not escalate (DESIGN.md §14).
+  kUnavailable,
+  /// The request's deadline expired before a worker could execute it.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -67,6 +73,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Degraded(std::string msg) {
     return Status(StatusCode::kDegraded, std::move(msg));
+  }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

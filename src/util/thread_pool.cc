@@ -59,6 +59,31 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.NotifyOne();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return true;
+  }
+  bool run_inline = false;
+  {
+    MutexLock lock(mu_);
+    if (stop_) {
+      run_inline = true;  // Same exactly-once guarantee as Submit.
+    } else if (queue_.size() >= max_queued_) {
+      return false;
+    } else {
+      queue_.push_back(std::move(task));
+      ++in_flight_;
+    }
+  }
+  if (run_inline) {
+    task();
+    return true;
+  }
+  work_available_.NotifyOne();
+  return true;
+}
+
 void ThreadPool::ParallelFor(
     size_t n, size_t num_chunks,
     const std::function<void(size_t chunk, size_t begin, size_t end)>& body) {

@@ -50,6 +50,13 @@ class ThreadPool {
   /// task inline when the pool has no workers or is shutting down.
   void Submit(std::function<void()> task) SP_EXCLUDES(mu_);
 
+  /// Non-blocking Submit for admission control: returns false (and does
+  /// NOT take ownership of running the task) when the queue is at
+  /// capacity, instead of waiting for space. Like Submit, runs the task
+  /// inline (and returns true) when the pool has no workers or is
+  /// shutting down — rejection only ever means "queue full".
+  [[nodiscard]] bool TrySubmit(std::function<void()> task) SP_EXCLUDES(mu_);
+
   /// Runs `body(chunk, begin, end)` over `num_chunks` contiguous chunks
   /// of [0, n) and blocks until all chunks completed. Chunk boundaries
   /// depend only on (n, num_chunks) — never on thread count or timing —

@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -23,6 +25,7 @@
 #include "datagen/corpus.h"
 #include "persist/durable_engine.h"
 #include "persist/wal.h"
+#include "search/search_engine.h"
 #include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/logging.h"
@@ -369,6 +372,83 @@ TEST_F(ChaosTest, PermanentAppendFailureDegradesAndReopenRecovers) {
   }
   EXPECT_EQ(EngineStateFingerprint(engine.engine()),
             ReferenceFingerprint(plan, plan.ops.size()));
+  ASSERT_OK(engine.Close());
+}
+
+// Reopen() replaces the engine OBJECT wholesale. Before the fix it
+// dropped the registered IngestObserver on the floor: an attached
+// SearchEngine kept serving from its pre-recovery index (and a dangling
+// engine pointer) — silently stale search results after every recovery.
+// Now Recover() carries the observer over to the rebuilt engine and
+// fires OnEngineReplaced, which reseats the pointer and rebuilds the
+// index. The check is the search subsystem's own equivalence contract:
+// the indexed path must match the index-free scan over the recovered
+// engine, before AND after post-recovery ingest.
+TEST_F(ChaosTest, ReopenReattachesSearchObserverAndRebuildsIndex) {
+  const Plan plan = MakePlan(40);
+  const std::string dir = FreshDir("reopen_search");
+  Result<std::unique_ptr<DurableEngine>> opened =
+      DurableEngine::Open(dir, ChaosOptions());
+  ASSERT_OK(opened.status());
+  DurableEngine& engine = *opened.value();
+  search::SearchEngine searcher(&engine.engine());
+
+  Registry::Instance().Arm("wal.append",
+                           failpoint::OneShot(30, /*transient=*/false));
+  size_t acked = 0;
+  for (const PlanOp& op : plan.ops) {
+    if (!Apply(plan, op, &engine).ok()) break;
+    ++acked;
+  }
+  ASSERT_TRUE(engine.degraded());
+
+  ASSERT_OK(engine.Reopen());
+
+  // Query terms drawn from the recovered content itself, so the scan
+  // side is non-empty no matter which generated ids survived the
+  // acked prefix.
+  search::ParsedQuery query;
+  std::set<std::pair<search::Field, text::TermId>> used;
+  engine.engine().store().ForEach([&](const Snippet& snippet) {
+    if (query.terms.size() >= 4) return;
+    if (!snippet.entities.empty() &&
+        used.insert({search::Field::kEntity,
+                     snippet.entities.entries().front().first})
+            .second) {
+      query.terms.push_back({search::Field::kEntity,
+                             snippet.entities.entries().front().first,
+                             {},
+                             "e"});
+    }
+    if (query.terms.size() < 4 && !snippet.keywords.empty() &&
+        used.insert({search::Field::kKeyword,
+                     snippet.keywords.entries().front().first})
+            .second) {
+      query.terms.push_back({search::Field::kKeyword,
+                             snippet.keywords.entries().front().first,
+                             {},
+                             "k"});
+    }
+  });
+  ASSERT_FALSE(query.terms.empty());
+  search::SearchOptions options;
+  options.k = 25;
+
+  // The recovery discarded the unlogged mutation the index had already
+  // observed, so a stale index would disagree with the scan here.
+  std::vector<search::StoryHit> indexed = searcher.Search(query, options);
+  std::vector<search::StoryHit> scanned =
+      searcher.SearchScan(query, options);
+  EXPECT_FALSE(scanned.empty());
+  EXPECT_EQ(indexed, scanned);
+
+  // And the observer must still be ATTACHED: post-recovery ingest has
+  // to keep flowing into the index.
+  for (size_t i = acked; i < plan.ops.size(); ++i) {
+    ASSERT_OK(Apply(plan, plan.ops[i], &engine));
+  }
+  EXPECT_EQ(searcher.Search(query, options),
+            searcher.SearchScan(query, options));
   ASSERT_OK(engine.Close());
 }
 

@@ -179,6 +179,60 @@ TEST_F(TinyRankFixture, TimeFilterLimitsContributingSnippets) {
   EXPECT_TRUE(searcher_->Search(EntityQuery(1), options).empty());
 }
 
+TEST_F(TinyRankFixture, TimeWindowBoundsAreInclusiveAtBothEnds) {
+  // from == to pinned exactly on a snippet's timestamp must match it
+  // (the [from, to] filter is inclusive at both ends), and moving
+  // either bound off by one second must drop it.
+  const Timestamp t0 = MakeTimestamp(2014, 7, 17);
+  SearchOptions options;
+  options.filter_time = true;
+  options.from = t0;
+  options.to = t0;
+  ASSERT_TRUE(search::ValidateSearchOptions(options).ok());
+  std::vector<StoryHit> exact = searcher_->Search(EntityQuery(0), options);
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0], searcher_->SearchScan(EntityQuery(0), options)[0]);
+
+  // Window ending one second before the snippet: empty (both paths).
+  options.from = t0 - kSecondsPerDay;
+  options.to = t0 - 1;
+  EXPECT_TRUE(searcher_->Search(EntityQuery(0), options).empty());
+  EXPECT_TRUE(searcher_->SearchScan(EntityQuery(0), options).empty());
+
+  // Window starting one second after it: misses it too (only the
+  // second snippet of story A, a day later, is left for entity 0).
+  options.from = t0 + 1;
+  options.to = t0 + kSecondsPerDay;
+  std::vector<StoryHit> after = searcher_->Search(EntityQuery(0), options);
+  ASSERT_EQ(after.size(), 1u);
+  // tf drops from 3.0 (both snippets) to 1.0 (second snippet only), so
+  // the score must differ from the exact-hit window's.
+  EXPECT_NE(after[0].score, exact[0].score);
+  EXPECT_EQ(after[0], searcher_->SearchScan(EntityQuery(0), options)[0]);
+}
+
+TEST(SearchOptionsValidationTest, InvertedWindowIsATypedErrorNotEmpty) {
+  SearchOptions options;
+  options.filter_time = true;
+  options.from = MakeTimestamp(2014, 8, 1);
+  options.to = MakeTimestamp(2014, 7, 1);
+  Status status = search::ValidateSearchOptions(options);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The message names both bounds so the caller can see the inversion.
+  EXPECT_NE(std::string(status.message()).find("inverted"),
+            std::string::npos);
+
+  // from == to is a legal one-instant window, not an inversion.
+  options.to = options.from;
+  EXPECT_TRUE(search::ValidateSearchOptions(options).ok());
+
+  // Without filter_time the bounds are inert and never validated.
+  options.filter_time = false;
+  options.from = 10;
+  options.to = 5;
+  EXPECT_TRUE(search::ValidateSearchOptions(options).ok());
+}
+
 TEST_F(TinyRankFixture, KBoundsTheResultList) {
   ParsedQuery query;
   query.terms.push_back({Field::kEntity, 1, {}, "e1"});

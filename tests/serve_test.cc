@@ -1,0 +1,605 @@
+// Serving-tier tests (DESIGN.md §14): snapshot capture fidelity, epoch
+// publication/pinning/reclamation, the hot-query cache, admission
+// control and deadlines, and the headline property — K concurrent
+// readers pinned to an epoch see BYTE-IDENTICAL results no matter how
+// hard the writer churns underneath them, and those results equal what
+// the serial engine answered at the same acked prefix.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "datagen/corpus.h"
+#include "search/search_engine.h"
+#include "serve/epoch_manager.h"
+#include "serve/query_cache.h"
+#include "serve/read_snapshot.h"
+#include "serve/server.h"
+#include "serve/serving_engine.h"
+#include "util/fs.h"
+#include "util/logging.h"
+#include "util/sync.h"
+
+namespace storypivot {
+namespace {
+
+using search::Field;
+using search::ParsedQuery;
+using search::SearchOptions;
+using search::StoryHit;
+using serve::EpochManager;
+using serve::QueryCache;
+using serve::QueryRequest;
+using serve::QueryResponse;
+using serve::ReadSnapshot;
+using serve::Server;
+using serve::ServerOptions;
+using serve::ServingEngine;
+
+::testing::AssertionResult IsOk(const Status& status) {
+  if (status.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << status.ToString();
+}
+template <typename T>
+::testing::AssertionResult IsOk(const Result<T>& result) {
+  return IsOk(result.status());
+}
+#define ASSERT_OK(expr) ASSERT_TRUE(IsOk((expr)))
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/sp_serve_" + name;
+  if (FileExists(dir)) {
+    Result<std::vector<std::string>> names = ListDirectory(dir);
+    SP_CHECK_OK(names.status());
+    for (const std::string& entry : names.value()) {
+      SP_CHECK_OK(RemoveFile(dir + "/" + entry));
+    }
+  }
+  SP_CHECK_OK(CreateDirectories(dir));
+  return dir;
+}
+
+Snippet MakeSnippet(SourceId source, Timestamp ts,
+                    std::vector<text::TermVector::Entry> entities,
+                    std::vector<text::TermVector::Entry> keywords,
+                    std::string event_type = {}) {
+  Snippet snippet;
+  snippet.id = kInvalidSnippetId;
+  snippet.source = source;
+  snippet.timestamp = ts;
+  snippet.entities = text::TermVector::FromEntries(std::move(entities));
+  snippet.keywords = text::TermVector::FromEntries(std::move(keywords));
+  snippet.event_type = std::move(event_type);
+  return snippet;
+}
+
+/// A small deterministic engine with named text state, so free-text
+/// queries exercise the gazetteer/stemming clone path too.
+struct LiveStack {
+  std::unique_ptr<StoryPivotEngine> engine;
+  std::unique_ptr<search::SearchEngine> searcher;
+};
+
+LiveStack BuildStack() {
+  LiveStack stack;
+  stack.engine = std::make_unique<StoryPivotEngine>();
+  StoryPivotEngine& engine = *stack.engine;
+  SourceId wire = engine.RegisterSource("wire");
+  SourceId blog = engine.RegisterSource("blog");
+  text::TermId ukraine = engine.gazetteer()->AddEntity("Ukraine");
+  engine.gazetteer()->AddAlias(ukraine, "Kiev government");
+  text::TermId airline = engine.gazetteer()->AddEntity("Malaysia Airlines");
+  text::TermId crash = engine.keyword_vocabulary()->Intern("crash");
+  text::TermId probe = engine.keyword_vocabulary()->Intern("investig");
+  const Timestamp t0 = MakeTimestamp(2014, 7, 17);
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(
+      wire, t0, {{ukraine, 1.0}, {airline, 2.0}}, {{crash, 2.0}},
+      "Accident")));
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(
+      wire, t0 + kSecondsPerDay, {{ukraine, 2.0}}, {{probe, 1.0}},
+      "Accident")));
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(
+      blog, t0 + 2 * kSecondsPerDay, {{airline, 1.0}},
+      {{crash, 1.0}, {probe, 1.0}}, "Protest")));
+  SP_CHECK_OK(engine.AddSnippet(MakeSnippet(
+      blog, t0 + 200 * kSecondsPerDay, {{ukraine, 1.0}}, {{crash, 1.0}},
+      "Conflict")));
+  stack.searcher = std::make_unique<search::SearchEngine>(&engine);
+  return stack;
+}
+
+// ----------------------------- ReadSnapshot --------------------------------
+
+TEST(ReadSnapshotTest, MatchesTheLiveEngineBitForBit) {
+  LiveStack live = BuildStack();
+  std::unique_ptr<ReadSnapshot> snapshot =
+      ReadSnapshot::Capture(*live.engine, live.searcher->index());
+
+  const char* queries[] = {"Ukraine crash", "kiev government investigated",
+                           "Malaysia Airlines accident", "zzznope crash"};
+  for (const char* text : queries) {
+    SCOPED_TRACE(text);
+    ParsedQuery live_parsed = live.searcher->Parse(text);
+    ParsedQuery snap_parsed = snapshot->Parse(text);
+    // Identical canonicalization (same gazetteer, vocabularies, index)…
+    ASSERT_EQ(live_parsed.terms.size(), snap_parsed.terms.size());
+    for (size_t i = 0; i < live_parsed.terms.size(); ++i) {
+      EXPECT_EQ(live_parsed.terms[i].field, snap_parsed.terms[i].field);
+      EXPECT_EQ(live_parsed.terms[i].term, snap_parsed.terms[i].term);
+      EXPECT_EQ(live_parsed.terms[i].event_type,
+                snap_parsed.terms[i].event_type);
+    }
+    EXPECT_EQ(live_parsed.unmatched, snap_parsed.unmatched);
+    // …and identical ranking, including against the index-free scan.
+    for (auto mode : {search::MatchMode::kAny, search::MatchMode::kAll}) {
+      SearchOptions options;
+      options.mode = mode;
+      EXPECT_EQ(snapshot->Search(snap_parsed, options),
+                live.searcher->Search(live_parsed, options));
+      EXPECT_EQ(snapshot->Search(snap_parsed, options),
+                live.searcher->SearchScan(live_parsed, options));
+    }
+  }
+
+  // Boolean story lookups agree too.
+  for (text::TermId term = 0; term < 2; ++term) {
+    EXPECT_EQ(snapshot->StoriesWithEntity(term),
+              live.searcher->StoriesWithEntity(term));
+    EXPECT_EQ(snapshot->StoriesWithKeyword(term),
+              live.searcher->StoriesWithKeyword(term));
+  }
+  EXPECT_EQ(snapshot->StoriesWithEventType("Accident"),
+            live.searcher->StoriesWithEventType("Accident"));
+  const Timestamp t0 = MakeTimestamp(2014, 7, 17);
+  EXPECT_EQ(snapshot->StoriesInTimeRange(t0, t0 + 3 * kSecondsPerDay),
+            live.searcher->StoriesInTimeRange(t0, t0 + 3 * kSecondsPerDay));
+  EXPECT_EQ(snapshot->total_stories(), live.engine->TotalStories());
+}
+
+TEST(ReadSnapshotTest, IsImmuneToWritesAfterCapture) {
+  LiveStack live = BuildStack();
+  std::unique_ptr<ReadSnapshot> snapshot =
+      ReadSnapshot::Capture(*live.engine, live.searcher->index());
+  ParsedQuery parsed = snapshot->Parse("Ukraine crash");
+  std::vector<StoryHit> before = snapshot->Search(parsed);
+  ASSERT_FALSE(before.empty());
+
+  // Pile new content onto the live engine; the frozen view must not
+  // move (the whole point of epoch pinning).
+  text::TermId ukraine = live.engine->entity_vocabulary()->Lookup("Ukraine");
+  for (int i = 0; i < 10; ++i) {
+    SP_CHECK_OK(live.engine->AddSnippet(MakeSnippet(
+        0, MakeTimestamp(2014, 7, 17) + i * kSecondsPerHour,
+        {{ukraine, 3.0}}, {}, "Accident")));
+  }
+  EXPECT_EQ(snapshot->Search(parsed), before);
+  EXPECT_EQ(snapshot->index().num_documents(), 4u);
+
+  // A fresh capture sees the new state — and matches the live ranker.
+  std::unique_ptr<ReadSnapshot> fresh =
+      ReadSnapshot::Capture(*live.engine, live.searcher->index());
+  EXPECT_EQ(fresh->index().num_documents(), 14u);
+  EXPECT_EQ(fresh->Search(fresh->Parse("Ukraine crash")),
+            live.searcher->Search(live.searcher->Parse("Ukraine crash")));
+}
+
+// ----------------------------- EpochManager --------------------------------
+
+TEST(EpochManagerTest, PublishPinAndReclaim) {
+  LiveStack live = BuildStack();
+  EpochManager epochs;
+  EXPECT_EQ(epochs.current_epoch(), 0u);
+  EXPECT_EQ(epochs.Pin(), nullptr);
+
+  uint64_t first = epochs.Publish(
+      ReadSnapshot::Capture(*live.engine, live.searcher->index()));
+  EXPECT_EQ(first, 1u);
+  std::shared_ptr<const ReadSnapshot> pinned = epochs.Pin();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->epoch(), 1u);
+
+  // Publishing retires epoch 1, but the pin keeps it alive and intact.
+  std::vector<StoryHit> at_one = pinned->Search(pinned->Parse("crash"));
+  uint64_t second = epochs.Publish(
+      ReadSnapshot::Capture(*live.engine, live.searcher->index()));
+  EXPECT_EQ(second, 2u);
+  EXPECT_EQ(epochs.current_epoch(), 2u);
+  EXPECT_EQ(pinned->epoch(), 1u);
+  EXPECT_EQ(pinned->Search(pinned->Parse("crash")), at_one);
+
+  EpochManager::Stats stats = epochs.GetStats();
+  EXPECT_EQ(stats.published, 2u);
+  EXPECT_EQ(stats.retired_live, 1u);  // Epoch 1, held by `pinned`.
+  EXPECT_EQ(epochs.ReclaimExpired(), 0u);
+
+  // Dropping the last pin drains epoch 1; the registry trims it.
+  pinned.reset();
+  EXPECT_EQ(epochs.ReclaimExpired(), 1u);
+  stats = epochs.GetStats();
+  EXPECT_EQ(stats.retired_live, 0u);
+  EXPECT_EQ(stats.reclaimed, 1u);
+  EXPECT_EQ(stats.current_epoch, 2u);
+}
+
+// ------------------------------ QueryCache ---------------------------------
+
+TEST(QueryCacheTest, KeyCanonicalizesTermOrderAndSeparatesEpochs) {
+  ParsedQuery ab;
+  ab.terms.push_back({Field::kEntity, 3, {}, "a"});
+  ab.terms.push_back({Field::kKeyword, 7, {}, "b"});
+  ParsedQuery ba;
+  ba.terms.push_back({Field::kKeyword, 7, {}, "b"});
+  ba.terms.push_back({Field::kEntity, 3, {}, "a"});
+  SearchOptions options;
+  EXPECT_EQ(QueryCache::Key(5, ab, options), QueryCache::Key(5, ba, options));
+  EXPECT_NE(QueryCache::Key(5, ab, options), QueryCache::Key(6, ab, options));
+
+  // Every ranking-relevant option lands in the key.
+  SearchOptions other = options;
+  other.k = 3;
+  EXPECT_NE(QueryCache::Key(5, ab, options), QueryCache::Key(5, ab, other));
+  other = options;
+  other.mode = search::MatchMode::kAll;
+  EXPECT_NE(QueryCache::Key(5, ab, options), QueryCache::Key(5, ab, other));
+  other = options;
+  other.filter_time = true;
+  other.from = 1;
+  other.to = 2;
+  EXPECT_NE(QueryCache::Key(5, ab, options), QueryCache::Key(5, ab, other));
+  other = options;
+  other.bm25.b = 0.5;
+  EXPECT_NE(QueryCache::Key(5, ab, options), QueryCache::Key(5, ab, other));
+}
+
+TEST(QueryCacheTest, LruEvictsOldestAndCountsStats) {
+  QueryCache cache(2);
+  std::vector<StoryHit> one{{0, 1, 1.0, 1}};
+  std::vector<StoryHit> two{{0, 2, 2.0, 1}};
+  std::vector<StoryHit> three{{0, 3, 3.0, 1}};
+  std::vector<StoryHit> out;
+
+  cache.Insert("a", one);
+  cache.Insert("b", two);
+  ASSERT_TRUE(cache.Lookup("a", &out));  // "a" becomes most recent.
+  EXPECT_EQ(out, one);
+  cache.Insert("c", three);              // Evicts "b", the LRU entry.
+  EXPECT_FALSE(cache.Lookup("b", &out));
+  ASSERT_TRUE(cache.Lookup("a", &out));
+  ASSERT_TRUE(cache.Lookup("c", &out));
+  EXPECT_EQ(out, three);
+
+  QueryCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+
+  // Capacity 0 disables caching entirely.
+  QueryCache disabled(0);
+  disabled.Insert("a", one);
+  EXPECT_FALSE(disabled.Lookup("a", &out));
+}
+
+// -------------------------------- Server -----------------------------------
+
+TEST(ServerTest, RejectsInvalidOptionsAndMissingSnapshotAtAdmission) {
+  EpochManager epochs;
+  ServerOptions options;
+  options.num_threads = 1;  // Inline: deterministic single-threaded path.
+  Server server(&epochs, options);
+
+  QueryRequest inverted;
+  inverted.query = "crash";
+  inverted.options.filter_time = true;
+  inverted.options.from = 10;
+  inverted.options.to = 5;
+  Result<QueryResponse> response = server.Query(inverted);
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+
+  QueryRequest plain;
+  plain.query = "crash";
+  response = server.Query(plain);
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+
+  Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.rejected_invalid, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ServerTest, ShedsLoadWithUnavailableWhenTheQueueIsFull) {
+  LiveStack live = BuildStack();
+  EpochManager epochs;
+  epochs.Publish(
+      ReadSnapshot::Capture(*live.engine, live.searcher->index()));
+
+  ServerOptions options;
+  options.num_threads = 2;
+  options.max_queued = 1;
+  Server server(&epochs, options);
+
+  // Stall both workers on a latch; with the 1-slot queue then occupied,
+  // the next admission MUST be shed with kUnavailable.
+  // lockcheck: name=serve_test.Sheds.mu
+  Mutex mu;
+  CondVar cv;
+  int stalled = 0;
+  bool release = false;
+  server.set_before_execute([&] {
+    MutexLock lock(mu);
+    ++stalled;
+    cv.NotifyAll();
+    while (!release) cv.Wait(mu);
+  });
+
+  QueryRequest request;
+  request.query = "crash";
+  std::vector<std::thread> callers;
+  std::atomic<int> ok{0};
+  // Stage the first two callers one at a time: each must be DEQUEUED
+  // (stalling its worker, emptying the 1-slot queue) before the next
+  // submits, or the next submission would race into a full queue.
+  for (int i = 0; i < 2; ++i) {
+    callers.emplace_back([&] {
+      Result<QueryResponse> response = server.Query(request);
+      if (response.ok()) ++ok;
+    });
+    MutexLock lock(mu);
+    while (stalled < i + 1) cv.Wait(mu);
+  }
+  // Both workers are stalled. Fill the single queue slot…
+  callers.emplace_back([&] {
+    Result<QueryResponse> response = server.Query(request);
+    if (response.ok()) ++ok;
+  });
+  while (server.GetStats().admitted < 3) std::this_thread::yield();
+  // …and the fourth query is rejected at admission, without blocking.
+  Result<QueryResponse> shed = server.Query(request);
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+
+  {
+    MutexLock lock(mu);
+    release = true;
+    cv.NotifyAll();
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(ok.load(), 3);
+  Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(ServerTest, ExpiredDeadlineFailsFastWithDeadlineExceeded) {
+  LiveStack live = BuildStack();
+  EpochManager epochs;
+  epochs.Publish(
+      ReadSnapshot::Capture(*live.engine, live.searcher->index()));
+
+  ServerOptions options;
+  options.num_threads = 1;  // Inline, so the stall deterministically
+                            // burns THIS query's deadline.
+  Server server(&epochs, options);
+  server.set_before_execute(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+
+  QueryRequest request;
+  request.query = "crash";
+  request.deadline_ms = 1;
+  Result<QueryResponse> response = server.Query(request);
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.GetStats().deadline_exceeded, 1u);
+
+  // Without a deadline the same stall is merely slow, not fatal.
+  request.deadline_ms = 0;
+  ASSERT_OK(server.Query(request));
+}
+
+TEST(ServerTest, CachesWithinAnEpochAndMissesAcrossEpochs) {
+  LiveStack live = BuildStack();
+  EpochManager epochs;
+  epochs.Publish(
+      ReadSnapshot::Capture(*live.engine, live.searcher->index()));
+
+  ServerOptions options;
+  options.num_threads = 1;
+  Server server(&epochs, options);
+  QueryRequest request;
+  request.query = "Ukraine crash zzznope";
+
+  Result<QueryResponse> first = server.Query(request);
+  ASSERT_OK(first);
+  EXPECT_FALSE(first.value().from_cache);
+  EXPECT_EQ(first.value().epoch, 1u);
+  ASSERT_EQ(first.value().unmatched.size(), 1u);
+
+  Result<QueryResponse> second = server.Query(request);
+  ASSERT_OK(second);
+  EXPECT_TRUE(second.value().from_cache);
+  EXPECT_EQ(second.value().hits, first.value().hits);
+  // Unmatched diagnostics come from the fresh parse even on a hit.
+  EXPECT_EQ(second.value().unmatched, first.value().unmatched);
+
+  // Surface variants that canonicalize identically share the entry.
+  QueryRequest variant;
+  variant.query = "crash Ukraine zzznope";
+  Result<QueryResponse> third = server.Query(variant);
+  ASSERT_OK(third);
+  EXPECT_TRUE(third.value().from_cache);
+  EXPECT_EQ(third.value().hits, first.value().hits);
+
+  // A new epoch changes the key: the next lookup misses and recomputes
+  // against the fresh snapshot.
+  epochs.Publish(
+      ReadSnapshot::Capture(*live.engine, live.searcher->index()));
+  Result<QueryResponse> fourth = server.Query(request);
+  ASSERT_OK(fourth);
+  EXPECT_FALSE(fourth.value().from_cache);
+  EXPECT_EQ(fourth.value().epoch, 2u);
+}
+
+// ------------------------- Full-stack determinism --------------------------
+
+// The tentpole property (ISSUE satellite d): K reader threads pinned to
+// epochs must see byte-identical results no matter how the writer
+// churns, and every epoch's answer must equal what the serial engine
+// answered at exactly that acked prefix. The writer records the serial
+// answer right after each publish (it is the sole mutator, so nothing
+// moves between the ack and the record); readers pin epochs at random
+// times and replay the same query repeatedly.
+TEST(ServingDeterminismTest, EpochPinnedReadsAreByteIdenticalUnderLoad) {
+  const std::string dir = FreshDir("determinism");
+  datagen::CorpusConfig config;
+  config.seed = 99;
+  config.num_sources = 3;
+  config.num_stories = 8;
+  config.target_num_snippets = 260;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+
+  Result<std::unique_ptr<ServingEngine>> opened =
+      ServingEngine::Open(dir, ServerOptions{});
+  ASSERT_OK(opened);
+  ServingEngine& serving = *opened.value();
+  ASSERT_OK(serving.durable().ImportVocabularies(
+      *corpus.entity_vocabulary, *corpus.keyword_vocabulary));
+  for (const SourceInfo& source : corpus.sources) {
+    ASSERT_OK(serving.durable().RegisterSource(source.name));
+  }
+  // Seed half the corpus so epoch 1 already has content.
+  const size_t half = corpus.snippets.size() / 2;
+  std::vector<Snippet> warmup;
+  for (size_t i = 0; i < half; ++i) {
+    Snippet copy = corpus.snippets[i];
+    copy.id = kInvalidSnippetId;
+    warmup.push_back(std::move(copy));
+  }
+  ASSERT_OK(serving.durable().AddSnippets(std::move(warmup)));
+
+  // TermIds are stable from here on (vocabularies fully imported), so
+  // one ParsedQuery is valid at every epoch.
+  ParsedQuery query;
+  query.terms.push_back({Field::kEntity, 0, {}, "e0"});
+  query.terms.push_back({Field::kEntity, 1, {}, "e1"});
+  query.terms.push_back({Field::kKeyword, 0, {}, "k0"});
+  SearchOptions options;
+  options.k = 15;
+
+  // expected[epoch] = the serial engine's answer at that acked prefix.
+  std::map<uint64_t, std::vector<StoryHit>> expected;
+  auto record = [&] {
+    expected[serving.epochs().current_epoch()] =
+        serving.search().Search(query, options);
+  };
+  record();
+
+  std::atomic<bool> stop{false};
+  constexpr int kReaders = 4;
+  std::vector<std::map<uint64_t, std::vector<StoryHit>>> seen(kReaders);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const ReadSnapshot> snapshot =
+            serving.epochs().Pin();
+        if (snapshot == nullptr) continue;
+        std::vector<StoryHit> hits = snapshot->Search(query, options);
+        // Re-running on the pinned snapshot must be byte-identical,
+        // writer churn notwithstanding.
+        if (snapshot->Search(query, options) != hits) ++mismatches;
+        auto [it, inserted] =
+            seen[r].emplace(snapshot->epoch(), std::move(hits));
+        // Revisiting an epoch (pinned earlier) must agree with what
+        // this reader saw there the first time.
+        if (!inserted && it->second != snapshot->Search(query, options)) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+
+  // The writer streams the second half in batches; each ack publishes
+  // a new epoch and records the serial answer for it.
+  for (size_t i = half; i < corpus.snippets.size();) {
+    std::vector<Snippet> chunk;
+    for (size_t j = 0; j < 20 && i < corpus.snippets.size(); ++j, ++i) {
+      Snippet copy = corpus.snippets[i];
+      copy.id = kInvalidSnippetId;
+      chunk.push_back(std::move(copy));
+    }
+    ASSERT_OK(serving.durable().AddSnippets(std::move(chunk)));
+    record();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // Every epoch any reader served equals the serial engine's answer at
+  // that acked prefix, byte for byte.
+  size_t checked = 0;
+  for (const auto& reader_seen : seen) {
+    for (const auto& [epoch, hits] : reader_seen) {
+      auto it = expected.find(epoch);
+      ASSERT_NE(it, expected.end()) << "unexpected epoch " << epoch;
+      EXPECT_EQ(hits, it->second) << "epoch " << epoch;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_EQ(serving.epochs().GetStats().current_epoch,
+            expected.rbegin()->first);
+}
+
+// ServingEngine end-to-end: the commit hook publishes an epoch per
+// acked op, Query serves epoch-consistent answers, and reopening the
+// directory recovers into a servable state.
+TEST(ServingEngineTest, PublishesPerOpAndRecoversIntoServableState) {
+  const std::string dir = FreshDir("end_to_end");
+  {
+    ServerOptions options;
+    options.num_threads = 1;
+    Result<std::unique_ptr<ServingEngine>> opened =
+        ServingEngine::Open(dir, options);
+    ASSERT_OK(opened);
+    ServingEngine& serving = *opened.value();
+    EXPECT_EQ(serving.epochs().current_epoch(), 1u);  // Initial publish.
+
+    ASSERT_OK(serving.durable().RegisterSource("wire"));
+    EXPECT_EQ(serving.epochs().current_epoch(), 2u);
+    Result<text::TermId> ukraine =
+        serving.durable().AddGazetteerEntity("Ukraine");
+    ASSERT_OK(ukraine);
+    Snippet snippet = MakeSnippet(0, MakeTimestamp(2014, 7, 17),
+                                  {{ukraine.value(), 2.0}}, {}, "Accident");
+    ASSERT_OK(serving.durable().AddSnippet(std::move(snippet)));
+    uint64_t epoch = serving.epochs().current_epoch();
+    EXPECT_EQ(epoch, 4u);  // open + source + entity + snippet.
+
+    QueryRequest request;
+    request.query = "Ukraine";
+    Result<QueryResponse> response = serving.Query(request);
+    ASSERT_OK(response);
+    EXPECT_EQ(response.value().epoch, epoch);
+    ASSERT_EQ(response.value().hits.size(), 1u);
+    ASSERT_OK(serving.durable().Close());
+  }
+  // Reopen the directory: recovery + initial publish must serve the
+  // same answer without any re-ingest.
+  Result<std::unique_ptr<ServingEngine>> reopened =
+      ServingEngine::Open(dir, ServerOptions{});
+  ASSERT_OK(reopened);
+  QueryRequest request;
+  request.query = "Ukraine";
+  Result<QueryResponse> response = reopened.value()->Query(request);
+  ASSERT_OK(response);
+  ASSERT_EQ(response.value().hits.size(), 1u);
+}
+
+}  // namespace
+}  // namespace storypivot

@@ -604,6 +604,63 @@ TEST(ThreadPoolTest, BoundedQueueDoesNotDeadlock) {
   EXPECT_EQ(count.load(), 500);
 }
 
+TEST(ThreadPoolTest, TrySubmitRejectsOnlyWhenQueueIsFull) {
+  ThreadPool pool(2, /*max_queued=*/2);
+  // Stall BOTH workers so the queue alone absorbs submissions.
+  Mutex mu;  // lockcheck: name=util_test.TrySubmit.mu
+  CondVar cv;
+  int stalled = 0;
+  bool release = false;
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      MutexLock lock(mu);
+      ++stalled;
+      cv.NotifyAll();
+      while (!release) cv.Wait(mu);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    while (stalled != 2) cv.Wait(mu);
+  }
+  // Both workers are held and the queue is empty; capacity 2 accepts
+  // exactly two tasks, the rest are rejected WITHOUT blocking.
+  std::atomic<int> ran{0};
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (pool.TrySubmit(
+            [&ran] { ran.fetch_add(1, std::memory_order_relaxed); })) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 2);
+  {
+    MutexLock lock(mu);
+    release = true;
+  }
+  cv.NotifyAll();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 2);
+  // With space again, TrySubmit accepts.
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+}
+
+TEST(ThreadPoolTest, TrySubmitRunsInlineWithoutWorkersOrAfterShutdown) {
+  {
+    ThreadPool pool(1);  // Inline pool: no workers.
+    int value = 0;
+    EXPECT_TRUE(pool.TrySubmit([&value] { value = 1; }));
+    EXPECT_EQ(value, 1);
+  }
+  {
+    ThreadPool pool(2);
+    pool.Shutdown();
+    int value = 0;
+    EXPECT_TRUE(pool.TrySubmit([&value] { value = 2; }));
+    EXPECT_EQ(value, 2);
+  }
+}
+
 TEST(ThreadPoolTest, ShutdownDrainsPendingWorkBeforeReturning) {
   ThreadPool pool(2, /*max_queued=*/64);
   std::atomic<int> count{0};
@@ -809,7 +866,9 @@ Status Transient(const std::string& what) {
 }
 
 TEST(RetryTest, TransientThenSuccess) {
-  RetryPolicy retry;
+  RetryOptions options;
+  options.jitter = false;  // Assert the deterministic base schedule.
+  RetryPolicy retry(options);
   std::vector<uint64_t> sleeps;
   retry.set_sleep_fn([&](uint64_t us) { sleeps.push_back(us); });
   int calls = 0;
@@ -860,6 +919,7 @@ TEST(RetryTest, BackoffDoublesAndCaps) {
   options.max_attempts = 8;
   options.initial_backoff_us = 100;
   options.max_backoff_us = 500;
+  options.jitter = false;  // Assert the deterministic base schedule.
   RetryPolicy retry(options);
   std::vector<uint64_t> sleeps;
   retry.set_sleep_fn([&](uint64_t us) { sleeps.push_back(us); });
@@ -867,6 +927,85 @@ TEST(RetryTest, BackoffDoublesAndCaps) {
       retry.Run("op", [] { return Transient("x"); });
   EXPECT_EQ(sleeps,
             (std::vector<uint64_t>{100, 200, 400, 500, 500, 500, 500}));
+}
+
+TEST(RetryTest, JitteredBackoffStaysInDecorrelatedBounds) {
+  RetryOptions options;
+  options.max_attempts = 12;
+  options.initial_backoff_us = 100;
+  options.max_backoff_us = 50'000;
+  options.jitter_seed = 42;  // Deterministic draw under test.
+  RetryPolicy retry(options);
+  std::vector<uint64_t> sleeps;
+  retry.set_sleep_fn([&](uint64_t us) { sleeps.push_back(us); });
+  [[maybe_unused]] Status status =
+      retry.Run("op", [] { return Transient("x"); });
+  ASSERT_EQ(sleeps.size(), 11u);
+  // Decorrelated jitter: each sleep is uniform in
+  // [initial, min(3 * previous, cap)] (first: previous = initial).
+  uint64_t prev = options.initial_backoff_us;
+  for (uint64_t us : sleeps) {
+    EXPECT_GE(us, options.initial_backoff_us);
+    EXPECT_LE(us, std::min<uint64_t>(3 * prev, options.max_backoff_us));
+    prev = std::max<uint64_t>(us, options.initial_backoff_us);
+  }
+}
+
+TEST(RetryTest, JitterIsSeedReproducibleAndPoliciesDecorrelate) {
+  auto schedule = [](uint64_t seed) {
+    RetryOptions options;
+    options.max_attempts = 8;
+    options.jitter_seed = seed;
+    RetryPolicy retry(options);
+    std::vector<uint64_t> sleeps;
+    retry.set_sleep_fn([&](uint64_t us) { sleeps.push_back(us); });
+    [[maybe_unused]] Status status =
+        retry.Run("op", [] { return Transient("x"); });
+    return sleeps;
+  };
+  // Same seed -> same schedule (tests can pin jittered behavior).
+  EXPECT_EQ(schedule(7), schedule(7));
+  // Distinct seeds -> distinct schedules (the anti-storm property:
+  // concurrent writers must not retry in lockstep).
+  EXPECT_NE(schedule(7), schedule(8));
+  // Auto-seeded policies (seed 0) draw distinct per-policy streams.
+  EXPECT_NE(schedule(0), schedule(0));
+}
+
+TEST(RetryTest, StatsAccountingOnFinalFailedAttempt) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.jitter_seed = 3;
+  RetryPolicy retry(options);
+  std::vector<uint64_t> sleeps;
+  retry.set_sleep_fn([&](uint64_t us) { sleeps.push_back(us); });
+  Status status = retry.Run("op", [] { return Transient("x"); });
+  EXPECT_FALSE(status.ok());
+  // The run exhausted: every attempt ran, every retry slept exactly
+  // once, and backoff_us is the sum over the recorded sleeps.
+  EXPECT_EQ(retry.stats().runs, 1u);
+  EXPECT_EQ(retry.stats().attempts, 4u);
+  EXPECT_EQ(retry.stats().retries, 3u);
+  EXPECT_EQ(retry.stats().exhausted, 1u);
+  uint64_t total = 0;
+  for (uint64_t us : sleeps) total += us;
+  EXPECT_EQ(retry.stats().backoff_us, total);
+}
+
+TEST(RetryTest, FailingBeforeRetryStillCountsTheSleptRetry) {
+  RetryPolicy retry;
+  std::vector<uint64_t> sleeps;
+  retry.set_sleep_fn([&](uint64_t us) { sleeps.push_back(us); });
+  Status status = retry.Run(
+      "op", [] { return Transient("flaky"); },
+      [] { return Status::Internal("cannot rewind"); });
+  EXPECT_FALSE(status.ok());
+  // The backoff was slept before before_retry aborted the run, so the
+  // stats must count it: backoff_us stays the sum over retries.
+  EXPECT_EQ(sleeps.size(), 1u);
+  EXPECT_EQ(retry.stats().retries, 1u);
+  EXPECT_EQ(retry.stats().backoff_us, sleeps[0]);
+  EXPECT_EQ(retry.stats().exhausted, 0u);
 }
 
 TEST(RetryTest, FailingBeforeRetryHookAbortsTheLoop) {

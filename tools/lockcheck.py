@@ -169,12 +169,20 @@ def scan_file(relpath, lines, locks, acquisitions, findings):
 
 
 def resolve(expr, locks, relpath):
-    """Acquisition expression -> declared lock, by base variable name,
-    preferring a lock declared in the same file on ties."""
+    """Acquisition expression -> declared lock, by base variable name.
+    Ties between same-named members (e.g. several classes each with a
+    `mu_`) are broken by declaration proximity: a lock declared in the
+    same file wins, then one declared in the matching header/source
+    pair (`foo.cc` resolves against `foo.h`)."""
     var = base_var(expr)
     matches = [l for l in locks.values() if l.var == var]
     if len(matches) > 1:
         same_file = [l for l in matches if l.site.startswith(relpath + ":")]
+        if not same_file:
+            stem = os.path.splitext(relpath)[0]
+            same_file = [
+                l for l in matches
+                if os.path.splitext(l.site.rsplit(":", 1)[0])[0] == stem]
         matches = same_file or matches
     return matches[0] if len(matches) == 1 else None
 
@@ -352,11 +360,49 @@ void f() {
 """),
 ]
 
+# Multi-file fixtures: (title, want_findings, [(relpath, source), ...]).
+SELF_TEST_MULTIFILE_CASES = [
+    ("same-named members resolve via the header/source pair", 0, [
+        ("a.h", """
+// lockcheck: name=A.mu_
+Mutex mu_;
+"""),
+        ("b.h", """
+// lockcheck: name=B.mu_
+Mutex mu_;
+"""),
+        ("a.cc", """
+void f() {
+  MutexLock lock(mu_);
+}
+"""),
+    ]),
+    ("same-named members with no owning pair stay ambiguous", 1, [
+        ("a.h", """
+// lockcheck: name=A.mu_
+Mutex mu_;
+"""),
+        ("b.h", """
+// lockcheck: name=B.mu_
+Mutex mu_;
+"""),
+        ("c.cc", """
+void f() {
+  MutexLock lock(mu_);
+}
+"""),
+    ]),
+]
+
 
 def self_test():
     failures = 0
-    for title, want_findings, source in SELF_TEST_CASES:
-        findings = check([("fixture.cc", source.splitlines())])
+    cases = [(title, want, [("fixture.cc", source.splitlines())])
+             for title, want, source in SELF_TEST_CASES]
+    cases += [(title, want, [(p, s.splitlines()) for p, s in files])
+              for title, want, files in SELF_TEST_MULTIFILE_CASES]
+    for title, want_findings, files in cases:
+        findings = check(files)
         got = 1 if findings else 0
         status = "ok" if got == want_findings else "FAIL"
         if got != want_findings:
@@ -368,7 +414,7 @@ def self_test():
         print("lockcheck --self-test: %d case(s) failed" % failures,
               file=sys.stderr)
         return 1
-    print("lockcheck --self-test: %d case(s) passed" % len(SELF_TEST_CASES))
+    print("lockcheck --self-test: %d case(s) passed" % len(cases))
     return 0
 
 
