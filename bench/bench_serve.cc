@@ -27,7 +27,9 @@
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
+#include "cow/stats.h"
 #include "search/search_engine.h"
+#include "serve/read_snapshot.h"
 #include "serve/serving_engine.h"
 #include "util/fs.h"
 #include "util/logging.h"
@@ -44,7 +46,7 @@ std::string FreshDir(const std::string& name) {
   std::string dir = "bench_serve_wal_" + name;
   if (FileExists(dir)) {
     Result<std::vector<std::string>> names = ListDirectory(dir);
-    SP_CHECK_OK(names.status());
+    SP_CHECK_OK(names);
     for (const std::string& entry : names.value()) {
       SP_CHECK_OK(RemoveFile(dir + "/" + entry));
     }
@@ -79,10 +81,10 @@ std::vector<Snippet> IngestWarmup(const datagen::Corpus& corpus,
   SP_CHECK_OK(durable->ImportVocabularies(*corpus.entity_vocabulary,
                                           *corpus.keyword_vocabulary));
   for (const SourceInfo& source : corpus.sources) {
-    SP_CHECK_OK(durable->RegisterSource(source.name).status());
+    SP_CHECK_OK(durable->RegisterSource(source.name));
   }
   SplitCorpus split = Split(corpus);
-  SP_CHECK_OK(durable->AddSnippets(std::move(split.warmup)).status());
+  SP_CHECK_OK(durable->AddSnippets(std::move(split.warmup)));
   SP_CHECK_OK(durable->Align());
   return std::move(split.pending);
 }
@@ -141,7 +143,7 @@ void AssertSnapshotMatchesSerialEngine(const datagen::Corpus& corpus,
   for (const SourceInfo& source : corpus.sources) {
     serial.RegisterSource(source.name);
   }
-  SP_CHECK_OK(serial.AddSnippets(Split(corpus).warmup).status());
+  SP_CHECK_OK(serial.AddSnippets(Split(corpus).warmup));
   (void)serial.Align();
 
   std::shared_ptr<const serve::ReadSnapshot> snapshot =
@@ -163,6 +165,7 @@ void AssertSnapshotMatchesSerialEngine(const datagen::Corpus& corpus,
 struct CellResult {
   std::string mix;
   size_t readers = 0;
+  uint64_t policy_ops = 1;
   uint64_t ok = 0;
   uint64_t shed = 0;
   double qps = 0.0;
@@ -172,6 +175,12 @@ struct CellResult {
   uint64_t epochs_published = 0;
   uint64_t epochs_reclaimed = 0;
   size_t snippets_ingested = 0;
+  // Capture observability (ISSUE PR 8): cost of keeping readers fresh.
+  uint64_t captures = 0;
+  double mean_capture_ms = 0.0;
+  uint64_t bytes_copied = 0;
+  uint64_t last_bytes_shared = 0;
+  uint64_t cache_evicted_by_epoch = 0;
 };
 
 double Percentile(std::vector<double>* sorted, double p) {
@@ -185,9 +194,11 @@ double Percentile(std::vector<double>* sorted, double p) {
 CellResult RunCell(const datagen::Corpus& corpus,
                    const std::vector<std::string>& workload,
                    const SearchOptions& options, const std::string& mix,
-                   size_t readers, double seconds, size_t write_batch) {
+                   size_t readers, double seconds, size_t write_batch,
+                   serve::PublishPolicy policy = {}) {
   const std::string dir =
-      FreshDir(mix + "_" + std::to_string(readers));
+      FreshDir(mix + "_" + std::to_string(readers) + "_p" +
+               std::to_string(policy.every_ops));
   serve::ServerOptions server_options;
   server_options.num_threads = 4;
   server_options.max_queued = 1024;
@@ -195,8 +206,9 @@ CellResult RunCell(const datagen::Corpus& corpus,
   persist::DurabilityOptions durability;
   durability.checkpoint_every_ops = 1 << 20;  // no mid-cell checkpoints
   Result<std::unique_ptr<serve::ServingEngine>> opened =
-      serve::ServingEngine::Open(dir, server_options, durability);
-  SP_CHECK_OK(opened.status());
+      serve::ServingEngine::Open(dir, server_options, durability, {},
+                                 policy);
+  SP_CHECK_OK(opened);
   serve::ServingEngine& serving = *opened.value();
 
   std::vector<Snippet> pending = IngestWarmup(corpus, &serving.durable());
@@ -245,7 +257,7 @@ CellResult RunCell(const datagen::Corpus& corpus,
         copy.id = kInvalidSnippetId;
         chunk.push_back(std::move(copy));
       }
-      SP_CHECK_OK(serving.durable().AddSnippets(std::move(chunk)).status());
+      SP_CHECK_OK(serving.durable().AddSnippets(std::move(chunk)));
       ingested += n;
       cursor = (cursor + n) % pending.size();
     }
@@ -254,6 +266,7 @@ CellResult RunCell(const datagen::Corpus& corpus,
       std::this_thread::yield();
     }
   }
+  serving.Flush();  // Publish any batched tail so readers saw it all.
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& thread : threads) thread.join();
   const double elapsed = wall.ElapsedSeconds();
@@ -261,6 +274,7 @@ CellResult RunCell(const datagen::Corpus& corpus,
   CellResult cell;
   cell.mix = mix;
   cell.readers = readers;
+  cell.policy_ops = policy.every_ops;
   std::vector<double> latencies;
   for (Tally& tally : tallies) {
     cell.ok += tally.ok;
@@ -281,7 +295,119 @@ CellResult RunCell(const datagen::Corpus& corpus,
   cell.epochs_published = epoch_stats.published;
   cell.epochs_reclaimed = epoch_stats.reclaimed;
   cell.snippets_ingested = ingested;
+  cell.captures = epoch_stats.captures;
+  cell.mean_capture_ms =
+      epoch_stats.captures == 0
+          ? 0.0
+          : epoch_stats.total_capture_ms /
+                static_cast<double>(epoch_stats.captures);
+  cell.bytes_copied = epoch_stats.total_bytes_copied;
+  cell.last_bytes_shared = epoch_stats.last_bytes_shared;
+  cell.cache_evicted_by_epoch = server_stats.cache.evicted_by_epoch;
   return cell;
+}
+
+// ------------------------ Publish-cost sweep (PR 8) ------------------------
+
+/// One measured point of the capture-cost curve: at `snippets` resident,
+/// the mean wall cost of publishing after ONE acked op, via the COW
+/// capture (O(delta)) and via the PR-7 deep copy (O(corpus)).
+struct PublishCostPoint {
+  size_t snippets = 0;
+  double incremental_ms = 0.0;
+  double deep_ms = 0.0;
+  double speedup = 0.0;
+  uint64_t bytes_copied_per_op = 0;
+  uint64_t snapshot_approx_bytes = 0;
+};
+
+/// Grows a plain (WAL-free) engine through the checkpoint sizes and at
+/// each one measures per-op capture cost both ways. The deep capture is
+/// what ServingEngine did before PR 8 on EVERY acked op; the sweep shows
+/// the O(corpus) -> O(delta) crossover the COW subsystem buys.
+std::vector<PublishCostPoint> MeasurePublishCost(
+    const std::vector<size_t>& checkpoints, int reps) {
+  const size_t max_snippets = checkpoints.back();
+  datagen::CorpusConfig config =
+      Fig7CorpusConfig(static_cast<int>(max_snippets) + reps *
+                       static_cast<int>(checkpoints.size()));
+  config.num_stories =
+      std::max(10, static_cast<int>(max_snippets) / 50);
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+
+  StoryPivotEngine engine;
+  search::SearchEngine searcher(&engine);
+  SP_CHECK_OK(engine.ImportVocabularies(*corpus.entity_vocabulary,
+                                        *corpus.keyword_vocabulary));
+  for (const SourceInfo& source : corpus.sources) {
+    engine.RegisterSource(source.name);
+  }
+
+  serve::CaptureContext context;
+  std::vector<PublishCostPoint> points;
+  size_t cursor = 0;
+  for (size_t target : checkpoints) {
+    // Bulk-ingest up to the checkpoint (large batches: this is setup,
+    // not the measured path), keeping `reps` snippets for the per-op
+    // capture loop below.
+    while (cursor + static_cast<size_t>(reps) < target &&
+           cursor < corpus.snippets.size()) {
+      const size_t n =
+          std::min<size_t>(5000, target - reps - cursor);
+      std::vector<Snippet> batch;
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i, ++cursor) {
+        Snippet copy = corpus.snippets[cursor];
+        copy.id = kInvalidSnippetId;
+        batch.push_back(std::move(copy));
+      }
+      SP_CHECK_OK(engine.AddSnippets(std::move(batch)));
+    }
+
+    PublishCostPoint point;
+    // Steady-state warmup: the context caches the text state and the
+    // first capture pays any one-time sharing setup.
+    (void)serve::ReadSnapshot::Capture(engine, searcher.index(), &context);
+
+    // Incremental: one acked op, one COW capture — the PR-8 serving
+    // loop. The captured snapshots stay alive for the whole rep loop,
+    // like a reader pinning every epoch at once.
+    std::vector<std::unique_ptr<serve::ReadSnapshot>> pinned;
+    const cow::CopyCounters before = cow::ReadCopyCounters();
+    double incremental_total = 0.0;
+    for (int r = 0; r < reps && cursor < corpus.snippets.size();
+         ++r, ++cursor) {
+      Snippet copy = corpus.snippets[cursor];
+      copy.id = kInvalidSnippetId;
+      SP_CHECK_OK(engine.AddSnippet(std::move(copy)));
+      WallTimer timer;
+      pinned.push_back(
+          serve::ReadSnapshot::Capture(engine, searcher.index(), &context));
+      incremental_total += timer.ElapsedMillis();
+    }
+    const cow::CopyCounters after = cow::ReadCopyCounters();
+    point.snippets = searcher.index().num_documents();
+    point.incremental_ms =
+        incremental_total / static_cast<double>(pinned.size());
+    point.bytes_copied_per_op =
+        (after.bytes - before.bytes) / pinned.size();
+    point.snapshot_approx_bytes = pinned.back()->ApproxBytes();
+
+    // Deep: the PR-7 per-op publish, cloning everything each time.
+    const int deep_reps = 3;
+    double deep_total = 0.0;
+    for (int r = 0; r < deep_reps; ++r) {
+      WallTimer timer;
+      auto deep = serve::ReadSnapshot::CaptureDeep(engine, searcher.index());
+      deep_total += timer.ElapsedMillis();
+    }
+    point.deep_ms = deep_total / deep_reps;
+    point.speedup =
+        point.incremental_ms > 0.0 ? point.deep_ms / point.incremental_ms
+                                   : 0.0;
+    points.push_back(point);
+  }
+  return points;
 }
 
 int Main(int argc, char** argv) {
@@ -310,7 +436,7 @@ int Main(int argc, char** argv) {
     const std::string dir = FreshDir("gate");
     Result<std::unique_ptr<serve::ServingEngine>> opened =
         serve::ServingEngine::Open(dir);
-    SP_CHECK_OK(opened.status());
+    SP_CHECK_OK(opened);
     serve::ServingEngine& serving = *opened.value();
     IngestWarmup(corpus, &serving.durable());
     workload =
@@ -319,46 +445,111 @@ int Main(int argc, char** argv) {
     AssertSnapshotMatchesSerialEngine(corpus, workload, options, &serving);
   }
 
+  // Publish-cost curve (ISSUE PR 8): per-op capture cost, COW vs deep,
+  // while the corpus grows 10x (to 1e5 snippets in the full run).
+  const std::vector<size_t> checkpoints =
+      smoke ? std::vector<size_t>{150, 500, 1500}
+            : std::vector<size_t>{10000, 30000, 100000};
+  const int capture_reps = smoke ? 8 : 16;
+  std::printf("\nPublish cost: per-acked-op capture, COW vs deep copy\n");
+  std::printf("%10s %14s %12s %9s %14s\n", "snippets", "incremental ms",
+              "deep ms", "speedup", "copied B/op");
+  std::vector<PublishCostPoint> curve =
+      MeasurePublishCost(checkpoints, capture_reps);
+  for (const PublishCostPoint& point : curve) {
+    std::printf("%10zu %14.4f %12.3f %8.1fx %14llu\n", point.snippets,
+                point.incremental_ms, point.deep_ms, point.speedup,
+                static_cast<unsigned long long>(point.bytes_copied_per_op));
+  }
+  if (smoke) {
+    // CI gate: COW capture cost must stay flat (bounded ratio) across
+    // the 10x corpus growth. The floor damps sub-20us timer noise.
+    const double base = std::max(curve.front().incremental_ms, 0.02);
+    SP_CHECK(curve.back().incremental_ms <= 8.0 * base);
+  } else {
+    // Acceptance gate: at 1e5 snippets the per-op COW capture is at
+    // least 10x cheaper than the PR-7 deep-copy publish.
+    SP_CHECK(curve.back().snippets >= 100000 - 100);
+    SP_CHECK(curve.back().speedup >= 10.0);
+  }
+
   std::printf("\nServing tier: %d snippets (half warmup), %.1fs cells, "
               "top-%zu\n",
               target_snippets, seconds, options.k);
-  std::printf("%11s %8s %10s %9s %9s %7s %7s %7s %9s\n", "mix", "readers",
-              "QPS", "p50 ms", "p99 ms", "hit%", "epochs", "shed",
-              "ingested");
+  std::printf("%11s %8s %7s %10s %9s %9s %7s %7s %7s %9s %11s\n", "mix",
+              "readers", "N ops", "QPS", "p50 ms", "p99 ms", "hit%",
+              "epochs", "shed", "ingested", "capture ms");
   std::vector<CellResult> cells;
+  auto run_row = [&](const char* mix, size_t readers,
+                     serve::PublishPolicy policy) {
+    CellResult cell = RunCell(corpus, workload, options, mix, readers,
+                              seconds, write_batch, policy);
+    std::printf(
+        "%11s %8zu %7llu %10.0f %9.3f %9.3f %6.1f%% %7llu %7llu %9zu "
+        "%11.4f\n",
+        cell.mix.c_str(), cell.readers,
+        static_cast<unsigned long long>(cell.policy_ops), cell.qps,
+        cell.p50_ms, cell.p99_ms, 100.0 * cell.cache_hit_rate,
+        static_cast<unsigned long long>(cell.epochs_published),
+        static_cast<unsigned long long>(cell.shed), cell.snippets_ingested,
+        cell.mean_capture_ms);
+    cells.push_back(std::move(cell));
+  };
   for (const char* mix : {"read_only", "read_write"}) {
     for (size_t readers : reader_counts) {
-      CellResult cell = RunCell(corpus, workload, options, mix, readers,
-                                seconds, write_batch);
-      std::printf("%11s %8zu %10.0f %9.3f %9.3f %6.1f%% %7llu %7llu %9zu\n",
-                  cell.mix.c_str(), cell.readers, cell.qps, cell.p50_ms,
-                  cell.p99_ms, 100.0 * cell.cache_hit_rate,
-                  static_cast<unsigned long long>(cell.epochs_published),
-                  static_cast<unsigned long long>(cell.shed),
-                  cell.snippets_ingested);
-      cells.push_back(std::move(cell));
+      run_row(mix, readers, serve::PublishPolicy{});
     }
+  }
+  // Publication-policy contrast: the same write mix, batched N=16. Fewer
+  // epochs -> fewer cache invalidations, at bounded staleness.
+  serve::PublishPolicy batched;
+  batched.every_ops = 16;
+  for (size_t readers : reader_counts) {
+    run_row("read_write", readers, batched);
   }
 
   std::string json = StrFormat(
       "{\"bench\":\"serve\",\"smoke\":%s,\"snippets\":%d,"
       "\"cell_seconds\":%.1f,\"k\":%zu,\"workload_queries\":%zu,"
       "\"equality_gate\":\"pinned snapshot == serial engine at acked "
-      "prefix\",\"cells\":[",
+      "prefix\",\"publish_cost\":[",
       smoke ? "true" : "false", target_snippets, seconds, options.k,
       workload.size());
+  for (size_t i = 0; i < curve.size(); ++i) {
+    const PublishCostPoint& point = curve[i];
+    json += StrFormat(
+        "%s{\"snippets\":%zu,\"capture_incremental_ms\":%.4f,"
+        "\"capture_deep_ms\":%.3f,\"speedup\":%.1f,"
+        "\"bytes_copied_per_op\":%llu,\"snapshot_approx_bytes\":%llu}",
+        i == 0 ? "" : ",", point.snippets, point.incremental_ms,
+        point.deep_ms, point.speedup,
+        static_cast<unsigned long long>(point.bytes_copied_per_op),
+        static_cast<unsigned long long>(point.snapshot_approx_bytes));
+  }
+  json += StrFormat("],\"capture_speedup_at_max\":%.1f,\"cells\":[",
+                    curve.back().speedup);
   for (size_t i = 0; i < cells.size(); ++i) {
     const CellResult& cell = cells[i];
     json += StrFormat(
-        "%s{\"mix\":\"%s\",\"readers\":%zu,\"qps\":%.0f,"
+        "%s{\"mix\":\"%s\",\"readers\":%zu,\"publish_every_ops\":%llu,"
+        "\"qps\":%.0f,"
         "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"cache_hit_rate\":%.3f,"
         "\"epochs_published\":%llu,\"epochs_reclaimed\":%llu,"
-        "\"shed\":%llu,\"snippets_ingested\":%zu}",
-        i == 0 ? "" : ",", cell.mix.c_str(), cell.readers, cell.qps,
+        "\"shed\":%llu,\"snippets_ingested\":%zu,"
+        "\"captures\":%llu,\"mean_capture_ms\":%.4f,"
+        "\"bytes_copied\":%llu,\"last_bytes_shared\":%llu,"
+        "\"cache_evicted_by_epoch\":%llu}",
+        i == 0 ? "" : ",", cell.mix.c_str(), cell.readers,
+        static_cast<unsigned long long>(cell.policy_ops), cell.qps,
         cell.p50_ms, cell.p99_ms, cell.cache_hit_rate,
         static_cast<unsigned long long>(cell.epochs_published),
         static_cast<unsigned long long>(cell.epochs_reclaimed),
-        static_cast<unsigned long long>(cell.shed), cell.snippets_ingested);
+        static_cast<unsigned long long>(cell.shed), cell.snippets_ingested,
+        static_cast<unsigned long long>(cell.captures),
+        cell.mean_capture_ms,
+        static_cast<unsigned long long>(cell.bytes_copied),
+        static_cast<unsigned long long>(cell.last_bytes_shared),
+        static_cast<unsigned long long>(cell.cache_evicted_by_epoch));
   }
   json += "]}\n";
   SP_CHECK_OK(WriteStringToFile("BENCH_serve.json", json));

@@ -279,14 +279,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(epochs.published),
               static_cast<unsigned long long>(epochs.reclaimed),
               epochs.retired_live);
+  std::printf("capture: %llu captures, last %.3f ms, mean %.3f ms; last "
+              "publish copied %llu B, shared %llu B\n",
+              static_cast<unsigned long long>(epochs.captures),
+              epochs.last_capture_ms,
+              epochs.captures == 0
+                  ? 0.0
+                  : epochs.total_capture_ms /
+                        static_cast<double>(epochs.captures),
+              static_cast<unsigned long long>(epochs.last_bytes_copied),
+              static_cast<unsigned long long>(epochs.last_bytes_shared));
   std::printf("admission: %llu admitted, %llu shed (queue full), %llu "
-              "deadline-expired; cache %llu/%llu hits\n",
+              "deadline-expired; cache %llu/%llu hits, evicted %llu "
+              "capacity / %llu epoch\n",
               static_cast<unsigned long long>(server.admitted),
               static_cast<unsigned long long>(server.rejected_queue_full),
               static_cast<unsigned long long>(server.deadline_exceeded),
               static_cast<unsigned long long>(server.cache.hits),
               static_cast<unsigned long long>(server.cache.hits +
-                                              server.cache.misses));
+                                              server.cache.misses),
+              static_cast<unsigned long long>(server.cache.evicted_by_capacity),
+              static_cast<unsigned long long>(server.cache.evicted_by_epoch));
 
   // Show the final-epoch answer so the demo ends with actual results.
   Result<serve::QueryResponse> last = serving.Query(request);

@@ -98,9 +98,8 @@ Status StoryPivotEngine::RemoveSource(SourceId source) {
   // Remove all snippets of the source from the global structures.
   std::vector<SnippetId> ids;
   ids.reserve(it->second.snippet_times().size());
-  for (const auto& [ts, sid] : it->second.snippet_times().entries()) {
-    ids.push_back(sid);
-  }
+  it->second.snippet_times().ForEach(
+      [&ids](Timestamp, SnippetId sid) { ids.push_back(sid); });
   for (SnippetId sid : ids) {
     const Snippet* snippet = store_.Find(sid);
     SP_CHECK(snippet != nullptr);

@@ -81,9 +81,8 @@ StoryId CompleteIdentifier::Identify(const Snippet& snippet,
     candidates = stories->entity_index().Candidates(snippet.entities);
   } else {
     candidates.reserve(stories->snippet_times().size());
-    for (const auto& [ts, id] : stories->snippet_times().entries()) {
-      candidates.push_back(id);
-    }
+    stories->snippet_times().ForEach(
+        [&candidates](Timestamp, SnippetId id) { candidates.push_back(id); });
   }
   return PlaceWithCandidates(snippet, candidates, stories, store,
                              next_story_id);

@@ -31,11 +31,11 @@ RefinementStats StoryRefiner::Refine(const std::vector<StorySet*>& partitions,
   for (size_t p = 0; p < partitions.size(); ++p) {
     SP_CHECK(partitions[p] != nullptr);
     partition_of_source[partitions[p]->source()] = p;
-    for (const auto& [ts, sid] : partitions[p]->snippet_times().entries()) {
+    partitions[p]->snippet_times().ForEach([&](Timestamp ts, SnippetId sid) {
       const Snippet* s = store.Find(sid);
       SP_CHECK(s != nullptr);
       all.push_back({ts, s, p});
-    }
+    });
   }
   std::sort(all.begin(), all.end(),
             [](const TimedSnippet& a, const TimedSnippet& b) {

@@ -65,7 +65,7 @@ std::string SaveSnapshot(const StoryPivotEngine& engine) {
   }
   // Snippets with assignments: walk partitions so the story id is known.
   for (const StorySet* partition : engine.partitions()) {
-    for (const auto& [ts, sid] : partition->snippet_times().entries()) {
+    partition->snippet_times().ForEach([&](Timestamp, SnippetId sid) {
       const Snippet* snippet = engine.store().Find(sid);
       SP_CHECK(snippet != nullptr);
       writer.WriteRow({
@@ -82,7 +82,7 @@ std::string SaveSnapshot(const StoryPivotEngine& engine) {
           EncodeTerms(snippet->entities),
           EncodeTerms(snippet->keywords),
       });
-    }
+    });
   }
   // Id counters (v2): "C", next source, next snippet, next story. Max+1
   // inference cannot reconstruct these once removals have left gaps, and
@@ -202,9 +202,9 @@ uint64_t EngineStateFingerprint(const StoryPivotEngine& engine) {
   for (const SourceInfo& info : engine.sources()) {
     const StorySet* partition = engine.partition(info.id);
     SP_CHECK(partition != nullptr);
-    for (const auto& [ts, sid] : partition->snippet_times().entries()) {
+    partition->snippet_times().ForEach([&](Timestamp, SnippetId sid) {
       triples.emplace_back(info.id, sid, partition->StoryOf(sid));
-    }
+    });
   }
   std::sort(triples.begin(), triples.end());
   uint64_t h = 0x9e3779b97f4a7c15ULL;

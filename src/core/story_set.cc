@@ -1,68 +1,71 @@
 #include "core/story_set.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace storypivot {
 
 Story& StorySet::CreateStory(StoryId id) {
-  auto [it, inserted] = stories_.emplace(id, Story(id));
+  auto [story, inserted] = stories_.Emplace(id, Story(id));
   SP_CHECK(inserted);
-  return it->second;
+  return *story;
 }
 
 void StorySet::AddSnippetToStory(const Snippet& snippet, StoryId story_id) {
-  auto it = stories_.find(story_id);
-  SP_CHECK(it != stories_.end());
+  Story* story = stories_.FindMutable(story_id);
+  SP_CHECK(story != nullptr);
   SP_CHECK(!story_of_.contains(snippet.id));
-  it->second.AddSnippet(snippet);
-  story_of_[snippet.id] = story_id;
+  story->AddSnippet(snippet);
+  story_of_.Emplace(snippet.id, story_id);
   snippet_times_.Insert(snippet.timestamp, snippet.id);
   entity_index_.Add(snippet.id, snippet.entities);
 }
 
 void StorySet::RemoveSnippet(const Snippet& snippet,
                              const SnippetStore& store) {
-  auto assign_it = story_of_.find(snippet.id);
-  SP_CHECK(assign_it != story_of_.end());
-  StoryId story_id = assign_it->second;
-  auto story_it = stories_.find(story_id);
-  SP_CHECK(story_it != stories_.end());
-  Story& story = story_it->second;
+  const StoryId* assigned = story_of_.Find(snippet.id);
+  SP_CHECK(assigned != nullptr);
+  const StoryId story_id = *assigned;
+  Story* story = stories_.FindMutable(story_id);
+  SP_CHECK(story != nullptr);
 
   // Collect survivors for aggregate recomputation.
   std::vector<const Snippet*> survivors;
-  survivors.reserve(story.size());
-  for (SnippetId sid : story.snippets()) {
+  survivors.reserve(story->size());
+  for (SnippetId sid : story->snippets()) {
     if (sid == snippet.id) continue;
     const Snippet* s = store.Find(sid);
     SP_CHECK(s != nullptr);
     survivors.push_back(s);
   }
-  story.RemoveSnippet(snippet, survivors);
-  story_of_.erase(assign_it);
+  story->RemoveSnippet(snippet, survivors);
+  const bool story_empty = story->empty();
+  story_of_.Erase(snippet.id);
   // The snippet was assigned, so the temporal index must know it.
   SP_CHECK(snippet_times_.Erase(snippet.timestamp, snippet.id));
   entity_index_.Remove(snippet.id);
-  if (story.empty()) stories_.erase(story_it);
+  if (story_empty) stories_.Erase(story_id);
 }
 
 StoryId StorySet::MergeStories(const std::vector<StoryId>& ids) {
   SP_CHECK(ids.size() >= 2);
-  StoryId survivor_id = ids.front();
-  auto survivor_it = stories_.find(survivor_id);
-  SP_CHECK(survivor_it != stories_.end());
-  Story& survivor = survivor_it->second;
+  const StoryId survivor_id = ids.front();
+  SP_CHECK(stories_.contains(survivor_id));
   for (size_t i = 1; i < ids.size(); ++i) {
     if (ids[i] == survivor_id) continue;
-    auto it = stories_.find(ids[i]);
-    SP_CHECK(it != stories_.end());
-    for (SnippetId sid : it->second.snippets()) {
-      story_of_[sid] = survivor_id;
+    // Copy the victim out before erasing it: map mutations relocate
+    // entries, so holding references across Erase is not an option.
+    const Story* found = stories_.Find(ids[i]);
+    SP_CHECK(found != nullptr);
+    Story victim = *found;
+    stories_.Erase(ids[i]);
+    for (SnippetId sid : victim.snippets()) {
+      *story_of_.FindMutable(sid) = survivor_id;
     }
-    survivor.MergeFrom(it->second);
-    stories_.erase(it);
+    Story* survivor = stories_.FindMutable(survivor_id);
+    survivor->MergeFrom(victim);
   }
   return survivor_id;
 }
@@ -71,20 +74,20 @@ std::vector<StoryId> StorySet::SplitStory(
     StoryId story_id, const std::vector<std::vector<SnippetId>>& components,
     const SnippetStore& store, StoryId* next_story_id) {
   SP_CHECK(next_story_id != nullptr);
-  auto it = stories_.find(story_id);
-  SP_CHECK(it != stories_.end());
+  const Story* existing = stories_.Find(story_id);
+  SP_CHECK(existing != nullptr);
   SP_CHECK(!components.empty());
 
   size_t total = 0;
   for (const auto& c : components) total += c.size();
-  SP_CHECK(total == it->second.size());
+  SP_CHECK(total == existing->size());
 
   std::vector<StoryId> out;
   if (components.size() == 1) {
     out.push_back(story_id);
     return out;
   }
-  stories_.erase(it);
+  stories_.Erase(story_id);
   for (size_t c = 0; c < components.size(); ++c) {
     StoryId id = (c == 0) ? story_id : (*next_story_id)++;
     Story& story = CreateStory(id);
@@ -92,7 +95,7 @@ std::vector<StoryId> StorySet::SplitStory(
       const Snippet* snippet = store.Find(sid);
       SP_CHECK(snippet != nullptr);
       story.AddSnippet(*snippet);
-      story_of_[sid] = id;
+      *story_of_.FindMutable(sid) = id;
     }
     out.push_back(id);
   }
@@ -100,13 +103,12 @@ std::vector<StoryId> StorySet::SplitStory(
 }
 
 StoryId StorySet::StoryOf(SnippetId id) const {
-  auto it = story_of_.find(id);
-  return it == story_of_.end() ? kInvalidStoryId : it->second;
+  const StoryId* story = story_of_.Find(id);
+  return story == nullptr ? kInvalidStoryId : *story;
 }
 
 const Story* StorySet::FindStory(StoryId id) const {
-  auto it = stories_.find(id);
-  return it == stories_.end() ? nullptr : &it->second;
+  return stories_.Find(id);
 }
 
 std::vector<StoryId> StorySet::StoriesInWindow(Timestamp lo,
@@ -114,9 +116,9 @@ std::vector<StoryId> StorySet::StoriesInWindow(Timestamp lo,
   std::vector<StoryId> out;
   snippet_times_.ForEachInWindow(lo, hi,
                                  [&](Timestamp, SnippetId sid) {
-                                   auto it = story_of_.find(sid);
-                                   if (it != story_of_.end()) {
-                                     out.push_back(it->second);
+                                   const StoryId* story = story_of_.Find(sid);
+                                   if (story != nullptr) {
+                                     out.push_back(*story);
                                    }
                                  });
   std::sort(out.begin(), out.end());
@@ -124,11 +126,20 @@ std::vector<StoryId> StorySet::StoriesInWindow(Timestamp lo,
   return out;
 }
 
+StorySet StorySet::Freeze() const {
+  StorySet frozen(source_);
+  frozen.stories_ = stories_;            // O(1) structural shares.
+  frozen.story_of_ = story_of_;
+  frozen.snippet_times_ = snippet_times_;
+  frozen.entity_index_ = entity_index_.Freeze();
+  return frozen;
+}
+
 StorySet StorySet::Clone() const {
   StorySet copy(source_);
-  copy.stories_ = stories_;
-  copy.story_of_ = story_of_;
-  copy.snippet_times_ = snippet_times_;
+  copy.stories_ = stories_.Materialize();
+  copy.story_of_ = story_of_.Materialize();
+  copy.snippet_times_ = snippet_times_.Materialize();
   copy.entity_index_ = entity_index_.Clone();
   return copy;
 }

@@ -1,9 +1,9 @@
 #ifndef STORYPIVOT_CORE_STORY_SET_H_
 #define STORYPIVOT_CORE_STORY_SET_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "cow/persistent_map.h"
 #include "model/ids.h"
 #include "model/snippet.h"
 #include "model/story.h"
@@ -19,8 +19,18 @@ namespace storypivot {
 /// index for candidate pruning. Maintains the snippet -> story assignment
 /// and keeps every Story's aggregates in sync through adds, removals,
 /// merges and splits.
+///
+/// All state is held in copy-on-write persistent structures, so Freeze()
+/// produces an O(1) snapshot that later mutations cannot reach
+/// (DESIGN.md §15). A side effect worth knowing: stories() iterates in a
+/// content-deterministic order (a pure function of the id set), not
+/// unordered_map's history-dependent order. Pointers returned by
+/// FindStory()/CreateStory() are invalidated by any later mutation of
+/// the partition, not just rehashes.
 class StorySet {
  public:
+  using StoryMap = cow::PersistentMap<StoryId, Story>;
+
   explicit StorySet(SourceId source) : source_(source) {}
 
   StorySet(const StorySet&) = delete;
@@ -30,7 +40,8 @@ class StorySet {
 
   SourceId source() const { return source_; }
 
-  /// Creates an empty story with the given id and returns it.
+  /// Creates an empty story with the given id and returns it. The
+  /// reference is valid only until the next mutation of this partition.
   Story& CreateStory(StoryId id);
 
   /// Adds `snippet` to story `story_id` (which must exist) and registers
@@ -60,9 +71,7 @@ class StorySet {
   /// Returns the story or nullptr.
   [[nodiscard]] const Story* FindStory(StoryId id) const;
 
-  const std::unordered_map<StoryId, Story>& stories() const {
-    return stories_;
-  }
+  const StoryMap& stories() const { return stories_; }
 
   /// All snippets of the source ordered by time.
   const TemporalIndex& snippet_times() const { return snippet_times_; }
@@ -76,16 +85,20 @@ class StorySet {
   /// Number of snippets assigned in this partition.
   size_t num_snippets() const { return story_of_.size(); }
 
-  /// Deep copy of the whole partition (stories, assignments and both
-  /// indexes). Copying is disallowed to keep accidental copies out of
-  /// the ingest path; snapshot capture (serve/ReadSnapshot, DESIGN.md
-  /// §14) asks for one explicitly.
+  /// O(1) frozen copy sharing all state with this partition; immune to
+  /// later writes (copy-on-write). Copying is still disallowed to keep
+  /// accidental copies out of the ingest path — snapshot capture
+  /// (serve/ReadSnapshot, DESIGN.md §15) asks for one explicitly.
+  [[nodiscard]] StorySet Freeze() const;
+
+  /// Honest deep copy of the whole partition (stories, assignments and
+  /// both indexes), nothing shared. Kept for the deep-capture baseline.
   [[nodiscard]] StorySet Clone() const;
 
  private:
   SourceId source_;
-  std::unordered_map<StoryId, Story> stories_;
-  std::unordered_map<SnippetId, StoryId> story_of_;
+  StoryMap stories_;
+  cow::PersistentMap<SnippetId, StoryId> story_of_;
   TemporalIndex snippet_times_;
   InvertedIndex entity_index_;
 };

@@ -1,0 +1,31 @@
+#include "cow/stats.h"
+
+namespace storypivot::cow {
+
+namespace {
+
+std::atomic<uint64_t>& CopyCount() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+std::atomic<uint64_t>& ByteCount() {
+  static std::atomic<uint64_t> bytes{0};
+  return bytes;
+}
+
+}  // namespace
+
+void RecordCopy(uint64_t bytes) {
+  CopyCount().fetch_add(1, std::memory_order_relaxed);
+  ByteCount().fetch_add(bytes, std::memory_order_relaxed);
+}
+
+CopyCounters ReadCopyCounters() {
+  CopyCounters counters;
+  counters.copies = CopyCount().load(std::memory_order_relaxed);
+  counters.bytes = ByteCount().load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace storypivot::cow

@@ -18,13 +18,13 @@ QualityScores ScoreEngine(const StoryPivotEngine& engine) {
   // Evaluation scores every story by construction.  // splint: allow(full-scan)
   for (const StorySet* partition : engine.partitions()) {  // splint: allow(full-scan)
     std::vector<int64_t> truth, predicted;
-    for (const auto& [ts, sid] : partition->snippet_times().entries()) {
+    partition->snippet_times().ForEach([&](Timestamp, SnippetId sid) {
       const Snippet* snippet = engine.store().Find(sid);
       SP_CHECK(snippet != nullptr);
-      if (snippet->truth_story < 0) continue;
+      if (snippet->truth_story < 0) return;
       truth.push_back(snippet->truth_story);
       predicted.push_back(static_cast<int64_t>(partition->StoryOf(sid)));
-    }
+    });
     if (truth.empty()) continue;
     si_counts += CountPairs(truth, predicted);
     PrfScores b = BCubed(truth, predicted);

@@ -154,7 +154,7 @@ Status DurableEngine::Reopen() {
   } else if (commit_hook_) {
     // Recovery rewound to the log-consistent prefix; readers must see
     // the rebuilt state, not the discarded pre-degradation one.
-    commit_hook_();
+    commit_hook_(CommitEvent::kRecovery);
   }
   return recovered;
 }
@@ -207,7 +207,7 @@ Status DurableEngine::LogOp(std::string payload) {
   // attached) to publish a fresh read snapshot. One hook firing per
   // logged op — a batch ingest is one op, so snapshots advance per
   // batch, not per snippet.
-  if (commit_hook_) commit_hook_();
+  if (commit_hook_) commit_hook_(CommitEvent::kMutation);
   return Status::OK();
 }
 

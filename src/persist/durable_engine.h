@@ -76,6 +76,12 @@ enum class WalOp : uint8_t {
 /// asserts the `writer_` serial role (DESIGN.md §13), so Clang's
 /// thread-safety analysis rejects code paths that touch the degraded-mode
 /// or WAL state without declaring themselves part of the serial section.
+/// Why a commit hook fired (see DurableEngine::set_commit_hook).
+enum class CommitEvent {
+  kMutation,  ///< A mutation was durably logged and applied.
+  kRecovery,  ///< Reopen() recovered to the log-consistent prefix.
+};
+
 class DurableEngine {
  public:
   /// Opens (and creates, if needed) the durability directory `dir`,
@@ -173,11 +179,13 @@ class DurableEngine {
 
   /// Installs (or, with an empty function, removes) the commit hook:
   /// fired from the serial section after every successfully logged
-  /// mutation (once per op — a batch is one op) and after a successful
-  /// Reopen(). The serving tier uses it to publish a fresh read
-  /// snapshot (serve/ServingEngine, DESIGN.md §14). The hook must not
-  /// call back into mutating DurableEngine methods.
-  void set_commit_hook(std::function<void()> hook) {
+  /// mutation (once per op — a batch is one op, event kMutation) and
+  /// after a successful Reopen() (event kRecovery). The serving tier
+  /// uses it to publish a fresh read snapshot (serve/ServingEngine,
+  /// DESIGN.md §14) — the event lets a batching publisher treat
+  /// recovery as publish-now instead of counting it like a routine op.
+  /// The hook must not call back into mutating DurableEngine methods.
+  void set_commit_hook(std::function<void(CommitEvent)> hook) {
     writer_.AssertInSection();  // Serial-section mutation.
     commit_hook_ = std::move(hook);
   }
@@ -240,7 +248,7 @@ class DurableEngine {
   bool degraded_ SP_GUARDED_BY(writer_) = false;
   Status degraded_cause_ SP_GUARDED_BY(writer_);
   /// Post-commit notification (see set_commit_hook); empty when unset.
-  std::function<void()> commit_hook_ SP_GUARDED_BY(writer_);
+  std::function<void(CommitEvent)> commit_hook_ SP_GUARDED_BY(writer_);
 };
 
 }  // namespace storypivot::persist

@@ -18,8 +18,8 @@ std::vector<Posting>::iterator FindPosting(std::vector<Posting>* list,
 
 }  // namespace
 
-void PostingsIndex::Post(std::vector<Posting>* list,
-                         const Posting& posting) {
+void PostingsIndex::Post(PostingList* box, const Posting& posting) {
+  std::vector<Posting>* list = box->Mutate();
   auto it = FindPosting(list, posting.snippet);
   SP_CHECK(it == list->end() || it->snippet != posting.snippet);
   list->insert(it, posting);
@@ -28,13 +28,14 @@ void PostingsIndex::Post(std::vector<Posting>* list,
 
 void PostingsIndex::Unpost(TermPostings* postings, text::TermId term,
                            SnippetId snippet) {
-  auto entry = postings->find(term);
-  SP_CHECK(entry != postings->end());
-  auto it = FindPosting(&entry->second, snippet);
-  SP_CHECK(it != entry->second.end() && it->snippet == snippet);
-  entry->second.erase(it);
+  PostingList* box = postings->FindMutable(term);
+  SP_CHECK(box != nullptr);
+  std::vector<Posting>* list = box->Mutate();
+  auto it = FindPosting(list, snippet);
+  SP_CHECK(it != list->end() && it->snippet == snippet);
+  list->erase(it);
   --num_postings_;
-  if (entry->second.empty()) postings->erase(entry);
+  if (list->empty()) postings->Erase(term);
 }
 
 void PostingsIndex::AddSnippet(const Snippet& snippet) {
@@ -44,15 +45,15 @@ void PostingsIndex::AddSnippet(const Snippet& snippet) {
   posting.timestamp = snippet.timestamp;
   for (const auto& [term, tf] : snippet.entities.entries()) {
     posting.tf = tf;
-    Post(&entity_postings_[term], posting);
+    Post(&entity_postings_.GetOrInsert(term), posting);
   }
   for (const auto& [term, tf] : snippet.keywords.entries()) {
     posting.tf = tf;
-    Post(&keyword_postings_[term], posting);
+    Post(&keyword_postings_.GetOrInsert(term), posting);
   }
   if (!snippet.event_type.empty()) {
     posting.tf = 1.0;
-    Post(&event_postings_[snippet.event_type], posting);
+    Post(&event_postings_.GetOrInsert(snippet.event_type), posting);
   }
   ++num_documents_;
   total_length_ += snippet.entities.Sum() + snippet.keywords.Sum();
@@ -66,13 +67,17 @@ void PostingsIndex::RemoveSnippet(const Snippet& snippet) {
     Unpost(&keyword_postings_, term, snippet.id);
   }
   if (!snippet.event_type.empty()) {
-    auto entry = event_postings_.find(snippet.event_type);
-    SP_CHECK(entry != event_postings_.end());
-    auto it = FindPosting(&entry->second, snippet.id);
-    SP_CHECK(it != entry->second.end() && it->snippet == snippet.id);
-    entry->second.erase(it);
+    PostingList* box =
+        event_postings_.FindMutable(std::string_view(snippet.event_type));
+    SP_CHECK(box != nullptr);
+    std::vector<Posting>* list = box->Mutate();
+    auto it = FindPosting(list, snippet.id);
+    SP_CHECK(it != list->end() && it->snippet == snippet.id);
+    list->erase(it);
     --num_postings_;
-    if (entry->second.empty()) event_postings_.erase(entry);
+    if (list->empty()) {
+      event_postings_.Erase(std::string_view(snippet.event_type));
+    }
   }
   SP_CHECK(num_documents_ > 0);
   --num_documents_;
@@ -84,23 +89,26 @@ const std::vector<Posting>* PostingsIndex::Postings(
   SP_CHECK(field == Field::kEntity || field == Field::kKeyword);
   const TermPostings& postings =
       field == Field::kEntity ? entity_postings_ : keyword_postings_;
-  auto it = postings.find(term);
-  return it == postings.end() ? nullptr : &it->second;
+  const PostingList* list = postings.Find(term);
+  return list == nullptr ? nullptr : &list->read();
 }
 
 const std::vector<Posting>* PostingsIndex::EventTypePostings(
     std::string_view event_type) const {
-  auto it = event_postings_.find(event_type);
-  return it == event_postings_.end() ? nullptr : &it->second;
+  const PostingList* list = event_postings_.Find(event_type);
+  return list == nullptr ? nullptr : &list->read();
 }
 
 std::vector<std::pair<std::string, size_t>> PostingsIndex::EventTypes()
     const {
   std::vector<std::pair<std::string, size_t>> out;
   out.reserve(event_postings_.size());
-  for (const auto& [type, postings] : event_postings_) {
-    out.push_back({type, postings.size()});
-  }
+  event_postings_.ForEach(
+      [&out](const std::string& type, const PostingList& postings) {
+        out.push_back({type, postings.read().size()});
+      });
+  // The HAMT iterates in hash order; enumeration promises lexicographic.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -127,11 +135,23 @@ size_t PostingsIndex::num_terms(Field field) const {
   return 0;
 }
 
+PostingsIndex PostingsIndex::Freeze() const {
+  PostingsIndex frozen;
+  frozen.entity_postings_ = entity_postings_;    // O(1) structural shares.
+  frozen.keyword_postings_ = keyword_postings_;
+  frozen.event_postings_ = event_postings_;
+  frozen.num_documents_ = num_documents_;
+  frozen.num_postings_ = num_postings_;
+  frozen.total_length_ = total_length_;
+  return frozen;
+}
+
 PostingsIndex PostingsIndex::Clone() const {
+  const auto deep = [](const PostingList& list) { return list.DeepCopy(); };
   PostingsIndex copy;
-  copy.entity_postings_ = entity_postings_;
-  copy.keyword_postings_ = keyword_postings_;
-  copy.event_postings_ = event_postings_;
+  copy.entity_postings_ = entity_postings_.Materialize(deep);
+  copy.keyword_postings_ = keyword_postings_.Materialize(deep);
+  copy.event_postings_ = event_postings_.Materialize(deep);
   copy.num_documents_ = num_documents_;
   copy.num_postings_ = num_postings_;
   copy.total_length_ = total_length_;

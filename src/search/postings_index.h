@@ -2,12 +2,13 @@
 #define STORYPIVOT_SEARCH_POSTINGS_INDEX_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "cow/cow_box.h"
+#include "cow/persistent_map.h"
 #include "model/ids.h"
 #include "model/snippet.h"
 #include "model/time.h"
@@ -47,6 +48,11 @@ struct Posting {
 /// which also makes the index state a pure function of the set of live
 /// snippets (deterministic across thread counts, insertion orders and
 /// crash/rebuild cycles).
+///
+/// Posting lists are CowBox'd vectors hung off persistent (HAMT) maps,
+/// so Freeze() is an O(1) structural share and a post/unpost after a
+/// freeze copies only the touched list plus a trie path — the serving
+/// tier's O(delta) capture rides on this (DESIGN.md §15).
 class PostingsIndex {
  public:
   PostingsIndex() = default;
@@ -96,21 +102,31 @@ class PostingsIndex {
   /// Number of distinct terms posted per field.
   [[nodiscard]] size_t num_terms(Field field) const;
 
-  /// Deep copy. Copying is disallowed (an accidental index copy is
-  /// almost always a bug); snapshot capture (serve/ReadSnapshot,
-  /// DESIGN.md §14) asks for one explicitly.
+  /// O(1) frozen copy sharing every posting list with this index; the
+  /// copy is immune to later writes (copy-on-write). Copying is still
+  /// disallowed so accidental index copies stay compile errors.
+  [[nodiscard]] PostingsIndex Freeze() const;
+
+  /// Honest deep copy — freshly allocated posting lists, nothing
+  /// shared. Kept for the deep-capture baseline
+  /// (serve/ReadSnapshot::CaptureDeep, DESIGN.md §15).
   [[nodiscard]] PostingsIndex Clone() const;
 
  private:
-  using TermPostings = std::unordered_map<text::TermId, std::vector<Posting>>;
+  using PostingList = cow::CowBox<std::vector<Posting>>;
+  using TermPostings = cow::PersistentMap<text::TermId, PostingList>;
+  /// Heterogeneous string hashing so lookups take string_view; the HAMT
+  /// iterates in hash order, so EventTypes() sorts explicitly.
+  using EventPostings =
+      cow::PersistentMap<std::string, PostingList,
+                         std::hash<std::string_view>>;
 
-  void Post(std::vector<Posting>* list, const Posting& posting);
+  void Post(PostingList* list, const Posting& posting);
   void Unpost(TermPostings* postings, text::TermId term, SnippetId snippet);
 
   TermPostings entity_postings_;
   TermPostings keyword_postings_;
-  /// Ordered map so EventTypes() enumeration is deterministic.
-  std::map<std::string, std::vector<Posting>, std::less<>> event_postings_;
+  EventPostings event_postings_;
   size_t num_documents_ = 0;
   size_t num_postings_ = 0;
   double total_length_ = 0.0;

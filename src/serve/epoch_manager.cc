@@ -36,6 +36,17 @@ uint64_t EpochManager::current_epoch() const {
   return current_ == nullptr ? 0 : current_->epoch();
 }
 
+void EpochManager::RecordCapture(double millis, uint64_t bytes_copied,
+                                 uint64_t bytes_shared) {
+  MutexLock lock(mu_);
+  ++captures_;
+  last_capture_ms_ = millis;
+  total_capture_ms_ += millis;
+  last_bytes_copied_ = bytes_copied;
+  total_bytes_copied_ += bytes_copied;
+  last_bytes_shared_ = bytes_shared;
+}
+
 size_t EpochManager::ReclaimExpired() {
   MutexLock lock(mu_);
   size_t before = retired_.size();
@@ -54,6 +65,12 @@ EpochManager::Stats EpochManager::GetStats() const {
   stats.current_epoch = current_ == nullptr ? 0 : current_->epoch();
   stats.published = published_;
   stats.reclaimed = reclaimed_;
+  stats.captures = captures_;
+  stats.last_capture_ms = last_capture_ms_;
+  stats.total_capture_ms = total_capture_ms_;
+  stats.last_bytes_copied = last_bytes_copied_;
+  stats.total_bytes_copied = total_bytes_copied_;
+  stats.last_bytes_shared = last_bytes_shared_;
   for (const auto& weak : retired_) {
     if (!weak.expired()) ++stats.retired_live;
   }

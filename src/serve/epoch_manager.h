@@ -39,6 +39,18 @@ class EpochManager {
     size_t retired_live = 0;
     /// Retired epochs observed fully drained (reclaimed).
     uint64_t reclaimed = 0;
+    /// Captures recorded via RecordCapture (== publishes from the
+    /// serving engine; tests publishing hand-built snapshots skip it).
+    uint64_t captures = 0;
+    /// Wall time the most recent / all captures spent, milliseconds.
+    double last_capture_ms = 0.0;
+    double total_capture_ms = 0.0;
+    /// Copy-on-write bytes physically copied for the most recent epoch
+    /// (path copies since the previous publish, including the capture
+    /// itself) vs bytes structurally shared with prior epochs.
+    uint64_t last_bytes_copied = 0;
+    uint64_t total_bytes_copied = 0;
+    uint64_t last_bytes_shared = 0;
   };
 
   /// Stamps the next epoch number on `snapshot` and makes it the
@@ -56,6 +68,13 @@ class EpochManager {
 
   /// Epoch of the current snapshot (0 = none published yet).
   [[nodiscard]] uint64_t current_epoch() const SP_EXCLUDES(mu_);
+
+  /// Records the cost of the capture behind the latest publish:
+  /// `millis` of wall time, `bytes_copied` physically duplicated by the
+  /// cow layer since the previous publish and `bytes_shared` reused
+  /// structurally. Writer-side, right after Publish().
+  void RecordCapture(double millis, uint64_t bytes_copied,
+                     uint64_t bytes_shared) SP_EXCLUDES(mu_);
 
   /// Prunes fully-drained retired epochs from the registry and returns
   /// how many were reclaimed by this call. Safe from any thread; the
@@ -75,6 +94,12 @@ class EpochManager {
   uint64_t next_epoch_ SP_GUARDED_BY(mu_) = 0;
   uint64_t published_ SP_GUARDED_BY(mu_) = 0;
   uint64_t reclaimed_ SP_GUARDED_BY(mu_) = 0;
+  uint64_t captures_ SP_GUARDED_BY(mu_) = 0;
+  double last_capture_ms_ SP_GUARDED_BY(mu_) = 0.0;
+  double total_capture_ms_ SP_GUARDED_BY(mu_) = 0.0;
+  uint64_t last_bytes_copied_ SP_GUARDED_BY(mu_) = 0;
+  uint64_t total_bytes_copied_ SP_GUARDED_BY(mu_) = 0;
+  uint64_t last_bytes_shared_ SP_GUARDED_BY(mu_) = 0;
   /// Retired (superseded) epochs, oldest first; entries expire when the
   /// last reader unpins.
   std::vector<std::weak_ptr<const ReadSnapshot>> retired_

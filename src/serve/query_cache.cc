@@ -46,28 +46,45 @@ bool QueryCache::Lookup(const std::string& key,
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // Refresh recency.
-  *hits = it->second->second;
+  *hits = it->second->hits;
   ++hits_;
   return true;
 }
 
-void QueryCache::Insert(const std::string& key,
+void QueryCache::Insert(const std::string& key, uint64_t epoch,
                         std::vector<search::StoryHit> hits) {
   if (capacity_ == 0) return;
   MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    it->second->second = std::move(hits);
+    it->second->epoch = epoch;
+    it->second->hits = std::move(hits);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(hits));
+  lru_.emplace_front(Entry{key, epoch, std::move(hits)});
   entries_[key] = lru_.begin();
   while (entries_.size() > capacity_) {
-    entries_.erase(lru_.back().first);
+    entries_.erase(lru_.back().key);
     lru_.pop_back();
-    ++evictions_;
+    ++evicted_by_capacity_;
   }
+}
+
+size_t QueryCache::EvictBelowEpoch(uint64_t epoch) {
+  MutexLock lock(mu_);
+  size_t evicted = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->epoch < epoch) {
+      entries_.erase(it->key);
+      it = lru_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  evicted_by_epoch_ += evicted;
+  return evicted;
 }
 
 QueryCache::Stats QueryCache::GetStats() const {
@@ -75,7 +92,9 @@ QueryCache::Stats QueryCache::GetStats() const {
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;
-  stats.evictions = evictions_;
+  stats.evicted_by_capacity = evicted_by_capacity_;
+  stats.evicted_by_epoch = evicted_by_epoch_;
+  stats.evictions = evicted_by_capacity_ + evicted_by_epoch_;
   stats.size = entries_.size();
   stats.capacity = capacity_;
   return stats;

@@ -18,10 +18,11 @@ namespace storypivot::serve {
 ///
 /// Keys are `(epoch, canonical query, options)` — the epoch prefix makes
 /// invalidation free: publishing a new snapshot changes the epoch, so
-/// entries for superseded epochs simply stop being looked up and age out
-/// via LRU eviction. No flush, no generation scan, no stale reads — a
-/// hit is always byte-identical to re-running the query against the
-/// pinned snapshot (DESIGN.md §14). The canonical part is built from the
+/// entries for superseded epochs stop being looked up, and the publisher
+/// prunes them eagerly via EvictBelowEpoch() so dead epochs don't squat
+/// on capacity until LRU pressure finds them. No stale reads either
+/// way — a hit is always byte-identical to re-running the query against
+/// the pinned snapshot (DESIGN.md §14). The canonical part is built from the
 /// PARSED query (terms sorted by field/id) rather than the raw text, so
 /// surface variants that canonicalize identically ("mh17 crash" vs
 /// "crash MH17") share one entry.
@@ -37,7 +38,12 @@ class QueryCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    /// Total evictions = evicted_by_capacity + evicted_by_epoch.
     uint64_t evictions = 0;
+    /// Dropped as least-recently-used when over capacity.
+    uint64_t evicted_by_capacity = 0;
+    /// Pruned by EvictBelowEpoch() because their epoch was superseded.
+    uint64_t evicted_by_epoch = 0;
     size_t size = 0;
     size_t capacity = 0;
   };
@@ -55,16 +61,25 @@ class QueryCache {
                             std::vector<search::StoryHit>* hits)
       SP_EXCLUDES(mu_);
 
-  /// Inserts (or refreshes) an entry, evicting the least recently used
-  /// entry when over capacity.
-  void Insert(const std::string& key, std::vector<search::StoryHit> hits)
-      SP_EXCLUDES(mu_);
+  /// Inserts (or refreshes) an entry tagged with the epoch it was
+  /// computed at, evicting the least recently used entry when over
+  /// capacity.
+  void Insert(const std::string& key, uint64_t epoch,
+              std::vector<search::StoryHit> hits) SP_EXCLUDES(mu_);
+
+  /// Prunes every entry whose epoch is < `epoch`. The publisher calls
+  /// this when a new epoch goes live; returns how many entries died.
+  size_t EvictBelowEpoch(uint64_t epoch) SP_EXCLUDES(mu_);
 
   [[nodiscard]] Stats GetStats() const SP_EXCLUDES(mu_);
 
  private:
-  using LruList = std::list<std::pair<std::string, //
-                                      std::vector<search::StoryHit>>>;
+  struct Entry {
+    std::string key;
+    uint64_t epoch = 0;
+    std::vector<search::StoryHit> hits;
+  };
+  using LruList = std::list<Entry>;
 
   const size_t capacity_;
   /// Leaf lock (held only for map/list surgery, never while ranking).
@@ -76,7 +91,8 @@ class QueryCache {
       SP_GUARDED_BY(mu_);
   uint64_t hits_ SP_GUARDED_BY(mu_) = 0;
   uint64_t misses_ SP_GUARDED_BY(mu_) = 0;
-  uint64_t evictions_ SP_GUARDED_BY(mu_) = 0;
+  uint64_t evicted_by_capacity_ SP_GUARDED_BY(mu_) = 0;
+  uint64_t evicted_by_epoch_ SP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace storypivot::serve

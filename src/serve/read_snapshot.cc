@@ -1,42 +1,64 @@
 #include "serve/read_snapshot.h"
 
+#include "model/story.h"
+#include "storage/temporal_index.h"
+
 namespace storypivot::serve {
 
-std::unique_ptr<ReadSnapshot> ReadSnapshot::Capture(
-    const StoryPivotEngine& engine, const search::PostingsIndex& index) {
-  // Private constructor, so no make_unique.
-  std::unique_ptr<ReadSnapshot> snapshot(new ReadSnapshot());
+namespace {
 
-  // Text state: vocabularies clone by re-interning in id order (ids are
-  // dense and stable), the gazetteer by replaying its registration-
-  // order alias journal against the cloned entity vocabulary — the same
-  // rebuild path core/snapshot uses for persistence.
+/// Builds a fresh TextState from the live engine: vocabularies clone by
+/// re-interning in id order (ids are dense and stable), the gazetteer by
+/// replaying its registration-order alias journal against the cloned
+/// entity vocabulary — the same rebuild path core/snapshot uses for
+/// persistence.
+std::shared_ptr<const TextState> BuildTextState(
+    const StoryPivotEngine& engine) {
+  auto state = std::make_shared<TextState>();
   const text::Vocabulary& entities = engine.entity_vocabulary();
   for (text::TermId id = 0; id < entities.size(); ++id) {
-    snapshot->entity_vocab_.Intern(entities.TermOf(id));
+    state->entity_vocab.Intern(entities.TermOf(id));
   }
   const text::Vocabulary& keywords = engine.keyword_vocabulary();
   for (text::TermId id = 0; id < keywords.size(); ++id) {
-    snapshot->keyword_vocab_.Intern(keywords.TermOf(id));
+    state->keyword_vocab.Intern(keywords.TermOf(id));
   }
-  snapshot->gazetteer_ =
-      std::make_unique<text::Gazetteer>(&snapshot->entity_vocab_);
+  state->gazetteer = std::make_unique<text::Gazetteer>(&state->entity_vocab);
   for (const auto& [entity, alias] : engine.gazetteer().aliases()) {
-    snapshot->gazetteer_->AddAlias(entity, alias);
+    state->gazetteer->AddAlias(entity, alias);
   }
+  return state;
+}
 
-  snapshot->index_ = index.Clone();
+}  // namespace
+
+std::shared_ptr<const TextState> CaptureContext::GetOrRebuild(
+    const StoryPivotEngine& engine) {
+  const size_t entities = engine.entity_vocabulary().size();
+  const size_t keywords = engine.keyword_vocabulary().size();
+  const size_t aliases = engine.gazetteer().aliases().size();
+  // Vocabularies and the alias journal are append-only within an engine
+  // lifetime, so unchanged sizes imply unchanged content. A reopened
+  // engine gets a fresh ServingEngine — and hence a fresh context — so
+  // recovery that discards unacked text state cannot alias a stale
+  // cache.
+  if (cached_ == nullptr || entities != entity_size_ ||
+      keywords != keyword_size_ || aliases != alias_count_) {
+    cached_ = BuildTextState(engine);
+    entity_size_ = entities;
+    keyword_size_ = keywords;
+    alias_count_ = aliases;
+  }
+  return cached_;
+}
+
+void ReadSnapshot::FinishCapture(const StoryPivotEngine& engine,
+                                 std::vector<StorySet> parts,
+                                 ReadSnapshot* snapshot) {
   snapshot->sources_ = engine.sources();
-
-  // Partitions: deep clones, then the corpus view over the clones. The
-  // directory is built AFTER the vector is final so its pointers stay
-  // valid for the snapshot's lifetime.
-  // Snapshot capture must copy every partition by definition.  // splint: allow(full-scan)
-  std::vector<const StorySet*> live = engine.partitions();  // splint: allow(full-scan)
-  snapshot->partitions_.reserve(live.size());
-  for (const StorySet* part : live) {
-    snapshot->partitions_.push_back(part->Clone());
-  }
+  snapshot->partitions_ = std::move(parts);
+  // The corpus directory is built AFTER the vector is final so its
+  // pointers stay valid for the snapshot's lifetime.
   search::StoryCorpus& corpus = snapshot->corpus_;
   corpus.total_stories = engine.TotalStories();
   const StoryPivotEngine::IdCounters counters = engine.id_counters();
@@ -49,12 +71,67 @@ std::unique_ptr<ReadSnapshot> ReadSnapshot::Capture(
       corpus.partition_of[part.source()] = &part;
     }
   }
+}
+
+std::unique_ptr<ReadSnapshot> ReadSnapshot::Capture(
+    const StoryPivotEngine& engine, const search::PostingsIndex& index,
+    CaptureContext* context) {
+  // Private constructor, so no make_unique.
+  std::unique_ptr<ReadSnapshot> snapshot(new ReadSnapshot());
+  snapshot->text_ = context->GetOrRebuild(engine);
+  snapshot->index_ = index.Freeze();
+
+  // Partitions: O(1) frozen shares per partition, then the corpus view.
+  // The freeze touches every partition header, not its contents.  // splint: allow(full-scan)
+  std::vector<const StorySet*> live = engine.partitions();  // splint: allow(full-scan)
+  std::vector<StorySet> parts;
+  parts.reserve(live.size());
+  for (const StorySet* part : live) {
+    parts.push_back(part->Freeze());
+  }
+  FinishCapture(engine, std::move(parts), snapshot.get());
   return snapshot;
 }
 
+std::unique_ptr<ReadSnapshot> ReadSnapshot::Capture(
+    const StoryPivotEngine& engine, const search::PostingsIndex& index) {
+  CaptureContext context;
+  return Capture(engine, index, &context);
+}
+
+std::unique_ptr<ReadSnapshot> ReadSnapshot::CaptureDeep(
+    const StoryPivotEngine& engine, const search::PostingsIndex& index) {
+  std::unique_ptr<ReadSnapshot> snapshot(new ReadSnapshot());
+  snapshot->text_ = BuildTextState(engine);
+  snapshot->index_ = index.Clone();  // splint: allow(deep-clone)
+
+  // Deep-copied partitions, the PR-7 way: O(corpus) per capture.
+  // Deep capture copies every partition by definition.  // splint: allow(full-scan)
+  std::vector<const StorySet*> live = engine.partitions();  // splint: allow(full-scan)
+  std::vector<StorySet> parts;
+  parts.reserve(live.size());
+  for (const StorySet* part : live) {
+    parts.push_back(part->Clone());  // splint: allow(deep-clone)
+  }
+  FinishCapture(engine, std::move(parts), snapshot.get());
+  return snapshot;
+}
+
+size_t ReadSnapshot::ApproxBytes() const {
+  size_t bytes = index_.num_postings() * sizeof(search::Posting);
+  for (const StorySet& part : partitions_) {
+    bytes += part.num_snippets() *
+             (sizeof(TemporalIndex::Entry) + sizeof(SnippetId) +
+              sizeof(StoryId));
+    bytes += part.stories().size() * sizeof(Story);
+    bytes += part.entity_index().num_postings() * sizeof(SnippetId);
+  }
+  return bytes;
+}
+
 search::ParsedQuery ReadSnapshot::Parse(std::string_view query) const {
-  return search::ParseQuery(*gazetteer_, entity_vocab_, keyword_vocab_,
-                            index_, query);
+  return search::ParseQuery(*text_->gazetteer, text_->entity_vocab,
+                            text_->keyword_vocab, index_, query);
 }
 
 std::vector<search::StoryHit> ReadSnapshot::Search(

@@ -21,14 +21,53 @@
 
 namespace storypivot::serve {
 
+/// The text state a snapshot parses queries against: vocabularies plus
+/// the gazetteer rebuilt over them. Immutable once built; consecutive
+/// snapshots share one TextState for as long as the live text state has
+/// not grown (vocabularies and the alias journal are append-only within
+/// an engine lifetime, so equal sizes imply identical content).
+struct TextState {
+  text::Vocabulary entity_vocab;
+  text::Vocabulary keyword_vocab;
+  /// Points at entity_vocab above, hence the heap box (TextState itself
+  /// lives behind a shared_ptr and never moves).
+  std::unique_ptr<text::Gazetteer> gazetteer;
+};
+
+/// Cross-capture cache owned by the publisher (ServingEngine). Tracks
+/// the sizes the last TextState was built at and rebuilds only when the
+/// live engine's text state has grown past them — the common per-op
+/// publish reuses the cached TextState at zero cost.
+class CaptureContext {
+ public:
+  /// Returns a TextState matching `engine`'s current text state,
+  /// rebuilding iff the cached one is stale. Serial-section only.
+  std::shared_ptr<const TextState> GetOrRebuild(
+      const StoryPivotEngine& engine);
+
+ private:
+  std::shared_ptr<const TextState> cached_;
+  size_t entity_size_ = 0;
+  size_t keyword_size_ = 0;
+  size_t alias_count_ = 0;
+};
+
 /// An immutable, self-contained view of everything the read path needs:
-/// cloned story partitions, cloned text state (vocabularies + gazetteer,
+/// frozen story partitions, shared text state (vocabularies + gazetteer,
 /// so query parsing canonicalizes against the snapshot, not the moving
-/// live engine) and a cloned PostingsIndex. Exploits the PR-4 invariant
+/// live engine) and a frozen PostingsIndex. Exploits the PR-4 invariant
 /// that index state is a pure function of the live snippet set — the
 /// capture is an exact, reproducible freeze of the serial engine at one
 /// acked prefix, so reads pinned to a snapshot are byte-identical to a
 /// serial engine at that prefix (DESIGN.md §14).
+///
+/// Since PR 8 the freeze is copy-on-write (DESIGN.md §15): Capture()
+/// structurally shares posting lists, partitions and text state with
+/// the live engine in O(partitions) pointer copies, and the writer's
+/// later mutations path-copy away from the shared nodes instead of
+/// touching them — so capture cost is O(ops since the last publish),
+/// not O(corpus). CaptureDeep() keeps the PR-7 deep-copy behavior as
+/// the measured baseline.
 ///
 /// Snapshots are immutable after capture and therefore safe to read
 /// from any number of threads concurrently with no synchronization;
@@ -37,13 +76,29 @@ namespace storypivot::serve {
 /// publish time.
 class ReadSnapshot {
  public:
-  /// Captures a frozen view. Must run inside the writer's serial
-  /// section (it reads serial-guarded engine state; the caller holds
-  /// the role — commit hooks and factories do).
+  /// Captures a frozen view by structural sharing (O(delta)). Must run
+  /// inside the writer's serial section (it reads serial-guarded engine
+  /// state; the caller holds the role — commit hooks and factories do).
+  /// `context` carries the text-state cache across captures; it must
+  /// outlive the call but not the snapshot.
+  [[nodiscard]] static std::unique_ptr<ReadSnapshot> Capture(
+      const StoryPivotEngine& engine, const search::PostingsIndex& index,
+      CaptureContext* context);
+
+  /// Convenience overload with a throwaway context (tests, one-shot
+  /// captures): still O(delta) for the indexes, but rebuilds the text
+  /// state every call.
   [[nodiscard]] static std::unique_ptr<ReadSnapshot> Capture(
       const StoryPivotEngine& engine, const search::PostingsIndex& index);
 
-  // Self-referential (gazetteer_ -> entity_vocab_, corpus_ ->
+  /// The PR-7 deep-copy capture: clones vocabularies, gazetteer,
+  /// postings and partitions outright, sharing nothing. O(corpus) by
+  /// construction — kept as the honest baseline the O(delta) claim is
+  /// measured against (bench_serve publish-cost sweep).
+  [[nodiscard]] static std::unique_ptr<ReadSnapshot> CaptureDeep(
+      const StoryPivotEngine& engine, const search::PostingsIndex& index);
+
+  // Self-referential (gazetteer -> entity_vocab, corpus_ ->
   // partitions_): address identity must be stable, so no copies or
   // moves — snapshots live behind pointers.
   ReadSnapshot(const ReadSnapshot&) = delete;
@@ -82,19 +137,28 @@ class ReadSnapshot {
   }
   [[nodiscard]] size_t total_stories() const { return corpus_.total_stories; }
 
+  /// O(partitions) estimate of the snapshot's logical resident size
+  /// (used with the cow copy counters to report bytes shared vs copied
+  /// per publish).
+  [[nodiscard]] size_t ApproxBytes() const;
+
  private:
   ReadSnapshot() = default;
+
+  /// Shared tail of the capture paths: sources, partitions (already
+  /// frozen/cloned into `parts`), corpus directory.
+  static void FinishCapture(const StoryPivotEngine& engine,
+                            std::vector<StorySet> parts,
+                            ReadSnapshot* snapshot);
 
   friend class EpochManager;  // Stamps epoch_ at publish time.
 
   uint64_t epoch_ = 0;
-  text::Vocabulary entity_vocab_;
-  text::Vocabulary keyword_vocab_;
-  /// Rebuilt against entity_vocab_ by replaying the alias journal
-  /// (gazetteer.h documents this reproduces the gazetteer exactly).
-  std::unique_ptr<text::Gazetteer> gazetteer_;
+  /// Shared with the publisher's CaptureContext (and other snapshots)
+  /// until the live text state grows; immutable either way.
+  std::shared_ptr<const TextState> text_;
   search::PostingsIndex index_;
-  /// Deep-cloned partitions, in engine partition order.
+  /// Frozen partitions, in engine partition order.
   std::vector<StorySet> partitions_;
   /// View over partitions_ (owned above, so the pointers never dangle).
   search::StoryCorpus corpus_;

@@ -105,7 +105,7 @@ Result<QueryResponse> Server::Execute(const QueryRequest& request,
     response.from_cache = true;
   } else {
     response.hits = snapshot->Search(parsed, request.options);
-    cache_.Insert(key, response.hits);
+    cache_.Insert(key, snapshot->epoch(), response.hits);
   }
 
   MutexLock lock(stats_mu_);

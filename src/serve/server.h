@@ -99,6 +99,11 @@ class Server {
   };
   [[nodiscard]] Stats GetStats() const;
 
+  /// Publisher notification: epoch `epoch` just went live, so cache
+  /// entries computed at older epochs can never be looked up again —
+  /// prune them now instead of letting them squat until LRU pressure.
+  void OnEpochPublished(uint64_t epoch) { cache_.EvictBelowEpoch(epoch); }
+
   /// TEST HOOK: runs on the worker at the top of every execution (after
   /// dequeue, before the deadline check). Tests use it to stall workers
   /// — filling the queue to force kUnavailable, or burning a deadline

@@ -1,16 +1,34 @@
 #ifndef STORYPIVOT_SERVE_SERVING_ENGINE_H_
 #define STORYPIVOT_SERVE_SERVING_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "persist/durable_engine.h"
 #include "search/search_engine.h"
 #include "serve/epoch_manager.h"
+#include "serve/read_snapshot.h"
 #include "serve/server.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace storypivot::serve {
+
+/// When the serving engine publishes a fresh epoch (DESIGN.md §15).
+/// The default (every op, no timer) preserves the PR-7 behavior:
+/// readers always see the latest acked prefix. Batching trades snapshot
+/// freshness for publish amortization — with COW capture already
+/// O(delta), batching mostly matters for capping epoch churn (and hence
+/// query-cache invalidation) under write bursts.
+struct PublishPolicy {
+  /// Publish after this many acked ops (>= 1). 1 = every op.
+  uint64_t every_ops = 1;
+  /// Also publish when this many milliseconds have passed since the
+  /// last publish, checked on each commit (0 disables the timer). Keeps
+  /// staleness bounded when every_ops > 1 and the write stream stalls.
+  uint64_t interval_ms = 0;
+};
 
 /// The full serving stack wired together (DESIGN.md §14):
 ///
@@ -19,11 +37,16 @@ namespace storypivot::serve {
 ///     + EpochManager (immutable snapshot publication)
 ///     + Server (thread pool, admission control, deadlines, cache)
 ///
-/// The durable engine's commit hook captures a fresh ReadSnapshot after
-/// every acknowledged mutation (a batch = one op = one snapshot) and
-/// publishes it as a new epoch, so readers always see some acked prefix
-/// of the operation stream — never a mid-batch state. The hook also
-/// fires after a successful Reopen(), so recovery republishes too.
+/// The durable engine's commit hook counts every acknowledged mutation
+/// (a batch = one op) against the publish policy and captures + publishes
+/// a fresh ReadSnapshot when the policy says so (default: every op), so
+/// readers always see some acked prefix of the operation stream — never
+/// a mid-batch state. Recovery (Reopen) always publishes immediately,
+/// whatever the policy: the rebuilt prefix must become visible.
+///
+/// Captures are copy-on-write (O(ops since last publish), DESIGN.md
+/// §15); per-publish capture time and bytes copied vs shared are
+/// recorded in EpochManager::Stats.
 ///
 /// Threading contract: all mutations go through the single writer
 /// thread (the DurableEngine serial section); Query() is safe from any
@@ -37,7 +60,7 @@ class ServingEngine {
   [[nodiscard]] static Result<std::unique_ptr<ServingEngine>> Open(
       const std::string& dir, ServerOptions server_options = {},
       persist::DurabilityOptions durability_options = {},
-      EngineConfig engine_config = {});
+      EngineConfig engine_config = {}, PublishPolicy publish_policy = {});
 
   ~ServingEngine();
 
@@ -45,7 +68,7 @@ class ServingEngine {
   ServingEngine& operator=(const ServingEngine&) = delete;
 
   /// The single writer. Mutate through durable().Add*/Remove*/Align;
-  /// every acked mutation publishes a new epoch automatically.
+  /// acked mutations publish new epochs per the publish policy.
   [[nodiscard]] persist::DurableEngine& durable() { return *durable_; }
 
   /// Read path: thread-safe, epoch-pinned.
@@ -58,14 +81,33 @@ class ServingEngine {
   [[nodiscard]] const search::SearchEngine& search() const {
     return *search_;
   }
+  [[nodiscard]] const PublishPolicy& publish_policy() const {
+    return policy_;
+  }
 
-  /// Re-captures and publishes a snapshot of the current engine state.
-  /// Writer-side. Normally automatic (commit hook); exposed for the
-  /// initial publish and for tests.
+  /// Acked ops not yet reflected in the published epoch (nonzero only
+  /// under a batching policy). Writer-side.
+  [[nodiscard]] uint64_t unpublished_ops() const {
+    return ops_since_publish_;
+  }
+
+  /// Publishes now iff acked ops are pending under a batching policy
+  /// (no-op otherwise). Writer-side. Returns the published epoch, or 0
+  /// when nothing was pending.
+  uint64_t Flush();
+
+  /// Re-captures and publishes a snapshot of the current engine state
+  /// unconditionally, resetting the policy counters. Writer-side.
+  /// Normally automatic (commit hook); exposed for the initial publish,
+  /// Flush() and tests.
   uint64_t PublishSnapshot();
 
  private:
   ServingEngine() = default;
+
+  /// Commit-hook body: applies the publish policy (recovery publishes
+  /// unconditionally). Writer-side.
+  void OnCommit(persist::CommitEvent event);
 
   // Destruction order (reverse of declaration): the server drains its
   // workers first, then epochs drop their snapshots, then search
@@ -74,6 +116,16 @@ class ServingEngine {
   std::unique_ptr<search::SearchEngine> search_;
   EpochManager epochs_;
   std::unique_ptr<Server> server_;
+
+  // Publication policy state (all writer-serial, like the hook).
+  PublishPolicy policy_;
+  uint64_t ops_since_publish_ = 0;
+  WallTimer since_publish_;
+  /// Text-state cache reused across captures (read_snapshot.h).
+  CaptureContext capture_context_;
+  /// Copy-counter reading at the end of the previous publish; the delta
+  /// at the next publish = bytes physically copied for that epoch.
+  cow::CopyCounters published_counters_;
 };
 
 }  // namespace storypivot::serve

@@ -7,19 +7,20 @@ namespace storypivot {
 void InvertedIndex::Add(SnippetId id, const text::TermVector& terms) {
   for (const auto& [term, weight] : terms.entries()) {
     if (weight <= 0.0) continue;
-    postings_[term].push_back(id);
+    postings_.GetOrInsert(term).Mutate()->push_back(id);
     ++num_postings_;
   }
 }
 
-void InvertedIndex::Remove(SnippetId id) { tombstones_.insert(id); }
+void InvertedIndex::Remove(SnippetId id) { tombstones_.Mutate()->insert(id); }
 
 void InvertedIndex::AppendPostings(text::TermId term,
                                    std::vector<SnippetId>* out) const {
-  auto it = postings_.find(term);
-  if (it == postings_.end()) return;
-  for (SnippetId id : it->second) {
-    if (!tombstones_.contains(id)) out->push_back(id);
+  const PostingList* list = postings_.Find(term);
+  if (list == nullptr) return;
+  const std::unordered_set<SnippetId>& dead = tombstones_.read();
+  for (SnippetId id : list->read()) {
+    if (!dead.contains(id)) out->push_back(id);
   }
 }
 
@@ -36,27 +37,42 @@ std::vector<SnippetId> InvertedIndex::Candidates(
 }
 
 void InvertedIndex::Compact() {
-  if (tombstones_.empty()) return;
+  if (tombstones_.read().empty()) return;
+  // Mutating the map invalidates its iterators, so collect the term set
+  // first, then rewrite list by list.
+  std::vector<text::TermId> terms;
+  postings_.ForEach([&terms](text::TermId term, const PostingList&) {
+    terms.push_back(term);
+  });
+  const std::unordered_set<SnippetId>& dead = tombstones_.read();
   size_t live = 0;
-  for (auto it = postings_.begin(); it != postings_.end();) {
-    std::vector<SnippetId>& list = it->second;
-    std::erase_if(list,
-                  [this](SnippetId id) { return tombstones_.contains(id); });
-    if (list.empty()) {
-      it = postings_.erase(it);
+  for (text::TermId term : terms) {
+    PostingList* list = postings_.FindMutable(term);
+    std::vector<SnippetId>* ids = list->Mutate();
+    std::erase_if(*ids, [&dead](SnippetId id) { return dead.contains(id); });
+    if (ids->empty()) {
+      postings_.Erase(term);
     } else {
-      live += list.size();
-      ++it;
+      live += ids->size();
     }
   }
   num_postings_ = live;
-  tombstones_.clear();
+  tombstones_.Mutate()->clear();
+}
+
+InvertedIndex InvertedIndex::Freeze() const {
+  InvertedIndex frozen;
+  frozen.postings_ = postings_;      // O(1) structural share.
+  frozen.tombstones_ = tombstones_;  // O(1) structural share.
+  frozen.num_postings_ = num_postings_;
+  return frozen;
 }
 
 InvertedIndex InvertedIndex::Clone() const {
   InvertedIndex copy;
-  copy.postings_ = postings_;
-  copy.tombstones_ = tombstones_;
+  copy.postings_ = postings_.Materialize(
+      [](const PostingList& list) { return list.DeepCopy(); });
+  copy.tombstones_ = tombstones_.DeepCopy();
   copy.num_postings_ = num_postings_;
   return copy;
 }

@@ -1,10 +1,11 @@
 #ifndef STORYPIVOT_STORAGE_INVERTED_INDEX_H_
 #define STORYPIVOT_STORAGE_INVERTED_INDEX_H_
 
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "cow/cow_box.h"
+#include "cow/persistent_map.h"
 #include "model/ids.h"
 #include "text/term_vector.h"
 #include "text/vocabulary.h"
@@ -15,6 +16,11 @@ namespace storypivot {
 /// that share at least one entity or keyword with a probe. Deletions are
 /// lazy (tombstoned) and reclaimed by Compact(), which callers or the
 /// engine trigger when the tombstone ratio grows.
+///
+/// Posting lists live in CowBox'd vectors hung off a persistent (HAMT)
+/// map, so Freeze() is an O(1) structural share and a mutation after a
+/// freeze copies only the touched posting list plus a trie path — the
+/// basis of the serving tier's O(delta) snapshot capture (DESIGN.md §15).
 class InvertedIndex {
  public:
   InvertedIndex() = default;
@@ -41,18 +47,25 @@ class InvertedIndex {
   /// Physically removes tombstoned entries.
   void Compact();
 
-  /// Deep copy. Copying is disallowed (accidental copies of a large
-  /// index are almost always bugs), so snapshot capture asks for one
-  /// explicitly (serve/ReadSnapshot, DESIGN.md §14).
+  /// O(1) frozen copy sharing every posting list with this index; the
+  /// copy is immune to later writes (copy-on-write). Copying is still
+  /// disallowed so large-index copies stay deliberate.
+  [[nodiscard]] InvertedIndex Freeze() const;
+
+  /// Honest deep copy — freshly allocated posting lists, nothing shared.
+  /// Kept for the deep-capture baseline (serve/ReadSnapshot::CaptureDeep,
+  /// DESIGN.md §15).
   [[nodiscard]] InvertedIndex Clone() const;
 
   /// Live postings count (approximate cost indicator).
   size_t num_postings() const { return num_postings_; }
-  size_t num_tombstones() const { return tombstones_.size(); }
+  size_t num_tombstones() const { return tombstones_.read().size(); }
 
  private:
-  std::unordered_map<text::TermId, std::vector<SnippetId>> postings_;
-  std::unordered_set<SnippetId> tombstones_;
+  using PostingList = cow::CowBox<std::vector<SnippetId>>;
+
+  cow::PersistentMap<text::TermId, PostingList> postings_;
+  cow::CowBox<std::unordered_set<SnippetId>> tombstones_;
   size_t num_postings_ = 0;
 };
 

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "cow/cow_box.h"
+#include "cow/persistent_vector.h"
 #include "model/ids.h"
 #include "model/time.h"
 
@@ -13,14 +15,26 @@ namespace storypivot {
 
 /// An ordered index of snippet ids by timestamp, supporting out-of-order
 /// insertion, deletion, and the sliding-window scans that temporal story
-/// identification relies on (§2.2, Fig. 2b). Backed by a sorted vector —
-/// arrivals are mostly near the end of the time axis, so inserts are
-/// amortised cheap, and window scans are cache-friendly.
+/// identification relies on (§2.2, Fig. 2b).
+///
+/// Backed by sorted fixed-capacity chunks (CowBox'd runs) hung off a
+/// persistent-vector spine, so the index is copy-on-write: copying it is
+/// O(1) structural sharing, and a mutation after a copy touches one
+/// chunk plus a spine path instead of the whole index. That keeps
+/// serving-tier snapshot captures O(delta) while preserving the old
+/// sorted-vector behavior — arrivals near the end of the time axis stay
+/// amortised cheap, window scans stay sequential runs.
 class TemporalIndex {
  public:
   using Entry = std::pair<Timestamp, SnippetId>;
 
   TemporalIndex() = default;
+
+  // O(1) structural share (chunks + spine are copy-on-write).
+  TemporalIndex(const TemporalIndex&) = default;
+  TemporalIndex& operator=(const TemporalIndex&) = default;
+  TemporalIndex(TemporalIndex&&) noexcept = default;
+  TemporalIndex& operator=(TemporalIndex&&) noexcept = default;
 
   /// Inserts an (timestamp, id) pair. Duplicate ids are not checked.
   void Insert(Timestamp ts, SnippetId id);
@@ -33,26 +47,53 @@ class TemporalIndex {
                        const std::function<void(Timestamp, SnippetId)>& fn)
       const;
 
+  /// Calls `fn` for every entry, in time order.
+  void ForEach(const std::function<void(Timestamp, SnippetId)>& fn) const;
+
   /// Returns the ids in [lo, hi], in time order.
   std::vector<SnippetId> IdsInWindow(Timestamp lo, Timestamp hi) const;
 
   /// Number of entries with lo <= timestamp <= hi.
   size_t CountInWindow(Timestamp lo, Timestamp hi) const;
 
-  /// All entries in time order.
-  const std::vector<Entry>& entries() const { return entries_; }
+  /// All entries in time order, materialized into a flat vector. O(n) —
+  /// prefer ForEach / ForEachInWindow on hot paths.
+  std::vector<Entry> entries() const;
 
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   /// Earliest / latest timestamps; undefined when empty.
-  Timestamp min_time() const { return entries_.front().first; }
-  Timestamp max_time() const { return entries_.back().first; }
+  Timestamp min_time() const;
+  Timestamp max_time() const;
+
+  /// An honest deep copy (freshly allocated chunks, nothing shared).
+  TemporalIndex Materialize() const;
 
  private:
-  std::vector<Entry>::const_iterator LowerBound(Timestamp ts) const;
+  using Chunk = cow::CowBox<std::vector<Entry>>;
 
-  std::vector<Entry> entries_;  // Sorted by (timestamp, id).
+  /// Chunk capacity before a split. Splits rebuild the spine (O(#chunks)
+  /// pointer copies) but happen only every ~kMaxChunk/2 inserts per run.
+  static constexpr size_t kMaxChunk = 512;
+
+  /// Index of the chunk that owns `entry` (first chunk whose last entry
+  /// is >= entry; the last chunk when entry sorts past everything).
+  /// Precondition: not empty.
+  size_t ChunkFor(const Entry& entry) const;
+
+  /// Index of the first chunk whose last timestamp is >= lo (== number
+  /// of chunks when none).
+  size_t FirstChunkNotBefore(Timestamp lo) const;
+
+  /// Replaces chunk `index` with its two halves (spine rebuild).
+  void SplitChunk(size_t index);
+
+  /// Drops the (now empty) chunk at `index` (spine rebuild).
+  void RemoveChunk(size_t index);
+
+  cow::PersistentVector<Chunk> chunks_;  // Sorted, non-overlapping runs.
+  size_t size_ = 0;
 };
 
 }  // namespace storypivot

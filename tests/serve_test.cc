@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <random>
 #include <chrono>
 #include <map>
 #include <memory>
@@ -57,7 +58,7 @@ std::string FreshDir(const std::string& name) {
   std::string dir = ::testing::TempDir() + "/sp_serve_" + name;
   if (FileExists(dir)) {
     Result<std::vector<std::string>> names = ListDirectory(dir);
-    SP_CHECK_OK(names.status());
+    SP_CHECK_OK(names);
     for (const std::string& entry : names.value()) {
       SP_CHECK_OK(RemoveFile(dir + "/" + entry));
     }
@@ -265,11 +266,11 @@ TEST(QueryCacheTest, LruEvictsOldestAndCountsStats) {
   std::vector<StoryHit> three{{0, 3, 3.0, 1}};
   std::vector<StoryHit> out;
 
-  cache.Insert("a", one);
-  cache.Insert("b", two);
+  cache.Insert("a", 1, one);
+  cache.Insert("b", 1, two);
   ASSERT_TRUE(cache.Lookup("a", &out));  // "a" becomes most recent.
   EXPECT_EQ(out, one);
-  cache.Insert("c", three);              // Evicts "b", the LRU entry.
+  cache.Insert("c", 1, three);           // Evicts "b", the LRU entry.
   EXPECT_FALSE(cache.Lookup("b", &out));
   ASSERT_TRUE(cache.Lookup("a", &out));
   ASSERT_TRUE(cache.Lookup("c", &out));
@@ -279,11 +280,13 @@ TEST(QueryCacheTest, LruEvictsOldestAndCountsStats) {
   EXPECT_EQ(stats.hits, 3u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.evicted_by_capacity, 1u);
+  EXPECT_EQ(stats.evicted_by_epoch, 0u);
   EXPECT_EQ(stats.size, 2u);
 
   // Capacity 0 disables caching entirely.
   QueryCache disabled(0);
-  disabled.Insert("a", one);
+  disabled.Insert("a", 1, one);
   EXPECT_FALSE(disabled.Lookup("a", &out));
 }
 
@@ -599,6 +602,418 @@ TEST(ServingEngineTest, PublishesPerOpAndRecoversIntoServableState) {
   Result<QueryResponse> response = reopened.value()->Query(request);
   ASSERT_OK(response);
   ASSERT_EQ(response.value().hits.size(), 1u);
+}
+
+// --------------------- COW capture fidelity (PR 8) -------------------------
+
+/// Byte-level equality of two snapshots: every posting list over the
+/// whole term space, event-type enumeration, story lookups and corpus
+/// totals. This is the "byte-identical to a from-scratch rebuild"
+/// contract the COW capture must uphold (DESIGN.md §15).
+void ExpectSnapshotsEqual(const ReadSnapshot& got, const ReadSnapshot& want,
+                          size_t num_entities, size_t num_keywords) {
+  ASSERT_EQ(got.index().num_documents(), want.index().num_documents());
+  ASSERT_EQ(got.index().num_postings(), want.index().num_postings());
+  ASSERT_EQ(got.index().num_terms(Field::kEntity),
+            want.index().num_terms(Field::kEntity));
+  ASSERT_EQ(got.index().num_terms(Field::kKeyword),
+            want.index().num_terms(Field::kKeyword));
+  EXPECT_EQ(got.total_stories(), want.total_stories());
+  EXPECT_EQ(got.index().EventTypes(), want.index().EventTypes());
+
+  auto expect_field = [&](Field field, size_t num_terms) {
+    for (text::TermId term = 0; term < num_terms; ++term) {
+      const std::vector<search::Posting>* a = got.index().Postings(field, term);
+      const std::vector<search::Posting>* b =
+          want.index().Postings(field, term);
+      ASSERT_EQ(a == nullptr, b == nullptr)
+          << "field " << static_cast<int>(field) << " term " << term;
+      if (a == nullptr) continue;
+      ASSERT_EQ(a->size(), b->size()) << "term " << term;
+      for (size_t i = 0; i < a->size(); ++i) {
+        ASSERT_EQ((*a)[i].snippet, (*b)[i].snippet);
+        ASSERT_EQ((*a)[i].source, (*b)[i].source);
+        ASSERT_EQ((*a)[i].timestamp, (*b)[i].timestamp);
+        ASSERT_EQ((*a)[i].tf, (*b)[i].tf);
+      }
+    }
+  };
+  expect_field(Field::kEntity, num_entities);
+  expect_field(Field::kKeyword, num_keywords);
+
+  for (text::TermId term = 0; term < num_entities; ++term) {
+    ASSERT_EQ(got.StoriesWithEntity(term), want.StoriesWithEntity(term));
+  }
+  for (text::TermId term = 0; term < num_keywords; ++term) {
+    ASSERT_EQ(got.StoriesWithKeyword(term), want.StoriesWithKeyword(term));
+  }
+}
+
+/// One recorded mutation against the engine, replayable verbatim.
+struct TraceOp {
+  enum Kind { kAdd, kRemoveSource, kRefine, kAlign } kind = kAdd;
+  std::vector<size_t> snippet_indices;  // kAdd: into corpus.snippets.
+  SourceId source = kInvalidSourceId;   // kRemoveSource.
+};
+
+void ApplyTraceOp(const TraceOp& op, const datagen::Corpus& corpus,
+                  StoryPivotEngine* engine) {
+  switch (op.kind) {
+    case TraceOp::kAdd: {
+      std::vector<Snippet> batch;
+      batch.reserve(op.snippet_indices.size());
+      for (size_t index : op.snippet_indices) {
+        Snippet copy = corpus.snippets[index];
+        copy.id = kInvalidSnippetId;
+        batch.push_back(std::move(copy));
+      }
+      SP_CHECK_OK(engine->AddSnippets(std::move(batch)));
+      break;
+    }
+    case TraceOp::kRemoveSource:
+      SP_CHECK_OK(engine->RemoveSource(op.source));
+      break;
+    case TraceOp::kRefine:
+      engine->Refine();
+      break;
+    case TraceOp::kAlign:
+      engine->Align();
+      break;
+  }
+}
+
+// ISSUE satellite: randomized AddSnippets/RemoveSource/Refine/Align mix
+// with a COW capture kept alive at EVERY step, across 40 seeds. After
+// the full run — with every later mutation having path-copied over the
+// shared structure — each retained snapshot must still be byte-identical
+// to a from-scratch rebuild of the engine at exactly that prefix.
+TEST(SnapshotRebuildEqualityTest, EveryCaptureMatchesFromScratchRebuild) {
+  datagen::CorpusConfig config;
+  config.num_sources = 4;
+  config.num_entities = 60;
+  config.num_stories = 6;
+  config.target_num_snippets = 120;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+  const size_t num_entities = corpus.entity_vocabulary->size();
+  const size_t num_keywords = corpus.keyword_vocabulary->size();
+
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+
+    auto fresh_stack = [&corpus] {
+      LiveStack stack;
+      stack.engine = std::make_unique<StoryPivotEngine>();
+      SP_CHECK_OK(stack.engine->ImportVocabularies(
+          *corpus.entity_vocabulary, *corpus.keyword_vocabulary));
+      for (const SourceInfo& source : corpus.sources) {
+        stack.engine->RegisterSource(source.name);
+      }
+      stack.searcher =
+          std::make_unique<search::SearchEngine>(stack.engine.get());
+      return stack;
+    };
+
+    // Pass 1: random walk, recording the trace and freezing a snapshot
+    // after every op. All snapshots stay alive to the end.
+    LiveStack live = fresh_stack();
+    std::vector<TraceOp> trace;
+    std::vector<std::unique_ptr<ReadSnapshot>> kept;
+    std::vector<bool> source_live(corpus.sources.size(), true);
+    size_t next_snippet = 0;
+    size_t sources_left = corpus.sources.size();
+    for (int step = 0; step < 10; ++step) {
+      TraceOp op;
+      const uint64_t roll = rng() % 100;
+      if (roll < 60 || next_snippet == 0) {
+        op.kind = TraceOp::kAdd;
+        for (int j = 0; j < 8 && next_snippet < corpus.snippets.size();
+             ++next_snippet) {
+          if (!source_live[corpus.snippets[next_snippet].source]) continue;
+          op.snippet_indices.push_back(next_snippet);
+          ++j;
+        }
+        if (op.snippet_indices.empty()) op.kind = TraceOp::kRefine;
+      } else if (roll < 75 && sources_left > 1) {
+        op.kind = TraceOp::kRemoveSource;
+        SourceId victim = rng() % corpus.sources.size();
+        while (!source_live[victim]) {
+          victim = (victim + 1) % corpus.sources.size();
+        }
+        op.source = victim;
+        source_live[victim] = false;
+        --sources_left;
+      } else if (roll < 90) {
+        op.kind = TraceOp::kRefine;
+      } else {
+        op.kind = TraceOp::kAlign;
+      }
+      ApplyTraceOp(op, corpus, live.engine.get());
+      trace.push_back(op);
+      kept.push_back(
+          ReadSnapshot::Capture(*live.engine, live.searcher->index()));
+    }
+
+    // Pass 2: replay the identical trace on a fresh engine; at each
+    // prefix the retained COW snapshot from pass 1 must equal a capture
+    // of the rebuilt state, byte for byte.
+    LiveStack rebuild = fresh_stack();
+    for (size_t i = 0; i < trace.size(); ++i) {
+      ApplyTraceOp(trace[i], corpus, rebuild.engine.get());
+      std::unique_ptr<ReadSnapshot> reference = ReadSnapshot::Capture(
+          *rebuild.engine, rebuild.searcher->index());
+      ExpectSnapshotsEqual(*kept[i], *reference, num_entities, num_keywords);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// A sharper write-immunity probe than IsImmuneToWritesAfterCapture: the
+// post-capture mutations include the structurally violent ones —
+// RemoveSource (drops a whole partition), Refine (moves snippets
+// between stories), Align, and snippet removal — all of which path-copy
+// through the nodes the frozen snapshot shares.
+TEST(ReadSnapshotTest, SurvivesAggressiveMutationAfterCapture) {
+  datagen::CorpusConfig config;
+  config.num_sources = 3;
+  config.num_entities = 40;
+  config.num_stories = 5;
+  config.target_num_snippets = 80;
+  datagen::Corpus corpus = datagen::CorpusGenerator(config).Generate();
+
+  LiveStack live;
+  live.engine = std::make_unique<StoryPivotEngine>();
+  SP_CHECK_OK(live.engine->ImportVocabularies(*corpus.entity_vocabulary,
+                                              *corpus.keyword_vocabulary));
+  for (const SourceInfo& source : corpus.sources) {
+    live.engine->RegisterSource(source.name);
+  }
+  live.searcher = std::make_unique<search::SearchEngine>(live.engine.get());
+  const size_t half = corpus.snippets.size() / 2;
+  std::vector<Snippet> warmup;
+  for (size_t i = 0; i < half; ++i) {
+    Snippet copy = corpus.snippets[i];
+    copy.id = kInvalidSnippetId;
+    warmup.push_back(std::move(copy));
+  }
+  Result<std::vector<SnippetId>> added =
+      live.engine->AddSnippets(std::move(warmup));
+  ASSERT_OK(added);
+
+  std::unique_ptr<ReadSnapshot> snapshot =
+      ReadSnapshot::Capture(*live.engine, live.searcher->index());
+  // Record the full answer surface before any mutation.
+  const size_t num_entities = corpus.entity_vocabulary->size();
+  const size_t num_keywords = corpus.keyword_vocabulary->size();
+  const size_t docs_before = snapshot->index().num_documents();
+  const size_t postings_before = snapshot->index().num_postings();
+  const size_t stories_before = snapshot->total_stories();
+  const auto events_before = snapshot->index().EventTypes();
+  std::vector<std::vector<search::Posting>> entity_lists(num_entities);
+  std::vector<std::vector<std::pair<SourceId, StoryId>>> entity_stories(
+      num_entities);
+  for (text::TermId term = 0; term < num_entities; ++term) {
+    const std::vector<search::Posting>* list =
+        snapshot->index().Postings(Field::kEntity, term);
+    if (list != nullptr) entity_lists[term] = *list;
+    entity_stories[term] = snapshot->StoriesWithEntity(term);
+  }
+
+  // Now mutate as hard as the engine allows.
+  live.engine->Refine();
+  live.engine->Align();
+  SP_CHECK_OK(live.engine->RemoveSource(corpus.snippets[0].source));
+  for (size_t i = 0; i < added.value().size(); i += 7) {
+    // Snippets of the removed source are already gone; skip those.
+    if (corpus.snippets[i].source == corpus.snippets[0].source) continue;
+    ASSERT_OK(live.engine->RemoveSnippet(added.value()[i]));
+  }
+  for (size_t i = half; i < corpus.snippets.size(); ++i) {
+    if (corpus.snippets[i].source == corpus.snippets[0].source) continue;
+    Snippet copy = corpus.snippets[i];
+    copy.id = kInvalidSnippetId;
+    ASSERT_OK(live.engine->AddSnippet(std::move(copy)).status());
+  }
+  live.engine->Refine();
+  live.engine->Align();
+
+  // The frozen view must not have moved a byte.
+  EXPECT_EQ(snapshot->index().num_documents(), docs_before);
+  EXPECT_EQ(snapshot->index().num_postings(), postings_before);
+  EXPECT_EQ(snapshot->total_stories(), stories_before);
+  EXPECT_EQ(snapshot->index().EventTypes(), events_before);
+  for (text::TermId term = 0; term < num_entities; ++term) {
+    const std::vector<search::Posting>* list =
+        snapshot->index().Postings(Field::kEntity, term);
+    if (entity_lists[term].empty()) {
+      ASSERT_TRUE(list == nullptr || list->empty()) << "term " << term;
+    } else {
+      ASSERT_NE(list, nullptr) << "term " << term;
+      ASSERT_EQ(list->size(), entity_lists[term].size());
+      for (size_t i = 0; i < list->size(); ++i) {
+        ASSERT_EQ((*list)[i].snippet, entity_lists[term][i].snippet);
+        ASSERT_EQ((*list)[i].tf, entity_lists[term][i].tf);
+      }
+    }
+    ASSERT_EQ(snapshot->StoriesWithEntity(term), entity_stories[term]);
+  }
+  (void)num_keywords;
+}
+
+// Batched publication (ISSUE tentpole): every_ops = 3 coalesces acked
+// ops into one epoch, Flush() publishes a partial batch, and recovery
+// always publishes immediately whatever the policy.
+TEST(ServingEngineTest, BatchedPolicyCoalescesFlushesAndRecovers) {
+  const std::string dir = FreshDir("batched");
+  serve::PublishPolicy policy;
+  policy.every_ops = 3;
+  {
+    ServerOptions options;
+    options.num_threads = 1;
+    Result<std::unique_ptr<ServingEngine>> opened = ServingEngine::Open(
+        dir, options, {}, {}, policy);
+    ASSERT_OK(opened);
+    ServingEngine& serving = *opened.value();
+    EXPECT_EQ(serving.epochs().current_epoch(), 1u);
+    EXPECT_EQ(serving.publish_policy().every_ops, 3u);
+
+    ASSERT_OK(serving.durable().RegisterSource("wire"));
+    EXPECT_EQ(serving.epochs().current_epoch(), 1u);  // 1 op pending.
+    EXPECT_EQ(serving.unpublished_ops(), 1u);
+    Result<text::TermId> ukraine =
+        serving.durable().AddGazetteerEntity("Ukraine");
+    ASSERT_OK(ukraine);
+    EXPECT_EQ(serving.epochs().current_epoch(), 1u);  // 2 ops pending.
+    Snippet first = MakeSnippet(0, MakeTimestamp(2014, 7, 17),
+                                {{ukraine.value(), 2.0}}, {}, "Accident");
+    ASSERT_OK(serving.durable().AddSnippet(std::move(first)));
+    EXPECT_EQ(serving.epochs().current_epoch(), 2u);  // 3rd op publishes.
+    EXPECT_EQ(serving.unpublished_ops(), 0u);
+
+    // A 4th op stays unpublished: readers still see epoch 2's state.
+    Snippet second = MakeSnippet(0, MakeTimestamp(2014, 7, 18),
+                                 {{ukraine.value(), 1.0}}, {}, "Accident");
+    ASSERT_OK(serving.durable().AddSnippet(std::move(second)));
+    EXPECT_EQ(serving.epochs().current_epoch(), 2u);
+    EXPECT_EQ(serving.unpublished_ops(), 1u);
+    QueryRequest request;
+    request.query = "Ukraine";
+    Result<QueryResponse> stale = serving.Query(request);
+    ASSERT_OK(stale);
+    EXPECT_EQ(stale.value().epoch, 2u);
+    ASSERT_EQ(stale.value().hits.size(), 1u);
+    // The pinned epoch predates the 4th op: one document, not two.
+    EXPECT_EQ(serving.epochs().Pin()->index().num_documents(), 1u);
+
+    // Flush publishes the pending partial batch.
+    EXPECT_EQ(serving.Flush(), 3u);
+    EXPECT_EQ(serving.unpublished_ops(), 0u);
+    EXPECT_EQ(serving.Flush(), 0u);  // Nothing pending: no-op.
+    Result<QueryResponse> fresh = serving.Query(request);
+    ASSERT_OK(fresh);
+    EXPECT_EQ(fresh.value().epoch, 3u);
+    // The two snippets are a day apart and cluster as two stories.
+    ASSERT_EQ(fresh.value().hits.size(), 2u);
+    EXPECT_EQ(serving.epochs().Pin()->index().num_documents(), 2u);
+    ASSERT_OK(serving.durable().Close());
+  }
+  // Recovery publishes the rebuilt prefix immediately — batching must
+  // never leave a reopened engine without a servable epoch.
+  Result<std::unique_ptr<ServingEngine>> reopened =
+      ServingEngine::Open(dir, ServerOptions{}, {}, {}, policy);
+  ASSERT_OK(reopened);
+  EXPECT_GE(reopened.value()->epochs().current_epoch(), 1u);
+  EXPECT_EQ(reopened.value()->unpublished_ops(), 0u);
+  QueryRequest request;
+  request.query = "Ukraine";
+  Result<QueryResponse> response = reopened.value()->Query(request);
+  ASSERT_OK(response);
+  ASSERT_EQ(response.value().hits.size(), 2u);
+  EXPECT_EQ(reopened.value()->epochs().Pin()->index().num_documents(), 2u);
+}
+
+// ISSUE satellite: publishing an epoch prunes cache entries whose epoch
+// can never hit again, and the stats tell capacity from epoch evictions.
+TEST(QueryCacheTest, EvictBelowEpochPrunesOnlyDeadEntries) {
+  QueryCache cache(8);
+  std::vector<StoryHit> hits;
+  cache.Insert("a", 1, hits);
+  cache.Insert("b", 1, hits);
+  cache.Insert("c", 2, hits);
+  cache.EvictBelowEpoch(2);
+
+  std::vector<StoryHit> out;
+  EXPECT_FALSE(cache.Lookup("a", &out));
+  EXPECT_FALSE(cache.Lookup("b", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+
+  QueryCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evicted_by_epoch, 2u);
+  EXPECT_EQ(stats.evicted_by_capacity, 0u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.size, 1u);
+
+  cache.EvictBelowEpoch(2);  // Idempotent: nothing left below 2.
+  EXPECT_EQ(cache.GetStats().evicted_by_epoch, 2u);
+}
+
+// End to end: the ServingEngine publish path drives the pruning hook.
+TEST(ServingEngineTest, PublishPrunesDeadEpochCacheEntries) {
+  const std::string dir = FreshDir("cache_prune");
+  ServerOptions options;
+  options.num_threads = 1;
+  Result<std::unique_ptr<ServingEngine>> opened =
+      ServingEngine::Open(dir, options);
+  ASSERT_OK(opened);
+  ServingEngine& serving = *opened.value();
+  ASSERT_OK(serving.durable().RegisterSource("wire"));
+  Result<text::TermId> ukraine =
+      serving.durable().AddGazetteerEntity("Ukraine");
+  ASSERT_OK(ukraine);
+
+  QueryRequest request;
+  request.query = "Ukraine";
+  ASSERT_OK(serving.Query(request));  // Miss: caches at current epoch.
+  EXPECT_EQ(serving.server().GetStats().cache.size, 1u);
+
+  // Any acked op publishes (default policy) and sweeps the dead entry.
+  Snippet snippet = MakeSnippet(0, MakeTimestamp(2014, 7, 17),
+                                {{ukraine.value(), 2.0}}, {}, "Accident");
+  ASSERT_OK(serving.durable().AddSnippet(std::move(snippet)));
+  QueryCache::Stats stats = serving.server().GetStats().cache;
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.evicted_by_epoch, 1u);
+  EXPECT_EQ(stats.evicted_by_capacity, 0u);
+}
+
+// Capture observability (ISSUE satellite): every publish records wall
+// time and the copied-vs-shared byte split in EpochManager::Stats.
+TEST(ServingEngineTest, RecordsCaptureCostPerPublish) {
+  const std::string dir = FreshDir("capture_cost");
+  Result<std::unique_ptr<ServingEngine>> opened =
+      ServingEngine::Open(dir, ServerOptions{});
+  ASSERT_OK(opened);
+  ServingEngine& serving = *opened.value();
+  ASSERT_OK(serving.durable().RegisterSource("wire"));
+  Result<text::TermId> ukraine =
+      serving.durable().AddGazetteerEntity("Ukraine");
+  ASSERT_OK(ukraine);
+  for (int i = 0; i < 5; ++i) {
+    Snippet snippet =
+        MakeSnippet(0, MakeTimestamp(2014, 7, 17) + i * kSecondsPerHour,
+                    {{ukraine.value(), 1.0}}, {}, "Accident");
+    ASSERT_OK(serving.durable().AddSnippet(std::move(snippet)));
+  }
+  EpochManager::Stats stats = serving.epochs().GetStats();
+  // Initial publish + source + entity + 5 snippets.
+  EXPECT_EQ(stats.captures, 8u);
+  EXPECT_GE(stats.total_capture_ms, stats.last_capture_ms);
+  // Every publish accounts its bytes: at toy scale the writer's path
+  // copies dominate (shared can legitimately clamp to zero), but the
+  // copied side must be visible and accumulate.
+  EXPECT_GT(stats.last_bytes_shared + stats.last_bytes_copied, 0u);
+  EXPECT_GT(stats.total_bytes_copied, 0u);
+  EXPECT_GE(stats.total_bytes_copied, stats.last_bytes_copied);
 }
 
 }  // namespace

@@ -25,6 +25,10 @@ examples/ (and tools/ headers if any appear):
                     StoryQuery (which uses the search index) so O(all
                     stories) walks stay contained in the two layers that
                     own them. Tests are exempt.
+  deep-clone        no deep Clone() calls in src/serve/ — the read path
+                    captures through the COW Freeze()/Capture() path
+                    (O(delta), DESIGN.md §15); the deep-copy baseline in
+                    read_snapshot.cc carries an explicit allow.
   raw-sync          no raw std::mutex / std::lock_guard /
                     std::unique_lock / std::condition_variable (or their
                     shared/timed/recursive cousins) outside
@@ -215,8 +219,29 @@ def check_full_scan(relpath, lines):
                 " is required")
 
 
+DEEP_CLONE_RE = re.compile(r"(?:->|\.)\s*Clone\s*\(\s*\)")
+
+
+def check_deep_clone(relpath, lines):
+    """Clone() deep-copies an entire COW structure (O(corpus)); the
+    serving read path must capture via Freeze()/Capture() instead so
+    publishes stay O(ops-since-last-publish) (DESIGN.md §15). The only
+    legitimate serve-layer caller is the measured deep-copy baseline,
+    which carries an explicit allow."""
+    if not relpath.startswith("src/serve/"):
+        return
+    for number, line in enumerate(lines, start=1):
+        if LINE_COMMENT_RE.match(line):
+            continue
+        if DEEP_CLONE_RE.search(line) and not line_allows(line, "deep-clone"):
+            yield number, "deep-clone", (
+                "deep Clone() in src/serve/; capture through the COW "
+                "Freeze()/Capture() path (O(delta)), or annotate why a "
+                "full copy is required")
+
+
 FILE_CHECKS = [check_banned, check_include_guard, check_using_namespace,
-               check_full_scan, check_raw_sync]
+               check_full_scan, check_raw_sync, check_deep_clone]
 
 
 def check_build_artifacts(root):
