@@ -42,8 +42,13 @@ namespace {
 using search::SearchOptions;
 using search::StoryHit;
 
+// Scratch WAL directories live under one removable root (same idiom as
+// bench_recovery / bench_faults), deleted at the end of Main() — a bench
+// run must not leave litter in the working directory.
+constexpr const char kScratchRoot[] = "bench_serve_tmp";
+
 std::string FreshDir(const std::string& name) {
-  std::string dir = "bench_serve_wal_" + name;
+  std::string dir = std::string(kScratchRoot) + "/wal_" + name;
   if (FileExists(dir)) {
     Result<std::vector<std::string>> names = ListDirectory(dir);
     SP_CHECK_OK(names);
@@ -53,6 +58,19 @@ std::string FreshDir(const std::string& name) {
   }
   SP_CHECK_OK(CreateDirectories(dir));
   return dir;
+}
+
+void RemoveDirRecursive(const std::string& path) {
+  if (!FileExists(path)) return;
+  Result<std::vector<std::string>> names = ListDirectory(path);
+  if (names.ok()) {  // A directory: empty it, then rmdir.
+    for (const std::string& entry : names.value()) {
+      RemoveDirRecursive(path + "/" + entry);
+    }
+    IgnoreError(RemoveDirectory(path));
+    return;
+  }
+  IgnoreError(RemoveFile(path));
 }
 
 /// First half of the corpus (id-cleared) is the warmup batch every cell
@@ -554,6 +572,7 @@ int Main(int argc, char** argv) {
   json += "]}\n";
   SP_CHECK_OK(WriteStringToFile("BENCH_serve.json", json));
   std::printf("\nwrote BENCH_serve.json\n");
+  RemoveDirRecursive(kScratchRoot);
   return 0;
 }
 

@@ -1,0 +1,247 @@
+// Sharding bench (DESIGN.md §16): what the sharded coordinator costs on
+// the ingest path and what parallel recovery buys on restart. Three
+// experiments over one Fig. 7 corpus:
+//
+//   1. Sharded batch ingest + cross-shard alignment for N in {1, 2, 4}
+//      shards, with the determinism cross-check: every shard count must
+//      produce the exact fingerprint of the plain in-memory engine on
+//      the same op stream.
+//   2. Restart latency per shard count with recovery_threads=1 (serial
+//      replay) vs recovery_threads=N (one replay thread per shard) —
+//      the near-linear-in-shards speedup is the point of the subsystem.
+//   3. Recovered-state verification: every recovery must land on the
+//      ingest-time fingerprint and op count.
+//
+// On hosts with >= 4 hardware threads the 4-shard parallel recovery is
+// required to be >= 2x faster than serial; with fewer threads only the
+// determinism contract is asserted (a single core cannot show the
+// speedup, only the correctness). `hardware_threads` is recorded in
+// BENCH_shard.json so readers can tell which regime produced the
+// numbers.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "core/snapshot.h"
+#include "persist/durable_engine.h"
+#include "shard/sharded_engine.h"
+#include "util/fs.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace storypivot::bench {
+namespace {
+
+constexpr const char kScratchRoot[] = "bench_shard_tmp";
+constexpr size_t kBatchSize = 512;
+
+void RemoveDirRecursive(const std::string& path) {
+  if (!FileExists(path)) return;
+  Result<std::vector<std::string>> names = ListDirectory(path);
+  if (names.ok()) {  // A directory: empty it, then rmdir.
+    for (const std::string& entry : names.value()) {
+      RemoveDirRecursive(path + "/" + entry);
+    }
+    IgnoreError(RemoveDirectory(path));
+    return;
+  }
+  IgnoreError(RemoveFile(path));
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = std::string(kScratchRoot) + "/" + name;
+  RemoveDirRecursive(dir);
+  SP_CHECK_OK(CreateDirectories(dir));
+  return dir;
+}
+
+struct ShardRun {
+  size_t shards = 0;
+  double ingest_ms = 0.0;
+  double align_ms = 0.0;
+  double recover_serial_ms = 0.0;
+  double recover_parallel_ms = 0.0;
+  uint64_t fingerprint = 0;
+  uint64_t ops = 0;
+};
+
+shard::ShardOptions MakeOptions(size_t shards, size_t recovery_threads) {
+  shard::ShardOptions options;
+  options.num_shards = shards;
+  options.recovery_threads = recovery_threads;
+  // Recovery replays the full WAL either way; on-rotate keeps the
+  // ingest phase from being an fsync bench.
+  options.durability.wal.fsync = persist::FsyncPolicy::kOnRotate;
+  return options;
+}
+
+/// Builds an N-shard deployment in `dir` from the corpus (batched
+/// ingest + one alignment), closes it, and reports timings plus the
+/// final fingerprint.
+ShardRun BuildDeployment(const datagen::Corpus& corpus,
+                         const std::string& dir, size_t shards) {
+  Result<std::unique_ptr<shard::ShardedEngine>> opened =
+      shard::ShardedEngine::Open(dir, MakeOptions(shards, shards));
+  SP_CHECK_OK(opened.status());
+  shard::ShardedEngine& sharded = *opened.value();
+
+  ShardRun r;
+  r.shards = shards;
+  WallTimer ingest_timer;
+  SP_CHECK_OK(sharded.ImportVocabularies(*corpus.entity_vocabulary,
+                                         *corpus.keyword_vocabulary));
+  for (const SourceInfo& source : corpus.sources) {
+    SP_CHECK_OK(sharded.RegisterSource(source.name));
+  }
+  for (size_t begin = 0; begin < corpus.snippets.size();
+       begin += kBatchSize) {
+    const size_t end =
+        std::min(begin + kBatchSize, corpus.snippets.size());
+    std::vector<Snippet> batch;
+    batch.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      Snippet copy = corpus.snippets[i];
+      copy.id = kInvalidSnippetId;
+      batch.push_back(std::move(copy));
+    }
+    SP_CHECK_OK(sharded.AddSnippets(std::move(batch)));
+  }
+  r.ingest_ms = ingest_timer.ElapsedMillis();
+
+  WallTimer align_timer;
+  SP_CHECK_OK(sharded.Align());
+  r.align_ms = align_timer.ElapsedMillis();
+
+  r.fingerprint = sharded.Fingerprint();
+  r.ops = sharded.next_lsn();
+  SP_CHECK_OK(sharded.Close());
+  return r;
+}
+
+/// Times one cold reopen of the deployment in `dir` (full WAL replay —
+/// no checkpoints were written) with the given recovery parallelism.
+/// Verifies the recovered state before closing.
+double RecoverMillis(const std::string& dir, size_t recovery_threads,
+                     const ShardRun& expected) {
+  // num_shards = 0: the manifest is authoritative on reopen.
+  WallTimer timer;
+  Result<std::unique_ptr<shard::ShardedEngine>> opened =
+      shard::ShardedEngine::Open(dir, MakeOptions(0, recovery_threads));
+  SP_CHECK_OK(opened.status());
+  const double elapsed = timer.ElapsedMillis();
+  shard::ShardedEngine& sharded = *opened.value();
+  SP_CHECK(sharded.num_shards() == expected.shards);
+  SP_CHECK(sharded.next_lsn() == expected.ops);
+  SP_CHECK(sharded.Fingerprint() == expected.fingerprint);
+  SP_CHECK_OK(sharded.Close());
+  return elapsed;
+}
+
+void Run() {
+  std::printf("== sharding: scatter-gather ingest & parallel recovery ==\n\n");
+  datagen::CorpusConfig corpus_config = Fig7CorpusConfig(8000);
+  corpus_config.num_sources = 8;
+  datagen::Corpus corpus =
+      datagen::CorpusGenerator(corpus_config).Generate();
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("corpus: %zu snippets over %d sources; batch=%zu; "
+              "hardware threads=%u\n\n",
+              corpus.snippets.size(), corpus_config.num_sources, kBatchSize,
+              hw);
+
+  // Plain in-memory reference: the sharded engine's contract is
+  // bit-identical state for every shard count.
+  StoryPivotEngine plain;
+  SP_CHECK_OK(plain.ImportVocabularies(*corpus.entity_vocabulary,
+                                       *corpus.keyword_vocabulary));
+  for (const SourceInfo& s : corpus.sources) plain.RegisterSource(s.name);
+  for (size_t begin = 0; begin < corpus.snippets.size();
+       begin += kBatchSize) {
+    const size_t end =
+        std::min(begin + kBatchSize, corpus.snippets.size());
+    std::vector<Snippet> batch;
+    batch.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      Snippet copy = corpus.snippets[i];
+      copy.id = kInvalidSnippetId;
+      batch.push_back(std::move(copy));
+    }
+    SP_CHECK_OK(plain.AddSnippets(std::move(batch)));
+  }
+  plain.Align();
+  const uint64_t reference_fingerprint = EngineStateFingerprint(plain);
+  std::printf("plain engine reference fingerprint: %016llx\n\n",
+              static_cast<unsigned long long>(reference_fingerprint));
+
+  std::vector<ShardRun> runs;
+  std::printf("%8s %12s %12s %16s %18s %10s\n", "shards", "ingest ms",
+              "align ms", "recover(t=1) ms", "recover(t=N) ms", "speedup");
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    const std::string dir = FreshDir(StrFormat("shards_%zu", shards));
+    ShardRun r = BuildDeployment(corpus, dir, shards);
+    // Determinism contract: every shard count reproduces the plain
+    // engine's state bit for bit.
+    SP_CHECK(r.fingerprint == reference_fingerprint);
+    r.recover_serial_ms = RecoverMillis(dir, /*recovery_threads=*/1, r);
+    r.recover_parallel_ms = RecoverMillis(dir, shards, r);
+    std::printf("%8zu %12.1f %12.1f %16.1f %18.1f %9.2fx\n", r.shards,
+                r.ingest_ms, r.align_ms, r.recover_serial_ms,
+                r.recover_parallel_ms,
+                r.recover_serial_ms / r.recover_parallel_ms);
+    runs.push_back(r);
+  }
+
+  const ShardRun& four = runs.back();
+  const double speedup_at_4 =
+      four.recover_serial_ms / four.recover_parallel_ms;
+  if (hw >= 4) {
+    // With real parallel hardware the 4-shard replay must pull its
+    // weight; on fewer cores only the determinism contract above is
+    // checkable (the threads time-slice one core).
+    SP_CHECK(speedup_at_4 >= 2.0);
+    std::printf("\n4-shard parallel recovery speedup: %.2fx (>= 2x ok)\n",
+                speedup_at_4);
+  } else {
+    std::printf("\n4-shard parallel recovery speedup: %.2fx "
+                "(< 4 hardware threads: determinism asserted, "
+                "speedup not required)\n",
+                speedup_at_4);
+  }
+
+  std::string json = StrFormat(
+      "{\"bench\":\"shard\",\"snippets\":%zu,\"sources\":%d,"
+      "\"batch_size\":%zu,\"hardware_threads\":%u,"
+      "\"reference_fingerprint\":\"%016llx\",\"results\":[",
+      corpus.snippets.size(), corpus_config.num_sources, kBatchSize, hw,
+      static_cast<unsigned long long>(reference_fingerprint));
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ShardRun& r = runs[i];
+    json += StrFormat(
+        "%s{\"shards\":%zu,\"ingest_ms\":%.2f,\"align_ms\":%.2f,"
+        "\"ops\":%llu,\"recover_serial_ms\":%.2f,"
+        "\"recover_parallel_ms\":%.2f,\"recovery_speedup\":%.3f,"
+        "\"fingerprint\":\"%016llx\",\"deterministic\":true}",
+        i == 0 ? "" : ",", r.shards, r.ingest_ms, r.align_ms,
+        static_cast<unsigned long long>(r.ops), r.recover_serial_ms,
+        r.recover_parallel_ms, r.recover_serial_ms / r.recover_parallel_ms,
+        static_cast<unsigned long long>(r.fingerprint));
+  }
+  json += "]}\n";
+  SP_CHECK_OK(WriteStringToFile("BENCH_shard.json", json));
+  std::printf("wrote BENCH_shard.json\n");
+}
+
+}  // namespace
+}  // namespace storypivot::bench
+
+int main() {
+  storypivot::bench::Run();
+  storypivot::bench::RemoveDirRecursive(storypivot::bench::kScratchRoot);
+  return 0;
+}

@@ -5,20 +5,26 @@
 //       Generate a synthetic multi-source corpus (GDELT-style TSV).
 //   detect <in.tsv> [--mode temporal|complete] [--window-days W]
 //          [--refine] [--diagnose] [--snapshot out.sp] [--json out.json]
-//          [--wal-dir DIR] [--strict]
+//          [--wal-dir DIR] [--shards N] [--strict]
 //       Run story identification + alignment over a TSV corpus; print the
 //       integrated story table and quality (when truth labels exist).
 //       Malformed input rows are QUARANTINED by default — skipped,
 //       counted and reported with line numbers; --strict fails the run
 //       on the first bad row instead. With --wal-dir, every mutation is
 //       write-ahead logged to DIR and the final state checkpointed, so
-//       the run is crash-recoverable.
-//   recover <wal-dir> [--checkpoint]
+//       the run is crash-recoverable. --shards N (requires --wal-dir)
+//       runs the sharded engine instead: N shards under DIR, each with
+//       its own WAL, producing byte-identical stories to the unsharded
+//       run (DESIGN.md §16).
+//   recover <wal-dir> [--checkpoint] [--shards N]
 //       Recover the engine state from a durability directory (newest
-//       checkpoint + WAL tail) and print its stories. --checkpoint also
-//       compacts the directory afterwards. A missing or unreadable
-//       directory exits non-zero with a one-line diagnostic that
-//       classifies the failure (transient vs. corruption).
+//       checkpoint + WAL tail) and print its stories. A sharded directory
+//       (one holding a shard manifest) recovers all shards in parallel;
+//       --shards N additionally cross-checks the manifest's count.
+//       --checkpoint also compacts the directory afterwards. A missing
+//       or unreadable directory exits non-zero with a one-line
+//       diagnostic that classifies the failure (transient vs.
+//       corruption).
 //   load <snapshot.sp>
 //       Load a previously saved engine snapshot and print its stories.
 //   query <in.tsv> <entity>
@@ -52,6 +58,8 @@
 #include "eval/experiment.h"
 #include "persist/durable_engine.h"
 #include "search/search_engine.h"
+#include "shard/manifest.h"
+#include "shard/sharded_engine.h"
 #include "text/knowledge_base.h"
 #include "util/csv.h"
 #include "util/retry.h"
@@ -72,8 +80,9 @@ int Usage() {
                "  storypivot_cli detect <in.tsv> [--mode temporal|complete]"
                " [--window-days W] [--refine] [--diagnose]\n"
                "                 [--snapshot out.sp] [--json out.json]"
-               " [--wal-dir DIR] [--strict]\n"
-               "  storypivot_cli recover <wal-dir> [--checkpoint]\n"
+               " [--wal-dir DIR] [--shards N] [--strict]\n"
+               "  storypivot_cli recover <wal-dir> [--checkpoint]"
+               " [--shards N]\n"
                "  storypivot_cli load <snapshot.sp>\n"
                "  storypivot_cli query <in.tsv> <entity>\n"
                "  storypivot_cli search <in.tsv> \"<query>\" [--topk N]"
@@ -256,6 +265,68 @@ Result<std::unique_ptr<persist::DurableEngine>> DetectDurable(
   return durable;
 }
 
+/// Ingests the TSV corpus through a ShardedEngine: N durable shards under
+/// `dir`, one WAL each, byte-identical results to the unsharded run.
+Result<std::unique_ptr<shard::ShardedEngine>> DetectSharded(
+    const datagen::ImportedCorpus& corpus, const EngineConfig& config,
+    const std::string& dir, size_t num_shards) {
+  shard::ShardOptions options;
+  options.num_shards = num_shards;
+  options.engine_config = config;
+  Result<std::unique_ptr<shard::ShardedEngine>> opened =
+      shard::ShardedEngine::Open(dir, options);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<shard::ShardedEngine> sharded =
+      std::move(opened.value());
+  if (sharded->next_lsn() != 0) {
+    return Status::FailedPrecondition(StrFormat(
+        "%s already holds a recorded run (%llu ops) — inspect it with "
+        "`storypivot_cli recover %s` or point --wal-dir at an empty "
+        "directory",
+        dir.c_str(), static_cast<unsigned long long>(sharded->next_lsn()),
+        dir.c_str()));
+  }
+  Status vocab = sharded->ImportVocabularies(*corpus.entity_vocabulary,
+                                             *corpus.keyword_vocabulary);
+  if (!vocab.ok()) return vocab;
+  for (const SourceInfo& source : corpus.sources) {
+    Result<SourceId> registered = sharded->RegisterSource(source.name);
+    if (!registered.ok()) return registered.status();
+  }
+  for (const Snippet& snippet : corpus.snippets) {
+    Snippet copy = snippet;
+    copy.id = kInvalidSnippetId;
+    Result<SnippetId> added = sharded->AddSnippet(std::move(copy));
+    if (!added.ok()) return added.status();
+  }
+  return sharded;
+}
+
+/// Sharded counterpart of PrintEngineSummary: aligns (through the log)
+/// and prints totals plus the per-shard layout.
+int PrintShardedSummary(shard::ShardedEngine& sharded) {
+  if (!sharded.has_alignment()) {
+    Status aligned = sharded.Align();
+    if (!aligned.ok()) {
+      std::fprintf(stderr, "%s\n", aligned.ToString().c_str());
+      return 1;
+    }
+  }
+  size_t snippets = 0;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    const StoryPivotEngine& engine = sharded.shard(s).engine();
+    std::printf("shard %03zu: %zu snippets, %zu stories\n", s,
+                engine.store().size(), engine.TotalStories());
+    snippets += engine.store().size();
+  }
+  std::printf("%zu snippets, %zu per-source stories, %zu integrated "
+              "stories across %zu shards (fingerprint %016llx)\n",
+              snippets, sharded.TotalStories(),
+              sharded.alignment().stories.size(), sharded.num_shards(),
+              static_cast<unsigned long long>(sharded.Fingerprint()));
+  return 0;
+}
+
 void PrintEngineSummary(StoryPivotEngine& engine) {
   // Skip the realign when the caller already holds a current alignment —
   // on a durable engine that alignment came from the logged Align().
@@ -299,6 +370,50 @@ int CmdDetect(int argc, char** argv) {
   if (!imported.ok()) {
     std::fprintf(stderr, "%s\n", imported.status().ToString().c_str());
     return 1;
+  }
+
+  // With --shards N, the whole run goes through the sharded coordinator
+  // (which subsumes the durability layer: one DurableEngine per shard).
+  const int64_t num_shards = FlagInt(argc, argv, "--shards", 0);
+  if (num_shards > 0) {
+    std::string shard_dir;
+    if (!ParseFlag(argc, argv, "--wal-dir", &shard_dir)) {
+      std::fprintf(stderr, "detect: --shards requires --wal-dir DIR\n");
+      return 2;
+    }
+    Result<std::unique_ptr<shard::ShardedEngine>> opened = DetectSharded(
+        imported.value(), config, shard_dir,
+        static_cast<size_t>(num_shards));
+    if (!opened.ok()) {
+      return WalOpenFailed("detect --shards", shard_dir, opened.status());
+    }
+    shard::ShardedEngine& sharded = *opened.value();
+    if (HasFlag(argc, argv, "--refine")) {
+      Result<RefinementStats> refined = sharded.Refine();
+      if (!refined.ok()) {
+        std::fprintf(stderr, "%s\n", refined.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("refinement: moved %d snippets, split %d stories\n",
+                  refined.value().snippets_moved,
+                  refined.value().stories_split);
+    }
+    if (int failed = PrintShardedSummary(sharded); failed != 0) {
+      return failed;
+    }
+    const uint64_t ops = sharded.next_lsn();
+    Status finished = sharded.Checkpoint();
+    if (finished.ok()) finished = sharded.Close();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "%s\n", finished.ToString().c_str());
+      return 1;
+    }
+    std::printf("durable: %llu ops logged and checkpointed across %zu "
+                "shards under %s (recover with `storypivot_cli recover "
+                "%s`)\n",
+                static_cast<unsigned long long>(ops), sharded.num_shards(),
+                shard_dir.c_str(), shard_dir.c_str());
+    return 0;
   }
 
   // With --wal-dir, ingestion runs through the durability layer; without
@@ -404,6 +519,42 @@ int CmdRecover(int argc, char** argv) {
                  dir.c_str());
     return 1;
   }
+  // A shard manifest marks a sharded directory: recover every shard in
+  // parallel through the coordinator. --shards N cross-checks the count
+  // (0 / absent defers to the manifest).
+  if (FileExists(shard::ManifestPath(dir))) {
+    shard::ShardOptions options;
+    options.num_shards =
+        static_cast<size_t>(FlagInt(argc, argv, "--shards", 0));
+    Result<std::unique_ptr<shard::ShardedEngine>> sharded =
+        shard::ShardedEngine::Open(dir, options);
+    if (!sharded.ok()) {
+      return WalOpenFailed("recover", dir, sharded.status());
+    }
+    std::printf("recovered %llu ops from %s (%zu shards, parallel "
+                "replay)\n",
+                static_cast<unsigned long long>(
+                    sharded.value()->next_lsn()),
+                dir.c_str(), sharded.value()->num_shards());
+    if (int failed = PrintShardedSummary(*sharded.value()); failed != 0) {
+      return failed;
+    }
+    if (HasFlag(argc, argv, "--checkpoint")) {
+      Status compacted = sharded.value()->Checkpoint();
+      if (!compacted.ok()) {
+        std::fprintf(stderr, "%s\n", compacted.ToString().c_str());
+        return 1;
+      }
+      std::printf("checkpointed; covered WAL segments dropped\n");
+    }
+    Status closed = sharded.value()->Close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "%s\n", closed.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   Result<std::unique_ptr<persist::DurableEngine>> opened =
       persist::DurableEngine::Open(dir);
   if (!opened.ok()) {

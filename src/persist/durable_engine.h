@@ -23,6 +23,15 @@ struct DurabilityOptions {
   /// Newest checkpoints kept on disk (>= 1; 2 gives a fallback should
   /// the newest one be corrupted after the fact).
   size_t keep_checkpoints = 2;
+  /// Recovery replays only records with lsn < this limit and PHYSICALLY
+  /// truncates everything at or past it (later records are discarded,
+  /// later segments deleted). The sharded engine uses it to rewind every
+  /// shard to the common durable prefix C = min over shards of the
+  /// highest durable lsn (DESIGN.md §16); standalone engines leave the
+  /// default (no limit). A checkpoint covering lsns past the limit is an
+  /// error — the coordinator's sync-all-before-checkpoint barrier
+  /// guarantees checkpoints never outrun any future cutoff.
+  uint64_t replay_lsn_limit = UINT64_MAX;
 };
 
 /// The engine-mutation opcodes recorded in the WAL. Part of the on-disk
@@ -40,6 +49,13 @@ enum class WalOp : uint8_t {
   kRemoveSnippet = 10,
   kRefine = 11,
   kAlign = 12,
+  /// Shard-replication ops (DESIGN.md §16). Every sharded operation logs
+  /// exactly one record on EVERY shard — the native op on the owner, a
+  /// kShardSync stub elsewhere — so per-shard lsns are dense and equal
+  /// the global op sequence number.
+  kShardSync = 13,
+  kShardRefine = 14,
+  kShardAddSnippets = 15,
 };
 
 /// A StoryPivotEngine with a durability layer (DESIGN.md §10): every
@@ -127,6 +143,37 @@ class DurableEngine {
   /// engine().Align(), on a durable engine. The result is readable via
   /// engine().alignment().
   [[nodiscard]] Status Align();
+
+  // --- Shard-replication ops (DESIGN.md §16) -----------------------------
+  //
+  // Logged counterparts of the engine's shard-replica hooks. Only the
+  // shard coordinator (src/shard) calls these; they exist so a shard's
+  // WAL is a complete, self-contained record of the GLOBAL op stream's
+  // effect on that shard — replaying it alone reproduces the shard.
+
+  /// The global side effects of an op whose snippets live on another
+  /// shard: document-frequency deltas, an optional source removal, and
+  /// the post-op id counters.
+  struct ShardSyncRecord {
+    std::vector<text::TermVector> df_added;
+    std::vector<text::TermVector> df_removed;
+    bool remove_source = false;
+    SourceId removed_source = kInvalidSourceId;
+    StoryPivotEngine::IdCounters post;
+  };
+  [[nodiscard]] Status LogShardSync(const ShardSyncRecord& record);
+
+  /// A coordinator-planned batch ingest slice (see
+  /// StoryPivotEngine::PlannedIngest): applies and logs it as ONE op.
+  [[nodiscard]] Status LogShardIngest(
+      const StoryPivotEngine::PlannedIngest& plan);
+
+  /// This shard's slice of a coordinator refinement pass, plus the
+  /// post-refinement id counters: applies the journal, adopts the
+  /// counters, and logs both as ONE op.
+  [[nodiscard]] Status LogShardRefine(
+      const RefinementJournal& journal,
+      const StoryPivotEngine::IdCounters& post);
 
   // --- Durability control ------------------------------------------------
 
@@ -235,7 +282,7 @@ class DurableEngine {
   /// §13). Guards the degraded-mode flags and the WAL handle: the two
   /// pieces of state whose desynchronisation would break the durability
   /// contract if a second writer ever raced them.
-  // lockcheck: name=DurableEngine.writer_ role
+  // lockcheck: name=DurableEngine.writer_ after=ShardedEngine.writer_ role
   SerialSection writer_;
   /// Immutable after construction; safe to read without the role.
   std::string dir_;

@@ -1,6 +1,7 @@
 #include "persist/wal.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/failpoint.h"
 #include "util/hash.h"
@@ -10,10 +11,38 @@
 namespace storypivot::persist {
 namespace {
 
-/// Frame head: u32 payload length + u32 crc + u64 lsn.
-constexpr size_t kFrameHeadBytes = 16;
 constexpr const char kSegmentPrefix[] = "wal-";
 constexpr const char kSegmentSuffix[] = ".log";
+
+/// Process-global registry of WAL directories with a live WriteAheadLog:
+/// two logs appending to one directory would interleave frames and
+/// corrupt both op streams, so a second Open of a claimed directory is
+/// rejected up front (the N-shard engine depends on this tripwire).
+/// The mutex is a leaf taken for map lookups only; it is acquired while
+/// the owning engine's serial role is held (Open/Close run inside it).
+// lockcheck: name=wal.registry_mu after=DurableEngine.writer_
+Mutex registry_mu;
+
+std::unordered_set<std::string>* RegisteredDirs() SP_REQUIRES(registry_mu) {
+  // Leaked singleton: WAL objects may be destroyed during static
+  // teardown, after a function-local static set would already be gone.
+  static auto* dirs = new std::unordered_set<std::string>();
+  return dirs;
+}
+
+[[nodiscard]] Status RegisterWalDir(const std::string& dir) {
+  MutexLock lock(registry_mu);
+  if (!RegisteredDirs()->insert(dir).second) {
+    return Status::FailedPrecondition(
+        "WAL directory already open in this process: " + dir);
+  }
+  return Status::OK();
+}
+
+void ReleaseWalDir(const std::string& dir) {
+  MutexLock lock(registry_mu);
+  RegisteredDirs()->erase(dir);
+}
 
 uint32_t ReadLE32(const char* p) {
   uint32_t v = 0;
@@ -136,8 +165,12 @@ Result<SegmentScan> WriteAheadLog::ScanSegmentFile(const std::string& dir,
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     const std::string& dir, const WalOptions& options, uint64_t next_lsn) {
   RETURN_IF_ERROR(CreateDirectories(dir));
+  RETURN_IF_ERROR(RegisterWalDir(dir));
   std::unique_ptr<WriteAheadLog> log(
       new WriteAheadLog(dir, options, next_lsn));
+  // From here the claim travels with the object: any early return
+  // destroys `log`, whose destructor releases the registration.
+  log->registered_ = true;
   ASSIGN_OR_RETURN(std::vector<uint64_t> segments, ListSegments(dir));
   // Continue the newest segment when it is the one the caller's replay
   // ended in; otherwise start a fresh segment at next_lsn.
@@ -290,9 +323,17 @@ Status WriteAheadLog::DropSegmentsBelow(uint64_t lsn) {
 
 Status WriteAheadLog::Close() {
   writer_.AssertInSection();  // Single-writer serial section.
+  if (registered_) {
+    ReleaseWalDir(dir_);
+    registered_ = false;
+  }
   if (!active_.is_open()) return Status::OK();
   unsynced_records_ = 0;
   return active_.Close();
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (registered_) ReleaseWalDir(dir_);
 }
 
 }  // namespace storypivot::persist

@@ -82,13 +82,29 @@ struct SegmentScan {
 /// from code that has not declared itself part of the serial section.
 class WriteAheadLog {
  public:
+  /// Frame head: u32 payload length + u32 crc + u64 lsn. A frame
+  /// occupies kFrameHeadBytes + payload.size() bytes on disk — recovery
+  /// code uses this to truncate a segment at an exact record boundary.
+  static constexpr size_t kFrameHeadBytes = 16;
+
   /// Opens the log in `dir` (created if missing) for appending at
   /// `next_lsn`, continuing the newest existing segment or starting a
   /// fresh one when the directory has none. Does NOT scan existing
   /// records — recovery does that first (see ScanDir) and repairs a torn
   /// tail before handing the directory over.
+  ///
+  /// Registers `dir` in a process-global registry and fails with
+  /// kFailedPrecondition when another live WriteAheadLog already owns
+  /// it: two logs appending to one directory would interleave frames
+  /// and corrupt both op streams (the sharded engine opens one
+  /// DurableEngine per shard, so an accidental shared directory must be
+  /// a hard error, not a latent corruption). Close() — or destruction —
+  /// releases the claim.
   [[nodiscard]] static Result<std::unique_ptr<WriteAheadLog>> Open(
       const std::string& dir, const WalOptions& options, uint64_t next_lsn);
+
+  /// Releases the directory claim (see Open) if Close() has not.
+  ~WriteAheadLog();
 
   /// Appends one record, assigning it the next lsn (returned). Applies
   /// the fsync policy and rotates segments as configured.
@@ -178,6 +194,9 @@ class WriteAheadLog {
   WalOptions options_;
   uint64_t next_lsn_ SP_GUARDED_BY(writer_) = 0;
   AppendFile active_ SP_GUARDED_BY(writer_);
+  /// True while this object holds the process-global claim on dir_.
+  /// Written only at open/close; reads race nothing (single-writer).
+  bool registered_ = false;
   /// Records appended since the last sync (for FsyncPolicy::kEveryN).
   size_t unsynced_records_ SP_GUARDED_BY(writer_) = 0;
   RetryPolicy retry_;

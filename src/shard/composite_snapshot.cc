@@ -1,0 +1,71 @@
+#include "shard/composite_snapshot.h"
+
+#include <utility>
+
+#include "search/postings_index.h"
+#include "util/logging.h"
+
+namespace storypivot::shard {
+
+std::unique_ptr<CompositeSnapshot> CompositeSnapshot::Capture(
+    const ShardedEngine& engine) {
+  std::unique_ptr<CompositeSnapshot> snapshot(new CompositeSnapshot());
+  snapshot->shards_.reserve(engine.num_shards());
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    snapshot->shards_.push_back(serve::ReadSnapshot::Capture(
+        engine.shard(s).engine(), engine.searcher(s).index()));
+  }
+  return snapshot;
+}
+
+search::ParsedQuery CompositeSnapshot::Parse(std::string_view query) const {
+  SP_CHECK(!shards_.empty());
+  return shards_[0]->Parse(query);
+}
+
+Result<std::vector<search::StoryHit>> CompositeSnapshot::Search(
+    std::string_view query, const search::SearchOptions& options) const {
+  return Search(Parse(query), options);
+}
+
+Result<std::vector<search::StoryHit>> CompositeSnapshot::Search(
+    const search::ParsedQuery& query,
+    const search::SearchOptions& options) const {
+  SP_CHECK(!shards_.empty());
+  RETURN_IF_ERROR(search::ValidateSearchOptions(options));
+
+  // Same statistics plan as the live coordinator: plain sums — each
+  // shard's snapshot indexes exactly its own snippets.
+  search::GlobalSearchStats global;
+  global.df.assign(query.terms.size(), 0);
+  for (const std::unique_ptr<serve::ReadSnapshot>& snap : shards_) {
+    const search::PostingsIndex& index = snap->index();
+    global.num_documents += index.num_documents();
+    global.total_length += index.total_length();
+    global.total_stories += snap->total_stories();
+    for (size_t t = 0; t < query.terms.size(); ++t) {
+      const search::QueryTerm& term = query.terms[t];
+      global.df[t] += term.field == search::Field::kEventType
+                          ? index.EventTypeFrequency(term.event_type)
+                          : index.DocumentFrequency(term.field, term.term);
+    }
+  }
+
+  std::vector<std::vector<search::StoryHit>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const std::unique_ptr<serve::ReadSnapshot>& snap : shards_) {
+    per_shard.push_back(search::RankStories(snap->index(), snap->corpus(),
+                                            query, options, &global));
+  }
+  return search::MergeTopK(std::move(per_shard), options.k);
+}
+
+size_t CompositeSnapshot::TotalStories() const {
+  size_t total = 0;
+  for (const std::unique_ptr<serve::ReadSnapshot>& snap : shards_) {
+    total += snap->total_stories();
+  }
+  return total;
+}
+
+}  // namespace storypivot::shard

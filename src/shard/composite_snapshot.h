@@ -1,0 +1,74 @@
+#ifndef STORYPIVOT_SHARD_COMPOSITE_SNAPSHOT_H_
+#define STORYPIVOT_SHARD_COMPOSITE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "search/query_pipeline.h"
+#include "search/ranker.h"
+#include "serve/read_snapshot.h"
+#include "shard/sharded_engine.h"
+#include "util/status.h"
+
+namespace storypivot::shard {
+
+/// A frozen, self-contained read view of an entire sharded deployment:
+/// one serve::ReadSnapshot per shard (PR 8's O(delta) copy-on-write
+/// freeze), captured back-to-back inside the coordinator's serial
+/// section so every member snapshot reflects the SAME global op prefix —
+/// the composite is a consistent cut of the sharded state, not a mix of
+/// epochs.
+///
+/// Reads mirror the live coordinator's scatter-gather exactly: queries
+/// parse against shard 0's snapshot text state (identical on every
+/// shard — the sharded API imports vocabularies globally), rank each
+/// shard under corpus-wide statistics summed over the member snapshots,
+/// and merge by (score desc, story id asc). On equal state the results
+/// are byte-identical to ShardedEngine::Search, which in turn is
+/// byte-identical to an unsharded engine on the same op stream.
+///
+/// Immutable after capture, so safe to read from any number of threads
+/// with no synchronization, concurrently with further writes to the
+/// live coordinator.
+class CompositeSnapshot {
+ public:
+  /// Captures all shards. Serial-section only (the caller is between
+  /// coordinator ops, exactly like ReadSnapshot::Capture on an
+  /// unsharded engine).
+  [[nodiscard]] static std::unique_ptr<CompositeSnapshot> Capture(
+      const ShardedEngine& engine);
+
+  CompositeSnapshot(const CompositeSnapshot&) = delete;
+  CompositeSnapshot& operator=(const CompositeSnapshot&) = delete;
+
+  /// Canonicalizes a free-text query against the snapshot text state.
+  [[nodiscard]] search::ParsedQuery Parse(std::string_view query) const;
+
+  /// Scatter-gather ranked top-k over the frozen shards (see class
+  /// comment).
+  [[nodiscard]] Result<std::vector<search::StoryHit>> Search(
+      const search::ParsedQuery& query,
+      const search::SearchOptions& options = {}) const;
+  [[nodiscard]] Result<std::vector<search::StoryHit>> Search(
+      std::string_view query,
+      const search::SearchOptions& options = {}) const;
+
+  [[nodiscard]] size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] const serve::ReadSnapshot& shard(size_t index) const {
+    return *shards_[index];
+  }
+
+  /// Total stories across all member snapshots.
+  [[nodiscard]] size_t TotalStories() const;
+
+ private:
+  CompositeSnapshot() = default;
+
+  std::vector<std::unique_ptr<serve::ReadSnapshot>> shards_;
+};
+
+}  // namespace storypivot::shard
+
+#endif  // STORYPIVOT_SHARD_COMPOSITE_SNAPSHOT_H_

@@ -1,0 +1,95 @@
+#include "shard/manifest.h"
+
+#include <cstdlib>
+
+#include "util/fs.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace storypivot::shard {
+namespace {
+
+constexpr const char kManifestFile[] = "manifest.json";
+
+/// Routing salt: fixed forever (it is part of the data layout, like the
+/// shard count — see ShardManifest).
+constexpr uint64_t kRouteSeed = 0x53746f7279506976ULL;  // "StoryPiv"
+
+/// Extracts the integer value of `"key": <digits>` from a flat JSON
+/// object. The manifest is machine-written by WriteManifest, so a
+/// hand-rolled scan over the two known keys beats pulling in a JSON
+/// dependency; anything it cannot find is a parse error.
+[[nodiscard]] Result<uint64_t> ParseJsonInt(const std::string& text,
+                                            const char* key) {
+  const std::string needle = StrFormat("\"%s\"", key);
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument(
+        StrFormat("manifest: missing key %s", key));
+  }
+  pos = text.find(':', pos + needle.size());
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument(
+        StrFormat("manifest: malformed value for %s", key));
+  }
+  ++pos;
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+    return Status::InvalidArgument(
+        StrFormat("manifest: non-numeric value for %s", key));
+  }
+  uint64_t value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(text[pos] - '0');
+    ++pos;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + kManifestFile;
+}
+
+Status WriteManifest(const std::string& dir, const ShardManifest& manifest) {
+  const std::string body = StrFormat(
+      "{\"format_version\": %u, \"num_shards\": %zu}\n",
+      manifest.format_version, manifest.num_shards);
+  return WriteStringToFile(ManifestPath(dir), body);
+}
+
+Result<ShardManifest> LoadManifest(const std::string& dir) {
+  const std::string path = ManifestPath(dir);
+  if (!FileExists(path)) {
+    return Status::NotFound("shard manifest: " + path);
+  }
+  ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  ShardManifest manifest;
+  ASSIGN_OR_RETURN(const uint64_t version,
+                   ParseJsonInt(text, "format_version"));
+  ASSIGN_OR_RETURN(const uint64_t shards, ParseJsonInt(text, "num_shards"));
+  if (version != 1) {
+    return Status::InvalidArgument(
+        StrFormat("manifest: unsupported format_version %llu",
+                  static_cast<unsigned long long>(version)));
+  }
+  if (shards == 0) {
+    return Status::InvalidArgument("manifest: num_shards must be >= 1");
+  }
+  manifest.format_version = static_cast<uint32_t>(version);
+  manifest.num_shards = static_cast<size_t>(shards);
+  return manifest;
+}
+
+std::string ShardDirName(size_t index) {
+  return StrFormat("shard-%03zu", index);
+}
+
+size_t ShardOfSource(SourceId source, size_t num_shards) {
+  return static_cast<size_t>(
+      SplitMix64(static_cast<uint64_t>(source) + kRouteSeed) %
+      static_cast<uint64_t>(num_shards));
+}
+
+}  // namespace storypivot::shard

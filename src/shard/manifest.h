@@ -1,0 +1,49 @@
+#ifndef STORYPIVOT_SHARD_MANIFEST_H_
+#define STORYPIVOT_SHARD_MANIFEST_H_
+
+#include <cstddef>
+#include <string>
+
+#include "model/ids.h"
+#include "util/status.h"
+
+namespace storypivot::shard {
+
+/// The sharded deployment's root metadata (DESIGN.md §16): written once
+/// when the directory is created and immutable afterwards. The shard
+/// count is part of the data layout — the source -> shard mapping is a
+/// pure function of (source id, num_shards), so changing the count would
+/// silently re-home sources away from their WALs. Open() therefore treats
+/// a count mismatch against an existing manifest as a hard error, never a
+/// migration.
+struct ShardManifest {
+  /// On-disk format version; bump only with a migration path.
+  uint32_t format_version = 1;
+  size_t num_shards = 1;
+};
+
+/// File name of the manifest inside the sharded root directory.
+[[nodiscard]] std::string ManifestPath(const std::string& dir);
+
+/// Atomically writes `manifest` into `dir` (util/fs WriteStringToFile:
+/// temp file + fsync + rename, so a crash never leaves a torn manifest).
+[[nodiscard]] Status WriteManifest(const std::string& dir,
+                                   const ShardManifest& manifest);
+
+/// Loads and validates the manifest of `dir`. NotFound when the file
+/// does not exist (a fresh directory); InvalidArgument on parse errors
+/// or an unsupported format version.
+[[nodiscard]] Result<ShardManifest> LoadManifest(const std::string& dir);
+
+/// Name of shard `index`'s durability subdirectory ("shard-000", ...).
+[[nodiscard]] std::string ShardDirName(size_t index);
+
+/// The shard owning `source`: a stable hash of the source id, so the
+/// mapping depends only on (source, num_shards) — not on registration
+/// order, engine state, or process history. Every replica of the op
+/// stream routes identically.
+[[nodiscard]] size_t ShardOfSource(SourceId source, size_t num_shards);
+
+}  // namespace storypivot::shard
+
+#endif  // STORYPIVOT_SHARD_MANIFEST_H_

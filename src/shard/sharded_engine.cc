@@ -1,0 +1,795 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/refiner.h"
+#include "core/similarity.h"
+#include "core/snapshot.h"
+#include "core/story_set.h"
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
+#include "search/story_view.h"
+#include "storage/snippet_store.h"
+#include "util/fs.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace storypivot::shard {
+
+namespace {
+
+using persist::Checkpointer;
+using persist::DurableEngine;
+using persist::WriteAheadLog;
+
+/// Highest lsn durably recoverable from one shard directory: the newest
+/// checkpoint's coverage or the end of the newest WAL segment's valid
+/// records, whichever is higher. Phase A of recovery runs this on every
+/// shard; the common prefix is C = min over shards (DESIGN.md §16).
+Result<uint64_t> DurableBound(const std::string& dir, size_t keep) {
+  uint64_t bound = 0;
+  Checkpointer checkpointer(dir, keep);
+  ASSIGN_OR_RETURN(const std::vector<uint64_t> checkpoints,
+                   checkpointer.List());
+  if (!checkpoints.empty()) bound = checkpoints.back();
+  ASSIGN_OR_RETURN(const std::vector<uint64_t> segments,
+                   WriteAheadLog::ListSegments(dir));
+  if (!segments.empty()) {
+    const uint64_t start = segments.back();
+    ASSIGN_OR_RETURN(const persist::SegmentScan scan,
+                     WriteAheadLog::ScanSegmentFile(dir, start));
+    bound = std::max(bound, start + scan.records.size());
+  }
+  return bound;
+}
+
+}  // namespace
+
+// --- Open / recovery -------------------------------------------------------
+
+ShardedEngine::ShardedEngine(std::string dir, ShardOptions options)
+    : dir_(std::move(dir)), options_(std::move(options)) {}
+
+ShardedEngine::~ShardedEngine() = default;
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
+    const std::string& dir, ShardOptions options) {
+  RETURN_IF_ERROR(CreateDirectories(dir));
+  ShardManifest manifest;
+  Result<ShardManifest> existing = LoadManifest(dir);
+  if (existing.ok()) {
+    manifest = std::move(existing).value();
+    if (options.num_shards != 0 && options.num_shards != manifest.num_shards) {
+      return Status::InvalidArgument(StrFormat(
+          "shard count %zu does not match the manifest's %zu — the count "
+          "is fixed when the directory is created (shard/manifest.h)",
+          options.num_shards, manifest.num_shards));
+    }
+  } else if (existing.status().code() == StatusCode::kNotFound) {
+    if (options.num_shards == 0) {
+      return Status::InvalidArgument(
+          "num_shards = 0 (use manifest) requires an existing manifest");
+    }
+    manifest.num_shards = options.num_shards;
+    RETURN_IF_ERROR(WriteManifest(dir, manifest));
+  } else {
+    return existing.status();
+  }
+
+  // Coordinator-owned policies (see ShardOptions).
+  options.num_shards = manifest.num_shards;
+  options.durability.checkpoint_every_ops = 0;
+  options.engine_config.incremental_alignment = false;
+
+  std::unique_ptr<ShardedEngine> engine(
+      new ShardedEngine(dir, std::move(options)));
+  engine->num_shards_ = manifest.num_shards;
+  // The factory IS the serial section: no other thread can reach the
+  // object before Open returns it.
+  engine->writer_.AssertInSection();
+  RETURN_IF_ERROR(engine->RecoverAll());
+  return engine;
+}
+
+Status ShardedEngine::RecoverAll() {
+  // Observers must detach before their engines die; destroying the old
+  // DurableEngines also releases their WAL directory claims so phase B
+  // can re-open the directories.
+  search_.clear();
+  shards_.clear();
+  alignment_.reset();
+  stale_ = true;
+
+  std::vector<std::string> shard_dirs;
+  shard_dirs.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shard_dirs.push_back(dir_ + "/" + ShardDirName(s));
+    RETURN_IF_ERROR(CreateDirectories(shard_dirs.back()));
+  }
+
+  const size_t threads = options_.recovery_threads == 0
+                             ? num_shards_
+                             : options_.recovery_threads;
+  ThreadPool pool(threads);
+
+  // Phase A — durable bounds, one task per shard.
+  std::vector<uint64_t> bounds(num_shards_, 0);
+  std::vector<Status> errors(num_shards_);
+  pool.ParallelFor(num_shards_, num_shards_,
+                   [&](size_t /*chunk*/, size_t begin, size_t end) {
+                     for (size_t s = begin; s < end; ++s) {
+                       Result<uint64_t> bound = DurableBound(
+                           shard_dirs[s],
+                           options_.durability.keep_checkpoints);
+                       if (bound.ok()) {
+                         bounds[s] = bound.value();
+                       } else {
+                         errors[s] = bound.status();
+                       }
+                     }
+                   });
+  for (const Status& error : errors) RETURN_IF_ERROR(error);
+  const uint64_t cutoff =
+      *std::min_element(bounds.begin(), bounds.end());
+
+  // Phase B — open every shard rewound to the common prefix, in
+  // parallel. Shards past the cutoff physically truncate their tails
+  // (DurabilityOptions::replay_lsn_limit).
+  std::vector<std::unique_ptr<DurableEngine>> shards(num_shards_);
+  pool.ParallelFor(num_shards_, num_shards_,
+                   [&](size_t /*chunk*/, size_t begin, size_t end) {
+                     for (size_t s = begin; s < end; ++s) {
+                       persist::DurabilityOptions opts = options_.durability;
+                       opts.checkpoint_every_ops = 0;
+                       opts.replay_lsn_limit = cutoff;
+                       Result<std::unique_ptr<DurableEngine>> opened =
+                           DurableEngine::Open(shard_dirs[s], opts,
+                                               options_.engine_config);
+                       if (opened.ok()) {
+                         shards[s] = std::move(opened).value();
+                       } else {
+                         errors[s] = opened.status();
+                       }
+                     }
+                   });
+  for (const Status& error : errors) RETURN_IF_ERROR(error);
+
+  // Lockstep verification: every shard must sit at exactly the cutoff
+  // with identical global id counters — anything else means the logs
+  // disagree about the op stream, which recovery cannot repair.
+  const StoryPivotEngine::IdCounters reference =
+      shards[0]->engine().id_counters();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (shards[s]->next_lsn() != cutoff) {
+      return Status::Internal(StrFormat(
+          "shard %zu recovered to lsn %llu, expected the common prefix "
+          "%llu",
+          s, static_cast<unsigned long long>(shards[s]->next_lsn()),
+          static_cast<unsigned long long>(cutoff)));
+    }
+    const StoryPivotEngine::IdCounters counters =
+        shards[s]->engine().id_counters();
+    if (counters.next_source != reference.next_source ||
+        counters.next_snippet != reference.next_snippet ||
+        counters.next_story != reference.next_story) {
+      return Status::Internal(StrFormat(
+          "shard %zu recovered with id counters out of lockstep at lsn "
+          "%llu",
+          s, static_cast<unsigned long long>(cutoff)));
+    }
+  }
+
+  shards_ = std::move(shards);
+  search_.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    search_.push_back(
+        std::make_unique<search::SearchEngine>(&shards_[s]->engine()));
+  }
+  degraded_ = false;
+  degraded_cause_ = Status::OK();
+  closed_ = false;
+  return Status::OK();
+}
+
+Status ShardedEngine::Reopen() {
+  writer_.AssertInSection();  // Serial-section mutation.
+  Status recovered = RecoverAll();
+  if (!recovered.ok()) {
+    // Keep the cause visible; shards_ is empty until a Reopen succeeds.
+    degraded_ = true;
+    degraded_cause_ = recovered;
+  }
+  return recovered;
+}
+
+// --- Write gating ----------------------------------------------------------
+
+Status ShardedEngine::CheckWritable() const {
+  if (shards_.empty() || closed_) {
+    return Status::FailedPrecondition("sharded engine is closed");
+  }
+  if (degraded_) {
+    return Status::Degraded("sharded engine is degraded: " +
+                            degraded_cause_.message());
+  }
+  return Status::OK();
+}
+
+void ShardedEngine::Poison(const Status& cause) {
+  // A mid-op failure left the shards at different op counts; only a full
+  // recovery (Reopen) restores lockstep. The cached alignment may
+  // reference the torn op's ids, so it goes too.
+  degraded_ = true;
+  degraded_cause_ = cause;
+  alignment_.reset();
+  stale_ = true;
+}
+
+// --- Mutations -------------------------------------------------------------
+
+Result<SourceId> ShardedEngine::RegisterSource(const std::string& name) {
+  writer_.AssertInSection();  // Serial-section mutation.
+  RETURN_IF_ERROR(CheckWritable());
+  SourceId id = kInvalidSourceId;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Result<SourceId> result = shards_[s]->RegisterSource(name);
+    if (!result.ok()) {
+      // Before the first shard logged anything the op is a clean no-op;
+      // afterwards the shards disagree and the coordinator poisons.
+      if (s == 0 && !shards_[0]->degraded()) return result.status();
+      Poison(result.status());
+      return result.status();
+    }
+    if (s == 0) {
+      id = result.value();
+    } else if (result.value() != id) {
+      const Status cause = Status::Internal(StrFormat(
+          "shard %zu assigned source id %u where shard 0 assigned %u",
+          s, result.value(), id));
+      Poison(cause);
+      return cause;
+    }
+  }
+  stale_ = true;
+  return id;
+}
+
+Status ShardedEngine::ImportVocabularies(const text::Vocabulary& entities,
+                                         const text::Vocabulary& keywords) {
+  writer_.AssertInSection();  // Serial-section mutation.
+  RETURN_IF_ERROR(CheckWritable());
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Status imported = shards_[s]->ImportVocabularies(entities, keywords);
+    if (!imported.ok()) {
+      // A validation rejection fails identically on every shard, so the
+      // shard-0 short circuit catches it before anything is logged.
+      if (s == 0 && !shards_[0]->degraded()) return imported;
+      Poison(imported);
+      return imported;
+    }
+  }
+  return Status::OK();
+}
+
+Result<SnippetId> ShardedEngine::AddSnippet(Snippet snippet) {
+  writer_.AssertInSection();  // Serial-section mutation.
+  RETURN_IF_ERROR(CheckWritable());
+  if (snippet.source == kInvalidSourceId ||
+      shards_[0]->engine().partition(snippet.source) == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unregistered source %u", snippet.source));
+  }
+  const size_t owner = ShardOf(snippet.source);
+  // The DF support the stubs must replicate (keywords only — exactly
+  // what the owner's ingest adds).
+  const text::TermVector keywords = snippet.keywords;
+
+  Result<SnippetId> added = shards_[owner]->AddSnippet(std::move(snippet));
+  if (!added.ok()) {
+    if (!shards_[owner]->degraded()) return added.status();
+    Poison(added.status());
+    return added.status();
+  }
+
+  DurableEngine::ShardSyncRecord record;
+  record.df_added.push_back(keywords);
+  record.post = shards_[owner]->engine().id_counters();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (s == owner) continue;
+    Status synced = shards_[s]->LogShardSync(record);
+    if (!synced.ok()) {
+      Poison(synced);
+      return synced;
+    }
+  }
+  stale_ = true;
+  return added.value();
+}
+
+Result<std::vector<SnippetId>> ShardedEngine::AddSnippets(
+    std::vector<Snippet> snippets) {
+  writer_.AssertInSection();  // Serial-section mutation.
+  RETURN_IF_ERROR(CheckWritable());
+  std::vector<SnippetId> ids;
+  if (snippets.empty()) return ids;
+  ids.reserve(snippets.size());
+
+  for (const Snippet& snippet : snippets) {
+    if (snippet.source == kInvalidSourceId ||
+        shards_[0]->engine().partition(snippet.source) == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("unregistered source %u", snippet.source));
+    }
+  }
+
+  // Simulate the unsharded engine's id assignment over the whole batch
+  // (SnippetStore::Insert semantics, arrival order), so the planned
+  // per-shard ingests produce exactly the ids an unsharded AddSnippets
+  // would have.
+  StoryPivotEngine::IdCounters post = shards_[0]->engine().id_counters();
+  SnippetId sim_next = post.next_snippet;
+  std::unordered_set<SnippetId> batch_ids;
+  batch_ids.reserve(snippets.size());
+  for (Snippet& snippet : snippets) {
+    if (snippet.id == kInvalidSnippetId) {
+      snippet.id = sim_next++;
+    } else {
+      if (FindSnippet(snippet.id) != nullptr) {
+        return Status::AlreadyExists(StrFormat(
+            "snippet %llu",
+            static_cast<unsigned long long>(snippet.id)));
+      }
+      sim_next = std::max(sim_next, snippet.id + 1);
+    }
+    if (!batch_ids.insert(snippet.id).second) {
+      return Status::AlreadyExists(StrFormat(
+          "snippet %llu duplicated within the batch",
+          static_cast<unsigned long long>(snippet.id)));
+    }
+    ids.push_back(snippet.id);
+  }
+
+  // Story-id blocks: one per distinct source, laid out ascending by
+  // source — the unsharded engine's phase-2 block layout verbatim.
+  std::map<SourceId, size_t> counts;
+  for (const Snippet& snippet : snippets) ++counts[snippet.source];
+  const StoryId block_base = post.next_story;
+  std::map<SourceId, StoryId> block_begin;
+  StoryId offset = 0;
+  for (const auto& [source, count] : counts) {
+    block_begin[source] = block_base + offset;
+    offset += count;
+  }
+  post.next_source = shards_[0]->engine().id_counters().next_source;
+  post.next_snippet = sim_next;
+  post.next_story = block_base + offset;
+
+  for (size_t s = 0; s < num_shards_; ++s) {
+    StoryPivotEngine::PlannedIngest plan;
+    plan.post = post;
+    for (const Snippet& snippet : snippets) {
+      if (ShardOf(snippet.source) == s) {
+        plan.snippets.push_back(snippet);
+      } else {
+        plan.foreign_keywords.push_back(snippet.keywords);
+      }
+    }
+    for (const auto& [source, begin] : block_begin) {
+      if (ShardOf(source) == s) plan.story_blocks.emplace_back(source, begin);
+    }
+    Status ingested = shards_[s]->LogShardIngest(plan);
+    if (!ingested.ok()) {
+      if (s == 0 && !shards_[0]->degraded()) return ingested;
+      Poison(ingested);
+      return ingested;
+    }
+  }
+  stale_ = true;
+  return ids;
+}
+
+Status ShardedEngine::RemoveSnippet(SnippetId id) {
+  writer_.AssertInSection();  // Serial-section mutation.
+  RETURN_IF_ERROR(CheckWritable());
+  size_t owner = num_shards_;
+  const Snippet* found = nullptr;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    found = shards_[s]->engine().store().Find(id);
+    if (found != nullptr) {
+      owner = s;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound(
+        StrFormat("snippet %llu", static_cast<unsigned long long>(id)));
+  }
+  const text::TermVector keywords = found->keywords;
+
+  Status removed = shards_[owner]->RemoveSnippet(id);
+  if (!removed.ok()) {
+    if (!shards_[owner]->degraded()) return removed;
+    Poison(removed);
+    return removed;
+  }
+
+  DurableEngine::ShardSyncRecord record;
+  record.df_removed.push_back(keywords);
+  // Post counters AFTER the owner op: a split check may have advanced
+  // the story cursor, and every shard must adopt that advance.
+  record.post = shards_[owner]->engine().id_counters();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (s == owner) continue;
+    Status synced = shards_[s]->LogShardSync(record);
+    if (!synced.ok()) {
+      Poison(synced);
+      return synced;
+    }
+  }
+  stale_ = true;
+  return Status::OK();
+}
+
+Status ShardedEngine::RemoveSource(SourceId source) {
+  writer_.AssertInSection();  // Serial-section mutation.
+  RETURN_IF_ERROR(CheckWritable());
+  if (shards_[0]->engine().partition(source) == nullptr) {
+    return Status::NotFound(StrFormat("source %u", source));
+  }
+  const size_t owner = ShardOf(source);
+
+  // DF supports of every snippet the owner is about to drop, collected
+  // before the removal. Sorted by id for a deterministic logged record
+  // (the DF result itself is order-independent — counts commute).
+  std::vector<std::pair<SnippetId, text::TermVector>> dropped;
+  shards_[owner]->engine().store().ForEach([&](const Snippet& snippet) {
+    if (snippet.source == source) {
+      dropped.emplace_back(snippet.id, snippet.keywords);
+    }
+  });
+  std::sort(dropped.begin(), dropped.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  DurableEngine::ShardSyncRecord record;
+  record.remove_source = true;
+  record.removed_source = source;
+  record.df_removed.reserve(dropped.size());
+  for (auto& [id, keywords] : dropped) {
+    record.df_removed.push_back(std::move(keywords));
+  }
+
+  Status removed = shards_[owner]->RemoveSource(source);
+  if (!removed.ok()) {
+    if (!shards_[owner]->degraded()) return removed;
+    Poison(removed);
+    return removed;
+  }
+  record.post = shards_[owner]->engine().id_counters();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (s == owner) continue;
+    Status synced = shards_[s]->LogShardSync(record);
+    if (!synced.ok()) {
+      Poison(synced);
+      return synced;
+    }
+  }
+  stale_ = true;
+  return Status::OK();
+}
+
+// --- Alignment & refinement ------------------------------------------------
+
+Status ShardedEngine::Align() {
+  writer_.AssertInSection();  // Serial-section mutation.
+  RETURN_IF_ERROR(CheckWritable());
+  return AlignLocked();
+}
+
+Status ShardedEngine::AlignLocked() {
+  // Alignment inputs are the exact state an unsharded engine would see:
+  // every source's (owner) partition ascending by source, one merged
+  // snippet store, the lockstep-global document frequencies — so the
+  // result is bit-identical for every shard count.
+  SnippetStore merged;
+  BuildMergedStore(&merged);
+  const std::vector<const StorySet*> partitions = OwnerPartitions();
+  SimilarityModel model(options_.engine_config.similarity,
+                        &shards_[0]->engine().document_frequency());
+  StoryAligner aligner(&model, options_.engine_config.alignment);
+
+  StoryPivotEngine::IdCounters post = shards_[0]->engine().id_counters();
+  StoryId cursor = post.next_story;
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.engine_config.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options_.engine_config.num_threads);
+  }
+  AlignmentResult result =
+      aligner.Align(partitions, merged, &cursor, pool.get());
+  post.next_story = cursor;
+
+  // The cursor advance must be logged on EVERY shard before the result
+  // is published — an unlogged alignment would hand out different story
+  // ids on replay (same rule as DurableEngine::Align).
+  DurableEngine::ShardSyncRecord record;
+  record.post = post;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Status synced = shards_[s]->LogShardSync(record);
+    if (!synced.ok()) {
+      if (s == 0 && !shards_[0]->degraded()) return synced;
+      Poison(synced);
+      return synced;
+    }
+  }
+  alignment_ = std::move(result);
+  stale_ = false;
+  return Status::OK();
+}
+
+Result<RefinementStats> ShardedEngine::Refine() {
+  writer_.AssertInSection();  // Serial-section mutation.
+  RETURN_IF_ERROR(CheckWritable());
+  if (stale_ || !alignment_.has_value()) RETURN_IF_ERROR(AlignLocked());
+
+  // Refine SCRATCH copies of the shard partitions (O(1) copy-on-write
+  // freezes): the pass mutates them freely while every shard stays at
+  // its pre-refinement state, then each shard replays exactly its slice
+  // of the executed-primitive journal.
+  std::vector<SourceId> order;
+  for (const SourceInfo& info : shards_[0]->engine().sources()) {
+    order.push_back(info.id);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<StorySet> scratch;
+  scratch.reserve(order.size());
+  std::vector<StorySet*> scratch_ptrs;
+  scratch_ptrs.reserve(order.size());
+  for (SourceId source : order) {
+    const StorySet* partition =
+        shards_[ShardOf(source)]->engine().partition(source);
+    SP_CHECK(partition != nullptr);
+    scratch.push_back(partition->Freeze());
+    scratch_ptrs.push_back(&scratch.back());
+  }
+
+  SnippetStore merged;
+  BuildMergedStore(&merged);
+  SimilarityModel model(options_.engine_config.similarity,
+                        &shards_[0]->engine().document_frequency());
+  StoryRefiner refiner(&model, options_.engine_config.refinement);
+
+  StoryPivotEngine::IdCounters post = shards_[0]->engine().id_counters();
+  StoryId cursor = post.next_story;
+  RefinementJournal journal;
+  const RefinementStats stats = refiner.Refine(scratch_ptrs, *alignment_,
+                                               merged, &cursor, &journal);
+  post.next_story = cursor;
+
+  // Every shard logs ONE kShardRefine — including shards whose slice is
+  // empty (lsn density) — carrying its own sources' entries in original
+  // execution order (a subsequence; entries touch only their own
+  // partition, so per-shard replay is independent).
+  for (size_t s = 0; s < num_shards_; ++s) {
+    RefinementJournal slice;
+    for (const RefinementJournal::Entry& entry : journal.entries) {
+      const SourceId source = entry.kind == RefinementJournal::Entry::Kind::kMove
+                                  ? entry.move.source
+                                  : entry.split.source;
+      if (ShardOf(source) == s) slice.entries.push_back(entry);
+    }
+    Status refined = shards_[s]->LogShardRefine(slice, post);
+    if (!refined.ok()) {
+      if (s == 0 && !shards_[0]->degraded()) return refined;
+      Poison(refined);
+      return refined;
+    }
+  }
+  stale_ = true;
+  RETURN_IF_ERROR(AlignLocked());
+  return stats;
+}
+
+// --- Reads -----------------------------------------------------------------
+
+search::ParsedQuery ShardedEngine::Parse(std::string_view query) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  SP_CHECK(!shards_.empty());
+  return search_[0]->Parse(query);
+}
+
+Result<std::vector<search::StoryHit>> ShardedEngine::Search(
+    std::string_view query, const search::SearchOptions& options) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  SP_CHECK(!shards_.empty());
+  return Search(search_[0]->Parse(query), options);
+}
+
+Result<std::vector<search::StoryHit>> ShardedEngine::Search(
+    const search::ParsedQuery& query,
+    const search::SearchOptions& options) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  SP_CHECK(!shards_.empty());
+  RETURN_IF_ERROR(search::ValidateSearchOptions(options));
+
+  // Corpus-wide statistics: plain sums — each shard indexes exactly its
+  // own snippets, and a story lives wholly on one shard.
+  search::GlobalSearchStats global;
+  global.df.assign(query.terms.size(), 0);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const search::PostingsIndex& index = search_[s]->index();
+    global.num_documents += index.num_documents();
+    global.total_length += index.total_length();
+    global.total_stories += shards_[s]->engine().TotalStories();
+    for (size_t t = 0; t < query.terms.size(); ++t) {
+      const search::QueryTerm& term = query.terms[t];
+      global.df[t] += term.field == search::Field::kEventType
+                          ? index.EventTypeFrequency(term.event_type)
+                          : index.DocumentFrequency(term.field, term.term);
+    }
+  }
+
+  std::vector<std::vector<search::StoryHit>> per_shard;
+  per_shard.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const search::StoryCorpus corpus =
+        search::CorpusView(shards_[s]->engine());
+    per_shard.push_back(search::RankStories(search_[s]->index(), corpus,
+                                            query, options, &global));
+  }
+  return search::MergeTopK(std::move(per_shard), options.k);
+}
+
+bool ShardedEngine::has_alignment() const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  return alignment_.has_value() && !stale_;
+}
+
+const AlignmentResult& ShardedEngine::alignment() const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  SP_CHECK(alignment_.has_value());
+  return *alignment_;
+}
+
+uint64_t ShardedEngine::Fingerprint() const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  std::vector<const StoryPivotEngine*> engines;
+  engines.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    engines.push_back(&shards_[s]->engine());
+  }
+  return EngineStateFingerprint(engines);
+}
+
+size_t ShardedEngine::TotalStories() const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  size_t total = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    total += shards_[s]->engine().TotalStories();
+  }
+  return total;
+}
+
+StoryPivotEngine::IdCounters ShardedEngine::id_counters() const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  SP_CHECK(!shards_.empty());
+  return shards_[0]->engine().id_counters();
+}
+
+const DurableEngine& ShardedEngine::shard(size_t index) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  SP_CHECK(index < shards_.size());
+  return *shards_[index];
+}
+
+DurableEngine& ShardedEngine::shard(size_t index) {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  SP_CHECK(index < shards_.size());
+  return *shards_[index];
+}
+
+const search::SearchEngine& ShardedEngine::searcher(size_t index) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  SP_CHECK(index < search_.size());
+  return *search_[index];
+}
+
+uint64_t ShardedEngine::next_lsn() const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  return shards_.empty() ? 0 : shards_[0]->next_lsn();
+}
+
+bool ShardedEngine::degraded() const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  return degraded_;
+}
+
+const Status& ShardedEngine::degraded_cause() const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  return degraded_cause_;
+}
+
+// --- Durability control ----------------------------------------------------
+
+Status ShardedEngine::Checkpoint() {
+  writer_.AssertInSection();  // Serial-section mutation.
+  RETURN_IF_ERROR(CheckWritable());
+  // Barrier: EVERY shard's log must be durable before ANY checkpoint is
+  // written, so no checkpoint can cover lsns past a future recovery
+  // cutoff (C is the min over per-shard durable bounds, and after the
+  // barrier every bound is >= next_lsn >= every coverage).
+  for (size_t s = 0; s < num_shards_; ++s) {
+    RETURN_IF_ERROR(shards_[s]->Sync());
+  }
+  // A failure here is benign: checkpoints are redundant state, and a
+  // partial sweep leaves some shards with newer checkpoints — recovery
+  // handles that (per-shard bounds already include the WAL tail).
+  for (size_t s = 0; s < num_shards_; ++s) {
+    RETURN_IF_ERROR(shards_[s]->Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::Sync() {
+  writer_.AssertInSection();  // Serial-section mutation.
+  RETURN_IF_ERROR(CheckWritable());
+  for (size_t s = 0; s < num_shards_; ++s) {
+    RETURN_IF_ERROR(shards_[s]->Sync());
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::Close() {
+  writer_.AssertInSection();  // Serial-section mutation.
+  closed_ = true;
+  Status first = Status::OK();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Status closed = shards_[s]->Close();
+    if (!closed.ok() && first.ok()) first = closed;
+  }
+  return first;
+}
+
+// --- Internal helpers ------------------------------------------------------
+
+void ShardedEngine::BuildMergedStore(SnippetStore* out) const {
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shards_[s]->engine().store().ForEach([&](const Snippet& snippet) {
+      SP_CHECK_OK(out->Insert(snippet));  // Ids are globally unique.
+    });
+  }
+  out->AdoptNextId(shards_[0]->engine().id_counters().next_snippet);
+}
+
+std::vector<const StorySet*> ShardedEngine::OwnerPartitions() const {
+  std::vector<SourceId> order;
+  for (const SourceInfo& info : shards_[0]->engine().sources()) {
+    order.push_back(info.id);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<const StorySet*> partitions;
+  partitions.reserve(order.size());
+  for (SourceId source : order) {
+    const StorySet* partition =
+        shards_[ShardOf(source)]->engine().partition(source);
+    SP_CHECK(partition != nullptr);
+    partitions.push_back(partition);
+  }
+  return partitions;
+}
+
+const Snippet* ShardedEngine::FindSnippet(SnippetId id) const {
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const Snippet* found = shards_[s]->engine().store().Find(id);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+}  // namespace storypivot::shard

@@ -1,0 +1,283 @@
+#ifndef STORYPIVOT_SHARD_SHARDED_ENGINE_H_
+#define STORYPIVOT_SHARD_SHARDED_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "persist/durable_engine.h"
+#include "search/ranker.h"
+#include "search/search_engine.h"
+#include "shard/manifest.h"
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace storypivot::shard {
+
+/// Configuration of a sharded deployment.
+struct ShardOptions {
+  /// Shard count used when CREATING the directory. Once a manifest
+  /// exists its count is authoritative: 0 means "use the manifest", any
+  /// other mismatching value is an error (the source -> shard mapping is
+  /// part of the data layout; see ShardManifest).
+  size_t num_shards = 1;
+  /// Per-shard durability knobs. `checkpoint_every_ops` is forced to 0
+  /// (only the coordinator's barrier Checkpoint() may write checkpoints
+  /// — an autonomous per-shard checkpoint could cover lsns past a future
+  /// recovery cutoff) and `replay_lsn_limit` is overwritten with the
+  /// computed common prefix on every open.
+  persist::DurabilityOptions durability;
+  /// Per-shard engine knobs. `incremental_alignment` is forced off:
+  /// alignment is a cross-shard phase owned by the coordinator, and the
+  /// per-shard incremental aligner would see only its own partitions.
+  EngineConfig engine_config;
+  /// Threads for parallel recovery (both the durable-bound scan and the
+  /// per-shard replay); 0 means one per shard. 1 recovers serially.
+  size_t recovery_threads = 0;
+};
+
+/// A horizontally sharded STORYPIVOT deployment (DESIGN.md §16): N
+/// DurableEngine shards, each owning the snippets of the sources hashed
+/// to it (ShardOfSource) — its own partitions, postings segment, WAL
+/// directory and checkpoints — behind one single-writer coordinator
+/// that:
+///
+///   * routes mutations to the owning shard, logging a kShardSync stub
+///     on every OTHER shard so all N WALs stay op-for-op in lockstep
+///     with the global stream (the LSN-as-GSN invariant: every sharded
+///     op appends exactly one record on every shard, so per-shard lsns
+///     are dense and equal the global op sequence number);
+///   * keeps the global statistics every shard scores with — document
+///     frequencies and the id counters — in lockstep via the stubs, so
+///     per-shard story identification is bit-identical to the unsharded
+///     run;
+///   * answers ranked queries by scatter-gather: per-shard BM25 top-k
+///     under corpus-wide statistics (search::GlobalSearchStats), merged
+///     by (score desc, story id asc) — byte-identical to a 1-shard
+///     engine on the same op stream;
+///   * runs cross-source alignment and refinement as coordinator phases
+///     over frozen per-shard partitions, shipping each shard only its
+///     slice of the executed refinement journal;
+///   * recovers by replaying all shard WALs in parallel, after rewinding
+///     every shard to the common durable prefix C = min over shards of
+///     the highest durable lsn (persist::DurabilityOptions::
+///     replay_lsn_limit) — so a crash that left the shards' logs
+///     different lengths yields the state of one global op prefix.
+///
+/// Threading model: single-writer, like every engine in this codebase,
+/// and machine-checked the same way — the `writer_` serial role sits
+/// ABOVE each shard's `DurableEngine.writer_` in the lock hierarchy
+/// (tools/lockcheck.py): the coordinator enters its role first, then the
+/// shards'.
+///
+/// Degraded mode: a shard failure in the middle of a multi-shard op
+/// leaves the shards at different op counts, so the coordinator poisons
+/// itself — every further mutation is rejected with kDegraded — until
+/// Reopen() re-runs the full parallel recovery, which rewinds all shards
+/// to the common durable prefix and discards the torn op.
+class ShardedEngine {
+ public:
+  /// Opens (creating if needed) the sharded root `dir` and recovers all
+  /// shards in parallel. See ShardOptions for the knobs.
+  [[nodiscard]] static Result<std::unique_ptr<ShardedEngine>> Open(
+      const std::string& dir, ShardOptions options = {});
+
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // --- Mutations (each is ONE op on every shard's WAL) -------------------
+
+  /// Registers a source on EVERY shard (registration is global state:
+  /// all shards must know every source for routing, removal and
+  /// alignment bookkeeping; a non-owner's partition simply stays empty).
+  [[nodiscard]] Result<SourceId> RegisterSource(const std::string& name);
+
+  /// Imports pre-built vocabularies on every shard, so pre-annotated
+  /// snippets carry the same TermIds everywhere and a query parsed on
+  /// one shard is valid on all of them.
+  [[nodiscard]] Status ImportVocabularies(const text::Vocabulary& entities,
+                                          const text::Vocabulary& keywords);
+
+  /// Ingests one pre-annotated snippet: the native op on the owner
+  /// shard, a DF + counter stub on the rest.
+  [[nodiscard]] Result<SnippetId> AddSnippet(Snippet snippet);
+
+  /// Ingests a batch. The coordinator simulates the unsharded engine's
+  /// id assignment over the WHOLE batch (snippet ids in arrival order,
+  /// per-source story-id blocks ascending by source), then ships every
+  /// shard its PlannedIngest slice as one logged op — so the resulting
+  /// ids and story assignments are bit-identical to the unsharded batch.
+  /// Returns the ids in input order.
+  [[nodiscard]] Result<std::vector<SnippetId>> AddSnippets(
+      std::vector<Snippet> snippets);
+
+  /// Removes one snippet (owner-native; DF stub elsewhere).
+  [[nodiscard]] Status RemoveSnippet(SnippetId id);
+
+  /// Removes a source everywhere: the owner drops its snippets and
+  /// stories, every other shard drops its (empty) partition and applies
+  /// the DF removals, keeping global statistics in lockstep.
+  [[nodiscard]] Status RemoveSource(SourceId source);
+
+  /// Cross-shard alignment: the coordinator aligns the per-source
+  /// partitions of ALL shards (each read from its owner) and caches the
+  /// result. The id-cursor advance is logged as a counter stub on every
+  /// shard — an unlogged Align would assign different story ids on
+  /// replay (same rule as DurableEngine::Align).
+  [[nodiscard]] Status Align();
+
+  /// One refinement pass: [Align if stale] + journaled refine + re-align
+  /// — three (or two) global ops. The refine itself runs on frozen
+  /// copies of the shard partitions; each shard then replays exactly the
+  /// journal entries targeting its own sources (explicit story ids, so
+  /// per-shard subsequences replay independently).
+  [[nodiscard]] Result<RefinementStats> Refine();
+
+  // --- Reads -------------------------------------------------------------
+
+  /// Scatter-gather ranked search: parses on shard 0 (vocabularies are
+  /// identical everywhere), scores every shard under corpus-wide
+  /// statistics, merges the per-shard top-k. Byte-identical to a 1-shard
+  /// engine on the same op stream.
+  [[nodiscard]] Result<std::vector<search::StoryHit>> Search(
+      std::string_view query, const search::SearchOptions& options = {}) const;
+  [[nodiscard]] Result<std::vector<search::StoryHit>> Search(
+      const search::ParsedQuery& query,
+      const search::SearchOptions& options = {}) const;
+
+  /// Canonicalizes a free-text query (any shard's text state — they are
+  /// identical; shard 0 is used).
+  [[nodiscard]] search::ParsedQuery Parse(std::string_view query) const;
+
+  /// The cached cross-shard alignment; requires a preceding Align() (or
+  /// Refine()) with no mutation since. Not rebuilt on recovery — call
+  /// Align() after Open() when you need it.
+  [[nodiscard]] bool has_alignment() const;
+  [[nodiscard]] const AlignmentResult& alignment() const;
+
+  /// Order-independent fingerprint of the full sharded state (the
+  /// merged (source, snippet, story) triple set) — byte-equal to the
+  /// fingerprint of an unsharded engine with the same assignment
+  /// (core/snapshot.h, multi-engine overload).
+  [[nodiscard]] uint64_t Fingerprint() const;
+
+  /// Total stories across all shards.
+  [[nodiscard]] size_t TotalStories() const;
+
+  /// Global id counters (identical on every shard — verified on open).
+  [[nodiscard]] StoryPivotEngine::IdCounters id_counters() const;
+
+  [[nodiscard]] size_t num_shards() const { return num_shards_; }
+
+  /// The shard index owning `source`.
+  [[nodiscard]] size_t ShardOf(SourceId source) const {
+    return ShardOfSource(source, num_shards_);
+  }
+
+  /// Direct access to one shard (introspection, tests, snapshot
+  /// capture). Production code outside src/shard must not reach through
+  /// this into another shard's partitions — splint's `cross-shard`
+  /// rule enforces that.
+  [[nodiscard]] const persist::DurableEngine& shard(size_t index) const;
+  [[nodiscard]] persist::DurableEngine& shard(size_t index);
+
+  /// The per-shard search facade (postings over that shard's snippets).
+  [[nodiscard]] const search::SearchEngine& searcher(size_t index) const;
+
+  /// Global op count: every shard's next lsn (they are always equal
+  /// outside a poisoned window).
+  [[nodiscard]] uint64_t next_lsn() const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  // --- Durability control ------------------------------------------------
+
+  /// Barrier checkpoint: fsyncs EVERY shard's WAL first, then writes
+  /// each shard's checkpoint. The barrier guarantees a checkpoint never
+  /// covers lsns past a future recovery cutoff C (C is the min of
+  /// per-shard durable bounds, and after the barrier every shard's
+  /// durable bound is >= the checkpoint coverage).
+  [[nodiscard]] Status Checkpoint();
+
+  /// Forces every shard's WAL to disk.
+  [[nodiscard]] Status Sync();
+
+  /// Syncs and closes every shard. Further mutations fail.
+  [[nodiscard]] Status Close();
+
+  /// Recovers a poisoned (or crashed-and-reopened) coordinator: drops
+  /// all shard state and re-runs the full parallel recovery, rewinding
+  /// every shard to the common durable prefix.
+  [[nodiscard]] Status Reopen();
+
+  /// True when a mid-op shard failure poisoned the coordinator (see
+  /// class comment); mutations are rejected until Reopen().
+  [[nodiscard]] bool degraded() const;
+  [[nodiscard]] const Status& degraded_cause() const;
+
+ private:
+  ShardedEngine(std::string dir, ShardOptions options);
+
+  /// Builds (or rebuilds) shards_ and search_ from disk: computes the
+  /// common durable prefix C in parallel, opens every shard with
+  /// replay_lsn_limit = C in parallel, verifies lockstep (equal lsns and
+  /// id counters). Shared by Open() and Reopen().
+  [[nodiscard]] Status RecoverAll() SP_REQUIRES(writer_);
+
+  [[nodiscard]] Status CheckWritable() const SP_REQUIRES(writer_);
+
+  /// Marks the coordinator degraded after a mid-op shard failure.
+  void Poison(const Status& cause) SP_REQUIRES(writer_);
+
+  /// Runs cross-shard alignment into alignment_ and logs the id-cursor
+  /// advance as a kShardSync stub on every shard.
+  [[nodiscard]] Status AlignLocked() SP_REQUIRES(writer_);
+
+  /// Fills `out` (a fresh store) with a copy of every shard's snippets
+  /// (alignment and refinement resolve snippets by id through one
+  /// store). Out-param because SnippetStore is neither copyable nor
+  /// movable.
+  void BuildMergedStore(SnippetStore* out) const SP_REQUIRES(writer_);
+
+  /// Owner partitions of every registered source, ascending by source —
+  /// the exact partition list an unsharded engine would expose.
+  [[nodiscard]] std::vector<const StorySet*> OwnerPartitions() const
+      SP_REQUIRES(writer_);
+
+  /// The snippet with `id` on whichever shard holds it, or nullptr.
+  [[nodiscard]] const Snippet* FindSnippet(SnippetId id) const
+      SP_REQUIRES(writer_);
+
+  /// Phantom capability for the coordinator's single-writer serial
+  /// section. Ordered ABOVE the per-shard roles: the coordinator enters
+  /// first, then calls into shards (see tools/lockcheck.py).
+  // lockcheck: name=ShardedEngine.writer_ role
+  SerialSection writer_;
+  /// Immutable after construction.
+  std::string dir_;
+  ShardOptions options_;
+  size_t num_shards_ = 1;
+  std::vector<std::unique_ptr<persist::DurableEngine>> shards_
+      SP_GUARDED_BY(writer_);
+  /// Parallel to shards_; each attached as its engine's IngestObserver.
+  std::vector<std::unique_ptr<search::SearchEngine>> search_
+      SP_GUARDED_BY(writer_);
+  /// Coordinator-cached cross-shard alignment (never persisted; replay
+  /// reproduces the cursor advances, Align() reproduces the result).
+  std::optional<AlignmentResult> alignment_ SP_GUARDED_BY(writer_);
+  bool stale_ SP_GUARDED_BY(writer_) = true;
+  bool closed_ SP_GUARDED_BY(writer_) = false;
+  bool degraded_ SP_GUARDED_BY(writer_) = false;
+  Status degraded_cause_ SP_GUARDED_BY(writer_);
+};
+
+}  // namespace storypivot::shard
+
+#endif  // STORYPIVOT_SHARD_SHARDED_ENGINE_H_

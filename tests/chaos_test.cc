@@ -603,6 +603,9 @@ TEST_F(ChaosTest, RotateFailureAfterDurableAppendStillAcks) {
   EXPECT_GE(acked, 5u);
   Registry::Instance().DisarmAll();
 
+  // Release the degraded engine first: the WAL-directory registry
+  // refuses a second live appender on the same directory.
+  opened.value().reset();
   Result<std::unique_ptr<DurableEngine>> recovered =
       DurableEngine::Open(dir, options);
   ASSERT_OK(recovered.status());
