@@ -15,7 +15,9 @@
 //       the run is crash-recoverable. --shards N (requires --wal-dir)
 //       runs the sharded engine instead: N shards under DIR, each with
 //       its own WAL, producing byte-identical stories to the unsharded
-//       run (DESIGN.md §16).
+//       run (DESIGN.md §16). Sharded runs also print the per-shard
+//       health dump (quarantine/heal state, catch-up journal backlog,
+//       WAL retry counters — DESIGN.md §17).
 //   recover <wal-dir> [--checkpoint] [--shards N]
 //       Recover the engine state from a durability directory (newest
 //       checkpoint + WAL tail) and print its stories. A sharded directory
@@ -303,7 +305,9 @@ Result<std::unique_ptr<shard::ShardedEngine>> DetectSharded(
 }
 
 /// Sharded counterpart of PrintEngineSummary: aligns (through the log)
-/// and prints totals plus the per-shard layout.
+/// and prints totals, the per-shard layout, and the per-shard health
+/// diagnostics (quarantine/heal state, journal backlog, retry stats —
+/// DESIGN.md §17).
 int PrintShardedSummary(shard::ShardedEngine& sharded) {
   if (!sharded.has_alignment()) {
     Status aligned = sharded.Align();
@@ -324,6 +328,7 @@ int PrintShardedSummary(shard::ShardedEngine& sharded) {
               snippets, sharded.TotalStories(),
               sharded.alignment().stories.size(), sharded.num_shards(),
               static_cast<unsigned long long>(sharded.Fingerprint()));
+  std::printf("%s", sharded.GetStats().ToString().c_str());
   return 0;
 }
 
@@ -405,7 +410,10 @@ int CmdDetect(int argc, char** argv) {
     Status finished = sharded.Checkpoint();
     if (finished.ok()) finished = sharded.Close();
     if (!finished.ok()) {
-      std::fprintf(stderr, "%s\n", finished.ToString().c_str());
+      // A refused checkpoint usually means a quarantined shard whose
+      // durability still lags — the per-shard dump says which and why.
+      std::fprintf(stderr, "%s\n%s", finished.ToString().c_str(),
+                   sharded.GetStats().ToString().c_str());
       return 1;
     }
     std::printf("durable: %llu ops logged and checkpointed across %zu "
@@ -542,7 +550,8 @@ int CmdRecover(int argc, char** argv) {
     if (HasFlag(argc, argv, "--checkpoint")) {
       Status compacted = sharded.value()->Checkpoint();
       if (!compacted.ok()) {
-        std::fprintf(stderr, "%s\n", compacted.ToString().c_str());
+        std::fprintf(stderr, "%s\n%s", compacted.ToString().c_str(),
+                     sharded.value()->GetStats().ToString().c_str());
         return 1;
       }
       std::printf("checkpointed; covered WAL segments dropped\n");

@@ -318,6 +318,12 @@ Status DurableEngine::Recover() {
   ops_since_checkpoint_ = expected_next - covered;
   degraded_ = false;
   degraded_cause_ = Status::OK();
+  closed_ = false;
+  quarantined_ = false;
+  quarantine_cause_ = Status::OK();
+  quarantine_base_lsn_ = 0;
+  quarantine_journal_.clear();
+  quarantine_journal_bytes_ = 0;
   if (observer != nullptr) {
     engine_->set_ingest_observer(observer);
     observer->OnEngineReplaced(engine_.get());
@@ -331,6 +337,13 @@ Status DurableEngine::Reopen() {
     IgnoreError(wal_->Close());
     wal_.reset();
   }
+  // A quarantined engine's journaled suffix is discarded up front:
+  // recovery rewinds to the durable prefix, exactly as if the process
+  // had crashed at quarantine entry.
+  quarantined_ = false;
+  quarantine_cause_ = Status::OK();
+  quarantine_journal_.clear();
+  quarantine_journal_bytes_ = 0;
   Status recovered = Recover();
   if (!recovered.ok()) {
     // Still broken: stay degraded on the old in-memory state so reads
@@ -353,6 +366,12 @@ Status DurableEngine::CheckWritable() const {
         "durable engine is in read-only degraded mode ("
         + degraded_cause_.ToString() + "); call Reopen() to recover");
   }
+  if (closed_) {
+    return Status::FailedPrecondition("durable engine is closed");
+  }
+  // Quarantined engines ACCEPT mutations (they are journaled in memory,
+  // DESIGN.md §17) even though the WAL handle is gone.
+  if (quarantined_) return Status::OK();
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("durable engine is closed");
   }
@@ -361,9 +380,25 @@ Status DurableEngine::CheckWritable() const {
 
 Status DurableEngine::LogOp(std::string payload) {
   RETURN_IF_ERROR(CheckWritable());
+  if (quarantined_) return JournalOp(std::move(payload));
   Result<uint64_t> lsn = wal_->Append(payload);
   if (!lsn.ok()) {
     // The WAL already retried transients, so this failure is permanent.
+    if (options_.quarantine_on_append_failure) {
+      // QUARANTINE (DESIGN.md §17): the failed append withdrew cleanly,
+      // so the log on disk is exactly the durable prefix. Record it as
+      // the journal's base lsn, close the WAL (releasing the directory
+      // claim so a healer can rebuild a replacement from disk), and
+      // journal this payload — the mutation is already applied to
+      // memory, so ACKing it keeps reads byte-identical to the acked
+      // stream while durability catches up later.
+      quarantine_base_lsn_ = wal_->next_lsn();
+      IgnoreError(wal_->Close());
+      wal_.reset();
+      quarantined_ = true;
+      quarantine_cause_ = lsn.status();
+      return JournalOp(std::move(payload));
+    }
     // The in-memory state now has a mutation the log does not:
     // acknowledging further mutations would desynchronise replay, so
     // drop to READ-ONLY degraded mode — queries stay served (from state
@@ -395,6 +430,47 @@ Status DurableEngine::LogOp(std::string payload) {
   // batch, not per snippet.
   if (commit_hook_) commit_hook_(CommitEvent::kMutation);
   return Status::OK();
+}
+
+Status DurableEngine::JournalOp(std::string payload) {
+  if (quarantine_journal_.size() >= options_.quarantine_max_journal_ops ||
+      quarantine_journal_bytes_ + payload.size() >
+          options_.quarantine_max_journal_bytes) {
+    // Overflow: the bounded catch-up window is exhausted before a healer
+    // drained it. Convert the quarantine into classic permanent
+    // degradation — the coordinator falls back to full recovery, which
+    // rewinds every shard to the common durable prefix. The journal is
+    // dropped (its ops survive only in this engine's memory, which the
+    // fallback discards anyway).
+    degraded_ = true;
+    degraded_cause_ = Status::Degraded(StrFormat(
+        "quarantine journal overflow after %llu ops / %llu bytes; "
+        "original failure: %s",
+        static_cast<unsigned long long>(quarantine_journal_.size()),
+        static_cast<unsigned long long>(quarantine_journal_bytes_),
+        quarantine_cause_.ToString().c_str()));
+    quarantined_ = false;
+    quarantine_cause_ = Status::OK();
+    quarantine_journal_.clear();
+    quarantine_journal_bytes_ = 0;
+    return degraded_cause_;
+  }
+  quarantine_journal_bytes_ += payload.size();
+  quarantine_journal_.push_back(std::move(payload));
+  // The mutation is applied and ACKed (durability deferred, bounded by
+  // the journal): the serving tier should still publish it.
+  if (commit_hook_) commit_hook_(CommitEvent::kMutation);
+  return Status::OK();
+}
+
+Status DurableEngine::ApplyJournaled(const std::string& payload) {
+  writer_.AssertInSection();  // Single-writer serial section.
+  RETURN_IF_ERROR(CheckWritable());
+  // Replay first (verifying recorded ids, exactly like recovery), then
+  // log — the same apply-then-log order every native mutator uses.
+  WalRecord record{next_lsn(), payload};
+  RETURN_IF_ERROR(ReplayOp(record, engine_.get()));
+  return LogOp(payload);
 }
 
 Result<SourceId> DurableEngine::RegisterSource(const std::string& name) {
@@ -743,6 +819,13 @@ Status DurableEngine::ReplayOp(const WalRecord& record,
 Status DurableEngine::Checkpoint() {
   writer_.AssertInSection();  // Single-writer serial section.
   RETURN_IF_ERROR(CheckWritable());
+  if (quarantined_) {
+    // The journaled suffix exists only in memory: a checkpoint covering
+    // it would claim durability the disk does not have.
+    return Status::FailedPrecondition(
+        "cannot checkpoint a quarantined engine: the catch-up journal is "
+        "not durable yet");
+  }
   // Rotate first so every previous segment becomes droppable the moment
   // the checkpoint lands.
   RETURN_IF_ERROR(wal_->Rotate());
@@ -760,6 +843,11 @@ Status DurableEngine::Checkpoint() {
 
 Status DurableEngine::Sync() {
   writer_.AssertInSection();  // Single-writer serial section.
+  if (quarantined_) {
+    return Status::FailedPrecondition(
+        "cannot sync a quarantined engine: the WAL is closed until a "
+        "healer rebuilds the shard");
+  }
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("durable engine is closed");
   }
@@ -768,6 +856,7 @@ Status DurableEngine::Sync() {
 
 Status DurableEngine::Close() {
   writer_.AssertInSection();  // Single-writer serial section.
+  closed_ = true;
   if (wal_ == nullptr) return Status::OK();
   Status status = wal_->Close();
   wal_.reset();
@@ -776,6 +865,9 @@ Status DurableEngine::Close() {
 
 uint64_t DurableEngine::next_lsn() const {
   writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  // While quarantined the lsn counter advances virtually with the
+  // journal, preserving LSN-as-GSN for the shard coordinator.
+  if (quarantined_) return quarantine_base_lsn_ + quarantine_journal_.size();
   return wal_ == nullptr ? 0 : wal_->next_lsn();
 }
 

@@ -1,0 +1,107 @@
+#include "shard/healer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace storypivot::shard {
+
+ShardHealer::ShardHealer(Options options)
+    : options_(std::move(options)),
+      pool_(std::max<size_t>(options_.threads, 2)) {}
+
+ShardHealer::~ShardHealer() { CancelAndDrain(); }
+
+void ShardHealer::Schedule(size_t shard, std::string dir,
+                           persist::DurabilityOptions durability,
+                           EngineConfig config) {
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  {
+    MutexLock lock(mu_);
+    Slot& slot = slots_[shard];
+    if (slot.stats.in_progress || slot.stats.ready) return;
+    slot.stats.scheduled = true;
+    slot.stats.in_progress = true;
+  }
+  // Submit OUTSIDE mu_: Submit blocks at the queue cap and takes the
+  // pool's own mutex — neither belongs under the slot lock.
+  pool_.Submit([this, shard, dir = std::move(dir), durability,
+                config]() { Heal(shard, dir, durability, config); });
+}
+
+void ShardHealer::Heal(size_t shard, const std::string& dir,
+                       const persist::DurabilityOptions& durability,
+                       const EngineConfig& config) {
+  RetryPolicy policy(options_.retry);
+  if (options_.retry_sleep) policy.set_sleep_fn(options_.retry_sleep);
+
+  std::unique_ptr<persist::DurableEngine> replacement;
+  uint64_t attempts = 0;
+  const auto cancelled = [this]() -> Status {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Unavailable("shard healer cancelled");
+    }
+    return Status::OK();
+  };
+  Status healed = policy.Run(
+      "shard heal",
+      [&]() -> Status {
+        RETURN_IF_ERROR(cancelled());
+        ++attempts;
+        Result<std::unique_ptr<persist::DurableEngine>> opened =
+            persist::DurableEngine::Open(dir, durability, config);
+        if (!opened.ok()) return opened.status();
+        replacement = std::move(opened).value();
+        return Status::OK();
+      },
+      /*before_retry=*/cancelled);
+
+  MutexLock lock(mu_);
+  Slot& slot = slots_[shard];
+  slot.stats.in_progress = false;
+  slot.stats.attempts += attempts;
+  if (healed.ok() && !cancelled_.load(std::memory_order_relaxed)) {
+    slot.stats.ready = true;
+    slot.stats.last_error = Status::OK();
+    slot.replacement = std::move(replacement);
+  } else {
+    // `replacement` (if any) is discarded on return, releasing its WAL
+    // directory claim. The coordinator re-schedules on a later poll.
+    slot.stats.last_error = healed.ok()
+        ? Status::Unavailable("shard healer cancelled")
+        : healed;
+    SP_LOG(kWarning) << "shard " << shard << " heal attempt failed: "
+                     << slot.stats.last_error.ToString();
+  }
+}
+
+std::unique_ptr<persist::DurableEngine> ShardHealer::TakeReady(size_t shard) {
+  MutexLock lock(mu_);
+  auto it = slots_.find(shard);
+  if (it == slots_.end() || !it->second.stats.ready) return nullptr;
+  it->second.stats.ready = false;
+  return std::move(it->second.replacement);
+}
+
+ShardHealer::SlotStats ShardHealer::slot_stats(size_t shard) const {
+  MutexLock lock(mu_);
+  auto it = slots_.find(shard);
+  return it == slots_.end() ? SlotStats{} : it->second.stats;
+}
+
+void ShardHealer::WaitIdle() { pool_.Wait(); }
+
+void ShardHealer::CancelAndDrain() {
+  cancelled_.store(true, std::memory_order_relaxed);
+  // Drains queued tasks (each bails fast on the cancel flag) and joins
+  // the workers, so no task can touch the slot table afterwards.
+  pool_.Shutdown();
+  MutexLock lock(mu_);
+  for (auto& [shard, slot] : slots_) {
+    slot.stats.ready = false;
+    slot.replacement.reset();
+  }
+}
+
+}  // namespace storypivot::shard

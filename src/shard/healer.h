@@ -1,0 +1,126 @@
+#ifndef STORYPIVOT_SHARD_HEALER_H_
+#define STORYPIVOT_SHARD_HEALER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "persist/durable_engine.h"
+#include "util/retry.h"
+#include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+
+namespace storypivot::shard {
+
+/// Background shard healer (DESIGN.md §17). When the coordinator
+/// quarantines a shard, it hands the shard's DIRECTORY to the healer;
+/// worker threads rebuild a replacement `DurableEngine` from disk
+/// (checkpoint + WAL replay up to the quarantined shard's durable
+/// prefix) with bounded `RetryPolicy` backoff between transient
+/// failures, and park the finished replacement in a per-shard slot. The
+/// coordinator's writer thread later collects it with `TakeReady()`,
+/// drains the catch-up journal onto it, and swaps it in (the REJOIN —
+/// see ShardedEngine::PollHealth).
+///
+/// The healer never touches the live (quarantined) engine object: the
+/// quarantined engine closed its WAL on entry, releasing the
+/// process-global directory claim, so the replacement's `Open` claims a
+/// directory nobody else holds and the two objects share no state.
+///
+/// Thread safety: `mu_` protects the slot table and is never held
+/// across a recovery attempt; the pool workers and the coordinator's
+/// writer thread are the only parties. `CancelAndDrain()` (also run by
+/// the destructor) stops the pool and discards any parked replacements
+/// — the coordinator MUST call it before full recovery of the shard
+/// root, or the replacements' directory claims would collide with
+/// `RecoverAll`.
+class ShardHealer {
+ public:
+  struct Options {
+    /// Backoff schedule between transient recovery failures. Permanent
+    /// failures abort the attempt immediately; the coordinator
+    /// re-schedules on a later health poll.
+    RetryOptions retry;
+    /// Injectable clock for the backoff (tests install a no-op).
+    RetryPolicy::SleepFn retry_sleep;
+    /// Worker threads. Clamped to >= 2: a <=1-thread ThreadPool runs
+    /// tasks inline on the submitting thread, which would turn
+    /// "background healing" into a synchronous stall of the
+    /// coordinator's writer thread.
+    size_t threads = 2;
+  };
+
+  /// Health/progress of one shard's heal, for ShardedEngine::Stats.
+  struct SlotStats {
+    bool scheduled = false;    ///< A heal was ever scheduled.
+    bool in_progress = false;  ///< A worker is rebuilding right now.
+    bool ready = false;        ///< A replacement awaits rejoin.
+    uint64_t attempts = 0;     ///< Cumulative recovery attempts.
+    Status last_error;         ///< Last failed attempt (OK if none).
+  };
+
+  explicit ShardHealer(Options options);
+  ~ShardHealer();
+
+  ShardHealer(const ShardHealer&) = delete;
+  ShardHealer& operator=(const ShardHealer&) = delete;
+
+  /// Queues a background rebuild of shard `shard` from `dir`. No-op if
+  /// a rebuild for that shard is already running or a replacement is
+  /// already parked; a shard whose previous attempt failed permanently
+  /// is re-armed. `durability.replay_lsn_limit` should be the
+  /// quarantined shard's durable prefix so the replacement replays
+  /// exactly to it.
+  void Schedule(size_t shard, std::string dir,
+                persist::DurabilityOptions durability, EngineConfig config)
+      SP_EXCLUDES(mu_);
+
+  /// Moves out shard `shard`'s finished replacement, or nullptr if none
+  /// is ready yet.
+  [[nodiscard]] std::unique_ptr<persist::DurableEngine> TakeReady(
+      size_t shard) SP_EXCLUDES(mu_);
+
+  [[nodiscard]] SlotStats slot_stats(size_t shard) const SP_EXCLUDES(mu_);
+
+  /// Blocks until every queued heal task has finished (tests use this
+  /// to make background healing deterministic).
+  void WaitIdle();
+
+  /// Stops intake, cancels backoff loops, joins the workers and
+  /// discards parked replacements (releasing their WAL directory
+  /// claims). The healer is permanently idle afterwards; the
+  /// coordinator builds a fresh one after full recovery.
+  void CancelAndDrain() SP_EXCLUDES(mu_);
+
+ private:
+  struct Slot {
+    SlotStats stats;
+    std::unique_ptr<persist::DurableEngine> replacement;
+  };
+
+  /// The worker body: rebuild one shard with bounded backoff and park
+  /// the result. Never holds mu_ across the recovery attempt.
+  void Heal(size_t shard, const std::string& dir,
+            const persist::DurabilityOptions& durability,
+            const EngineConfig& config) SP_EXCLUDES(mu_);
+
+  Options options_;
+  std::atomic<bool> cancelled_{false};
+  /// Guards the slot table. Acquired by the coordinator's writer thread
+  /// (Schedule/TakeReady/stats, hence the hierarchy edge) and by pool
+  /// workers publishing results; never held across DurableEngine::Open
+  /// or any ThreadPool call.
+  // lockcheck: name=ShardHealer.mu_ after=ShardedEngine.writer_
+  mutable Mutex mu_;
+  std::unordered_map<size_t, Slot> slots_ SP_GUARDED_BY(mu_);
+  /// Declared last so it is destroyed FIRST: ~ThreadPool drains and
+  /// joins the workers (which touch mu_/slots_) before they go away.
+  ThreadPool pool_;
+};
+
+}  // namespace storypivot::shard
+
+#endif  // STORYPIVOT_SHARD_HEALER_H_

@@ -53,6 +53,16 @@ Result<uint64_t> DurableBound(const std::string& dir, size_t keep) {
 
 }  // namespace
 
+const char* ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy: return "healthy";
+    case ShardHealth::kQuarantined: return "quarantined";
+    case ShardHealth::kHealing: return "healing";
+    case ShardHealth::kRejoined: return "rejoined";
+  }
+  return "unknown";
+}
+
 // --- Open / recovery -------------------------------------------------------
 
 ShardedEngine::ShardedEngine(std::string dir, ShardOptions options)
@@ -100,6 +110,13 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
 }
 
 Status ShardedEngine::RecoverAll() {
+  // The healer goes first: its workers must not race the rebuild, and a
+  // parked replacement engine holds a WAL directory claim that would
+  // collide with phase B's re-open.
+  if (healer_ != nullptr) {
+    healer_->CancelAndDrain();
+    healer_.reset();
+  }
   // Observers must detach before their engines die; destroying the old
   // DurableEngines also releases their WAL directory claims so phase B
   // can re-open the directories.
@@ -147,11 +164,9 @@ Status ShardedEngine::RecoverAll() {
   pool.ParallelFor(num_shards_, num_shards_,
                    [&](size_t /*chunk*/, size_t begin, size_t end) {
                      for (size_t s = begin; s < end; ++s) {
-                       persist::DurabilityOptions opts = options_.durability;
-                       opts.checkpoint_every_ops = 0;
-                       opts.replay_lsn_limit = cutoff;
                        Result<std::unique_ptr<DurableEngine>> opened =
-                           DurableEngine::Open(shard_dirs[s], opts,
+                           DurableEngine::Open(shard_dirs[s],
+                                               ShardDurability(cutoff),
                                                options_.engine_config);
                        if (opened.ok()) {
                          shards[s] = std::move(opened).value();
@@ -196,6 +211,14 @@ Status ShardedEngine::RecoverAll() {
   degraded_ = false;
   degraded_cause_ = Status::OK();
   closed_ = false;
+  // Health machine: every recovered shard starts healthy; cumulative
+  // counters and the last recorded failure survive as history.
+  health_.resize(num_shards_);
+  for (HealthSlot& slot : health_) slot.health = ShardHealth::kHealthy;
+  ShardHealer::Options heal_options;
+  heal_options.retry = options_.heal_retry;
+  heal_options.retry_sleep = options_.heal_retry_sleep;
+  healer_ = std::make_unique<ShardHealer>(std::move(heal_options));
   return Status::OK();
 }
 
@@ -233,6 +256,155 @@ void ShardedEngine::Poison(const Status& cause) {
   stale_ = true;
 }
 
+// --- Health machine & self-healing (DESIGN.md §17) -------------------------
+
+persist::DurabilityOptions ShardedEngine::ShardDurability(
+    uint64_t replay_lsn_limit) const {
+  persist::DurabilityOptions opts = options_.durability;
+  opts.checkpoint_every_ops = 0;  // Only the coordinator checkpoints.
+  opts.replay_lsn_limit = replay_lsn_limit;
+  opts.quarantine_on_append_failure = options_.quarantine;
+  return opts;
+}
+
+void ShardedEngine::ScheduleHeal(size_t s) {
+  // The replacement replays this shard's own WAL exactly to the durable
+  // prefix the quarantined engine recorded at entry; the journal drain
+  // (TryRejoin) then carries it to the global lsn.
+  healer_->Schedule(s, dir_ + "/" + ShardDirName(s),
+                    ShardDurability(shards_[s]->quarantine_base_lsn()),
+                    options_.engine_config);
+}
+
+void ShardedEngine::AbsorbShardFailures() {
+  if (degraded_ || healer_ == nullptr || shards_.empty()) return;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    DurableEngine& shard = *shards_[s];
+    HealthSlot& slot = health_[s];
+    if (!shard.quarantined()) {
+      if (shard.degraded()) {
+        // Quarantine could not absorb the failure (journal overflow):
+        // the other shards ACKed ops this one can never make durable,
+        // so fall back to the full-coordinator recovery path.
+        slot.last_failure = shard.degraded_cause();
+        Poison(Status::Degraded(StrFormat(
+            "shard %zu degraded: %s", s,
+            shard.degraded_cause().message().c_str())));
+        return;
+      }
+      continue;
+    }
+    if (slot.health == ShardHealth::kHealthy ||
+        slot.health == ShardHealth::kRejoined) {
+      // Newly quarantined: enter the machine and start a rebuild.
+      slot.health = ShardHealth::kQuarantined;
+      slot.last_failure = shard.quarantine_cause();
+      ++slot.quarantines;
+      ScheduleHeal(s);
+      continue;
+    }
+    // Already in the machine: collect healer progress.
+    std::unique_ptr<DurableEngine> replacement = healer_->TakeReady(s);
+    if (replacement != nullptr) {
+      Status rejoined = TryRejoin(s, std::move(replacement));
+      if (!rejoined.ok()) {
+        Poison(rejoined);
+        return;
+      }
+      continue;
+    }
+    ShardHealer::SlotStats heal = healer_->slot_stats(s);
+    if (heal.in_progress) {
+      slot.health = ShardHealth::kHealing;
+    } else {
+      // The previous attempt failed permanently (transients were
+      // already retried with backoff inside the healer) — re-arm. Each
+      // poll retries at most once, so a dead disk costs one recovery
+      // attempt per mutation, not a hot loop.
+      slot.health = ShardHealth::kQuarantined;
+      ScheduleHeal(s);
+    }
+  }
+}
+
+Status ShardedEngine::TryRejoin(
+    size_t s, std::unique_ptr<DurableEngine> replacement) {
+  DurableEngine& old = *shards_[s];
+  const uint64_t base = old.quarantine_base_lsn();
+  if (replacement->next_lsn() != base) {
+    return Status::Internal(StrFormat(
+        "shard %zu rejoin: replacement recovered to lsn %llu, expected "
+        "the quarantine base %llu",
+        s, static_cast<unsigned long long>(replacement->next_lsn()),
+        static_cast<unsigned long long>(base)));
+  }
+  // Catch-up: apply the journaled suffix in lsn order. Replay verifies
+  // recorded ids op by op; a failure here (or a journal overflow on the
+  // replacement) aborts the rejoin and the caller falls back to full
+  // recovery. A plain append failure does NOT fail the drain — the
+  // replacement self-quarantines and the memory state still converges.
+  for (const std::string& payload : old.quarantine_journal()) {
+    RETURN_IF_ERROR(replacement->ApplyJournaled(payload));
+  }
+  if (replacement->next_lsn() != old.next_lsn()) {
+    return Status::Internal(StrFormat(
+        "shard %zu rejoin: catch-up ended at lsn %llu, expected %llu",
+        s, static_cast<unsigned long long>(replacement->next_lsn()),
+        static_cast<unsigned long long>(old.next_lsn())));
+  }
+  const StoryPivotEngine::IdCounters want = old.engine().id_counters();
+  const StoryPivotEngine::IdCounters got =
+      replacement->engine().id_counters();
+  if (want.next_source != got.next_source ||
+      want.next_snippet != got.next_snippet ||
+      want.next_story != got.next_story) {
+    return Status::Internal(StrFormat(
+        "shard %zu rejoin: id counters out of lockstep after catch-up",
+        s));
+  }
+  if (EngineStateFingerprint(old.engine()) !=
+      EngineStateFingerprint(replacement->engine())) {
+    return Status::Internal(StrFormat(
+        "shard %zu rejoin: replacement state diverges from the served "
+        "in-memory state", s));
+  }
+  // Swap: the search index detaches from the dying engine first, then a
+  // fresh one bulk-builds from the replacement — the same bit-identical
+  // rebuild path recovery relies on. The cached alignment stays valid:
+  // it holds ids only, and the state it was computed from is unchanged.
+  search_[s].reset();
+  shards_[s] = std::move(replacement);
+  search_[s] = std::make_unique<search::SearchEngine>(&shards_[s]->engine());
+
+  HealthSlot& slot = health_[s];
+  if (shards_[s]->quarantined()) {
+    // The drain itself hit a fresh append failure; re-enter quarantine
+    // with the (much shorter) new journal.
+    slot.health = ShardHealth::kQuarantined;
+    slot.last_failure = shards_[s]->quarantine_cause();
+    ++slot.quarantines;
+    ScheduleHeal(s);
+  } else {
+    slot.health = ShardHealth::kRejoined;
+    ++slot.rejoins;
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::PollHealth() {
+  writer_.AssertInSection();  // Serial-section mutation.
+  if (shards_.empty() || closed_) {
+    return Status::FailedPrecondition("sharded engine is closed");
+  }
+  if (!degraded_) AbsorbShardFailures();
+  return CheckWritable();
+}
+
+void ShardedEngine::WaitForHealerIdle() {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  if (healer_ != nullptr) healer_->WaitIdle();
+}
+
 // --- Mutations -------------------------------------------------------------
 
 Result<SourceId> ShardedEngine::RegisterSource(const std::string& name) {
@@ -259,6 +431,7 @@ Result<SourceId> ShardedEngine::RegisterSource(const std::string& name) {
     }
   }
   stale_ = true;
+  AbsorbShardFailures();
   return id;
 }
 
@@ -276,6 +449,7 @@ Status ShardedEngine::ImportVocabularies(const text::Vocabulary& entities,
       return imported;
     }
   }
+  AbsorbShardFailures();
   return Status::OK();
 }
 
@@ -311,6 +485,7 @@ Result<SnippetId> ShardedEngine::AddSnippet(Snippet snippet) {
     }
   }
   stale_ = true;
+  AbsorbShardFailures();
   return added.value();
 }
 
@@ -393,6 +568,7 @@ Result<std::vector<SnippetId>> ShardedEngine::AddSnippets(
     }
   }
   stale_ = true;
+  AbsorbShardFailures();
   return ids;
 }
 
@@ -435,6 +611,7 @@ Status ShardedEngine::RemoveSnippet(SnippetId id) {
     }
   }
   stale_ = true;
+  AbsorbShardFailures();
   return Status::OK();
 }
 
@@ -482,6 +659,7 @@ Status ShardedEngine::RemoveSource(SourceId source) {
     }
   }
   stale_ = true;
+  AbsorbShardFailures();
   return Status::OK();
 }
 
@@ -530,6 +708,7 @@ Status ShardedEngine::AlignLocked() {
   }
   alignment_ = std::move(result);
   stale_ = false;
+  AbsorbShardFailures();
   return Status::OK();
 }
 
@@ -715,11 +894,94 @@ const Status& ShardedEngine::degraded_cause() const {
   return degraded_cause_;
 }
 
+ShardHealth ShardedEngine::shard_health(size_t index) const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  SP_CHECK(index < health_.size());
+  return health_[index].health;
+}
+
+ShardedEngine::Stats ShardedEngine::GetStats() const {
+  writer_.AssertInSection();  // Single-writer read (DESIGN.md §13).
+  Stats stats;
+  stats.degraded = degraded_;
+  stats.degraded_cause = degraded_cause_;
+  stats.shards.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardStats row;
+    const HealthSlot& slot = health_[s];
+    row.health = slot.health;
+    row.last_failure = slot.last_failure;
+    row.quarantines = slot.quarantines;
+    row.rejoins = slot.rejoins;
+    if (healer_ != nullptr) {
+      const ShardHealer::SlotStats heal = healer_->slot_stats(s);
+      row.heal_attempts = heal.attempts;
+      row.heal_error = heal.last_error;
+    }
+    const DurableEngine& shard = *shards_[s];
+    row.memory_lsn = shard.next_lsn();
+    if (shard.quarantined()) {
+      row.durable_lsn = shard.quarantine_base_lsn();
+      row.journal_ops = shard.quarantine_journal().size();
+      row.journal_bytes = shard.quarantine_journal_bytes();
+    } else {
+      row.durable_lsn = row.memory_lsn;
+    }
+    row.wal_retry = shard.wal_retry_stats();
+    stats.shards.push_back(std::move(row));
+  }
+  return stats;
+}
+
+std::string ShardedEngine::Stats::ToString() const {
+  std::string out = StrFormat(
+      "sharded engine: %zu shard(s), %s\n", shards.size(),
+      degraded ? ("DEGRADED: " + degraded_cause.message()).c_str()
+               : "writable");
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ShardStats& row = shards[s];
+    out += StrFormat(
+        "  shard %03zu: %-11s durable_lsn=%llu memory_lsn=%llu "
+        "journal=%llu ops/%llu B quarantines=%llu rejoins=%llu "
+        "heal_attempts=%llu wal_retries=%llu\n",
+        s, ShardHealthName(row.health),
+        static_cast<unsigned long long>(row.durable_lsn),
+        static_cast<unsigned long long>(row.memory_lsn),
+        static_cast<unsigned long long>(row.journal_ops),
+        static_cast<unsigned long long>(row.journal_bytes),
+        static_cast<unsigned long long>(row.quarantines),
+        static_cast<unsigned long long>(row.rejoins),
+        static_cast<unsigned long long>(row.heal_attempts),
+        static_cast<unsigned long long>(row.wal_retry.retries));
+    if (!row.last_failure.ok()) {
+      out += StrFormat("    last failure: %s\n",
+                       row.last_failure.ToString().c_str());
+    }
+    if (!row.heal_error.ok()) {
+      out += StrFormat("    last heal error: %s\n",
+                       row.heal_error.ToString().c_str());
+    }
+  }
+  return out;
+}
+
 // --- Durability control ----------------------------------------------------
 
 Status ShardedEngine::Checkpoint() {
   writer_.AssertInSection();  // Serial-section mutation.
   RETURN_IF_ERROR(CheckWritable());
+  // No checkpoints while ANY shard is quarantined: a healthy shard's
+  // checkpoint taken now could cover lsns past the quarantined shard's
+  // durable prefix — which is exactly the cutoff a fallback recovery
+  // would rewind to, and recovery treats a checkpoint past the cutoff
+  // as corruption.
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (shards_[s]->quarantined()) {
+      return Status::FailedPrecondition(StrFormat(
+          "cannot checkpoint: shard %zu is quarantined and its durable "
+          "prefix lags the acked stream", s));
+    }
+  }
   // Barrier: EVERY shard's log must be durable before ANY checkpoint is
   // written, so no checkpoint can cover lsns past a future recovery
   // cutoff (C is the min over per-shard durable bounds, and after the
@@ -740,6 +1002,10 @@ Status ShardedEngine::Sync() {
   writer_.AssertInSection();  // Serial-section mutation.
   RETURN_IF_ERROR(CheckWritable());
   for (size_t s = 0; s < num_shards_; ++s) {
+    // A quarantined shard's WAL is closed (its durable prefix was
+    // synced at quarantine entry; the suffix is memory-only by
+    // definition) — syncing the healthy shards still bounds their loss.
+    if (shards_[s]->quarantined()) continue;
     RETURN_IF_ERROR(shards_[s]->Sync());
   }
   return Status::OK();
@@ -747,6 +1013,9 @@ Status ShardedEngine::Sync() {
 
 Status ShardedEngine::Close() {
   writer_.AssertInSection();  // Serial-section mutation.
+  // Stop the healer first: parked replacements hold directory claims,
+  // and workers must not outlive the close.
+  if (healer_ != nullptr) healer_->CancelAndDrain();
   closed_ = true;
   Status first = Status::OK();
   for (size_t s = 0; s < shards_.size(); ++s) {

@@ -13,7 +13,9 @@
 #include "persist/durable_engine.h"
 #include "search/ranker.h"
 #include "search/search_engine.h"
+#include "shard/healer.h"
 #include "shard/manifest.h"
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/sync.h"
 
@@ -39,7 +41,37 @@ struct ShardOptions {
   /// Threads for parallel recovery (both the durable-bound scan and the
   /// per-shard replay); 0 means one per shard. 1 recovers serially.
   size_t recovery_threads = 0;
+  /// Per-shard fault isolation (DESIGN.md §17, default ON): a permanent
+  /// append failure on one shard QUARANTINES that shard (its acked ops
+  /// buffer in a bounded in-memory journal while a background healer
+  /// rebuilds it from disk and rejoins it) instead of poisoning the
+  /// whole coordinator. Forced into every shard's
+  /// DurabilityOptions::quarantine_on_append_failure; the journal
+  /// bounds come from `durability.quarantine_max_journal_{ops,bytes}`.
+  /// Set false to restore the PR-9 fail-stop behavior (any shard
+  /// failure poisons the coordinator until Reopen()).
+  bool quarantine = true;
+  /// Healer backoff schedule between transient shard-recovery failures,
+  /// and the injectable backoff clock (tests install a no-op sleep).
+  RetryOptions heal_retry;
+  RetryPolicy::SleepFn heal_retry_sleep;
 };
+
+/// Per-shard health state machine (DESIGN.md §17):
+///
+///   kHealthy ──append fails──▶ kQuarantined ──healer working──▶ kHealing
+///       ▲                                                           │
+///       │ (next quarantine restarts the cycle)                      │
+///   kRejoined ◀──journal drained onto the rebuilt replacement───────┘
+///
+/// Quarantined/healing shards keep ACCEPTING mutations (journaled in
+/// memory, ACKed, served by reads) — only their durability lags, by at
+/// most the journal bound. Journal overflow or a failed rejoin falls
+/// back to poisoning the coordinator (full recovery), the PR-9 path.
+enum class ShardHealth { kHealthy, kQuarantined, kHealing, kRejoined };
+
+/// Short lowercase name ("healthy", "quarantined", ...) for diagnostics.
+[[nodiscard]] const char* ShardHealthName(ShardHealth health);
 
 /// A horizontally sharded STORYPIVOT deployment (DESIGN.md §16): N
 /// DurableEngine shards, each owning the snippets of the sources hashed
@@ -75,11 +107,24 @@ struct ShardOptions {
 /// (tools/lockcheck.py): the coordinator enters its role first, then the
 /// shards'.
 ///
-/// Degraded mode: a shard failure in the middle of a multi-shard op
-/// leaves the shards at different op counts, so the coordinator poisons
-/// itself — every further mutation is rejected with kDegraded — until
-/// Reopen() re-runs the full parallel recovery, which rewinds all shards
-/// to the common durable prefix and discards the torn op.
+/// Fault isolation (DESIGN.md §17): with ShardOptions::quarantine (the
+/// default), a permanent WAL append failure on shard i quarantines ONLY
+/// that shard — the coordinator keeps ACKing mutations (shard i's
+/// records, native ops and kShardSync stubs alike, buffer in its bounded
+/// in-memory catch-up journal, preserving LSN-as-GSN), reads and search
+/// keep serving byte-identically to an unsharded engine at the acked
+/// prefix, and a background ShardHealer rebuilds the shard from disk and
+/// atomically rejoins it (journal drained onto the replacement, state
+/// verified by fingerprint, engine + search index swapped). See
+/// ShardHealth for the state machine and GetStats() for observability.
+///
+/// Degraded mode (the fallback, and the only mode with quarantine off):
+/// a shard failure that quarantine cannot absorb — journal overflow, a
+/// failed rejoin, a validation fault after another shard already logged
+/// — leaves the shards at different op counts, so the coordinator
+/// poisons itself: every further mutation is rejected with kDegraded
+/// until Reopen() re-runs the full parallel recovery, which rewinds all
+/// shards to the common durable prefix and discards the torn suffix.
 class ShardedEngine {
  public:
   /// Opens (creating if needed) the sharded root `dir` and recovers all
@@ -222,6 +267,51 @@ class ShardedEngine {
   [[nodiscard]] bool degraded() const;
   [[nodiscard]] const Status& degraded_cause() const;
 
+  // --- Health & self-healing (DESIGN.md §17) -----------------------------
+
+  /// Per-shard health, failure causes and progress counters for
+  /// GetStats() and the CLI diagnostics.
+  struct ShardStats {
+    ShardHealth health = ShardHealth::kHealthy;
+    /// The append failure behind the most recent quarantine (OK if the
+    /// shard never quarantined).
+    Status last_failure;
+    uint64_t quarantines = 0;  ///< Times this shard entered quarantine.
+    uint64_t rejoins = 0;      ///< Completed heal+rejoin cycles.
+    uint64_t heal_attempts = 0;  ///< Cumulative healer recovery attempts.
+    Status heal_error;           ///< Last failed heal attempt (OK if none).
+    uint64_t journal_ops = 0;    ///< Catch-up journal backlog right now.
+    uint64_t journal_bytes = 0;
+    uint64_t durable_lsn = 0;  ///< Prefix durable on this shard's disk.
+    uint64_t memory_lsn = 0;   ///< Applied in memory (>= durable_lsn;
+                               ///< the gap is the journal backlog).
+    RetryPolicy::Stats wal_retry;  ///< This shard's WAL append retries.
+  };
+  struct Stats {
+    bool degraded = false;
+    Status degraded_cause;
+    std::vector<ShardStats> shards;
+    /// Multi-line human-readable dump (one line per shard + a summary),
+    /// used by `storypivot_cli detect --shards` / `recover`.
+    [[nodiscard]] std::string ToString() const;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  [[nodiscard]] ShardHealth shard_health(size_t index) const;
+
+  /// Drives the health state machine outside the mutation path: absorbs
+  /// newly quarantined shards, collects finished replacements from the
+  /// healer and rejoins them. (Every mutation already does this in its
+  /// epilogue; idle callers poll.) Returns the coordinator's
+  /// writability — OK while healthy or merely quarantined, kDegraded
+  /// after a fallback poison.
+  [[nodiscard]] Status PollHealth();
+
+  /// Blocks until the background healer finished every scheduled
+  /// rebuild (tests use this to make healing deterministic; a following
+  /// PollHealth() then performs the rejoin on the writer thread).
+  void WaitForHealerIdle();
+
  private:
   ShardedEngine(std::string dir, ShardOptions options);
 
@@ -235,6 +325,32 @@ class ShardedEngine {
 
   /// Marks the coordinator degraded after a mid-op shard failure.
   void Poison(const Status& cause) SP_REQUIRES(writer_);
+
+  /// The per-shard durability options RecoverAll/the healer open shards
+  /// with: coordinator-forced policies + the quarantine knob.
+  [[nodiscard]] persist::DurabilityOptions ShardDurability(
+      uint64_t replay_lsn_limit) const;
+
+  /// The health sweep run in every mutation epilogue and by
+  /// PollHealth(): transitions newly quarantined shards into the state
+  /// machine (scheduling heals), tracks healer progress, and rejoins
+  /// finished replacements. A failed rejoin poisons the coordinator.
+  void AbsorbShardFailures() SP_REQUIRES(writer_);
+
+  /// Hands shard `s`'s directory to the background healer, rewound to
+  /// its current durable prefix.
+  void ScheduleHeal(size_t s) SP_REQUIRES(writer_);
+
+  /// Drains shard `s`'s catch-up journal onto `replacement` (verifying
+  /// lsn continuity, id-counter lockstep and memory-state fingerprint
+  /// equality against the quarantined engine) and swaps it in, with a
+  /// freshly built search index. On success the shard is kRejoined —
+  /// or immediately kQuarantined again if the drain itself hit a new
+  /// append failure (the replacement self-quarantined; memory state
+  /// still converged).
+  [[nodiscard]] Status TryRejoin(
+      size_t s, std::unique_ptr<persist::DurableEngine> replacement)
+      SP_REQUIRES(writer_);
 
   /// Runs cross-shard alignment into alignment_ and logs the id-cursor
   /// advance as a kShardSync stub on every shard.
@@ -276,6 +392,22 @@ class ShardedEngine {
   bool closed_ SP_GUARDED_BY(writer_) = false;
   bool degraded_ SP_GUARDED_BY(writer_) = false;
   Status degraded_cause_ SP_GUARDED_BY(writer_);
+  /// Health-machine state the shard itself cannot know (cumulative
+  /// counters, the coordinator-observed ShardHealth). Parallel to
+  /// shards_; counters survive Reopen(). Journal sizes/lsns live on the
+  /// shards and are read fresh by GetStats().
+  struct HealthSlot {
+    ShardHealth health = ShardHealth::kHealthy;
+    Status last_failure;
+    uint64_t quarantines = 0;
+    uint64_t rejoins = 0;
+  };
+  std::vector<HealthSlot> health_ SP_GUARDED_BY(writer_);
+  /// Background healer; rebuilt by RecoverAll (whose first act is to
+  /// cancel+drain it — parked replacements hold WAL directory claims
+  /// that would collide with phase B). Declared LAST so its destructor
+  /// (which joins the workers) runs before anything else goes away.
+  std::unique_ptr<ShardHealer> healer_ SP_GUARDED_BY(writer_);
 };
 
 }  // namespace storypivot::shard

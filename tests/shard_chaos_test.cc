@@ -1,0 +1,880 @@
+// Sharded chaos harness (DESIGN.md §17): drives the SHARDED engine
+// through seeded failpoint schedules and targeted per-shard faults, and
+// asserts the fault-isolation contract:
+//
+//  * QUARANTINE — a permanent WAL append failure on shard i quarantines
+//    only that shard: the op still ACKs, the coordinator stays writable,
+//    reads and ranked search stay byte-identical to a fault-free
+//    unsharded engine fed the same acked prefix (the journal keeps the
+//    shard's memory state in lockstep while its durability lags).
+//  * SELF-HEALING — the background healer rebuilds the failed shard from
+//    disk, the coordinator drains the catch-up journal onto it and
+//    rejoins it; post-heal state is fingerprint-identical to the
+//    unsharded reference at EVERY kill point, and survives Close/Open.
+//  * FALLBACK — what quarantine cannot absorb (journal overflow, heal
+//    starvation) degrades to the PR-9 poison + full-recovery path, which
+//    rewinds every shard to the common durable prefix.
+//
+// Schedules and kill points are seeded and replayable. One honest
+// caveat: once a heal is in flight, background healer threads interleave
+// with the coordinator, so probability-trigger draw ORDER (and hence the
+// exact acked prefix) can vary between runs — every assertion below is
+// therefore phrased against the prefix a run actually acked, never
+// against a precomputed prefix length.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/snapshot.h"
+#include "datagen/corpus.h"
+#include "persist/durable_engine.h"
+#include "persist/wal.h"
+#include "search/ranker.h"
+#include "search/search_engine.h"
+#include "shard/manifest.h"
+#include "shard/sharded_engine.h"
+#include "util/failpoint.h"
+#include "util/fs.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+#ifndef STORYPIVOT_FAILPOINTS
+
+// The whole harness depends on injection sites being compiled in.
+TEST(ShardChaosTest, RequiresFailpointBuild) {
+  GTEST_SKIP() << "built without STORYPIVOT_FAILPOINTS; sharded chaos "
+                  "tests need injection sites compiled in";
+}
+
+#else  // STORYPIVOT_FAILPOINTS
+
+namespace storypivot {
+namespace {
+
+using failpoint::OneShot;
+using failpoint::Probability;
+using failpoint::Registry;
+using persist::DurableEngine;
+using persist::FsyncPolicy;
+using search::Field;
+using search::MatchMode;
+using search::ParsedQuery;
+using search::SearchOptions;
+using search::StoryHit;
+using shard::ShardedEngine;
+using shard::ShardHealth;
+using shard::ShardOptions;
+
+::testing::AssertionResult IsOk(const Status& status) {
+  if (status.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << status.ToString();
+}
+template <typename T>
+::testing::AssertionResult IsOk(const Result<T>& result) {
+  return IsOk(result.status());
+}
+
+#define ASSERT_OK(expr) ASSERT_TRUE(IsOk((expr)))
+#define EXPECT_OK(expr) EXPECT_TRUE(IsOk((expr)))
+
+void RemoveDirRecursive(const std::string& path) {
+  if (!FileExists(path)) return;
+  Result<std::vector<std::string>> names = ListDirectory(path);
+  if (names.ok()) {
+    for (const std::string& entry : names.value()) {
+      RemoveDirRecursive(path + "/" + entry);
+    }
+    IgnoreError(RemoveDirectory(path));
+    return;
+  }
+  IgnoreError(RemoveFile(path));
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/sp_shchaos_" + name;
+  RemoveDirRecursive(dir);
+  SP_CHECK_OK(CreateDirectories(dir));
+  return dir;
+}
+
+/// Chaos knobs: every acked record durable (so the durable prefix IS
+/// the crash-recovery contract), small segments to force rotations,
+/// no-op sleeps so retry and heal backoff cost no wall-clock time.
+ShardOptions ChaosShardOptions() {
+  ShardOptions options;
+  options.num_shards = 2;
+  options.durability.wal.fsync = FsyncPolicy::kEveryRecord;
+  options.durability.wal.segment_bytes = 16 << 10;
+  options.durability.wal.retry_sleep = [](uint64_t) {};
+  options.heal_retry_sleep = [](uint64_t) {};
+  return options;
+}
+
+// --- Operation walks --------------------------------------------------------
+//
+// The same seeded-walk shape as shard_test.cc: one mutation stream in
+// data form, replayable against a ShardedEngine (under faults) and a
+// plain StoryPivotEngine (the fault-free reference).
+
+enum class OpKind {
+  kImport,
+  kRegisterSource,
+  kAddSnippet,
+  kAddSnippets,
+  kRemoveSnippet,
+  kRemoveSource,
+  kRefine,
+  kAlign,
+};
+
+struct PlanOp {
+  OpKind kind = OpKind::kAddSnippet;
+  std::string text;
+  uint64_t id64 = 0;
+  SourceId source = kInvalidSourceId;
+  Snippet snippet;
+  std::vector<Snippet> batch;
+};
+
+struct Plan {
+  datagen::Corpus corpus;
+  std::vector<PlanOp> ops;
+};
+
+Plan MakeWalk(uint64_t seed, size_t total_ops) {
+  Plan plan;
+  datagen::CorpusConfig config;
+  config.seed = seed * 7919 + 11;
+  config.num_sources = 4;
+  config.num_stories = 8;
+  config.target_num_snippets = static_cast<int>(total_ops * 4 + 60);
+  plan.corpus = datagen::CorpusGenerator(config).Generate();
+
+  plan.ops.push_back(PlanOp{.kind = OpKind::kImport});
+  std::vector<SourceId> live_sources;
+  SourceId next_source = 0;
+  for (const SourceInfo& source : plan.corpus.sources) {
+    plan.ops.push_back(
+        PlanOp{.kind = OpKind::kRegisterSource, .text = source.name});
+    live_sources.push_back(next_source++);
+  }
+
+  Pcg32 rng(seed * 0x9e3779b9ULL + 1, 54);
+  size_t next_corpus = 0;
+  SnippetId next_id = 0;
+  std::vector<std::pair<SnippetId, SourceId>> live;
+  auto take = [&](SourceId source) {
+    SP_CHECK(next_corpus < plan.corpus.snippets.size());
+    Snippet snippet = plan.corpus.snippets[next_corpus++];
+    snippet.id = kInvalidSnippetId;
+    snippet.source = source;
+    live.emplace_back(next_id++, source);
+    return snippet;
+  };
+  auto random_source = [&]() {
+    return live_sources[rng.NextBounded(
+        static_cast<uint32_t>(live_sources.size()))];
+  };
+  while (plan.ops.size() < total_ops) {
+    const uint32_t roll = rng.NextBounded(100);
+    PlanOp op;
+    if (roll < 8) {
+      op.kind = OpKind::kAlign;
+    } else if (roll < 16) {
+      op.kind = OpKind::kRefine;
+    } else if (roll < 24 && !live.empty()) {
+      op.kind = OpKind::kRemoveSnippet;
+      const size_t pick = rng.NextBounded(static_cast<uint32_t>(live.size()));
+      op.id64 = live[pick].first;
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    } else if (roll < 28 && live_sources.size() > 2) {
+      op.kind = OpKind::kRemoveSource;
+      const size_t pick =
+          rng.NextBounded(static_cast<uint32_t>(live_sources.size()));
+      op.source = live_sources[pick];
+      live_sources.erase(live_sources.begin() +
+                         static_cast<ptrdiff_t>(pick));
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [&](const auto& entry) {
+                                  return entry.second == op.source;
+                                }),
+                 live.end());
+    } else if (roll < 32 && live_sources.size() < 6) {
+      op.kind = OpKind::kRegisterSource;
+      op.text = "extra-" + std::to_string(next_source);
+      live_sources.push_back(next_source++);
+    } else if (roll < 46) {
+      op.kind = OpKind::kAddSnippets;
+      const size_t batch = 2 + rng.NextBounded(3);
+      for (size_t j = 0; j < batch; ++j) {
+        op.batch.push_back(take(random_source()));
+      }
+    } else {
+      op.kind = OpKind::kAddSnippet;
+      op.snippet = take(random_source());
+    }
+    plan.ops.push_back(std::move(op));
+  }
+  return plan;
+}
+
+Status Apply(const Plan& plan, const PlanOp& op, ShardedEngine* engine) {
+  switch (op.kind) {
+    case OpKind::kImport:
+      return engine->ImportVocabularies(*plan.corpus.entity_vocabulary,
+                                        *plan.corpus.keyword_vocabulary);
+    case OpKind::kRegisterSource:
+      return engine->RegisterSource(op.text).status();
+    case OpKind::kAddSnippet:
+      return engine->AddSnippet(op.snippet).status();
+    case OpKind::kAddSnippets:
+      return engine->AddSnippets(op.batch).status();
+    case OpKind::kRemoveSnippet:
+      return engine->RemoveSnippet(op.id64);
+    case OpKind::kRemoveSource:
+      return engine->RemoveSource(op.source);
+    case OpKind::kRefine:
+      return engine->Refine().status();
+    case OpKind::kAlign:
+      return engine->Align();
+  }
+  return Status::Internal("unhandled op");
+}
+
+Status Apply(const Plan& plan, const PlanOp& op, StoryPivotEngine* engine) {
+  switch (op.kind) {
+    case OpKind::kImport:
+      return engine->ImportVocabularies(*plan.corpus.entity_vocabulary,
+                                        *plan.corpus.keyword_vocabulary);
+    case OpKind::kRegisterSource:
+      engine->RegisterSource(op.text);
+      return Status::OK();
+    case OpKind::kAddSnippet:
+      return engine->AddSnippet(op.snippet).status();
+    case OpKind::kAddSnippets:
+      return engine->AddSnippets(op.batch).status();
+    case OpKind::kRemoveSnippet:
+      return engine->RemoveSnippet(op.id64);
+    case OpKind::kRemoveSource:
+      return engine->RemoveSource(op.source);
+    case OpKind::kRefine:
+      engine->Refine();
+      return Status::OK();
+    case OpKind::kAlign:
+      engine->Align();
+      return Status::OK();
+  }
+  return Status::Internal("unhandled op");
+}
+
+/// Seeded random parsed queries (raw term ids — no surface-text round
+/// trip can mask a divergence).
+std::vector<std::pair<ParsedQuery, SearchOptions>> MakeQueries(
+    const Plan& plan, uint64_t seed) {
+  std::vector<std::pair<ParsedQuery, SearchOptions>> queries;
+  Pcg32 rng(seed * 31 + 7, 96);
+  const auto entities =
+      static_cast<uint32_t>(plan.corpus.entity_vocabulary->size());
+  const auto keywords =
+      static_cast<uint32_t>(plan.corpus.keyword_vocabulary->size());
+  for (int q = 0; q < 4; ++q) {
+    ParsedQuery query;
+    const size_t num_terms = 1 + rng.NextBounded(3);
+    for (size_t t = 0; t < num_terms; ++t) {
+      if (rng.NextBounded(3) == 0 && entities > 0) {
+        query.terms.push_back(
+            {Field::kEntity,
+             static_cast<text::TermId>(rng.NextBounded(entities)),
+             {},
+             "e"});
+      } else if (keywords > 0) {
+        query.terms.push_back(
+            {Field::kKeyword,
+             static_cast<text::TermId>(rng.NextBounded(keywords)),
+             {},
+             "k"});
+      }
+    }
+    SearchOptions options;
+    options.k = 1 + rng.NextBounded(10);
+    options.mode = rng.NextBounded(2) == 0 ? MatchMode::kAny : MatchMode::kAll;
+    queries.emplace_back(std::move(query), options);
+  }
+  return queries;
+}
+
+void ExpectSameHits(const std::vector<StoryHit>& expected,
+                    const std::vector<StoryHit>& actual,
+                    const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].source, actual[i].source) << label << " hit " << i;
+    EXPECT_EQ(expected[i].story, actual[i].story) << label << " hit " << i;
+    EXPECT_EQ(expected[i].score, actual[i].score) << label << " hit " << i;
+    EXPECT_EQ(expected[i].matched_terms, actual[i].matched_terms)
+        << label << " hit " << i;
+  }
+}
+
+/// Per-RECORD expectations from a fault-free 2-shard master run:
+/// fp[l] = state fingerprint after the first l global log records, and
+/// records_after_op[i] = log height after the first i plan ops. (Same
+/// record-granular technique as shard_test's kill-point sweep: Refine
+/// decomposes into 2-3 records, and a fault can land between them.)
+struct RecordTable {
+  std::vector<uint64_t> fp;
+  std::vector<uint64_t> records_after_op;
+};
+
+RecordTable BuildRecordTable(const Plan& plan, const std::string& dir) {
+  RecordTable table;
+  Result<std::unique_ptr<ShardedEngine>> opened =
+      ShardedEngine::Open(dir, ChaosShardOptions());
+  SP_CHECK_OK(opened.status());
+  ShardedEngine& sharded = *opened.value();
+  table.fp.push_back(sharded.Fingerprint());
+  table.records_after_op.push_back(0);
+  for (const PlanOp& op : plan.ops) {
+    const uint64_t pre_fp = sharded.Fingerprint();
+    const uint64_t pre_lsn = sharded.next_lsn();
+    SP_CHECK_OK(Apply(plan, op, &sharded));
+    const uint64_t post_fp = sharded.Fingerprint();
+    const uint64_t delta = sharded.next_lsn() - pre_lsn;
+    SP_CHECK(delta >= 1 && delta <= 3);
+    // Intermediate records are counter-sync stubs: state stays at the
+    // pre-op fingerprint until the refine record lands.
+    if (delta == 3) table.fp.push_back(pre_fp);
+    for (uint64_t i = (delta == 3 ? 1 : 0); i < delta; ++i) {
+      table.fp.push_back(post_fp);
+    }
+    table.records_after_op.push_back(sharded.next_lsn());
+  }
+  SP_CHECK(table.fp.size() == sharded.next_lsn() + 1);
+  SP_CHECK_OK(sharded.Close());
+  return table;
+}
+
+/// Fingerprint of a fresh fault-free UNSHARDED engine fed ops [0, acked).
+uint64_t ReferenceFingerprint(const Plan& plan, size_t acked) {
+  StoryPivotEngine reference;
+  for (size_t i = 0; i < acked; ++i) {
+    SP_CHECK_OK(Apply(plan, plan.ops[i], &reference));
+  }
+  return EngineStateFingerprint(reference);
+}
+
+/// Drives healing to completion: waits for the background healer, then
+/// polls until no shard is quarantined/healing (bounded — a heal that
+/// cannot converge fails the caller's later assertions).
+void DriveHealing(ShardedEngine& sharded) {
+  for (int round = 0; round < 5; ++round) {
+    sharded.WaitForHealerIdle();
+    IgnoreError(sharded.PollHealth());
+    bool settled = true;
+    for (size_t s = 0; s < sharded.num_shards(); ++s) {
+      const ShardHealth health = sharded.shard_health(s);
+      if (health == ShardHealth::kQuarantined ||
+          health == ShardHealth::kHealing) {
+        settled = false;
+      }
+    }
+    if (settled || sharded.degraded()) return;
+  }
+}
+
+/// The per-shard fault sites a sharded schedule may arm. Same LCG
+/// derivation as the unsharded chaos suite (tests/chaos_test.cc), same
+/// exclusions (the withdraw/repair sites void the contract by design).
+const char* const kScheduleSites[] = {
+    "wal.append",     "fs.append.write", "fs.append.partial",
+    "fs.append.sync", "wal.rotate",      "fs.write.write",
+    "fs.write.fsync", "checkpoint.write",
+};
+
+void ArmSchedule(uint64_t seed) {
+  uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (const char* site : kScheduleSites) {
+    const double p = 0.12 * (static_cast<double>(next() % 1000) / 1000.0);
+    const bool transient = next() % 10 < 8;
+    Registry::Instance().Arm(site, Probability(p, seed, transient));
+  }
+}
+
+class ShardChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Instance().DisarmAll(); }
+  void TearDown() override { Registry::Instance().DisarmAll(); }
+};
+
+// --- Quarantine: blast radius of a single-shard permanent failure ----------
+
+TEST_F(ShardChaosTest, PermanentFailureQuarantinesOnlyThatShard) {
+  const Plan plan = MakeWalk(/*seed=*/11, /*total_ops=*/26);
+  // Kill append evaluation 21 (a shard-0 record mid-run) and 22 (the
+  // same record's append on shard 1) — both the op's first and second
+  // per-shard append must quarantine without failing the op.
+  for (const uint64_t kill_eval : {uint64_t{21}, uint64_t{22}}) {
+    SCOPED_TRACE("kill_eval " + std::to_string(kill_eval));
+    Result<std::unique_ptr<ShardedEngine>> opened = ShardedEngine::Open(
+        FreshDir("quarantine_" + std::to_string(kill_eval)),
+        ChaosShardOptions());
+    ASSERT_OK(opened);
+    ShardedEngine& sharded = *opened.value();
+    StoryPivotEngine reference;
+
+    Registry::Instance().Arm("wal.append",
+                             OneShot(kill_eval, /*transient=*/false));
+    bool checked_mid_quarantine = false;
+    for (const PlanOp& op : plan.ops) {
+      // EVERY op acks: the failure is absorbed, not surfaced.
+      ASSERT_OK(Apply(plan, op, &sharded));
+      ASSERT_OK(Apply(plan, op, &reference));
+      // While a shard is quarantined, reads serve the full acked
+      // prefix byte-identically to the unsharded reference — the
+      // journal keeps the shard's MEMORY state in lockstep even
+      // though its durability lags.
+      bool quarantined_now = false;
+      for (size_t s = 0; s < sharded.num_shards(); ++s) {
+        quarantined_now |=
+            sharded.shard_health(s) == ShardHealth::kQuarantined;
+      }
+      EXPECT_EQ(sharded.Fingerprint(), EngineStateFingerprint(reference));
+      if (quarantined_now && !checked_mid_quarantine) {
+        checked_mid_quarantine = true;
+        // Durability control honours the quarantine: a checkpoint
+        // would cover non-durable journal entries, so it must refuse;
+        // Sync skips the quarantined shard and still succeeds.
+        EXPECT_EQ(sharded.Checkpoint().code(),
+                  StatusCode::kFailedPrecondition);
+        EXPECT_OK(sharded.Sync());
+        search::SearchEngine reference_search(&reference);
+        for (const auto& [query, options] : MakeQueries(plan, 11)) {
+          Result<std::vector<StoryHit>> hits =
+              sharded.Search(query, options);
+          ASSERT_OK(hits);
+          ExpectSameHits(reference_search.Search(query, options),
+                         hits.value(), "mid-quarantine search");
+        }
+      }
+    }
+    Registry::Instance().DisarmAll();
+    EXPECT_FALSE(sharded.degraded());
+
+    // Exactly one shard took the hit; the other never left kHealthy.
+    ShardedEngine::Stats stats = sharded.GetStats();
+    uint64_t total_quarantines = 0;
+    for (const ShardedEngine::ShardStats& shard : stats.shards) {
+      total_quarantines += shard.quarantines;
+      if (shard.quarantines == 0) {
+        EXPECT_EQ(shard.health, ShardHealth::kHealthy);
+        EXPECT_TRUE(shard.last_failure.ok());
+      } else {
+        EXPECT_FALSE(shard.last_failure.ok());
+        EXPECT_TRUE(failpoint::IsInjected(shard.last_failure));
+      }
+    }
+    EXPECT_EQ(total_quarantines, 1u);
+
+    // Heal + rejoin: journal drained, every shard back at the global
+    // lsn, state still identical to the reference.
+    DriveHealing(sharded);
+    ASSERT_OK(sharded.PollHealth());
+    stats = sharded.GetStats();
+    for (size_t s = 0; s < stats.shards.size(); ++s) {
+      const ShardedEngine::ShardStats& shard = stats.shards[s];
+      EXPECT_EQ(shard.quarantines == 1 ? ShardHealth::kRejoined
+                                       : ShardHealth::kHealthy,
+                shard.health)
+          << "shard " << s;
+      EXPECT_EQ(shard.journal_ops, 0u) << "shard " << s;
+      EXPECT_EQ(shard.durable_lsn, shard.memory_lsn) << "shard " << s;
+      EXPECT_EQ(shard.rejoins, shard.quarantines) << "shard " << s;
+      if (shard.quarantines == 1) {
+        EXPECT_GE(shard.heal_attempts, 1u);
+      }
+      EXPECT_EQ(sharded.shard(s).next_lsn(), sharded.next_lsn());
+    }
+    EXPECT_EQ(sharded.Fingerprint(), EngineStateFingerprint(reference));
+
+    // Post-rejoin the deployment is fully durable again: checkpoint
+    // works, and a fresh process sees the complete acked stream.
+    ASSERT_OK(sharded.Checkpoint());
+    const uint64_t final_lsn = sharded.next_lsn();
+    const uint64_t final_fp = sharded.Fingerprint();
+    const std::string dir = sharded.dir();
+    ASSERT_OK(sharded.Close());
+    opened.value().reset();
+    ShardOptions reopen_options = ChaosShardOptions();
+    reopen_options.num_shards = 0;
+    Result<std::unique_ptr<ShardedEngine>> recovered =
+        ShardedEngine::Open(dir, reopen_options);
+    ASSERT_OK(recovered);
+    EXPECT_EQ(recovered.value()->next_lsn(), final_lsn);
+    EXPECT_EQ(recovered.value()->Fingerprint(), final_fp);
+    ASSERT_OK(recovered.value()->Close());
+  }
+}
+
+// --- The acceptance sweep: every kill point heals byte-identically ---------
+
+TEST_F(ShardChaosTest, EveryKillPointHealsToUnshardedReference) {
+  const Plan plan = MakeWalk(/*seed=*/23, /*total_ops=*/22);
+  const uint64_t reference_fp = ReferenceFingerprint(plan, plan.ops.size());
+
+  // Sweep EVERY wal.append evaluation: k walks the full per-shard
+  // append stream (owner natives and kShardSync stubs alike) until a
+  // run where the one-shot never fires — complete kill-point coverage.
+  uint64_t covered = 0;
+  for (uint64_t kill_eval = 1;; ++kill_eval) {
+    ASSERT_LT(kill_eval, 500u) << "kill sweep failed to terminate";
+    SCOPED_TRACE("kill_eval " + std::to_string(kill_eval));
+    const std::string dir = FreshDir("kill_sweep");
+    Result<std::unique_ptr<ShardedEngine>> opened =
+        ShardedEngine::Open(dir, ChaosShardOptions());
+    ASSERT_OK(opened);
+    ShardedEngine& sharded = *opened.value();
+    Registry::Instance().Arm("wal.append",
+                             OneShot(kill_eval, /*transient=*/false));
+    for (const PlanOp& op : plan.ops) {
+      ASSERT_OK(Apply(plan, op, &sharded));
+    }
+    const bool fired = Registry::Instance().Stats("wal.append").fires > 0;
+    Registry::Instance().DisarmAll();
+
+    DriveHealing(sharded);
+    ASSERT_OK(sharded.PollHealth());
+    ASSERT_FALSE(sharded.degraded());
+    const ShardedEngine::Stats stats = sharded.GetStats();
+    uint64_t total_quarantines = 0;
+    for (size_t s = 0; s < stats.shards.size(); ++s) {
+      total_quarantines += stats.shards[s].quarantines;
+      EXPECT_TRUE(stats.shards[s].health == ShardHealth::kHealthy ||
+                  stats.shards[s].health == ShardHealth::kRejoined)
+          << "shard " << s;
+      EXPECT_EQ(stats.shards[s].journal_ops, 0u) << "shard " << s;
+      EXPECT_EQ(sharded.shard(s).next_lsn(), sharded.next_lsn());
+    }
+    EXPECT_EQ(total_quarantines > 0, fired);
+
+    // The headline: post-heal state at this kill point is byte-identical
+    // to a fault-free UNSHARDED engine fed the same acked prefix (here
+    // the whole plan — quarantine acked everything).
+    EXPECT_EQ(sharded.Fingerprint(), reference_fp);
+
+    // And the heal is durable: reopen sees the same state.
+    ASSERT_OK(sharded.Close());
+    opened.value().reset();
+    ShardOptions reopen_options = ChaosShardOptions();
+    reopen_options.num_shards = 0;
+    Result<std::unique_ptr<ShardedEngine>> recovered =
+        ShardedEngine::Open(dir, reopen_options);
+    ASSERT_OK(recovered);
+    EXPECT_EQ(recovered.value()->Fingerprint(), reference_fp);
+    ASSERT_OK(recovered.value()->Close());
+
+    if (!fired) break;  // k walked past the last append: sweep complete.
+    ++covered;
+  }
+  // The sweep must have actually swept (2 shards x ~1.2 records/op).
+  EXPECT_GT(covered, 40u);
+}
+
+// --- Seeded schedules over per-shard fault sites ---------------------------
+
+TEST_F(ShardChaosTest, FiftySeededSchedulesKeepAckedPrefixRecoverable) {
+  const Plan plan = MakeWalk(/*seed=*/37, /*total_ops=*/36);
+  const RecordTable table =
+      BuildRecordTable(plan, FreshDir("sweep_master"));
+
+  int acked_all_runs = 0;
+  int quarantine_runs = 0;
+  int degraded_runs = 0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string dir = FreshDir("sweep");
+    ArmSchedule(seed);
+    size_t acked = 0;
+    bool opened_ok = false;
+    {
+      Result<std::unique_ptr<ShardedEngine>> opened =
+          ShardedEngine::Open(dir, ChaosShardOptions());
+      // Creating the deployment writes the manifest + segments under
+      // the armed schedule; a run whose create dies is skipped.
+      if (!opened.ok()) {
+        Registry::Instance().DisarmAll();
+        continue;
+      }
+      opened_ok = true;
+      ShardedEngine& sharded = *opened.value();
+      for (const PlanOp& op : plan.ops) {
+        Status applied = Apply(plan, op, &sharded);
+        if (applied.ok()) {
+          ++acked;
+          continue;
+        }
+        // With quarantine on, an op only fails once the coordinator
+        // poisoned itself (journal overflow, failed rejoin, torn
+        // multi-shard op) — the PR-9 fallback. It must bounce all
+        // further mutations with kDegraded.
+        EXPECT_TRUE(sharded.degraded()) << applied.ToString();
+        EXPECT_EQ(sharded.RegisterSource("bounced").status().code(),
+                  StatusCode::kDegraded);
+        ++degraded_runs;
+        break;
+      }
+      Registry::Instance().DisarmAll();
+
+      uint64_t total_quarantines = 0;
+      for (const ShardedEngine::ShardStats& shard :
+           sharded.GetStats().shards) {
+        total_quarantines += shard.quarantines;
+      }
+      if (total_quarantines > 0) ++quarantine_runs;
+
+      if (acked == plan.ops.size() && !sharded.degraded()) {
+        ++acked_all_runs;
+        // Live reads at the acked prefix match the fault-free
+        // reference even before healing finishes...
+        EXPECT_EQ(sharded.Fingerprint(),
+                  table.fp[table.records_after_op[acked]]);
+        // ...and healing converges to a fully durable deployment.
+        DriveHealing(sharded);
+        if (!sharded.degraded()) {
+          ASSERT_OK(sharded.PollHealth());
+          EXPECT_OK(sharded.Checkpoint());
+          for (size_t s = 0; s < sharded.num_shards(); ++s) {
+            EXPECT_EQ(sharded.shard(s).next_lsn(), sharded.next_lsn());
+          }
+        }
+      }
+      // CRASH: destroy without Close. Any catch-up journal dies with
+      // the process — quarantine acks are memory acks whose durability
+      // intentionally lags (DESIGN.md §17).
+    }
+    if (!opened_ok) continue;
+
+    // Recovery lands on SOME record-stream prefix of the acked run —
+    // prefix consistency survives every schedule, even those that
+    // crashed mid-quarantine or mid-heal.
+    ShardOptions reopen_options = ChaosShardOptions();
+    reopen_options.num_shards = 0;
+    Result<std::unique_ptr<ShardedEngine>> recovered =
+        ShardedEngine::Open(dir, reopen_options);
+    ASSERT_OK(recovered);
+    const uint64_t prefix = recovered.value()->next_lsn();
+    ASSERT_LT(prefix, table.fp.size());
+    EXPECT_EQ(recovered.value()->Fingerprint(), table.fp[prefix]);
+    EXPECT_OK(recovered.value()->RegisterSource("post-recovery").status());
+    ASSERT_OK(recovered.value()->Close());
+  }
+  // The schedule space must cover both the absorbed and the clean
+  // outcome, or the sweep is vacuous.
+  EXPECT_GT(quarantine_runs, 0);
+  EXPECT_GT(acked_all_runs, 0);
+}
+
+// --- Fallback: journal overflow degrades to full recovery ------------------
+
+TEST_F(ShardChaosTest, JournalOverflowFallsBackToFullRecovery) {
+  const Plan plan = MakeWalk(/*seed=*/41, /*total_ops=*/30);
+  const RecordTable table =
+      BuildRecordTable(plan, FreshDir("overflow_master"));
+
+  const std::string dir = FreshDir("overflow");
+  ShardOptions options = ChaosShardOptions();
+  // A journal this small must overflow within a few quarantined ops.
+  options.durability.quarantine_max_journal_ops = 4;
+  Result<std::unique_ptr<ShardedEngine>> opened =
+      ShardedEngine::Open(dir, options);
+  ASSERT_OK(opened);
+  ShardedEngine& sharded = *opened.value();
+
+  constexpr size_t kCleanOps = 8;
+  for (size_t i = 0; i < kCleanOps; ++i) {
+    ASSERT_OK(Apply(plan, plan.ops[i], &sharded));
+  }
+  const uint64_t durable_records = sharded.next_lsn();
+
+  // The next append dies permanently AND the healer is starved (every
+  // rebuild's segment read fails), so the journal can only grow.
+  Registry::Instance().Arm("wal.append", OneShot(1, /*transient=*/false));
+  Registry::Instance().Arm("fs.read.open",
+                           failpoint::EveryNth(1, /*transient=*/false));
+  size_t acked = kCleanOps;
+  Status failure;
+  for (size_t i = kCleanOps; i < plan.ops.size(); ++i) {
+    failure = Apply(plan, plan.ops[i], &sharded);
+    if (!failure.ok()) break;
+    ++acked;
+  }
+  ASSERT_FALSE(failure.ok()) << "journal never overflowed";
+  EXPECT_LE(acked, kCleanOps + 5u);  // 4-op journal + the overflowing op.
+  EXPECT_TRUE(sharded.degraded());
+  EXPECT_EQ(sharded.RegisterSource("bounced").status().code(),
+            StatusCode::kDegraded);
+
+  // The starved heal is observable: attempts were made, all failed.
+  sharded.WaitForHealerIdle();
+  ShardedEngine::Stats stats = sharded.GetStats();
+  uint64_t heal_attempts = 0;
+  bool saw_heal_error = false;
+  for (const ShardedEngine::ShardStats& shard : stats.shards) {
+    heal_attempts += shard.heal_attempts;
+    saw_heal_error |= !shard.heal_error.ok();
+  }
+  EXPECT_GE(heal_attempts, 1u);
+  EXPECT_TRUE(saw_heal_error);
+
+  // Full recovery: the journal is gone, every shard rewinds to the
+  // common durable prefix — exactly the pre-fault record stream.
+  Registry::Instance().DisarmAll();
+  ASSERT_OK(sharded.Reopen());
+  EXPECT_FALSE(sharded.degraded());
+  EXPECT_EQ(sharded.next_lsn(), durable_records);
+  EXPECT_EQ(sharded.Fingerprint(), table.fp[durable_records]);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_EQ(sharded.shard_health(s), ShardHealth::kHealthy);
+  }
+
+  // And the deployment takes the rest of the plan cleanly.
+  for (size_t i = kCleanOps; i < plan.ops.size(); ++i) {
+    ASSERT_OK(Apply(plan, plan.ops[i], &sharded));
+  }
+  EXPECT_EQ(sharded.Fingerprint(),
+            ReferenceFingerprint(plan, plan.ops.size()));
+  ASSERT_OK(sharded.Close());
+}
+
+// --- Healer concurrency (the TSan target) ----------------------------------
+
+TEST_F(ShardChaosTest, RepeatedQuarantineCyclesHealConcurrently) {
+  const Plan plan = MakeWalk(/*seed=*/53, /*total_ops=*/60);
+  Result<std::unique_ptr<ShardedEngine>> opened =
+      ShardedEngine::Open(FreshDir("cycles"), ChaosShardOptions());
+  ASSERT_OK(opened);
+  ShardedEngine& sharded = *opened.value();
+  StoryPivotEngine reference;
+
+  // Six quarantine/heal/rejoin cycles, each racing the background
+  // healer against live coordinator mutations: the kill fires early in
+  // a slice, so the heal, the journal drain and the rejoin all overlap
+  // with subsequent acks. TSan watches the slot-table handoff.
+  constexpr size_t kSlice = 10;
+  for (size_t cycle = 0; cycle < plan.ops.size() / kSlice; ++cycle) {
+    SCOPED_TRACE("cycle " + std::to_string(cycle));
+    Registry::Instance().Arm(
+        "wal.append", OneShot(1 + cycle % 3, /*transient=*/false));
+    for (size_t i = cycle * kSlice; i < (cycle + 1) * kSlice; ++i) {
+      ASSERT_OK(Apply(plan, plan.ops[i], &sharded));
+      ASSERT_OK(Apply(plan, plan.ops[i], &reference));
+    }
+    Registry::Instance().DisarmAll();
+    DriveHealing(sharded);
+    ASSERT_OK(sharded.PollHealth());
+    EXPECT_EQ(sharded.Fingerprint(), EngineStateFingerprint(reference));
+  }
+
+  ShardedEngine::Stats stats = sharded.GetStats();
+  uint64_t total_quarantines = 0;
+  uint64_t total_rejoins = 0;
+  for (const ShardedEngine::ShardStats& shard : stats.shards) {
+    total_quarantines += shard.quarantines;
+    total_rejoins += shard.rejoins;
+  }
+  EXPECT_GE(total_quarantines, 5u);
+  EXPECT_EQ(total_rejoins, total_quarantines);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_EQ(sharded.shard(s).next_lsn(), sharded.next_lsn());
+  }
+  ASSERT_OK(sharded.Close());
+}
+
+// --- WAL-directory registry release on partial open/reopen failure ---------
+
+TEST_F(ShardChaosTest, PartialOpenFailureReleasesAllWalDirClaims) {
+  const std::string dir = FreshDir("partial_open");
+  {
+    Result<std::unique_ptr<ShardedEngine>> created =
+        ShardedEngine::Open(dir, ChaosShardOptions());
+    ASSERT_OK(created);
+    ASSERT_OK(created.value()->Close());
+  }
+
+  // Serial recovery, and the SECOND appender open dies: shard-000 has
+  // already claimed its WAL directory when shard-001 fails the open.
+  // The failed Open must release every claim it took.
+  ShardOptions options = ChaosShardOptions();
+  options.num_shards = 0;
+  options.recovery_threads = 1;
+  Registry::Instance().Arm("fs.append.open",
+                           OneShot(2, /*transient=*/false));
+  Result<std::unique_ptr<ShardedEngine>> failed =
+      ShardedEngine::Open(dir, options);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failpoint::IsInjected(failed.status()));
+  Registry::Instance().DisarmAll();
+
+  // shard-000's directory must be claimable again — by a bare
+  // DurableEngine and by a full ShardedEngine::Open.
+  {
+    Result<std::unique_ptr<DurableEngine>> direct =
+        DurableEngine::Open(dir + "/" + shard::ShardDirName(0));
+    ASSERT_OK(direct);
+    ASSERT_OK(direct.value()->Close());
+  }
+  Result<std::unique_ptr<ShardedEngine>> reopened =
+      ShardedEngine::Open(dir, options);
+  ASSERT_OK(reopened);
+  ASSERT_OK(reopened.value()->Close());
+}
+
+TEST_F(ShardChaosTest, PartialReopenFailureReleasesAllWalDirClaims) {
+  const Plan plan = MakeWalk(/*seed=*/61, /*total_ops=*/16);
+  const std::string dir = FreshDir("partial_reopen");
+  ShardOptions options = ChaosShardOptions();
+  options.recovery_threads = 1;
+  // Quarantine off: this test needs the poison path to force a Reopen.
+  options.quarantine = false;
+  Result<std::unique_ptr<ShardedEngine>> opened =
+      ShardedEngine::Open(dir, options);
+  ASSERT_OK(opened);
+  ShardedEngine& sharded = *opened.value();
+  size_t acked = 0;
+  Registry::Instance().Arm("wal.append", OneShot(9, /*transient=*/false));
+  for (const PlanOp& op : plan.ops) {
+    if (!Apply(plan, op, &sharded).ok()) break;
+    ++acked;
+  }
+  ASSERT_TRUE(sharded.degraded());
+  Registry::Instance().DisarmAll();
+
+  // Reopen dies after shard-000 was already rebuilt (and re-claimed):
+  // the failed Reopen leaves the engine degraded, and a later Reopen
+  // must not trip over leaked claims.
+  Registry::Instance().Arm("fs.append.open",
+                           OneShot(2, /*transient=*/false));
+  ASSERT_FALSE(sharded.Reopen().ok());
+  EXPECT_TRUE(sharded.degraded());
+  Registry::Instance().DisarmAll();
+
+  ASSERT_OK(sharded.Reopen());
+  EXPECT_FALSE(sharded.degraded());
+  EXPECT_OK(sharded.RegisterSource("post-reopen").status());
+  ASSERT_OK(sharded.Close());
+}
+
+}  // namespace
+}  // namespace storypivot
+
+#endif  // STORYPIVOT_FAILPOINTS

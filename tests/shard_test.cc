@@ -655,6 +655,10 @@ TEST_F(ShardFaultTest, MidOpAppendFailurePoisonsUntilReopen) {
     ShardOptions options;
     options.num_shards = 2;
     options.durability = FastDurability();
+    // Quarantine off: this test pins down the legacy fail-stop path
+    // (poison + Reopen). The quarantine/heal path has its own coverage
+    // in shard_chaos_test.cc.
+    options.quarantine = false;
     Result<std::unique_ptr<ShardedEngine>> opened = ShardedEngine::Open(
         FreshDir("fault_" + std::to_string(kill_at)), options);
     ASSERT_OK(opened);
